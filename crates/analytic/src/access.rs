@@ -1,0 +1,284 @@
+//! §2 — access methods for memory-resident databases.
+//!
+//! The paper compares an AVL tree against a B+-tree under the objective
+//!
+//! ```text
+//! cost = Z · |page reads| + |comparisons|
+//! ```
+//!
+//! with `Z` the relative price of a page fault (realistically 10–30) and
+//! `Y ≤ 1` the relative price of an AVL comparison versus a B+-tree
+//! comparison (AVL nodes need no within-page search). Under random
+//! replacement with `|M|` of the structure's `S` pages resident, each of
+//! the `C` node inspections faults with probability `(1 − |M|/S)`.
+//!
+//! **Table 1** of the paper reports, for a grid of `(Z, Y)`, the minimum
+//! memory fraction `H = |M|/S` at which the AVL tree becomes competitive;
+//! [`table1`] regenerates it.
+
+use mmdb_types::AccessGeometry;
+
+/// Clamped miss probability `1 − resident/total`.
+fn miss(resident_pages: f64, total_pages: f64) -> f64 {
+    (1.0 - resident_pages / total_pages).clamp(0.0, 1.0)
+}
+
+/// Cost of one random key lookup in the AVL tree (§2):
+/// `Z · C · (1 − |M|/S) + Y · C` with `C = log2(||R||) + 0.25`.
+///
+/// `m_pages` is the memory available to the structure, in pages.
+pub fn avl_random_cost(g: &AccessGeometry, z: f64, y: f64, m_pages: f64) -> f64 {
+    let c = g.avl_comparisons();
+    let s = g.avl_pages() as f64;
+    z * c * miss(m_pages, s) + y * c
+}
+
+/// Cost of one random key lookup in the B+-tree (§2):
+/// `Z · (height + 1) · (1 − |M|/S') + C'` with `C' = log2(||R||)`.
+pub fn btree_random_cost(g: &AccessGeometry, z: f64, m_pages: f64) -> f64 {
+    let c = g.btree_comparisons();
+    let s = g.btree_pages() as f64;
+    let height = g.btree_height() as f64;
+    z * (height + 1.0) * miss(m_pages, s) + c
+}
+
+/// Cost of reading `n` tuples sequentially from the AVL tree after
+/// positioning. Each in-order successor step inspects about one node, and
+/// without clustering each node visit is a potential fault (§2):
+/// `Z · n · (1 − |M|/S) + Y · n`.
+pub fn avl_sequential_cost(g: &AccessGeometry, z: f64, y: f64, m_pages: f64, n: u64) -> f64 {
+    let s = g.avl_pages() as f64;
+    let n = n as f64;
+    z * n * miss(m_pages, s) + y * n
+}
+
+/// Cost of reading `n` tuples sequentially from the B+-tree leaves after
+/// positioning: tuples are clustered, so only `n / leaf-capacity` page
+/// reads are needed, plus one comparison per tuple:
+/// `Z · (n/L) · (1 − |M|/S') + n`.
+pub fn btree_sequential_cost(g: &AccessGeometry, z: f64, m_pages: f64, n: u64) -> f64 {
+    let s = g.btree_pages() as f64;
+    let leaf_cap = g.btree_leaf_capacity() as f64;
+    let n = n as f64;
+    z * (n / leaf_cap) * miss(m_pages, s) + n
+}
+
+/// Solves for the break-even memory fraction `H = |M|/S` (of the **AVL**
+/// structure size) above which the AVL tree is the cheaper structure for
+/// random lookups. Returns a value in `[0, 1]`; `1.0` means the AVL tree
+/// needs to be entirely memory-resident, `0.0` that it always wins.
+///
+/// Both structures are granted the same `|M|` pages of memory, so the
+/// B+-tree's resident fraction is `H' = |M|/S' = H · S/S'` (≈ `0.69·H`
+/// when tuples are much wider than pointers, as the paper notes).
+pub fn random_break_even_fraction(g: &AccessGeometry, z: f64, y: f64) -> f64 {
+    break_even(g, |g, m| {
+        btree_random_cost(g, z, m) - avl_random_cost(g, z, y, m)
+    })
+}
+
+/// Break-even memory fraction `H = |M|/S` for sequential access
+/// (inequality (2) of the paper), reading `n` tuples.
+pub fn sequential_break_even_fraction(g: &AccessGeometry, z: f64, y: f64, n: u64) -> f64 {
+    break_even(g, |g, m| {
+        btree_sequential_cost(g, z, m, n) - avl_sequential_cost(g, z, y, m, n)
+    })
+}
+
+/// Finds the smallest `H ∈ [0,1]` such that `diff(m = H·S) ≥ 0` — i.e. the
+/// point where the AVL tree stops losing. The cost difference is monotone
+/// in `m`, so bisection suffices.
+fn break_even(g: &AccessGeometry, diff: impl Fn(&AccessGeometry, f64) -> f64) -> f64 {
+    let s = g.avl_pages() as f64;
+    if diff(g, 0.0) >= 0.0 {
+        return 0.0;
+    }
+    if diff(g, s) < 0.0 {
+        return 1.0;
+    }
+    let (mut lo, mut hi) = (0.0f64, 1.0f64);
+    for _ in 0..64 {
+        let mid = 0.5 * (lo + hi);
+        if diff(g, mid * s) >= 0.0 {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    hi
+}
+
+/// One row of the regenerated Table 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table1Row {
+    /// `Z` — page-read weight.
+    pub z: f64,
+    /// `Y` — AVL-comparison discount.
+    pub y: f64,
+    /// Minimum `H = |M|/S` for the AVL tree to win a random lookup.
+    pub min_fraction: f64,
+}
+
+/// Regenerates Table 1: break-even fractions over a `(Z, Y)` grid.
+pub fn table1(g: &AccessGeometry, zs: &[f64], ys: &[f64]) -> Vec<Table1Row> {
+    let mut rows = Vec::with_capacity(zs.len() * ys.len());
+    for &z in zs {
+        for &y in ys {
+            rows.push(Table1Row {
+                z,
+                y,
+                min_fraction: random_break_even_fraction(g, z, y),
+            });
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g() -> AccessGeometry {
+        AccessGeometry::standard()
+    }
+
+    #[test]
+    fn fully_resident_avl_always_wins_with_cheaper_comparisons() {
+        // |M| = S: no AVL faults; AVL cost = Y·C < C' cost of B+-tree once
+        // Y < 1 (B+ still pays its own faults or at least C').
+        let g = g();
+        let s = g.avl_pages() as f64;
+        for z in [1.0, 10.0, 30.0] {
+            let avl = avl_random_cost(&g, z, 0.9, s);
+            let bt = btree_random_cost(&g, z, s);
+            assert!(avl < bt, "z={z}: avl {avl} !< btree {bt}");
+        }
+    }
+
+    #[test]
+    fn no_memory_btree_wins_big() {
+        // |M| = 0: AVL faults C ≈ 20 times, B+-tree height+1 = 3 times.
+        let g = g();
+        let avl = avl_random_cost(&g, 20.0, 1.0, 0.0);
+        let bt = btree_random_cost(&g, 20.0, 0.0);
+        assert!(bt < avl / 4.0, "btree {bt} should crush avl {avl}");
+    }
+
+    #[test]
+    fn break_even_is_high_fraction_for_realistic_z() {
+        // The paper's headline: AVL competitive only when 80–90 %+ of the
+        // structure is resident, for realistic Z in 10..30.
+        let g = g();
+        for z in [10.0, 20.0, 30.0] {
+            let h = random_break_even_fraction(&g, z, 0.9);
+            assert!(
+                h > 0.8,
+                "z={z}: break-even fraction {h} unexpectedly low"
+            );
+            assert!(h <= 1.0);
+        }
+    }
+
+    #[test]
+    fn break_even_decreases_with_cheaper_faults() {
+        let g = g();
+        let h_cheap = random_break_even_fraction(&g, 2.0, 0.9);
+        let h_dear = random_break_even_fraction(&g, 30.0, 0.9);
+        assert!(
+            h_cheap <= h_dear,
+            "cheaper faults should let AVL win earlier: {h_cheap} vs {h_dear}"
+        );
+    }
+
+    #[test]
+    fn break_even_decreases_with_cheaper_avl_comparisons() {
+        let g = g();
+        let h_discounted = random_break_even_fraction(&g, 20.0, 0.5);
+        let h_equal = random_break_even_fraction(&g, 20.0, 1.0);
+        assert!(h_discounted <= h_equal);
+    }
+
+    #[test]
+    fn equal_comparison_price_requires_full_residency() {
+        // With Y = 1 the AVL tree has no CPU advantage and more pages to
+        // fault on, so it needs essentially all of memory.
+        let g = g();
+        let h = random_break_even_fraction(&g, 20.0, 1.0);
+        assert!(h > 0.95, "got {h}");
+    }
+
+    #[test]
+    fn break_even_at_point_costs_cross() {
+        let g = g();
+        let (z, y) = (15.0, 0.9);
+        let h = random_break_even_fraction(&g, z, y);
+        let s = g.avl_pages() as f64;
+        let just_below = ((h - 0.01) * s).max(0.0);
+        let just_above = ((h + 0.01) * s).min(s);
+        assert!(btree_random_cost(&g, z, just_below) <= avl_random_cost(&g, z, y, just_below));
+        assert!(btree_random_cost(&g, z, just_above) >= avl_random_cost(&g, z, y, just_above));
+    }
+
+    #[test]
+    fn sequential_break_even_also_high() {
+        // §2's closing claim: the sequential case behaves like the random
+        // case — H' break-evens are similarly high.
+        let g = g();
+        for n in [100, 10_000] {
+            let h = sequential_break_even_fraction(&g, 20.0, 0.9, n);
+            assert!(h > 0.8, "n={n}: got {h}");
+        }
+    }
+
+    #[test]
+    fn sequential_btree_benefits_from_clustering() {
+        // At zero residency, B+-tree sequential access does ~n/28 page
+        // reads versus the AVL tree's ~n.
+        let g = g();
+        let avl = avl_sequential_cost(&g, 20.0, 1.0, 0.0, 1_000);
+        let bt = btree_sequential_cost(&g, 20.0, 0.0, 1_000);
+        assert!(bt < avl / 5.0);
+    }
+
+    #[test]
+    fn table1_grid_shape_and_monotonicity() {
+        let g = g();
+        let zs = [5.0, 10.0, 20.0, 30.0];
+        let ys = [0.5, 0.75, 0.9, 1.0];
+        let rows = table1(&g, &zs, &ys);
+        assert_eq!(rows.len(), 16);
+        // When the AVL comparison discount is real (Y < 1), dearer faults
+        // push the break-even fraction up. (At Y = 1 the direction flips:
+        // the AVL's fixed extra 0.25 comparisons matter less as Z grows.)
+        for y in [0.5, 0.75, 0.9] {
+            let frs: Vec<f64> = rows
+                .iter()
+                .filter(|r| r.y == y)
+                .map(|r| r.min_fraction)
+                .collect();
+            for w in frs.windows(2) {
+                assert!(w[0] <= w[1] + 1e-12, "not monotone in Z for y={y}");
+            }
+        }
+        // For fixed Z, a smaller discount (larger Y) never helps the AVL.
+        for z in zs {
+            let frs: Vec<f64> = rows
+                .iter()
+                .filter(|r| r.z == z)
+                .map(|r| r.min_fraction)
+                .collect();
+            for w in frs.windows(2) {
+                assert!(w[0] <= w[1] + 1e-12, "not monotone in Y for z={z}");
+            }
+        }
+        for r in &rows {
+            assert!((0.0..=1.0).contains(&r.min_fraction));
+        }
+    }
+
+    #[test]
+    fn miss_probability_clamps() {
+        assert_eq!(miss(200.0, 100.0), 0.0);
+        assert_eq!(miss(0.0, 100.0), 1.0);
+    }
+}

@@ -1,0 +1,184 @@
+//! §5 — throughput limits of commit policies for memory-resident databases.
+//!
+//! The paper's arithmetic: a "typical" transaction writes 400 bytes of log
+//! (40 bytes begin/end + 360 bytes old/new values, after Gray's banking
+//! example); one 4096-byte log page takes 10 ms to write without a seek.
+//!
+//! * **Synchronous commit**: one log write per transaction —
+//!   `1 s / 10 ms = 100` transactions per second.
+//! * **Group commit**: all transactions whose commit records share a log
+//!   page commit with a single write — `floor(4096/400) = 10` per group,
+//!   so ~1000 tps.
+//! * **Partitioned log** over `k` devices: up to `k` concurrent page
+//!   writes, so ~`k × 1000` tps, bounded by the commit-group dependency
+//!   lattice (modelled here by an efficiency factor).
+//! * **Stable memory**: commits are immediate; steady-state throughput is
+//!   still bounded by the drain rate to disk, but stripping old values of
+//!   committed transactions (§5.4) roughly halves the bytes drained.
+
+/// A commit policy whose §5 throughput bound we model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommitPolicy {
+    /// One synchronous log write per transaction (§5.2 opening).
+    Synchronous,
+    /// Group commit: one write per full commit-record page.
+    GroupCommit,
+    /// Group commit over `devices` parallel log devices with topological
+    /// ordering of dependent commit groups.
+    PartitionedLog {
+        /// Number of log devices.
+        devices: u32,
+    },
+    /// Battery-backed stable memory holding the log tail (§5.4); commits
+    /// are immediate, drain is asynchronous, and only new values of
+    /// committed transactions reach disk.
+    StableMemory {
+        /// Number of disk log devices draining the stable buffer.
+        devices: u32,
+    },
+}
+
+/// The §5 throughput model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThroughputModel {
+    /// Log page size in bytes (4096 in the paper).
+    pub page_bytes: u64,
+    /// Time to write one log page, milliseconds (10 in the paper).
+    pub page_write_ms: f64,
+    /// Full log bytes per transaction (400 in the paper).
+    pub txn_log_bytes: u64,
+    /// Of which old-value bytes removable by §5.4 compression (180).
+    pub old_value_bytes: u64,
+    /// Fraction of ideal parallel speedup retained by a partitioned log
+    /// once dependency ordering stalls are accounted for (≤ 1).
+    pub partition_efficiency: f64,
+}
+
+impl Default for ThroughputModel {
+    fn default() -> Self {
+        ThroughputModel {
+            page_bytes: 4096,
+            page_write_ms: 10.0,
+            txn_log_bytes: 400,
+            // The paper: ~360 bytes of old/new values, half of which are
+            // old values needed only for undo.
+            old_value_bytes: 180,
+            partition_efficiency: 0.9,
+        }
+    }
+}
+
+impl ThroughputModel {
+    /// Transactions whose commit records fit one log page.
+    pub fn group_size(&self) -> u64 {
+        (self.page_bytes / self.txn_log_bytes).max(1)
+    }
+
+    /// Log-page writes per second on one device.
+    pub fn page_writes_per_second(&self) -> f64 {
+        1000.0 / self.page_write_ms
+    }
+
+    /// Committed transactions per second under `policy`.
+    pub fn throughput(&self, policy: CommitPolicy) -> f64 {
+        match policy {
+            CommitPolicy::Synchronous => self.page_writes_per_second(),
+            CommitPolicy::GroupCommit => {
+                self.page_writes_per_second() * self.group_size() as f64
+            }
+            CommitPolicy::PartitionedLog { devices } => {
+                self.page_writes_per_second()
+                    * self.group_size() as f64
+                    * devices as f64
+                    * self.partition_efficiency
+            }
+            CommitPolicy::StableMemory { devices } => {
+                // Drain-bound: only `txn_log_bytes - old_value_bytes` per
+                // transaction reach disk, written a full page at a time
+                // across `devices` with no ordering bookkeeping (§5.4).
+                let disk_bytes = (self.txn_log_bytes - self.old_value_bytes) as f64;
+                let txns_per_page = self.page_bytes as f64 / disk_bytes;
+                self.page_writes_per_second() * txns_per_page * devices as f64
+            }
+        }
+    }
+
+    /// §5.4 compression ratio: disk-log bytes after stripping old values of
+    /// committed transactions, as a fraction of the full log.
+    pub fn compression_ratio(&self) -> f64 {
+        (self.txn_log_bytes - self.old_value_bytes) as f64 / self.txn_log_bytes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_headline_numbers() {
+        let m = ThroughputModel::default();
+        // "the system could commit at most 100 transactions per second"
+        assert_eq!(m.throughput(CommitPolicy::Synchronous), 100.0);
+        // "up to ten transactions per commit group ... 1000 transactions
+        // per second"
+        assert_eq!(m.group_size(), 10);
+        assert_eq!(m.throughput(CommitPolicy::GroupCommit), 1000.0);
+    }
+
+    #[test]
+    fn partitioned_log_scales_with_devices() {
+        let m = ThroughputModel::default();
+        let t1 = m.throughput(CommitPolicy::PartitionedLog { devices: 1 });
+        let t4 = m.throughput(CommitPolicy::PartitionedLog { devices: 4 });
+        assert!((t4 / t1 - 4.0).abs() < 1e-9);
+        // Ordering bookkeeping costs something relative to ideal.
+        assert!(t1 < m.throughput(CommitPolicy::GroupCommit));
+    }
+
+    #[test]
+    fn stable_memory_beats_group_commit_via_compression() {
+        let m = ThroughputModel::default();
+        let group = m.throughput(CommitPolicy::GroupCommit);
+        let stable = m.throughput(CommitPolicy::StableMemory { devices: 1 });
+        assert!(
+            stable > group * 1.5,
+            "stable {stable} should beat group {group} by the compression factor"
+        );
+    }
+
+    #[test]
+    fn compression_roughly_halves_the_log() {
+        let m = ThroughputModel::default();
+        let r = m.compression_ratio();
+        assert!(
+            (0.5..0.6).contains(&r),
+            "§5.4 says about half the log stores old values; ratio = {r}"
+        );
+    }
+
+    #[test]
+    fn degenerate_huge_transactions_still_commit() {
+        let m = ThroughputModel {
+            txn_log_bytes: 10_000,
+            old_value_bytes: 4_000,
+            ..ThroughputModel::default()
+        };
+        assert_eq!(m.group_size(), 1, "oversized txns get singleton groups");
+        assert_eq!(m.throughput(CommitPolicy::GroupCommit), 100.0);
+    }
+
+    #[test]
+    fn policy_ordering_matches_section5() {
+        // sync < partitioned(1) <= group < stable(1) < stable(2)
+        let m = ThroughputModel::default();
+        let sync = m.throughput(CommitPolicy::Synchronous);
+        let group = m.throughput(CommitPolicy::GroupCommit);
+        let part1 = m.throughput(CommitPolicy::PartitionedLog { devices: 1 });
+        let stable1 = m.throughput(CommitPolicy::StableMemory { devices: 1 });
+        let stable2 = m.throughput(CommitPolicy::StableMemory { devices: 2 });
+        assert!(sync < part1);
+        assert!(part1 <= group);
+        assert!(group < stable1);
+        assert!(stable1 < stable2);
+    }
+}

@@ -1,0 +1,75 @@
+//! Wall-clock microbenchmarks of the §2 access methods (complementing the
+//! simulated-cost experiments): inserts and lookups on the AVL tree,
+//! B+-tree, and hash index.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use mmdb_index::{AvlTree, BPlusTree, HashIndex};
+use mmdb_types::WorkloadRng;
+
+fn shuffled_keys(n: i64) -> Vec<i64> {
+    let mut rng = WorkloadRng::seeded(1);
+    let mut keys: Vec<i64> = (0..n).collect();
+    rng.shuffle(&mut keys);
+    keys
+}
+
+fn bench_inserts(c: &mut Criterion) {
+    let keys = shuffled_keys(10_000);
+    let mut g = c.benchmark_group("insert_10k");
+    g.bench_function("avl", |b| {
+        b.iter(|| {
+            let mut t = AvlTree::new();
+            for &k in &keys {
+                t.insert(black_box(k), k);
+            }
+            t
+        })
+    });
+    g.bench_function("bptree", |b| {
+        b.iter(|| {
+            let mut t = BPlusTree::new(64, 64);
+            for &k in &keys {
+                t.insert(black_box(k), k);
+            }
+            t
+        })
+    });
+    g.bench_function("hash", |b| {
+        b.iter(|| {
+            let mut t = HashIndex::new();
+            for &k in &keys {
+                t.insert(black_box(k), k);
+            }
+            t
+        })
+    });
+    g.finish();
+}
+
+fn bench_lookups(c: &mut Criterion) {
+    let n = 100_000i64;
+    let keys = shuffled_keys(n);
+    let mut avl = AvlTree::new();
+    let mut bp = BPlusTree::new(64, 64);
+    let mut hash = HashIndex::new();
+    for &k in &keys {
+        avl.insert(k, k);
+        bp.insert(k, k);
+        hash.insert(k, k);
+    }
+    let probes: Vec<i64> = shuffled_keys(n).into_iter().take(1_000).collect();
+    let mut g = c.benchmark_group("lookup_1k_of_100k");
+    g.bench_with_input(BenchmarkId::new("avl", n), &probes, |b, ps| {
+        b.iter(|| ps.iter().filter(|k| avl.get(k).is_some()).count())
+    });
+    g.bench_with_input(BenchmarkId::new("bptree", n), &probes, |b, ps| {
+        b.iter(|| ps.iter().filter(|k| bp.get(k).is_some()).count())
+    });
+    g.bench_with_input(BenchmarkId::new("hash", n), &probes, |b, ps| {
+        b.iter(|| ps.iter().filter(|k| hash.get(k).is_some()).count())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_inserts, bench_lookups);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Wall-clock microbenchmarks of the four §3 join algorithms at a small
+//! scale and two memory grants.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mmdb_exec::join::{run_join, Algo, JoinSpec};
+use mmdb_exec::{workload, ExecContext};
+use mmdb_types::RelationShape;
+
+fn bench_joins(c: &mut Criterion) {
+    let shape = RelationShape::table2();
+    let (r, s) = workload::table2_relations(shape, 0.005, 3); // 50 pages each
+    let spec = JoinSpec::new(0, 0);
+    for (label, mem) in [("tight", 10usize), ("ample", 100)] {
+        let mut g = c.benchmark_group(format!("join_50pages_{label}"));
+        for algo in Algo::PAPER {
+            g.bench_with_input(BenchmarkId::new(algo.name(), mem), &mem, |b, &m| {
+                b.iter(|| {
+                    let ctx = ExecContext::new(m, 1.2);
+                    run_join(algo, &r, &s, spec, &ctx).unwrap()
+                })
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_joins);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Wall-clock microbenchmarks of the §5 logging path: record encoding and
+//! end-to-end transaction processing under each commit mode.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mmdb_recovery::log::{typical_transaction, LogRecord};
+use mmdb_recovery::manager::{CommitMode, RecoveryManager};
+use mmdb_types::TxnId;
+
+fn bench_encode(c: &mut Criterion) {
+    let records = typical_transaction(TxnId(1), 7, 100, 200);
+    c.bench_function("encode_typical_txn", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(512);
+            for r in &records {
+                r.encode(&mut buf);
+            }
+            buf
+        })
+    });
+    let mut buf = Vec::new();
+    for r in &records {
+        r.encode(&mut buf);
+    }
+    c.bench_function("decode_typical_txn", |b| {
+        b.iter(|| {
+            let mut view = buf.as_slice();
+            let mut out = Vec::with_capacity(3);
+            while !view.is_empty() {
+                out.push(LogRecord::decode(&mut view).unwrap());
+            }
+            out
+        })
+    });
+}
+
+fn bench_commit_modes(c: &mut Criterion) {
+    for (name, mode) in [
+        ("sync", CommitMode::Synchronous),
+        ("group", CommitMode::GroupCommit),
+        (
+            "stable",
+            CommitMode::StableMemory {
+                capacity_bytes: 1 << 22,
+            },
+        ),
+    ] {
+        c.bench_function(&format!("100_txns_{name}"), |b| {
+            b.iter(|| {
+                let mut m = RecoveryManager::new(mode);
+                for i in 0..100u64 {
+                    let t = m.begin();
+                    m.write_typical(&t, i % 10, i as i64).unwrap();
+                    m.commit(t).unwrap();
+                }
+                m.flush();
+                m.log_pages_written()
+            })
+        });
+    }
+}
+
+criterion_group!(benches, bench_encode, bench_commit_modes);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Wall-clock microbenchmarks of external sorting (run formation + merge)
+//! versus the in-memory path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mmdb_exec::sort::external_sort;
+use mmdb_exec::ExecContext;
+use mmdb_storage::MemRelation;
+use mmdb_types::{DataType, Schema, Tuple, Value, WorkloadRng};
+
+fn relation(n: usize) -> MemRelation {
+    let mut rng = WorkloadRng::seeded(5);
+    let schema = Schema::of(&[("k", DataType::Int), ("v", DataType::Int)]);
+    let tuples: Vec<Tuple> = (0..n)
+        .map(|i| Tuple::new(vec![Value::Int(rng.int_in(0, 1 << 40)), Value::Int(i as i64)]))
+        .collect();
+    MemRelation::from_tuples(schema, 40, tuples).unwrap()
+}
+
+fn bench_sort(c: &mut Criterion) {
+    let rel = relation(20_000);
+    c.bench_function("external_sort_20k_spilling", |b| {
+        b.iter(|| {
+            let ctx = ExecContext::new(20, 1.2);
+            external_sort(&rel, 0, &ctx)
+        })
+    });
+    c.bench_function("external_sort_20k_in_memory", |b| {
+        b.iter(|| {
+            let ctx = ExecContext::new(10_000, 1.2);
+            external_sort(&rel, 0, &ctx)
+        })
+    });
+}
+
+criterion_group!(benches, bench_sort);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Experiment A1 — §3.9's claim: hash-based aggregation and
+//! duplicate-eliminating projection beat their sort-based counterparts
+//! when the result fits in memory, and the hybrid-hash variants handle
+//! the overflow case.
+//!
+//! All operators execute for real; the meter converts to Table 2 seconds.
+
+use mmdb_bench::{print_table, secs};
+use mmdb_exec::aggregate::{hash_aggregate, hybrid_hash_aggregate, sort_aggregate, AggFunc};
+use mmdb_exec::project::{hash_project, hybrid_hash_project, sort_project};
+use mmdb_exec::{workload, ExecContext};
+use mmdb_types::SystemParams;
+
+fn main() {
+    let params = SystemParams::table2();
+    println!("Experiment A1 — §3.9 aggregation & projection");
+
+    // --- Aggregation: average salary by department ----------------------
+    let mut rows = Vec::new();
+    for n in [10_000usize, 50_000, 200_000] {
+        let rel = workload::employees(n, 100, 7);
+        let hctx = ExecContext::new(10_000, 1.2);
+        let h = hash_aggregate(&rel, 3, &[AggFunc::Count, AggFunc::Avg(2)], &hctx).unwrap();
+        let sctx = ExecContext::new(10_000, 1.2);
+        let s = sort_aggregate(&rel, 3, &[AggFunc::Count, AggFunc::Avg(2)], &sctx).unwrap();
+        assert_eq!(h.tuples(), s.tuples(), "operators agree");
+        let hs = hctx.meter.seconds(&params);
+        let ss = sctx.meter.seconds(&params);
+        rows.push(vec![
+            n.to_string(),
+            secs(hs),
+            secs(ss),
+            format!("{:.1}x", ss / hs),
+        ]);
+    }
+    print_table(
+        "Average salary by department (simulated seconds, ample memory)",
+        &["||R||", "hash agg", "sort agg", "hash speedup"],
+        &rows,
+    );
+
+    // --- Aggregation under memory pressure -----------------------------
+    let rel = workload::employees(100_000, 1_000, 8);
+    let tight = ExecContext::new(20, 1.2);
+    let hh = hybrid_hash_aggregate(&rel, 3, &[AggFunc::Count], &tight).unwrap();
+    let tight_secs = tight.meter.seconds(&params);
+    let loose = ExecContext::new(10_000, 1.2);
+    let one = hash_aggregate(&rel, 3, &[AggFunc::Count], &loose).unwrap();
+    // Hash-based operators make no ordering promise (§4's very point);
+    // compare as multisets.
+    let canon = |r: &mmdb_storage::MemRelation| {
+        let mut v = r.tuples().to_vec();
+        v.sort();
+        v
+    };
+    assert_eq!(canon(&hh), canon(&one));
+    println!(
+        "\nhybrid-hash aggregation with |M| = 20 pages: {} (vs {} one-pass), same {} groups",
+        secs(tight_secs),
+        secs(loose.meter.seconds(&params)),
+        hh.tuple_count()
+    );
+
+    // --- Projection with duplicate elimination ---------------------------
+    let mut prows = Vec::new();
+    for n in [10_000usize, 50_000, 200_000] {
+        let rel = workload::employees(n, 50, 9);
+        let hctx = ExecContext::new(10_000, 1.2);
+        let h = hash_project(&rel, &[3], &hctx).unwrap();
+        let sctx = ExecContext::new(10_000, 1.2);
+        let s = sort_project(&rel, &[3], &sctx).unwrap();
+        assert_eq!(h.tuple_count(), s.tuple_count());
+        let hctx2 = ExecContext::new(8, 1.2);
+        let hy = hybrid_hash_project(&rel, &[3], &hctx2).unwrap();
+        assert_eq!(hy.tuple_count(), h.tuple_count());
+        prows.push(vec![
+            n.to_string(),
+            secs(hctx.meter.seconds(&params)),
+            secs(sctx.meter.seconds(&params)),
+            secs(hctx2.meter.seconds(&params)),
+        ]);
+    }
+    print_table(
+        "DISTINCT dept projection (simulated seconds)",
+        &["||R||", "hash", "sort", "hybrid (|M|=8)"],
+        &prows,
+    );
+    println!(
+        "\n§3.9 reproduced: the one-pass hash algorithm is fastest whenever the\n\
+         result fits in memory; the hybrid-hash variant covers the rest."
+    );
+}

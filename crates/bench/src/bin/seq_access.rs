@@ -1,0 +1,130 @@
+//! Experiment S2 — §2's sequential-access case (inequality (2)): reading
+//! N records in key order from an AVL tree versus B+-tree leaves, as a
+//! function of the resident fraction.
+//!
+//! Analytic break-even table plus an empirical run: both structures are
+//! scanned for real, the traced page visits are replayed against the
+//! random-replacement residency simulator, and the measured costs are
+//! compared.
+
+use mmdb_analytic::access::{
+    avl_sequential_cost, btree_sequential_cost, sequential_break_even_fraction,
+};
+use mmdb_bench::{pct, print_table};
+use mmdb_index::{AccessTrace, AvlTree, BPlusTree, PagedResidency};
+
+/// A traced scan callback: start key in, trace out.
+type Scan<'a> = Box<dyn FnMut(i64, &mut AccessTrace) + 'a>;
+use mmdb_types::{AccessGeometry, WorkloadRng};
+
+fn main() {
+    let g = AccessGeometry::standard();
+    println!("Experiment S2 — §2 sequential access (inequality (2))");
+
+    // --- Analytic break-even table --------------------------------------
+    let zs = [5.0, 10.0, 20.0, 30.0];
+    let ys = [0.5, 0.9, 1.0];
+    let n = 1_000u64;
+    let mut rows = Vec::new();
+    for &z in &zs {
+        let mut row = vec![format!("{z}")];
+        for &y in &ys {
+            row.push(pct(sequential_break_even_fraction(&g, z, y, n)));
+        }
+        rows.push(row);
+    }
+    let headers: Vec<String> = std::iter::once("Z".into())
+        .chain(ys.iter().map(|y| format!("Y={y}")))
+        .collect();
+    print_table(
+        &format!("Analytic break-even H' for scanning {n} tuples"),
+        &headers,
+        &rows,
+    );
+
+    // Cost curves at a representative point.
+    let (z, y) = (20.0, 0.9);
+    let mut curve = Vec::new();
+    for h10 in (0..=10).map(|x| x as f64 / 10.0) {
+        let m = h10 * g.avl_pages() as f64;
+        curve.push(vec![
+            pct(h10),
+            format!("{:.0}", avl_sequential_cost(&g, z, y, m, n)),
+            format!("{:.0}", btree_sequential_cost(&g, z, m, n)),
+        ]);
+    }
+    print_table(
+        &format!("Analytic cost of a {n}-tuple scan at Z={z}, Y={y}"),
+        &["H", "AVL", "B+-tree"],
+        &curve,
+    );
+
+    // --- Empirical ------------------------------------------------------
+    let tuples: i64 = 100_000;
+    let mut rng = WorkloadRng::seeded(3);
+    let mut keys: Vec<i64> = (0..tuples).collect();
+    rng.shuffle(&mut keys);
+    let mut avl: AvlTree<i64, i64> = AvlTree::with_page_fanout(37);
+    for &k in &keys {
+        avl.insert(k, k);
+    }
+    let bt: BPlusTree<i64, i64> =
+        BPlusTree::bulk_load(235, 28, 0.69, (0..tuples).map(|k| (k, k)));
+
+    let scan_len = 1_000usize;
+    let scans = 40;
+    let mut emp = Vec::new();
+    for h in [0.25, 0.5, 0.75, 0.95, 1.0] {
+        let m = ((h * avl.pages() as f64) as usize).max(1);
+        let cost = |mut scan: Scan, y_used: f64| -> f64 {
+            let mut residency = PagedResidency::new(m, 5);
+            let mut total_faults = 0u64;
+            let mut total_comps = 0u64;
+            let mut rng = WorkloadRng::seeded(11);
+            // Warm up.
+            for _ in 0..10 {
+                let mut tr = AccessTrace::default();
+                scan(rng.int_in(0, tuples - scan_len as i64), &mut tr);
+                residency.replay(&tr.pages_visited);
+            }
+            residency.reset_counters();
+            for _ in 0..scans {
+                let mut tr = AccessTrace::default();
+                scan(rng.int_in(0, tuples - scan_len as i64), &mut tr);
+                total_faults += residency.replay(&tr.pages_visited);
+                total_comps += tr.comparisons;
+            }
+            (20.0 * total_faults as f64 + y_used * total_comps as f64) / scans as f64
+        };
+        let avl_cost = cost(
+            Box::new(|from, tr| {
+                avl.scan_from_traced(&from, scan_len, tr);
+            }),
+            0.9,
+        );
+        let bt_cost = cost(
+            Box::new(|from, tr| {
+                bt.scan_from_traced(&from, scan_len, tr);
+            }),
+            1.0,
+        );
+        emp.push(vec![
+            pct(h),
+            format!("{avl_cost:.0}"),
+            format!("{bt_cost:.0}"),
+            if avl_cost <= bt_cost { "AVL" } else { "B+-tree" }.to_string(),
+        ]);
+    }
+    print_table(
+        &format!(
+            "Empirical: {scan_len}-tuple scans over ||R|| = {tuples} (Z=20, Y=0.9, measured)"
+        ),
+        &["H", "AVL cost", "B+ cost", "winner"],
+        &emp,
+    );
+    println!(
+        "\npaper's §2 close: \"In both random and sequential access, a very high\n\
+         percentage of the tree must be in main memory for an AVL-Tree to be\n\
+         competitive\" — B+-tree leaf clustering wins the scan at every H < 1."
+    );
+}

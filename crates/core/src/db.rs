@@ -1,0 +1,747 @@
+//! The database engine: catalog, planning, and metered execution.
+
+use crate::table::{IndexKind, Table};
+use mmdb_exec::join::{run_join, Algo, JoinSpec};
+use mmdb_exec::{aggregate, project, select, ExecContext};
+use mmdb_planner::{
+    optimize, AccessPath, JoinMethod, PhysicalPlan, PlannedQuery, QuerySpec,
+};
+use mmdb_storage::{CostMeter, CostSnapshot, MemRelation};
+use mmdb_types::{
+    CostWeights, Error, Predicate, Result, Schema, SystemParams, Tuple, Value,
+};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Engine-wide configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineConfig {
+    /// `|M|` — memory pages granted to each operator.
+    pub mem_pages: usize,
+    /// `F` — the universal fudge factor.
+    pub fudge: f64,
+    /// Operation prices (Table 2).
+    pub params: SystemParams,
+    /// Planning objective weights.
+    pub weights: CostWeights,
+    /// Whether base tables are memory-resident (they are — this is a
+    /// main-memory DBMS; flag kept so experiments can model cold tables).
+    pub resident: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            mem_pages: 12_000,
+            fudge: 1.2,
+            params: SystemParams::table2(),
+            weights: CostWeights::default(),
+            resident: true,
+        }
+    }
+}
+
+/// The result of running a query: the chosen plan, the rows, and the
+/// §3-metered cost of executing it.
+#[derive(Debug)]
+pub struct QueryOutcome {
+    /// What the §4 planner chose.
+    pub plan: PlannedQuery,
+    /// The result relation.
+    pub rows: MemRelation,
+    /// Primitive-operation counts charged during execution.
+    pub measured: CostSnapshot,
+    /// `measured` converted to simulated seconds at the engine's prices.
+    pub simulated_seconds: f64,
+}
+
+/// A main-memory relational database.
+#[derive(Debug)]
+pub struct Database {
+    tables: HashMap<String, Table>,
+    config: EngineConfig,
+    meter: Arc<CostMeter>,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Database::new()
+    }
+}
+
+impl Database {
+    /// A database with default (Table 2) configuration.
+    pub fn new() -> Self {
+        Database::with_config(EngineConfig::default())
+    }
+
+    /// A database with explicit configuration.
+    pub fn with_config(config: EngineConfig) -> Self {
+        Database {
+            tables: HashMap::new(),
+            config,
+            meter: Arc::new(CostMeter::new()),
+        }
+    }
+
+    /// The engine's cost meter (shared by every operation).
+    pub fn meter(&self) -> &Arc<CostMeter> {
+        &self.meter
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    fn exec_ctx(&self) -> ExecContext {
+        ExecContext {
+            meter: Arc::clone(&self.meter),
+            mem_pages: self.config.mem_pages,
+            fudge: self.config.fudge,
+        }
+    }
+
+    /// Creates an empty table.
+    pub fn create_table(&mut self, name: impl Into<String>, schema: Schema) -> Result<()> {
+        let name = name.into();
+        if self.tables.contains_key(&name) {
+            return Err(Error::Planning(format!("table '{name}' already exists")));
+        }
+        self.tables.insert(name, Table::new(schema));
+        Ok(())
+    }
+
+    /// Drops a table.
+    pub fn drop_table(&mut self, name: &str) -> Result<()> {
+        self.tables
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| Error::RelationNotFound(name.into()))
+    }
+
+    /// Looks a table up.
+    pub fn table(&self, name: &str) -> Result<&Table> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| Error::RelationNotFound(name.into()))
+    }
+
+    /// Looks a table up mutably.
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut Table> {
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| Error::RelationNotFound(name.into()))
+    }
+
+    /// Table names, sorted.
+    pub fn table_names(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.tables.keys().map(|s| s.as_str()).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Inserts one tuple.
+    pub fn insert(&mut self, table: &str, tuple: Tuple) -> Result<usize> {
+        self.table_mut(table)?.insert(tuple)
+    }
+
+    /// Inserts many tuples.
+    pub fn insert_many(
+        &mut self,
+        table: &str,
+        tuples: impl IntoIterator<Item = Tuple>,
+    ) -> Result<usize> {
+        let t = self.table_mut(table)?;
+        let mut n = 0;
+        for tuple in tuples {
+            t.insert(tuple)?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Builds an index.
+    pub fn create_index(&mut self, table: &str, column: usize, kind: IndexKind) -> Result<()> {
+        self.table_mut(table)?.create_index(column, kind)
+    }
+
+    /// Index-backed equality lookup (the paper's
+    /// `emp.name = "Jones"` query shape).
+    pub fn lookup_eq(&self, table: &str, column: usize, value: &Value) -> Result<Vec<Tuple>> {
+        Ok(self
+            .table(table)?
+            .lookup_eq(column, value)?
+            .into_iter()
+            .cloned()
+            .collect())
+    }
+
+    /// Index-backed range lookup `lo ≤ column ≤ hi` (needs an ordered
+    /// index) — the paper's sequential-access case 2.
+    pub fn range_scan(
+        &self,
+        table: &str,
+        column: usize,
+        lo: &Value,
+        hi: &Value,
+    ) -> Result<Vec<Tuple>> {
+        Ok(self
+            .table(table)?
+            .range_scan(column, lo, hi)?
+            .into_iter()
+            .cloned()
+            .collect())
+    }
+
+    /// Filters a table by a predicate (metered).
+    pub fn select(&self, table: &str, pred: &Predicate) -> Result<MemRelation> {
+        let rel = self.table(table)?.as_relation();
+        Ok(select::select(&rel, pred, &self.exec_ctx()))
+    }
+
+    /// Hash aggregation over a table, choosing the §3.9 algorithm by the
+    /// *result* size: "if there is enough memory to hold the result
+    /// relation, then the fastest algorithm will be a one pass hashing
+    /// algorithm ... if there is not ... a variant of the hybrid-hash
+    /// algorithm appears fastest." The estimated group count comes from
+    /// fresh statistics.
+    pub fn aggregate(
+        &self,
+        table: &str,
+        group_col: usize,
+        aggs: &[aggregate::AggFunc],
+    ) -> Result<MemRelation> {
+        let t = self.table(table)?;
+        let rel = t.as_relation();
+        let ctx = self.exec_ctx();
+        let estimated_groups = self.analyze(table)?.distinct(group_col) as usize;
+        let result_capacity = ctx.mem_tuple_capacity(t.tuples_per_page());
+        if estimated_groups <= result_capacity {
+            aggregate::hash_aggregate(&rel, group_col, aggs, &ctx)
+        } else {
+            aggregate::hybrid_hash_aggregate(&rel, group_col, aggs, &ctx)
+        }
+    }
+
+    /// Duplicate-eliminating projection (§3.9, metered).
+    pub fn project_distinct(&self, table: &str, columns: &[usize]) -> Result<MemRelation> {
+        let rel = self.table(table)?.as_relation();
+        project::hybrid_hash_project(&rel, columns, &self.exec_ctx())
+    }
+
+    /// Computes fresh statistics for a table (exact distinct counts and
+    /// min/max — affordable because the table is memory-resident).
+    pub fn analyze(&self, name: &str) -> Result<mmdb_planner::TableStats> {
+        let t = self.table(name)?;
+        let arity = t.schema().arity();
+        let mut distinct: Vec<std::collections::HashSet<&Value>> =
+            (0..arity).map(|_| std::collections::HashSet::new()).collect();
+        let mut mins: Vec<Option<&Value>> = vec![None; arity];
+        let mut maxs: Vec<Option<&Value>> = vec![None; arity];
+        for tuple in t.scan() {
+            for c in 0..arity {
+                let v = tuple.get(c);
+                distinct[c].insert(v);
+                if mins[c].map(|m| v < m).unwrap_or(true) {
+                    mins[c] = Some(v);
+                }
+                if maxs[c].map(|m| v > m).unwrap_or(true) {
+                    maxs[c] = Some(v);
+                }
+            }
+        }
+        Ok(mmdb_planner::TableStats {
+            name: name.to_owned(),
+            tuples: t.len() as u64,
+            pages: t.pages() as u64,
+            tuples_per_page: t.tuples_per_page() as u64,
+            columns: (0..arity)
+                .map(|c| mmdb_planner::ColumnStats {
+                    distinct: distinct[c].len().max(1) as u64,
+                    min: mins[c].cloned(),
+                    max: maxs[c].cloned(),
+                })
+                .collect(),
+            indexed_columns: t.indexed_columns().iter().map(|(c, _)| *c).collect(),
+            ordered_indexed_columns: t
+                .indexed_columns()
+                .iter()
+                .filter(|(_, k)| matches!(k, crate::table::IndexKind::Avl | crate::table::IndexKind::BPlusTree))
+                .map(|(c, _)| *c)
+                .collect(),
+        })
+    }
+
+    /// Plans a query with the §4 optimizer, using fresh statistics.
+    pub fn plan(&self, spec: &QuerySpec) -> Result<PlannedQuery> {
+        let stats: Result<Vec<_>> = spec
+            .tables
+            .iter()
+            .map(|t| self.analyze(&t.table))
+            .collect();
+        let env = mmdb_planner::optimizer::PlanEnv {
+            params: self.config.params,
+            weights: self.config.weights,
+            mem_pages: self.config.mem_pages,
+            resident: self.config.resident,
+        };
+        optimize(spec, &stats?, &env)
+    }
+
+    /// Renders the plan the optimizer would choose for `spec`, with its
+    /// estimates — `EXPLAIN` for this engine.
+    pub fn explain(&self, spec: &QuerySpec) -> Result<String> {
+        let planned = self.plan(spec)?;
+        Ok(format!(
+            "{}≈ {:.0} rows, est cpu {:.6} s + io {:.6} s (W = {})",
+            planned.plan,
+            planned.estimated_rows,
+            planned.cost.cpu_seconds,
+            planned.cost.io_seconds,
+            self.config.weights.cpu_weight,
+        ))
+    }
+
+    /// Plans and executes a query; reports the plan, the rows, and the
+    /// measured §3 cost.
+    pub fn query(&self, spec: &QuerySpec) -> Result<QueryOutcome> {
+        let planned = self.plan(spec)?;
+        let before = self.meter.snapshot();
+        let rows = self.execute_plan(&planned.plan)?;
+        let measured = self.meter.snapshot().delta_since(&before);
+        Ok(QueryOutcome {
+            simulated_seconds: measured.seconds(&self.config.params),
+            plan: planned,
+            rows,
+            measured,
+        })
+    }
+
+    /// Plans and executes a select-project-join query, then groups the
+    /// result — the full σ→⋈→γ pipeline. The aggregation step follows
+    /// §3.9: one-pass hashing when the estimated group count fits memory,
+    /// the hybrid-hash variant otherwise. `group_col` indexes the *join
+    /// output* schema.
+    pub fn query_grouped(
+        &self,
+        spec: &QuerySpec,
+        group_col: usize,
+        aggs: &[aggregate::AggFunc],
+    ) -> Result<QueryOutcome> {
+        let planned = self.plan(spec)?;
+        let before = self.meter.snapshot();
+        let joined = self.execute_plan(&planned.plan)?;
+        let ctx = self.exec_ctx();
+        // Estimate groups from the actual join output (memory-resident, so
+        // the exact count is one hash pass away — but use the §3.9 rule on
+        // the estimate a planner would have: distinct ≤ rows).
+        let capacity = ctx.mem_tuple_capacity(joined.tuples_per_page().max(1));
+        let grouped = if joined.tuple_count() <= capacity {
+            aggregate::hash_aggregate(&joined, group_col, aggs, &ctx)?
+        } else {
+            aggregate::hybrid_hash_aggregate(&joined, group_col, aggs, &ctx)?
+        };
+        let measured = self.meter.snapshot().delta_since(&before);
+        Ok(QueryOutcome {
+            simulated_seconds: measured.seconds(&self.config.params),
+            plan: planned,
+            rows: grouped,
+            measured,
+        })
+    }
+
+    /// Executes a physical plan.
+    pub fn execute_plan(&self, plan: &PhysicalPlan) -> Result<MemRelation> {
+        let ctx = self.exec_ctx();
+        match plan {
+            PhysicalPlan::Access(AccessPath::SeqScan { table, predicate }) => {
+                let rel = self.table(table)?.as_relation();
+                Ok(select::select(&rel, predicate, &ctx))
+            }
+            PhysicalPlan::Access(AccessPath::IndexLookup {
+                table,
+                column,
+                value,
+                residual,
+            }) => {
+                let t = self.table(table)?;
+                // Charge the index descent: ~log2(||R||) comparisons.
+                let comps = (t.len().max(2) as f64).log2().ceil() as u64;
+                self.meter.charge_comparisons(comps);
+                let matches: Vec<Tuple> = t
+                    .lookup_eq(*column, value)?
+                    .into_iter()
+                    .cloned()
+                    .collect();
+                let rel = MemRelation::from_tuples(
+                    t.schema().clone(),
+                    t.tuples_per_page(),
+                    matches,
+                )?;
+                Ok(select::select(&rel, residual, &ctx))
+            }
+            PhysicalPlan::Access(AccessPath::IndexRange {
+                table,
+                column,
+                lo,
+                hi,
+                residual,
+            }) => {
+                let t = self.table(table)?;
+                let matches: Vec<Tuple> = t
+                    .range_scan(*column, lo, hi)?
+                    .into_iter()
+                    .cloned()
+                    .collect();
+                // Descent comparisons plus one per tuple read in key order.
+                let comps = (t.len().max(2) as f64).log2().ceil() as u64 + matches.len() as u64;
+                self.meter.charge_comparisons(comps);
+                let rel = MemRelation::from_tuples(
+                    t.schema().clone(),
+                    t.tuples_per_page(),
+                    matches,
+                )?;
+                Ok(select::select(&rel, residual, &ctx))
+            }
+            PhysicalPlan::Join {
+                left,
+                right,
+                left_key,
+                right_key,
+                method,
+                ..
+            } => {
+                let l = self.execute_plan(left)?;
+                let r = self.execute_plan(right)?;
+                let algo = match method {
+                    JoinMethod::HybridHash => Algo::HybridHash,
+                    JoinMethod::SimpleHash => Algo::SimpleHash,
+                    JoinMethod::GraceHash => Algo::GraceHash,
+                    JoinMethod::SortMerge => Algo::SortMerge,
+                };
+                run_join(algo, &l, &r, JoinSpec::new(*left_key, *right_key), &ctx)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmdb_planner::{JoinEdge, TableRef};
+    use mmdb_types::{DataType, WorkloadRng};
+
+    fn sample_db() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            "emp",
+            Schema::of(&[
+                ("id", DataType::Int),
+                ("name", DataType::Str),
+                ("salary", DataType::Float),
+                ("dept", DataType::Int),
+            ]),
+        )
+        .unwrap();
+        db.create_table(
+            "dept",
+            Schema::of(&[("dept_id", DataType::Int), ("dept_name", DataType::Str)]),
+        )
+        .unwrap();
+        let mut rng = WorkloadRng::seeded(1);
+        let emps = rng.employees(1_000, 10);
+        db.insert_many("emp", emps).unwrap();
+        for d in 0..10i64 {
+            db.insert(
+                "dept",
+                Tuple::new(vec![Value::Int(d), Value::Str(format!("dept-{d}"))]),
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn create_insert_lookup() {
+        let mut db = sample_db();
+        db.create_index("emp", 0, IndexKind::BPlusTree).unwrap();
+        let rows = db.lookup_eq("emp", 0, &Value::Int(42)).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get(0), &Value::Int(42));
+    }
+
+    #[test]
+    fn duplicate_table_and_missing_table_errors() {
+        let mut db = sample_db();
+        assert!(db
+            .create_table("emp", Schema::of(&[("x", DataType::Int)]))
+            .is_err());
+        assert!(db.table("nope").is_err());
+        assert!(db.drop_table("nope").is_err());
+        db.drop_table("dept").unwrap();
+        assert!(db.table("dept").is_err());
+    }
+
+    #[test]
+    fn select_is_metered() {
+        let db = sample_db();
+        let before = db.meter().snapshot();
+        let out = db.select("emp", &Predicate::eq(3, 5i64)).unwrap();
+        assert!(out.tuple_count() > 0);
+        let delta = db.meter().snapshot().delta_since(&before);
+        assert_eq!(delta.comparisons, 1_000);
+    }
+
+    #[test]
+    fn analyze_computes_real_statistics() {
+        let db = sample_db();
+        let stats = db.analyze("emp").unwrap();
+        assert_eq!(stats.tuples, 1_000);
+        assert_eq!(stats.columns[0].distinct, 1_000, "ids are unique");
+        assert_eq!(stats.columns[3].distinct, 10, "ten departments");
+        assert_eq!(stats.columns[0].min, Some(Value::Int(0)));
+        assert_eq!(stats.columns[0].max, Some(Value::Int(999)));
+    }
+
+    #[test]
+    fn planned_join_query_end_to_end() {
+        let db = sample_db();
+        let spec = QuerySpec {
+            tables: vec![TableRef::plain("emp"), TableRef::plain("dept")],
+            joins: vec![JoinEdge {
+                left_table: 0,
+                left_column: 3,
+                right_table: 1,
+                right_column: 0,
+            }],
+        };
+        let outcome = db.query(&spec).unwrap();
+        assert_eq!(outcome.rows.tuple_count(), 1_000, "every emp has a dept");
+        assert_eq!(outcome.rows.schema().arity(), 6);
+        assert_eq!(outcome.plan.plan.join_count(), 1);
+        assert!(outcome.simulated_seconds > 0.0);
+        // Hash join chosen (§4), and every output row joins correctly.
+        assert_eq!(outcome.plan.plan.methods(), vec![JoinMethod::HybridHash]);
+        for t in outcome.rows.tuples().iter().take(50) {
+            // emp.dept == dept.dept_id; column positions depend on which
+            // side the planner put first (emp first ⇒ columns 3 and 4,
+            // dept first ⇒ columns 0 and 5).
+            let ok = t.get(3) == t.get(4) || t.get(0) == t.get(5);
+            assert!(ok, "mis-joined row {t}");
+        }
+    }
+
+    #[test]
+    fn selective_filter_query_uses_index() {
+        let mut db = sample_db();
+        db.create_index("emp", 0, IndexKind::Hash).unwrap();
+        let spec = QuerySpec::single(TableRef::filtered("emp", Predicate::eq(0, 7i64)));
+        let outcome = db.query(&spec).unwrap();
+        assert_eq!(outcome.rows.tuple_count(), 1);
+        assert!(matches!(
+            outcome.plan.plan,
+            PhysicalPlan::Access(AccessPath::IndexLookup { .. })
+        ));
+    }
+
+    #[test]
+    fn range_scan_through_database() {
+        let mut db = sample_db();
+        db.create_index("emp", 0, IndexKind::BPlusTree).unwrap();
+        let rows = db
+            .range_scan("emp", 0, &Value::Int(100), &Value::Int(109))
+            .unwrap();
+        assert_eq!(rows.len(), 10);
+        let ids: Vec<i64> = rows.iter().map(|t| t.get(0).as_int().unwrap()).collect();
+        assert_eq!(ids, (100..110).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn aggregate_and_project_wrappers() {
+        let db = sample_db();
+        let agg = db
+            .aggregate("emp", 3, &[aggregate::AggFunc::Count])
+            .unwrap();
+        assert_eq!(agg.tuple_count(), 10);
+        let total: i64 = agg
+            .tuples()
+            .iter()
+            .map(|t| t.get(1).as_int().unwrap())
+            .sum();
+        assert_eq!(total, 1_000);
+        let distinct_depts = db.project_distinct("emp", &[3]).unwrap();
+        assert_eq!(distinct_depts.tuple_count(), 10);
+    }
+
+    #[test]
+    fn grouped_join_query_pipeline() {
+        // Average salary per department *name*: emp ⋈ dept, group by the
+        // dept-name column of the join output.
+        let db = sample_db();
+        let spec = QuerySpec {
+            tables: vec![TableRef::plain("emp"), TableRef::plain("dept")],
+            joins: vec![JoinEdge {
+                left_table: 0,
+                left_column: 3,
+                right_table: 1,
+                right_column: 0,
+            }],
+        };
+        // Find the dept-name column in the output schema (position depends
+        // on join order; probe via a plain query first).
+        let joined = db.query(&spec).unwrap();
+        let name_col = joined
+            .rows
+            .schema()
+            .columns()
+            .iter()
+            .position(|c| c.name.starts_with("dept_name") || c.name == "name_r")
+            .expect("dept name column present");
+        let outcome = db
+            .query_grouped(
+                &spec,
+                name_col,
+                &[aggregate::AggFunc::Count, aggregate::AggFunc::Avg(2)],
+            )
+            .unwrap();
+        assert_eq!(outcome.rows.tuple_count(), 10, "one row per department");
+        let total: i64 = outcome
+            .rows
+            .tuples()
+            .iter()
+            .map(|t| t.get(1).as_int().unwrap())
+            .sum();
+        assert_eq!(total, 1_000, "every employee counted once");
+        assert!(outcome.simulated_seconds > 0.0);
+    }
+
+    #[test]
+    fn aggregation_algorithm_chosen_by_result_size() {
+        // §3.9: few groups ⇒ one-pass hashing even when the *input* far
+        // exceeds memory — only the result must fit.
+        let mut db = Database::with_config(EngineConfig {
+            mem_pages: 4,
+            ..EngineConfig::default()
+        });
+        db.create_table(
+            "emp",
+            Schema::of(&[
+                ("id", DataType::Int),
+                ("name", DataType::Str),
+                ("salary", DataType::Float),
+                ("dept", DataType::Int),
+            ]),
+        )
+        .unwrap();
+        let mut rng = WorkloadRng::seeded(2);
+        db.insert_many("emp", rng.employees(4_000, 5)).unwrap();
+        let before = db.meter().snapshot();
+        let out = db
+            .aggregate("emp", 3, &[aggregate::AggFunc::Count])
+            .unwrap();
+        let delta = db.meter().snapshot().delta_since(&before);
+        assert_eq!(out.tuple_count(), 5);
+        assert_eq!(
+            delta.total_ios(),
+            0,
+            "5 groups fit in any memory: one-pass, no partitioning I/O"
+        );
+        // Many groups (unique ids) under the same tiny grant ⇒ hybrid
+        // partitioning, which does spill.
+        let before = db.meter().snapshot();
+        let out = db
+            .aggregate("emp", 0, &[aggregate::AggFunc::Count])
+            .unwrap();
+        let delta = db.meter().snapshot().delta_since(&before);
+        assert_eq!(out.tuple_count(), 4_000);
+        assert!(delta.total_ios() > 0, "oversized result must partition");
+    }
+
+    #[test]
+    fn three_way_join_query() {
+        let mut db = sample_db();
+        db.create_table(
+            "bonus",
+            Schema::of(&[("emp_id", DataType::Int), ("amount", DataType::Int)]),
+        )
+        .unwrap();
+        for i in (0..1_000i64).step_by(10) {
+            db.insert(
+                "bonus",
+                Tuple::new(vec![Value::Int(i), Value::Int(100 + i)]),
+            )
+            .unwrap();
+        }
+        let spec = QuerySpec {
+            tables: vec![
+                TableRef::plain("emp"),
+                TableRef::plain("dept"),
+                TableRef::plain("bonus"),
+            ],
+            joins: vec![
+                JoinEdge {
+                    left_table: 0,
+                    left_column: 3,
+                    right_table: 1,
+                    right_column: 0,
+                },
+                JoinEdge {
+                    left_table: 0,
+                    left_column: 0,
+                    right_table: 2,
+                    right_column: 0,
+                },
+            ],
+        };
+        let outcome = db.query(&spec).unwrap();
+        assert_eq!(outcome.rows.tuple_count(), 100, "one row per bonus");
+        assert_eq!(outcome.plan.plan.join_count(), 2);
+        assert_eq!(outcome.rows.schema().arity(), 8);
+    }
+
+    #[test]
+    fn query_costs_scale_with_memory_pressure() {
+        let mut small = Database::with_config(EngineConfig {
+            mem_pages: 4,
+            ..EngineConfig::default()
+        });
+        let mut big = Database::new();
+        for db in [&mut small, &mut big] {
+            db.create_table(
+                "r",
+                Schema::of(&[("k", DataType::Int), ("v", DataType::Int)]),
+            )
+            .unwrap();
+            db.create_table(
+                "s",
+                Schema::of(&[("k", DataType::Int), ("v", DataType::Int)]),
+            )
+            .unwrap();
+            let mut rng = WorkloadRng::seeded(5);
+            db.insert_many("r", rng.keyed_tuples(2_000, 500)).unwrap();
+            db.insert_many("s", rng.keyed_tuples(2_000, 500)).unwrap();
+        }
+        let spec = QuerySpec {
+            tables: vec![TableRef::plain("r"), TableRef::plain("s")],
+            joins: vec![JoinEdge {
+                left_table: 0,
+                left_column: 0,
+                right_table: 1,
+                right_column: 0,
+            }],
+        };
+        let o_small = small.query(&spec).unwrap();
+        let o_big = big.query(&spec).unwrap();
+        assert_eq!(
+            o_small.rows.tuple_count(),
+            o_big.rows.tuple_count(),
+            "same answer regardless of memory"
+        );
+        assert!(
+            o_small.measured.total_ios() > o_big.measured.total_ios(),
+            "less memory ⇒ more spill I/O"
+        );
+        assert_eq!(o_big.measured.total_ios(), 0, "big memory joins in place");
+    }
+}

@@ -1,0 +1,55 @@
+#![warn(missing_docs)]
+
+//! `mmdb` — a main-memory relational database engine reproducing
+//! *Implementation Techniques for Main Memory Database Systems*
+//! (DeWitt, Katz, Olken, Shapiro, Stonebraker, Wood — SIGMOD 1984).
+//!
+//! The engine assembles the workspace's substrates into the system the
+//! paper describes:
+//!
+//! * **Tables and indexes** ([`table`]) — memory-resident relations with
+//!   AVL-tree, B+-tree, or hash indexes (§2's access methods), all
+//!   incrementally maintained.
+//! * **Query processing** ([`db`]) — selections, projections, aggregates
+//!   and the four §3 join algorithms, executed through the cost-metered
+//!   substrate so every query reports its simulated §3 cost.
+//! * **Access planning** ([`db::Database::plan`]) — §4's collapsed
+//!   optimizer: selectivity-ordered join trees with per-join algorithm
+//!   choice under `W·CPU + IO`.
+//! * **Transactions and recovery** ([`txn`]) — the §5 recovery manager
+//!   for the memory-resident transactional store: group commit,
+//!   pre-committed transactions, partitioned logs, stable memory, fuzzy
+//!   checkpoints, crash and restart.
+//! * **Versioning** ([`mvcc`]) — §6's suggested alternative to locking
+//!   for memory-resident systems: snapshot readers that never block,
+//!   never abort, and never see a torn state.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use mmdb::{Database, IndexKind};
+//! use mmdb_types::{DataType, Predicate, Schema, Tuple, Value};
+//!
+//! let mut db = Database::new();
+//! db.create_table(
+//!     "emp",
+//!     Schema::of(&[("id", DataType::Int), ("name", DataType::Str)]),
+//! )
+//! .unwrap();
+//! db.insert("emp", Tuple::new(vec![Value::Int(1), "Jones".into()]))
+//!     .unwrap();
+//! db.create_index("emp", 0, IndexKind::BPlusTree).unwrap();
+//!
+//! let rows = db.lookup_eq("emp", 0, &Value::Int(1)).unwrap();
+//! assert_eq!(rows[0].get(1), &Value::Str("Jones".into()));
+//! ```
+
+pub mod db;
+pub mod mvcc;
+pub mod table;
+pub mod txn;
+
+pub use db::{Database, EngineConfig, QueryOutcome};
+pub use mvcc::VersionedStore;
+pub use table::{IndexKind, Table};
+pub use txn::{CommitMode, RecoveryReport, TransactionalStore};

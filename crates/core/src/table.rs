@@ -1,0 +1,489 @@
+//! Tables: memory-resident relations with maintained indexes.
+
+use mmdb_index::{AvlTree, BPlusTree, HashIndex};
+use mmdb_storage::MemRelation;
+use mmdb_types::{Error, Predicate, Result, Schema, Tuple, Value};
+use std::collections::HashMap;
+
+/// Which §2 access method backs an index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IndexKind {
+    /// AVL tree — §2's memory-resident candidate.
+    Avl,
+    /// B+-tree — §2's incumbent (the default choice per the paper).
+    BPlusTree,
+    /// Chained hash — equality-only, §3/§4's workhorse.
+    Hash,
+}
+
+/// An index over one column, mapping values to row ids.
+#[derive(Debug)]
+pub enum TableIndex {
+    /// AVL-backed ordered index.
+    Avl(AvlTree<Value, Vec<usize>>),
+    /// B+-tree-backed ordered index.
+    BPlus(BPlusTree<Value, Vec<usize>>),
+    /// Hash-backed equality index.
+    Hash(HashIndex<Value, usize>),
+}
+
+impl TableIndex {
+    fn new(kind: IndexKind) -> Self {
+        match kind {
+            IndexKind::Avl => TableIndex::Avl(AvlTree::new()),
+            // Geometry from the paper's standard: fanout 235 is overkill
+            // for Value keys; 64/64 keeps nodes page-like.
+            IndexKind::BPlusTree => TableIndex::BPlus(BPlusTree::new(64, 64)),
+            IndexKind::Hash => TableIndex::Hash(HashIndex::new()),
+        }
+    }
+
+    /// The kind of this index.
+    pub fn kind(&self) -> IndexKind {
+        match self {
+            TableIndex::Avl(_) => IndexKind::Avl,
+            TableIndex::BPlus(_) => IndexKind::BPlusTree,
+            TableIndex::Hash(_) => IndexKind::Hash,
+        }
+    }
+
+    fn insert(&mut self, key: Value, row: usize) {
+        match self {
+            TableIndex::Avl(t) => {
+                if let Some(mut rows) = t.remove(&key) {
+                    rows.push(row);
+                    t.insert(key, rows);
+                } else {
+                    t.insert(key, vec![row]);
+                }
+            }
+            TableIndex::BPlus(t) => {
+                if let Some(mut rows) = t.remove(&key) {
+                    rows.push(row);
+                    t.insert(key, rows);
+                } else {
+                    t.insert(key, vec![row]);
+                }
+            }
+            TableIndex::Hash(t) => t.insert(key, row),
+        }
+    }
+
+    fn remove(&mut self, key: &Value, row: usize) {
+        match self {
+            TableIndex::Avl(t) => {
+                if let Some(mut rows) = t.remove(key) {
+                    rows.retain(|r| *r != row);
+                    if !rows.is_empty() {
+                        t.insert(key.clone(), rows);
+                    }
+                }
+            }
+            TableIndex::BPlus(t) => {
+                if let Some(mut rows) = t.remove(key) {
+                    rows.retain(|r| *r != row);
+                    if !rows.is_empty() {
+                        t.insert(key.clone(), rows);
+                    }
+                }
+            }
+            TableIndex::Hash(t) => {
+                t.remove_one(key, |r| *r == row);
+            }
+        }
+    }
+
+    fn lookup(&self, key: &Value) -> Vec<usize> {
+        match self {
+            TableIndex::Avl(t) => t.get(key).cloned().unwrap_or_default(),
+            TableIndex::BPlus(t) => t.get(key).cloned().unwrap_or_default(),
+            TableIndex::Hash(t) => t.get_all(key).copied().collect(),
+        }
+    }
+
+    /// Row ids with `lo ≤ key ≤ hi`, in key order. `None` for hash indexes
+    /// (no order to exploit).
+    fn lookup_range(&self, lo: &Value, hi: &Value) -> Option<Vec<usize>> {
+        match self {
+            TableIndex::Avl(t) => Some(
+                t.range(lo, hi)
+                    .into_iter()
+                    .flat_map(|(_, rows)| rows.iter().copied())
+                    .collect(),
+            ),
+            TableIndex::BPlus(t) => Some(
+                t.range(lo, hi)
+                    .into_iter()
+                    .flat_map(|(_, rows)| rows.iter().copied())
+                    .collect(),
+            ),
+            TableIndex::Hash(_) => None,
+        }
+    }
+}
+
+/// A memory-resident table.
+#[derive(Debug)]
+pub struct Table {
+    schema: Schema,
+    rows: Vec<Option<Tuple>>,
+    live: usize,
+    tuples_per_page: usize,
+    indexes: HashMap<usize, TableIndex>,
+}
+
+impl Table {
+    /// An empty table with the paper's 40 tuples per logical page.
+    pub fn new(schema: Schema) -> Self {
+        Table {
+            schema,
+            rows: Vec::new(),
+            live: 0,
+            tuples_per_page: 40,
+            indexes: HashMap::new(),
+        }
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Live row count (`||R||`).
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether no live rows exist.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Logical page count (`|R|`).
+    pub fn pages(&self) -> usize {
+        self.live.div_ceil(self.tuples_per_page)
+    }
+
+    /// Tuples per logical page.
+    pub fn tuples_per_page(&self) -> usize {
+        self.tuples_per_page
+    }
+
+    /// Columns currently indexed, with their index kinds.
+    pub fn indexed_columns(&self) -> Vec<(usize, IndexKind)> {
+        let mut v: Vec<(usize, IndexKind)> = self
+            .indexes
+            .iter()
+            .map(|(c, i)| (*c, i.kind()))
+            .collect();
+        v.sort_by_key(|(c, _)| *c);
+        v
+    }
+
+    /// Inserts a tuple, maintaining every index. Returns the row id.
+    pub fn insert(&mut self, tuple: Tuple) -> Result<usize> {
+        self.schema.check(&tuple)?;
+        let row = self.rows.len();
+        for (col, index) in self.indexes.iter_mut() {
+            index.insert(tuple.get(*col).clone(), row);
+        }
+        self.rows.push(Some(tuple));
+        self.live += 1;
+        Ok(row)
+    }
+
+    /// Fetches a row by id.
+    pub fn get(&self, row: usize) -> Option<&Tuple> {
+        self.rows.get(row).and_then(|r| r.as_ref())
+    }
+
+    /// Builds an index over `column`. Existing rows are indexed
+    /// immediately. Replaces any previous index on the column.
+    pub fn create_index(&mut self, column: usize, kind: IndexKind) -> Result<()> {
+        if column >= self.schema.arity() {
+            return Err(Error::ColumnNotFound(format!("#{column}")));
+        }
+        let mut index = TableIndex::new(kind);
+        for (row, t) in self.rows.iter().enumerate() {
+            if let Some(t) = t {
+                index.insert(t.get(column).clone(), row);
+            }
+        }
+        self.indexes.insert(column, index);
+        Ok(())
+    }
+
+    /// Equality lookup through an index on `column`.
+    pub fn lookup_eq(&self, column: usize, value: &Value) -> Result<Vec<&Tuple>> {
+        let index = self
+            .indexes
+            .get(&column)
+            .ok_or_else(|| Error::Planning(format!("no index on column {column}")))?;
+        let mut rows = index.lookup(value);
+        rows.sort_unstable();
+        Ok(rows
+            .into_iter()
+            .filter_map(|r| self.get(r))
+            .collect())
+    }
+
+    /// Whether `column` has an index.
+    pub fn has_index(&self, column: usize) -> bool {
+        self.indexes.contains_key(&column)
+    }
+
+    /// Range lookup `lo ≤ column ≤ hi` through an **ordered** index — the
+    /// access pattern of the paper's `emp.name = "J*"` query (position at
+    /// the prefix, then read in key order).
+    pub fn range_scan(&self, column: usize, lo: &Value, hi: &Value) -> Result<Vec<&Tuple>> {
+        let index = self
+            .indexes
+            .get(&column)
+            .ok_or_else(|| Error::Planning(format!("no index on column {column}")))?;
+        let rows = index.lookup_range(lo, hi).ok_or_else(|| {
+            Error::Planning(format!(
+                "index on column {column} is hash-based; range scans need an ordered index"
+            ))
+        })?;
+        Ok(rows.into_iter().filter_map(|r| self.get(r)).collect())
+    }
+
+    /// Deletes rows matching `pred`; returns how many were removed.
+    pub fn delete_where(&mut self, pred: &Predicate) -> usize {
+        let mut removed = 0;
+        for row in 0..self.rows.len() {
+            let matches = self.rows[row]
+                .as_ref()
+                .map(|t| pred.eval(t))
+                .unwrap_or(false);
+            if matches {
+                let t = self.rows[row].take().expect("checked live");
+                for (col, index) in self.indexes.iter_mut() {
+                    index.remove(t.get(*col), row);
+                }
+                self.live -= 1;
+                removed += 1;
+            }
+        }
+        removed
+    }
+
+    /// Updates `column` to `value` on rows matching `pred`; returns how
+    /// many rows changed.
+    pub fn update_where(&mut self, pred: &Predicate, column: usize, value: Value) -> Result<usize> {
+        if column >= self.schema.arity() {
+            return Err(Error::ColumnNotFound(format!("#{column}")));
+        }
+        let mut changed = 0;
+        for row in 0..self.rows.len() {
+            let matches = self.rows[row]
+                .as_ref()
+                .map(|t| pred.eval(t))
+                .unwrap_or(false);
+            if !matches {
+                continue;
+            }
+            let old = self.rows[row].take().expect("checked live");
+            let mut values = old.into_values();
+            let old_key = values[column].clone();
+            values[column] = value.clone();
+            let new = Tuple::new(values);
+            self.schema.check(&new)?;
+            if let Some(index) = self.indexes.get_mut(&column) {
+                index.remove(&old_key, row);
+                index.insert(value.clone(), row);
+            }
+            self.rows[row] = Some(new);
+            changed += 1;
+        }
+        Ok(changed)
+    }
+
+    /// Live tuples in row order.
+    pub fn scan(&self) -> impl Iterator<Item = &Tuple> {
+        self.rows.iter().filter_map(|r| r.as_ref())
+    }
+
+    /// Materializes the live rows as a [`MemRelation`] for the executor.
+    pub fn as_relation(&self) -> MemRelation {
+        let tuples: Vec<Tuple> = self.scan().cloned().collect();
+        MemRelation::from_tuples(self.schema.clone(), self.tuples_per_page, tuples)
+            .expect("stored rows satisfy the schema")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmdb_types::{CmpOp, DataType};
+
+    fn emp_table() -> Table {
+        let mut t = Table::new(Schema::of(&[
+            ("id", DataType::Int),
+            ("name", DataType::Str),
+            ("dept", DataType::Int),
+        ]));
+        for i in 0..100i64 {
+            t.insert(Tuple::new(vec![
+                Value::Int(i),
+                Value::Str(format!("emp{i}")),
+                Value::Int(i % 10),
+            ]))
+            .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn insert_scan_get() {
+        let t = emp_table();
+        assert_eq!(t.len(), 100);
+        assert_eq!(t.pages(), 3);
+        assert_eq!(t.scan().count(), 100);
+        assert_eq!(t.get(5).unwrap().get(0), &Value::Int(5));
+        assert!(t.get(1000).is_none());
+    }
+
+    #[test]
+    fn schema_violation_rejected() {
+        let mut t = emp_table();
+        assert!(t.insert(Tuple::new(vec![Value::Int(1)])).is_err());
+    }
+
+    #[test]
+    fn all_three_index_kinds_lookup() {
+        for kind in [IndexKind::Avl, IndexKind::BPlusTree, IndexKind::Hash] {
+            let mut t = emp_table();
+            t.create_index(2, kind).unwrap();
+            let rows = t.lookup_eq(2, &Value::Int(3)).unwrap();
+            assert_eq!(rows.len(), 10, "{kind:?}");
+            for r in rows {
+                assert_eq!(r.get(2), &Value::Int(3));
+            }
+        }
+    }
+
+    #[test]
+    fn index_maintained_across_insert_delete_update() {
+        let mut t = emp_table();
+        t.create_index(2, IndexKind::BPlusTree).unwrap();
+        // Insert into dept 3.
+        t.insert(Tuple::new(vec![
+            Value::Int(1000),
+            "new".into(),
+            Value::Int(3),
+        ]))
+        .unwrap();
+        assert_eq!(t.lookup_eq(2, &Value::Int(3)).unwrap().len(), 11);
+        // Delete dept 3 entirely.
+        let removed = t.delete_where(&Predicate::eq(2, 3i64));
+        assert_eq!(removed, 11);
+        assert!(t.lookup_eq(2, &Value::Int(3)).unwrap().is_empty());
+        assert_eq!(t.len(), 90);
+        // Move dept 4 to dept 3.
+        let changed = t
+            .update_where(&Predicate::eq(2, 4i64), 2, Value::Int(3))
+            .unwrap();
+        assert_eq!(changed, 10);
+        assert_eq!(t.lookup_eq(2, &Value::Int(3)).unwrap().len(), 10);
+        assert!(t.lookup_eq(2, &Value::Int(4)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn lookup_without_index_errors() {
+        let t = emp_table();
+        assert!(t.lookup_eq(1, &Value::Str("emp1".into())).is_err());
+    }
+
+    #[test]
+    fn create_index_on_missing_column_errors() {
+        let mut t = emp_table();
+        assert!(t.create_index(9, IndexKind::Hash).is_err());
+    }
+
+    #[test]
+    fn update_preserves_other_indexes() {
+        let mut t = emp_table();
+        t.create_index(0, IndexKind::Hash).unwrap();
+        t.create_index(2, IndexKind::Avl).unwrap();
+        t.update_where(&Predicate::eq(0, 7i64), 2, Value::Int(99))
+            .unwrap();
+        // The id index still finds the row; the dept index reflects the
+        // new value.
+        let by_id = t.lookup_eq(0, &Value::Int(7)).unwrap();
+        assert_eq!(by_id.len(), 1);
+        assert_eq!(by_id[0].get(2), &Value::Int(99));
+        assert_eq!(t.lookup_eq(2, &Value::Int(99)).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn as_relation_round_trips() {
+        let mut t = emp_table();
+        t.delete_where(&Predicate::cmp(0, CmpOp::Ge, 50i64));
+        let rel = t.as_relation();
+        assert_eq!(rel.tuple_count(), 50);
+        assert_eq!(rel.schema(), t.schema());
+    }
+
+    #[test]
+    fn indexed_columns_reports() {
+        let mut t = emp_table();
+        t.create_index(0, IndexKind::Hash).unwrap();
+        t.create_index(2, IndexKind::BPlusTree).unwrap();
+        assert_eq!(
+            t.indexed_columns(),
+            vec![(0, IndexKind::Hash), (2, IndexKind::BPlusTree)]
+        );
+    }
+
+    #[test]
+    fn range_scan_through_ordered_indexes() {
+        for kind in [IndexKind::Avl, IndexKind::BPlusTree] {
+            let mut t = emp_table();
+            t.create_index(0, kind).unwrap();
+            let rows = t
+                .range_scan(0, &Value::Int(10), &Value::Int(19))
+                .unwrap();
+            assert_eq!(rows.len(), 10, "{kind:?}");
+            let ids: Vec<i64> = rows.iter().map(|r| r.get(0).as_int().unwrap()).collect();
+            assert_eq!(ids, (10..20).collect::<Vec<_>>(), "{kind:?}: key order");
+        }
+    }
+
+    #[test]
+    fn range_scan_rejects_hash_index() {
+        let mut t = emp_table();
+        t.create_index(0, IndexKind::Hash).unwrap();
+        assert!(t
+            .range_scan(0, &Value::Int(0), &Value::Int(5))
+            .is_err());
+        assert!(t
+            .range_scan(1, &Value::Int(0), &Value::Int(5))
+            .is_err(), "no index at all");
+    }
+
+    #[test]
+    fn prefix_query_via_string_range() {
+        // The paper's emp.name = "J*": range over ["J", "K").
+        let mut t = Table::new(Schema::of(&[("name", DataType::Str)]));
+        for name in ["Adams", "Jones", "Jacobs", "Johnson", "Smith", "Kent"] {
+            t.insert(Tuple::new(vec![name.into()])).unwrap();
+        }
+        t.create_index(0, IndexKind::BPlusTree).unwrap();
+        let js = t
+            .range_scan(0, &Value::Str("J".into()), &Value::Str("J\u{10FFFF}".into()))
+            .unwrap();
+        let names: Vec<&str> = js.iter().map(|r| r.get(0).as_str().unwrap()).collect();
+        assert_eq!(names, vec!["Jacobs", "Johnson", "Jones"]);
+    }
+
+    #[test]
+    fn duplicate_keys_in_ordered_indexes() {
+        let mut t = Table::new(Schema::of(&[("k", DataType::Int)]));
+        t.create_index(0, IndexKind::Avl).unwrap();
+        for _ in 0..5 {
+            t.insert(Tuple::new(vec![Value::Int(7)])).unwrap();
+        }
+        assert_eq!(t.lookup_eq(0, &Value::Int(7)).unwrap().len(), 5);
+    }
+}

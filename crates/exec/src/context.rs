@@ -1,0 +1,58 @@
+//! The execution context: memory grant, fudge factor, and the cost meter.
+
+use mmdb_storage::CostMeter;
+use std::sync::Arc;
+
+/// Everything an operator needs to execute and be priced.
+#[derive(Debug, Clone)]
+pub struct ExecContext {
+    /// Shared cost meter all operators charge into.
+    pub meter: Arc<CostMeter>,
+    /// `|M|` — pages of main memory granted to the operator.
+    pub mem_pages: usize,
+    /// `F` — the universal fudge factor: a hash/sort structure holding `X`
+    /// pages of tuples occupies `X·F` pages.
+    pub fudge: f64,
+}
+
+impl ExecContext {
+    /// A context with a fresh meter.
+    pub fn new(mem_pages: usize, fudge: f64) -> Self {
+        ExecContext {
+            meter: Arc::new(CostMeter::new()),
+            mem_pages,
+            fudge,
+        }
+    }
+
+    /// How many tuples fit in this context's memory when each logical page
+    /// holds `tuples_per_page` and structures carry the fudge overhead:
+    /// `{M} = |M| · tpp / F`.
+    pub fn mem_tuple_capacity(&self, tuples_per_page: usize) -> usize {
+        ((self.mem_pages as f64 * tuples_per_page as f64 / self.fudge).floor() as usize).max(1)
+    }
+
+    /// How many pages of raw tuples this context's memory can hold as a
+    /// hash-table/sort structure: `|M| / F`.
+    pub fn mem_page_capacity(&self) -> f64 {
+        self.mem_pages as f64 / self.fudge
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_arithmetic() {
+        let ctx = ExecContext::new(1200, 1.2);
+        assert_eq!(ctx.mem_tuple_capacity(40), 40_000);
+        assert!((ctx.mem_page_capacity() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacity_never_zero() {
+        let ctx = ExecContext::new(0, 1.2);
+        assert_eq!(ctx.mem_tuple_capacity(40), 1);
+    }
+}

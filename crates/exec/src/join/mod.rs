@@ -1,0 +1,215 @@
+//! The four §3 join algorithms, plus a nested-loops reference.
+//!
+//! All five take the same inputs — relations `R` (smaller) and `S`, a
+//! [`JoinSpec`] naming the key columns, and an [`crate::ExecContext`] — and
+//! produce the same result relation, so every algorithm is testable
+//! against every other. They differ only in what they charge to the meter.
+
+pub mod grace;
+pub mod hybrid;
+pub mod nested_loops;
+pub mod simple_hash;
+pub mod sort_merge;
+
+pub use grace::grace_hash_join;
+pub use hybrid::hybrid_hash_join;
+pub use nested_loops::nested_loops_join;
+pub use simple_hash::simple_hash_join;
+pub use sort_merge::sort_merge_join;
+
+use crate::partition::hash_key;
+use mmdb_storage::{CostMeter, MemRelation};
+use mmdb_types::{Result, Schema, Tuple};
+use std::sync::Arc;
+
+/// Which columns join.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JoinSpec {
+    /// Key column index in R.
+    pub r_key: usize,
+    /// Key column index in S.
+    pub s_key: usize,
+}
+
+impl JoinSpec {
+    /// Joins on column `r_key` of R and `s_key` of S.
+    pub fn new(r_key: usize, s_key: usize) -> Self {
+        JoinSpec { r_key, s_key }
+    }
+
+    /// Schema of the join output.
+    pub fn output_schema(&self, r: &MemRelation, s: &MemRelation) -> Schema {
+        r.schema().join(s.schema())
+    }
+}
+
+/// Builds the output relation container for a join. Result tuples are not
+/// charged (§3.2: the cost of writing the result is ignored).
+pub(crate) fn output_relation(spec: &JoinSpec, r: &MemRelation, s: &MemRelation) -> MemRelation {
+    MemRelation::new(
+        spec.output_schema(r, s),
+        r.tuples_per_page().max(s.tuples_per_page()),
+    )
+}
+
+/// An in-memory chained hash table for build/probe phases, charging the
+/// shared meter: the *caller* charges `hash` when it computes the key hash;
+/// the table charges `move` per insertion and `comp` per chain comparison
+/// during probes.
+#[derive(Debug)]
+pub(crate) struct ProbeTable {
+    buckets: Vec<Vec<(u64, Tuple)>>,
+    meter: Arc<CostMeter>,
+    key_col: usize,
+    len: usize,
+}
+
+impl ProbeTable {
+    /// A table expecting about `expected` entries.
+    pub fn new(meter: Arc<CostMeter>, key_col: usize, expected: usize) -> Self {
+        let n = expected.next_power_of_two().max(16);
+        ProbeTable {
+            buckets: (0..n).map(|_| Vec::new()).collect(),
+            meter,
+            key_col,
+            len: 0,
+        }
+    }
+
+    /// Entries inserted.
+    #[allow(dead_code)]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    fn bucket(&self, hash: u64) -> usize {
+        (hash & (self.buckets.len() as u64 - 1)) as usize
+    }
+
+    /// Inserts a build tuple whose key hashed to `hash` (one `move`).
+    pub fn insert(&mut self, hash: u64, tuple: Tuple) {
+        self.meter.charge_moves(1);
+        let b = self.bucket(hash);
+        self.buckets[b].push((hash, tuple));
+        self.len += 1;
+    }
+
+    /// Probes with a key hash and the probing tuple's key value; invokes
+    /// `on_match` for every matching build tuple. Charges one `comp` per
+    /// chain entry whose hash matches (the key comparison the paper prices
+    /// at `F · comp` on average).
+    pub fn probe(&self, hash: u64, key: &mmdb_types::Value, mut on_match: impl FnMut(&Tuple)) {
+        let b = self.bucket(hash);
+        for (h, t) in &self.buckets[b] {
+            if *h == hash {
+                self.meter.charge_comparisons(1);
+                if t.get(self.key_col) == key {
+                    on_match(t);
+                }
+            }
+        }
+    }
+}
+
+/// Hashes the join key of `tuple`, charging one `hash`.
+pub(crate) fn charged_hash(meter: &CostMeter, tuple: &Tuple, key_col: usize) -> u64 {
+    meter.charge_hashes(1);
+    hash_key(tuple.get(key_col))
+}
+
+/// Test helper: canonical (sorted) multiset of a relation's tuples, so two
+/// join outputs can be compared regardless of production order.
+pub fn canonical(rel: &MemRelation) -> Vec<Tuple> {
+    let mut v = rel.tuples().to_vec();
+    v.sort();
+    v
+}
+
+/// Executable join algorithm selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algo {
+    /// O(n·m) reference.
+    NestedLoops,
+    /// §3.4.
+    SortMerge,
+    /// §3.5.
+    SimpleHash,
+    /// §3.6.
+    GraceHash,
+    /// §3.7.
+    HybridHash,
+}
+
+impl Algo {
+    /// The four paper algorithms (excluding the reference).
+    pub const PAPER: [Algo; 4] = [
+        Algo::SortMerge,
+        Algo::SimpleHash,
+        Algo::GraceHash,
+        Algo::HybridHash,
+    ];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algo::NestedLoops => "nested-loops",
+            Algo::SortMerge => "sort-merge",
+            Algo::SimpleHash => "simple-hash",
+            Algo::GraceHash => "grace-hash",
+            Algo::HybridHash => "hybrid-hash",
+        }
+    }
+}
+
+/// Runs the selected join algorithm.
+pub fn run_join(
+    algo: Algo,
+    r: &MemRelation,
+    s: &MemRelation,
+    spec: JoinSpec,
+    ctx: &crate::ExecContext,
+) -> Result<MemRelation> {
+    Ok(match algo {
+        Algo::NestedLoops => nested_loops_join(r, s, spec, ctx),
+        Algo::SortMerge => sort_merge_join(r, s, spec, ctx),
+        Algo::SimpleHash => simple_hash_join(r, s, spec, ctx),
+        Algo::GraceHash => grace_hash_join(r, s, spec, ctx),
+        Algo::HybridHash => hybrid_hash_join(r, s, spec, ctx),
+    })
+}
+
+#[cfg(test)]
+pub(crate) mod testkit {
+    use super::*;
+    use crate::ExecContext;
+    use mmdb_types::{DataType, WorkloadRng};
+
+    /// A keyed relation of `n` tuples with keys drawn from `[0, key_space)`.
+    pub fn keyed(seed: u64, n: usize, key_space: i64, per_page: usize) -> MemRelation {
+        let mut rng = WorkloadRng::seeded(seed);
+        let schema = Schema::of(&[("k", DataType::Int), ("payload", DataType::Int)]);
+        MemRelation::from_tuples(schema, per_page, rng.keyed_tuples(n, key_space)).unwrap()
+    }
+
+    /// Asserts `algo(r, s)` produces exactly the nested-loops result.
+    pub fn assert_matches_reference(
+        algo: fn(&MemRelation, &MemRelation, JoinSpec, &ExecContext) -> MemRelation,
+        r: &MemRelation,
+        s: &MemRelation,
+        mem_pages: usize,
+    ) {
+        let spec = JoinSpec::new(0, 0);
+        let ref_ctx = ExecContext::new(usize::MAX / 2, 1.2);
+        let want = canonical(&nested_loops_join(r, s, spec, &ref_ctx));
+        let ctx = ExecContext::new(mem_pages, 1.2);
+        let got = canonical(&algo(r, s, spec, &ctx));
+        assert_eq!(
+            got.len(),
+            want.len(),
+            "cardinality mismatch: {} vs {}",
+            got.len(),
+            want.len()
+        );
+        assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,157 @@
+//! §3.5 — the multipass simple-hash join.
+//!
+//! Each pass fills memory with a hash table for the fraction of R whose
+//! hash falls in the chosen range, scans S against it, and writes the
+//! passed-over tuples of both relations to disk for the next pass. With
+//! ample memory this degenerates to the classic one-pass hash join; with
+//! `A = ceil(|R|·F/|M|)` passes the passed-over work is what makes the
+//! algorithm blow up at low memory (the steep left edge of Figure 1).
+
+use super::{charged_hash, output_relation, JoinSpec, ProbeTable};
+use crate::context::ExecContext;
+use crate::partition::in_first_fraction;
+use crate::spill::{SpillFile, SpillIo};
+use mmdb_storage::MemRelation;
+use mmdb_types::Tuple;
+use std::sync::Arc;
+
+/// Joins `r` and `s` by multipass simple hashing.
+pub fn simple_hash_join(
+    r: &MemRelation,
+    s: &MemRelation,
+    spec: JoinSpec,
+    ctx: &ExecContext,
+) -> MemRelation {
+    let mut out = output_relation(&spec, r, s);
+    let r_tpp = r.tuples_per_page().max(1);
+    let s_tpp = s.tuples_per_page().max(1);
+    let capacity = ctx.mem_tuple_capacity(r_tpp);
+
+    // The initial read of R and S is not charged (§3.2).
+    let mut r_remaining: Vec<Tuple> = r.tuples().to_vec();
+    let mut s_remaining: Vec<Tuple> = s.tuples().to_vec();
+
+    // §3.5 step 1 *re-chooses* the hash range on every pass so that
+    // "P pages of R-tuples will hash into that range". Passed-over tuples
+    // occupy only the not-yet-consumed tail of the hash space, so each
+    // pass's acceptance window is sized within that tail; `consumed`
+    // tracks its lower edge.
+    let mut consumed = 0.0f64;
+    while !r_remaining.is_empty() {
+        let rel_fraction = (capacity as f64 / r_remaining.len() as f64).min(1.0);
+        let whole = rel_fraction >= 1.0;
+        let fraction = consumed + rel_fraction * (1.0 - consumed);
+
+        // Build phase: in-range R tuples enter the table, the rest are
+        // passed over.
+        let mut table = ProbeTable::new(
+            Arc::clone(&ctx.meter),
+            spec.r_key,
+            capacity.min(r_remaining.len()),
+        );
+        let mut r_spill = SpillFile::new(Arc::clone(&ctx.meter), r_tpp);
+        for t in r_remaining.drain(..) {
+            let h = charged_hash(&ctx.meter, &t, spec.r_key);
+            if whole || in_first_fraction(h, fraction) {
+                table.insert(h, t);
+            } else {
+                ctx.meter.charge_moves(1);
+                r_spill.append(t, SpillIo::Sequential);
+            }
+        }
+
+        // Probe phase: in-range S tuples probe, the rest are passed over.
+        let mut s_spill = SpillFile::new(Arc::clone(&ctx.meter), s_tpp);
+        for t in s_remaining.drain(..) {
+            let h = charged_hash(&ctx.meter, &t, spec.s_key);
+            if whole || in_first_fraction(h, fraction) {
+                table.probe(h, t.get(spec.s_key), |rt| {
+                    out.push(rt.concat(&t)).expect("join schema is consistent");
+                });
+            } else {
+                ctx.meter.charge_moves(1);
+                s_spill.append(t, SpillIo::Sequential);
+            }
+        }
+
+        if r_spill.is_empty() {
+            break; // passed-over S tuples (if any) cannot match anything
+        }
+        // Read the passed-over files back as the next pass's inputs.
+        consumed = fraction;
+        r_remaining = r_spill.drain_pages(SpillIo::Sequential).flatten().collect();
+        s_remaining = s_spill.drain_pages(SpillIo::Sequential).flatten().collect();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testkit::{assert_matches_reference, keyed};
+    use super::*;
+
+    #[test]
+    fn matches_reference_one_pass() {
+        let r = keyed(20, 2_000, 400, 40);
+        let s = keyed(21, 3_000, 400, 40);
+        assert_matches_reference(simple_hash_join, &r, &s, 1_000);
+    }
+
+    #[test]
+    fn matches_reference_multipass() {
+        let r = keyed(22, 4_000, 500, 40);
+        let s = keyed(23, 6_000, 500, 40);
+        // 4000 R tuples = 100 pages · F 1.2 = 120; grant 13 pages → ~10
+        // passes.
+        assert_matches_reference(simple_hash_join, &r, &s, 13);
+    }
+
+    #[test]
+    fn one_pass_does_no_io() {
+        let r = keyed(24, 1_000, 100, 40);
+        let s = keyed(25, 1_000, 100, 40);
+        let ctx = ExecContext::new(100, 1.2);
+        simple_hash_join(&r, &s, JoinSpec::new(0, 0), &ctx);
+        assert_eq!(ctx.meter.snapshot().total_ios(), 0);
+    }
+
+    #[test]
+    fn pass_count_drives_io_up() {
+        let r = keyed(26, 4_000, 300, 40); // 100 pages
+        let s = keyed(27, 4_000, 300, 40);
+        let spec = JoinSpec::new(0, 0);
+        let two_pass = ExecContext::new(60, 1.2);
+        simple_hash_join(&r, &s, spec, &two_pass);
+        let io2 = two_pass.meter.snapshot().total_ios();
+
+        let five_pass = ExecContext::new(24, 1.2);
+        simple_hash_join(&r, &s, spec, &five_pass);
+        let io5 = five_pass.meter.snapshot().total_ios();
+        assert!(
+            io5 > io2 * 2,
+            "more passes must pass over more pages: {io5} vs {io2}"
+        );
+    }
+
+    #[test]
+    fn passed_over_io_is_sequential() {
+        let r = keyed(28, 4_000, 300, 40);
+        let s = keyed(29, 4_000, 300, 40);
+        let ctx = ExecContext::new(24, 1.2);
+        simple_hash_join(&r, &s, JoinSpec::new(0, 0), &ctx);
+        let snap = ctx.meter.snapshot();
+        assert!(snap.seq_ios > 0);
+        assert_eq!(snap.rand_ios, 0, "§3.5 charges 2·IOseq per page");
+    }
+
+    #[test]
+    fn empty_relations() {
+        let r = keyed(30, 0, 10, 40);
+        let s = keyed(31, 50, 10, 40);
+        let ctx = ExecContext::new(10, 1.2);
+        assert_eq!(
+            simple_hash_join(&r, &s, JoinSpec::new(0, 0), &ctx).tuple_count(),
+            0
+        );
+    }
+}

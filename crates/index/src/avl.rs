@@ -1,0 +1,648 @@
+//! An arena-based AVL tree.
+//!
+//! The paper's §2 candidate for keyed access to memory-resident relations:
+//! strictly balanced, no page structure, records located directly (which is
+//! why its comparisons may be cheaper than a B+-tree's by the factor `Y`).
+//!
+//! Nodes live in a `Vec<Option<Node>>` arena and are assigned to *logical
+//! pages* of `nodes_per_page` consecutive arena slots. Because keys arrive
+//! in random order, consecutive tree levels land on unrelated pages —
+//! exactly the §2 observation that "each of the C nodes to be inspected
+//! will be on a different page".
+
+use crate::AccessTrace;
+
+#[derive(Debug, Clone)]
+struct Node<K, V> {
+    key: K,
+    value: V,
+    left: Option<u32>,
+    right: Option<u32>,
+    height: u8,
+}
+
+/// A strictly balanced binary search tree over an arena.
+#[derive(Debug, Clone)]
+pub struct AvlTree<K, V> {
+    nodes: Vec<Option<Node<K, V>>>,
+    root: Option<u32>,
+    free: Vec<u32>,
+    len: usize,
+    nodes_per_page: usize,
+}
+
+impl<K: Ord, V> Default for AvlTree<K, V> {
+    fn default() -> Self {
+        AvlTree::new()
+    }
+}
+
+impl<K: Ord, V> AvlTree<K, V> {
+    /// An empty tree with a default logical-page fanout of 37 nodes
+    /// (≈ 4096 / 108 bytes for the paper's standard geometry).
+    pub fn new() -> Self {
+        AvlTree::with_page_fanout(37)
+    }
+
+    /// An empty tree whose logical pages hold `nodes_per_page` nodes.
+    pub fn with_page_fanout(nodes_per_page: usize) -> Self {
+        assert!(nodes_per_page > 0);
+        AvlTree {
+            nodes: Vec::new(),
+            root: None,
+            free: Vec::new(),
+            len: 0,
+            nodes_per_page,
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Logical pages the arena occupies (`S` in the §2 model).
+    pub fn pages(&self) -> u64 {
+        (self.nodes.len().div_ceil(self.nodes_per_page)) as u64
+    }
+
+    /// Height of the tree (0 for empty).
+    pub fn height(&self) -> u32 {
+        self.root.map(|r| self.node(r).height as u32).unwrap_or(0)
+    }
+
+    fn node(&self, i: u32) -> &Node<K, V> {
+        self.nodes[i as usize].as_ref().expect("live node")
+    }
+
+    fn node_mut(&mut self, i: u32) -> &mut Node<K, V> {
+        self.nodes[i as usize].as_mut().expect("live node")
+    }
+
+    fn page_of(&self, idx: u32) -> u64 {
+        (idx as usize / self.nodes_per_page) as u64
+    }
+
+    fn h(&self, n: Option<u32>) -> i32 {
+        n.map(|i| self.node(i).height as i32).unwrap_or(0)
+    }
+
+    fn update_height(&mut self, i: u32) {
+        let l = self.h(self.node(i).left);
+        let r = self.h(self.node(i).right);
+        self.node_mut(i).height = (1 + l.max(r)) as u8;
+    }
+
+    fn balance_factor(&self, i: u32) -> i32 {
+        self.h(self.node(i).left) - self.h(self.node(i).right)
+    }
+
+    fn rotate_right(&mut self, y: u32) -> u32 {
+        let x = self.node(y).left.expect("rotate_right needs left child");
+        let t2 = self.node(x).right;
+        self.node_mut(x).right = Some(y);
+        self.node_mut(y).left = t2;
+        self.update_height(y);
+        self.update_height(x);
+        x
+    }
+
+    fn rotate_left(&mut self, x: u32) -> u32 {
+        let y = self.node(x).right.expect("rotate_left needs right child");
+        let t2 = self.node(y).left;
+        self.node_mut(y).left = Some(x);
+        self.node_mut(x).right = t2;
+        self.update_height(x);
+        self.update_height(y);
+        y
+    }
+
+    fn rebalance(&mut self, i: u32) -> u32 {
+        self.update_height(i);
+        let bf = self.balance_factor(i);
+        if bf > 1 {
+            let left = self.node(i).left.expect("bf>1 implies left");
+            if self.balance_factor(left) < 0 {
+                let new_left = self.rotate_left(left);
+                self.node_mut(i).left = Some(new_left);
+            }
+            self.rotate_right(i)
+        } else if bf < -1 {
+            let right = self.node(i).right.expect("bf<-1 implies right");
+            if self.balance_factor(right) > 0 {
+                let new_right = self.rotate_right(right);
+                self.node_mut(i).right = Some(new_right);
+            }
+            self.rotate_left(i)
+        } else {
+            i
+        }
+    }
+
+    fn alloc(&mut self, key: K, value: V) -> u32 {
+        let node = Node {
+            key,
+            value,
+            left: None,
+            right: None,
+            height: 1,
+        };
+        if let Some(idx) = self.free.pop() {
+            self.nodes[idx as usize] = Some(node);
+            idx
+        } else {
+            self.nodes.push(Some(node));
+            (self.nodes.len() - 1) as u32
+        }
+    }
+
+    /// Inserts `key -> value`; returns the previous value if the key was
+    /// already present.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        let root = self.root;
+        let (new_root, old) = self.insert_at(root, key, value);
+        self.root = Some(new_root);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    fn insert_at(&mut self, node: Option<u32>, key: K, value: V) -> (u32, Option<V>) {
+        let Some(i) = node else {
+            return (self.alloc(key, value), None);
+        };
+        use std::cmp::Ordering::*;
+        match key.cmp(&self.node(i).key) {
+            Equal => {
+                let old = std::mem::replace(&mut self.node_mut(i).value, value);
+                (i, Some(old))
+            }
+            Less => {
+                let left = self.node(i).left;
+                let (nl, old) = self.insert_at(left, key, value);
+                self.node_mut(i).left = Some(nl);
+                (self.rebalance(i), old)
+            }
+            Greater => {
+                let right = self.node(i).right;
+                let (nr, old) = self.insert_at(right, key, value);
+                self.node_mut(i).right = Some(nr);
+                (self.rebalance(i), old)
+            }
+        }
+    }
+
+    /// Looks a key up.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        let mut cur = self.root;
+        while let Some(i) = cur {
+            let n = self.node(i);
+            cur = match key.cmp(&n.key) {
+                std::cmp::Ordering::Equal => return Some(&n.value),
+                std::cmp::Ordering::Less => n.left,
+                std::cmp::Ordering::Greater => n.right,
+            };
+        }
+        None
+    }
+
+    /// Looks a key up, recording one comparison and one page visit per node
+    /// inspected (the §2 accounting).
+    pub fn get_traced(&self, key: &K, trace: &mut AccessTrace) -> Option<&V> {
+        let mut cur = self.root;
+        while let Some(i) = cur {
+            trace.visit(self.page_of(i));
+            trace.compare(1);
+            let n = self.node(i);
+            cur = match key.cmp(&n.key) {
+                std::cmp::Ordering::Equal => return Some(&n.value),
+                std::cmp::Ordering::Less => n.left,
+                std::cmp::Ordering::Greater => n.right,
+            };
+        }
+        None
+    }
+
+    /// Removes a key, returning its value.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let root = self.root;
+        let (new_root, removed) = self.remove_at(root, key);
+        self.root = new_root;
+        if removed.is_some() {
+            self.len -= 1;
+        }
+        removed
+    }
+
+    fn remove_at(&mut self, node: Option<u32>, key: &K) -> (Option<u32>, Option<V>) {
+        let Some(i) = node else {
+            return (None, None);
+        };
+        use std::cmp::Ordering::*;
+        match key.cmp(&self.node(i).key) {
+            Less => {
+                let left = self.node(i).left;
+                let (nl, removed) = self.remove_at(left, key);
+                self.node_mut(i).left = nl;
+                let r = if removed.is_some() { self.rebalance(i) } else { i };
+                (Some(r), removed)
+            }
+            Greater => {
+                let right = self.node(i).right;
+                let (nr, removed) = self.remove_at(right, key);
+                self.node_mut(i).right = nr;
+                let r = if removed.is_some() { self.rebalance(i) } else { i };
+                (Some(r), removed)
+            }
+            Equal => {
+                let (left, right) = (self.node(i).left, self.node(i).right);
+                match (left, right) {
+                    (None, None) => (None, Some(self.free_node(i))),
+                    (Some(child), None) | (None, Some(child)) => {
+                        (Some(child), Some(self.free_node(i)))
+                    }
+                    (Some(_), Some(r)) => {
+                        // Replace this node's entry with its in-order
+                        // successor's, then free the successor slot.
+                        let (new_right, succ) = self.detach_min(r);
+                        self.node_mut(i).right = new_right;
+                        let succ_node =
+                            self.nodes[succ as usize].take().expect("successor live");
+                        self.free.push(succ);
+                        let n = self.node_mut(i);
+                        n.key = succ_node.key;
+                        let old_val = std::mem::replace(&mut n.value, succ_node.value);
+                        (Some(self.rebalance(i)), Some(old_val))
+                    }
+                }
+            }
+        }
+    }
+
+    fn detach_min(&mut self, i: u32) -> (Option<u32>, u32) {
+        match self.node(i).left {
+            Some(l) => {
+                let (new_left, min) = self.detach_min(l);
+                self.node_mut(i).left = new_left;
+                (Some(self.rebalance(i)), min)
+            }
+            None => (self.node(i).right, i),
+        }
+    }
+
+    fn free_node(&mut self, i: u32) -> V {
+        let node = self.nodes[i as usize].take().expect("live node");
+        self.free.push(i);
+        node.value
+    }
+
+    /// In-order iteration over `(key, value)` pairs.
+    pub fn iter(&self) -> AvlIter<'_, K, V> {
+        let mut stack = Vec::new();
+        let mut cur = self.root;
+        while let Some(i) = cur {
+            stack.push(i);
+            cur = self.node(i).left;
+        }
+        AvlIter { tree: self, stack }
+    }
+
+    /// Sequential access (§2 case 2): starting at the smallest key `≥ from`,
+    /// returns up to `limit` entries in order, recording the page of every
+    /// node inspected (including those traversed to reach successors) and
+    /// one comparison per node inspected.
+    pub fn scan_from_traced(
+        &self,
+        from: &K,
+        limit: usize,
+        trace: &mut AccessTrace,
+    ) -> Vec<(&K, &V)> {
+        let mut stack = Vec::new();
+        let mut cur = self.root;
+        while let Some(i) = cur {
+            trace.visit(self.page_of(i));
+            trace.compare(1);
+            let n = self.node(i);
+            if *from <= n.key {
+                stack.push(i);
+                cur = n.left;
+            } else {
+                cur = n.right;
+            }
+        }
+        let mut out = Vec::with_capacity(limit);
+        while out.len() < limit {
+            let Some(i) = stack.pop() else { break };
+            trace.visit(self.page_of(i));
+            trace.compare(1);
+            let n = self.node(i);
+            out.push((&n.key, &n.value));
+            let mut cur = n.right;
+            while let Some(c) = cur {
+                trace.visit(self.page_of(c));
+                stack.push(c);
+                cur = self.node(c).left;
+            }
+        }
+        out
+    }
+
+    /// All entries with `lo ≤ key ≤ hi`, in order.
+    pub fn range(&self, lo: &K, hi: &K) -> Vec<(&K, &V)> {
+        let mut out = Vec::new();
+        let mut stack = Vec::new();
+        let mut cur = self.root;
+        while let Some(i) = cur {
+            let n = self.node(i);
+            if *lo <= n.key {
+                stack.push(i);
+                cur = n.left;
+            } else {
+                cur = n.right;
+            }
+        }
+        while let Some(i) = stack.pop() {
+            let n = self.node(i);
+            if n.key > *hi {
+                break;
+            }
+            out.push((&n.key, &n.value));
+            let mut cur = n.right;
+            while let Some(c) = cur {
+                stack.push(c);
+                cur = self.node(c).left;
+            }
+        }
+        out
+    }
+
+    /// Diagnostic: verifies BST order, AVL balance, height bookkeeping and
+    /// the reachable-node count.
+    pub fn check_invariants(&self) -> Result<(), String>
+    where
+        K: std::fmt::Debug,
+    {
+        fn walk<K: Ord + std::fmt::Debug, V>(
+            t: &AvlTree<K, V>,
+            n: Option<u32>,
+            lo: Option<&K>,
+            hi: Option<&K>,
+        ) -> Result<(i32, usize), String> {
+            let Some(i) = n else { return Ok((0, 0)) };
+            let node = t.node(i);
+            if let Some(lo) = lo {
+                if node.key <= *lo {
+                    return Err(format!("key {:?} violates lower bound {:?}", node.key, lo));
+                }
+            }
+            if let Some(hi) = hi {
+                if node.key >= *hi {
+                    return Err(format!("key {:?} violates upper bound {:?}", node.key, hi));
+                }
+            }
+            let (lh, lc) = walk(t, node.left, lo, Some(&node.key))?;
+            let (rh, rc) = walk(t, node.right, Some(&node.key), hi)?;
+            if (lh - rh).abs() > 1 {
+                return Err(format!("imbalance {} at {:?}", lh - rh, node.key));
+            }
+            let h = 1 + lh.max(rh);
+            if h != node.height as i32 {
+                return Err(format!(
+                    "height mismatch at {:?}: stored {}, actual {h}",
+                    node.key, node.height
+                ));
+            }
+            Ok((h, lc + rc + 1))
+        }
+        let (_, count) = walk(self, self.root, None, None)?;
+        if count != self.len {
+            return Err(format!("len {} but {count} reachable nodes", self.len));
+        }
+        Ok(())
+    }
+}
+
+/// In-order iterator over an [`AvlTree`].
+pub struct AvlIter<'a, K, V> {
+    tree: &'a AvlTree<K, V>,
+    stack: Vec<u32>,
+}
+
+impl<'a, K: Ord, V> Iterator for AvlIter<'a, K, V> {
+    type Item = (&'a K, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let i = self.stack.pop()?;
+        let n = self.tree.node(i);
+        let mut cur = n.right;
+        while let Some(c) = cur {
+            self.stack.push(c);
+            cur = self.tree.node(c).left;
+        }
+        Some((&n.key, &n.value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmdb_types::WorkloadRng;
+
+    #[test]
+    fn insert_get_basic() {
+        let mut t = AvlTree::new();
+        assert!(t.is_empty());
+        assert_eq!(t.insert(5, "five"), None);
+        assert_eq!(t.insert(3, "three"), None);
+        assert_eq!(t.insert(8, "eight"), None);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.get(&5), Some(&"five"));
+        assert_eq!(t.get(&9), None);
+        assert_eq!(t.insert(5, "FIVE"), Some("five"));
+        assert_eq!(t.len(), 3);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn stays_balanced_under_sorted_insertion() {
+        let mut t = AvlTree::new();
+        for i in 0..1024 {
+            t.insert(i, i);
+        }
+        t.check_invariants().unwrap();
+        // AVL height bound: < 1.44 log2(n+2).
+        let bound = (1.44 * (1026f64).log2()).ceil() as u32;
+        assert!(t.height() <= bound, "height {} > bound {bound}", t.height());
+    }
+
+    #[test]
+    fn random_workload_against_btreemap_oracle() {
+        let mut rng = WorkloadRng::seeded(11);
+        let mut t = AvlTree::new();
+        let mut oracle = std::collections::BTreeMap::new();
+        for _ in 0..4000 {
+            let k = rng.int_in(0, 500);
+            if rng.chance(0.3) {
+                assert_eq!(t.remove(&k), oracle.remove(&k));
+            } else {
+                let v = rng.int_in(0, 1 << 30);
+                assert_eq!(t.insert(k, v), oracle.insert(k, v));
+            }
+        }
+        t.check_invariants().unwrap();
+        assert_eq!(t.len(), oracle.len());
+        let got: Vec<_> = t.iter().map(|(k, v)| (*k, *v)).collect();
+        let want: Vec<_> = oracle.iter().map(|(k, v)| (*k, *v)).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn remove_all_three_shapes() {
+        let mut t = AvlTree::new();
+        for k in [50, 30, 70, 20, 40, 60, 80] {
+            t.insert(k, k * 10);
+        }
+        assert_eq!(t.remove(&20), Some(200)); // leaf
+        assert_eq!(t.remove(&30), Some(300)); // one child
+        assert_eq!(t.remove(&50), Some(500)); // two children (root)
+        assert_eq!(t.remove(&99), None);
+        t.check_invariants().unwrap();
+        let keys: Vec<i32> = t.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![40, 60, 70, 80]);
+    }
+
+    #[test]
+    fn freed_slots_are_reused() {
+        let mut t = AvlTree::new();
+        for i in 0..100 {
+            t.insert(i, i);
+        }
+        let pages_before = t.pages();
+        for i in 0..50 {
+            t.remove(&i);
+        }
+        for i in 100..150 {
+            t.insert(i, i);
+        }
+        assert_eq!(t.pages(), pages_before, "arena should not grow");
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn traced_lookup_costs_log_n() {
+        let mut rng = WorkloadRng::seeded(5);
+        let mut t = AvlTree::new();
+        let n = 10_000i64;
+        let mut keys: Vec<i64> = (0..n).collect();
+        rng.shuffle(&mut keys);
+        for &k in &keys {
+            t.insert(k, k);
+        }
+        // Average comparisons over random probes ≈ log2(n) + 0.25 (§2).
+        let mut total = 0u64;
+        let probes = 500;
+        for _ in 0..probes {
+            let k = rng.int_in(0, n);
+            let mut tr = AccessTrace::default();
+            assert!(t.get_traced(&k, &mut tr).is_some());
+            total += tr.comparisons;
+        }
+        let avg = total as f64 / probes as f64;
+        let model = (n as f64).log2() + 0.25;
+        assert!(
+            (avg - model).abs() < 1.5,
+            "avg comparisons {avg} vs model {model}"
+        );
+    }
+
+    #[test]
+    fn traced_lookup_touches_about_one_page_per_node() {
+        // With random insertion order, nodes on a root-leaf path share few
+        // pages — the §2 assumption.
+        let mut rng = WorkloadRng::seeded(6);
+        let mut t = AvlTree::with_page_fanout(37);
+        let n = 20_000i64;
+        let mut keys: Vec<i64> = (0..n).collect();
+        rng.shuffle(&mut keys);
+        for &k in &keys {
+            t.insert(k, k);
+        }
+        let mut pages = 0u64;
+        let mut comps = 0u64;
+        for _ in 0..300 {
+            let mut tr = AccessTrace::default();
+            t.get_traced(&rng.int_in(0, n), &mut tr);
+            pages += tr.page_reads();
+            comps += tr.comparisons;
+        }
+        let ratio = pages as f64 / comps as f64;
+        assert!(ratio > 0.8, "page/comparison ratio {ratio}; §2 expects ≈ 1");
+    }
+
+    #[test]
+    fn scan_from_returns_sorted_run() {
+        let mut t = AvlTree::new();
+        for k in (0..1000).rev() {
+            t.insert(k, k * 2);
+        }
+        let mut tr = AccessTrace::default();
+        let run = t.scan_from_traced(&250, 10, &mut tr);
+        let keys: Vec<i64> = run.iter().map(|(k, _)| **k).collect();
+        assert_eq!(keys, (250..260).collect::<Vec<_>>());
+        assert!(tr.comparisons >= 10);
+    }
+
+    #[test]
+    fn scan_from_missing_key_starts_at_successor() {
+        let mut t = AvlTree::new();
+        for k in [10, 20, 30, 40] {
+            t.insert(k, ());
+        }
+        let mut tr = AccessTrace::default();
+        let run = t.scan_from_traced(&25, 10, &mut tr);
+        let keys: Vec<i32> = run.iter().map(|(k, _)| **k).collect();
+        assert_eq!(keys, vec![30, 40]);
+    }
+
+    #[test]
+    fn scan_limit_zero_is_empty() {
+        let mut t = AvlTree::new();
+        t.insert(1, ());
+        let mut tr = AccessTrace::default();
+        assert!(t.scan_from_traced(&0, 0, &mut tr).is_empty());
+    }
+
+    #[test]
+    fn range_is_inclusive_and_ordered() {
+        let mut t = AvlTree::new();
+        for k in (0..100).rev() {
+            t.insert(k, k * 2);
+        }
+        let r: Vec<i64> = t.range(&10, &20).into_iter().map(|(k, _)| *k).collect();
+        assert_eq!(r, (10..=20).collect::<Vec<_>>());
+        assert!(t.range(&200, &300).is_empty());
+        assert!(t.range(&20, &10).is_empty(), "inverted bounds");
+        // Bounds between keys.
+        let mut sparse = AvlTree::new();
+        for k in [10, 20, 30] {
+            sparse.insert(k, ());
+        }
+        let r: Vec<i32> = sparse.range(&11, &29).into_iter().map(|(k, _)| *k).collect();
+        assert_eq!(r, vec![20]);
+    }
+
+    #[test]
+    fn pages_grow_with_arena() {
+        let mut t = AvlTree::with_page_fanout(10);
+        for i in 0..95 {
+            t.insert(i, ());
+        }
+        assert_eq!(t.pages(), 10);
+    }
+}

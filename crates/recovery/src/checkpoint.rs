@@ -1,0 +1,92 @@
+//! The disk snapshot and the §5.3 fuzzy checkpointer.
+//!
+//! "Data pages are periodically written to disk by a background process
+//! that sweeps through data buffers to find dirty pages." The snapshot is
+//! *fuzzy*: a checkpointed page may contain uncommitted data, which
+//! recovery undoes using the old values in the log.
+
+use crate::log::Lsn;
+use std::collections::HashMap;
+
+/// Number of keys per logical data page of the memory-resident database.
+pub const KEYS_PER_PAGE: u64 = 64;
+
+/// Logical data page of a key.
+pub fn page_of(key: u64) -> u64 {
+    key / KEYS_PER_PAGE
+}
+
+/// The on-disk database image. Survives crashes.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Per-page contents, with the LSN up to which the page reflects the
+    /// in-memory state when it was swept.
+    pages: HashMap<u64, (HashMap<u64, i64>, Lsn)>,
+}
+
+impl Snapshot {
+    /// An empty image.
+    pub fn new() -> Self {
+        Snapshot::default()
+    }
+
+    /// Installs the current contents of a data page (the sweep's write).
+    pub fn write_page(&mut self, page: u64, contents: HashMap<u64, i64>, as_of: Lsn) {
+        self.pages.insert(page, (contents, as_of));
+    }
+
+    /// The LSN a page's snapshot reflects (`Lsn(0)` if never swept).
+    pub fn page_lsn(&self, page: u64) -> Lsn {
+        self.pages.get(&page).map(|(_, l)| *l).unwrap_or(Lsn(0))
+    }
+
+    /// Reconstructs a full key-value image from the snapshot pages.
+    pub fn materialize(&self) -> HashMap<u64, i64> {
+        let mut db = HashMap::new();
+        for (contents, _) in self.pages.values() {
+            for (k, v) in contents {
+                db.insert(*k, *v);
+            }
+        }
+        db
+    }
+
+    /// Pages stored.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_mapping() {
+        assert_eq!(page_of(0), 0);
+        assert_eq!(page_of(63), 0);
+        assert_eq!(page_of(64), 1);
+    }
+
+    #[test]
+    fn write_and_materialize() {
+        let mut s = Snapshot::new();
+        s.write_page(0, HashMap::from([(1, 10), (2, 20)]), Lsn(5));
+        s.write_page(1, HashMap::from([(70, 700)]), Lsn(9));
+        let db = s.materialize();
+        assert_eq!(db[&1], 10);
+        assert_eq!(db[&70], 700);
+        assert_eq!(s.page_lsn(0), Lsn(5));
+        assert_eq!(s.page_lsn(99), Lsn(0));
+        assert_eq!(s.page_count(), 2);
+    }
+
+    #[test]
+    fn rewriting_a_page_replaces_it() {
+        let mut s = Snapshot::new();
+        s.write_page(0, HashMap::from([(1, 10)]), Lsn(5));
+        s.write_page(0, HashMap::from([(1, 11)]), Lsn(8));
+        assert_eq!(s.materialize()[&1], 11);
+        assert_eq!(s.page_lsn(0), Lsn(8));
+    }
+}

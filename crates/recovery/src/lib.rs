@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+
+//! Recovery for memory-resident databases (§5 of the paper).
+//!
+//! The §5 setting: the whole database fits in volatile main memory, so the
+//! recovery subsystem only ever writes *log* pages during normal
+//! processing — and the log write becomes the throughput bottleneck. This
+//! crate builds the full §5 machinery:
+//!
+//! * [`log`] — log records and their byte-accounted encoding (a "typical"
+//!   transaction writes 400 bytes: 40 of begin/commit, 360 of old/new
+//!   values, per Gray's banking example).
+//! * [`device`] — simulated log devices: one 4096-byte page write costs
+//!   10 ms of virtual time; pages are durable once their write completes.
+//! * [`lock`] — a lock manager whose lock table carries the paper's three
+//!   sets (holders / waiters / **pre-committed**) and maintains the
+//!   transaction dependency lists group commit needs.
+//! * [`manager`] — the recovery manager: an in-memory KV database with
+//!   write-ahead logging, four commit policies (synchronous, group
+//!   commit, partitioned log with commit-group dependency ordering,
+//!   stable memory), crash, and restart-recovery.
+//! * [`stable`] — battery-backed stable memory: the in-memory log tail,
+//!   §5.4 log compression (only new values of committed transactions go
+//!   to disk) and the §5.5 dirty-page table bounding recovery.
+//! * [`checkpoint`] — the §5.3 background sweeper that trickles dirty
+//!   pages to the disk snapshot without quiescing.
+//! * [`sim`] — a discrete-event throughput simulator reproducing the §5.2
+//!   numbers (100 tps synchronous, ~1000 tps with group commit, ~k× with
+//!   k log devices).
+
+pub mod checkpoint;
+pub mod device;
+pub mod lock;
+pub mod log;
+pub mod manager;
+pub mod sim;
+pub mod stable;
+
+pub use device::LogDevice;
+pub use lock::{LockManager, LockMode};
+pub use log::{LogRecord, Lsn};
+pub use manager::{CommitMode, RecoveryManager, TxnHandle};
+pub use sim::{SimConfig, ThroughputSim};
+pub use stable::StableMemory;

@@ -1,0 +1,845 @@
+//! The recovery manager: a memory-resident KV database with write-ahead
+//! logging, pre-committed transactions, group commit, partitioned logs,
+//! stable memory, fuzzy checkpointing, crash, and restart recovery.
+//!
+//! This is the §5 machinery assembled: transactions update an in-memory
+//! image under exclusive locks; log records flow through the chosen
+//! [`CommitMode`]; a crash discards everything volatile and recovery
+//! rebuilds the image from the disk snapshot plus the durable log.
+
+use crate::checkpoint::{page_of, Snapshot};
+use crate::device::{LogDevice, Micros};
+use crate::lock::LockManager;
+use crate::log::{LogRecord, Lsn};
+use crate::stable::StableMemory;
+use mmdb_types::{Error, Result, TxnId};
+use std::collections::{HashMap, HashSet};
+
+/// How commit durability is achieved (§5.2/§5.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommitMode {
+    /// One synchronous log write per transaction.
+    Synchronous,
+    /// Commit records share log pages; one write commits the group.
+    GroupCommit,
+    /// Group commit over several log devices with commit-group dependency
+    /// ordering (a dependent group is never submitted so as to become
+    /// durable before its dependencies).
+    PartitionedLog {
+        /// Number of log devices.
+        devices: usize,
+    },
+    /// Battery-backed stable memory holds the log tail; transactions
+    /// commit on append; pages drain to disk compressed (§5.4).
+    StableMemory {
+        /// Stable region capacity in bytes.
+        capacity_bytes: usize,
+    },
+}
+
+/// Handle to an open transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxnHandle(pub TxnId);
+
+/// What a crash preserves.
+#[derive(Debug)]
+pub struct CrashImage {
+    mode: CommitMode,
+    snapshot: Snapshot,
+    durable_log: Vec<(Lsn, LogRecord)>,
+    stable: Option<StableMemory>,
+}
+
+/// What recovery observed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Transactions whose effects survived.
+    pub committed: Vec<TxnId>,
+    /// Transactions rolled back (no durable commit record).
+    pub losers: Vec<TxnId>,
+    /// Log records examined in total.
+    pub records_scanned: usize,
+    /// Records the §5.5 dirty-page table allowed redo to skip.
+    pub records_skipped_by_dirty_table: usize,
+}
+
+/// The §5 recovery manager.
+#[derive(Debug)]
+pub struct RecoveryManager {
+    mode: CommitMode,
+    db: HashMap<u64, i64>,
+    snapshot: Snapshot,
+    locks: LockManager,
+    devices: Vec<LogDevice>,
+    next_device: usize,
+    buffer: Vec<(Lsn, LogRecord)>,
+    buffer_bytes: usize,
+    buffer_commits: Vec<(TxnId, HashSet<TxnId>)>,
+    stable: Option<StableMemory>,
+    now: Micros,
+    next_txn: u64,
+    next_lsn: u64,
+    undo: HashMap<TxnId, Vec<(u64, Option<i64>)>>,
+    commit_durable_at: HashMap<TxnId, Micros>,
+    dirty_first_update: HashMap<u64, Lsn>,
+    drained_committed: HashSet<TxnId>,
+}
+
+impl RecoveryManager {
+    /// A fresh, empty database under the given commit mode.
+    pub fn new(mode: CommitMode) -> Self {
+        let device_count = match mode {
+            CommitMode::PartitionedLog { devices } => devices.max(1),
+            _ => 1,
+        };
+        RecoveryManager {
+            mode,
+            db: HashMap::new(),
+            snapshot: Snapshot::new(),
+            locks: LockManager::new(),
+            devices: (0..device_count).map(|_| LogDevice::paper()).collect(),
+            next_device: 0,
+            buffer: Vec::new(),
+            buffer_bytes: 0,
+            buffer_commits: Vec::new(),
+            stable: match mode {
+                CommitMode::StableMemory { capacity_bytes } => {
+                    Some(StableMemory::new(capacity_bytes))
+                }
+                _ => None,
+            },
+            now: 0,
+            next_txn: 1,
+            next_lsn: 1,
+            undo: HashMap::new(),
+            commit_durable_at: HashMap::new(),
+            dirty_first_update: HashMap::new(),
+            drained_committed: HashSet::new(),
+        }
+    }
+
+    /// Current virtual time (µs).
+    pub fn now(&self) -> Micros {
+        self.now
+    }
+
+    /// Advances virtual time (modelling user think time between requests).
+    pub fn advance(&mut self, us: Micros) {
+        self.now += us;
+    }
+
+    /// Reads a key from the in-memory image.
+    pub fn read(&self, key: u64) -> Option<i64> {
+        self.db.get(&key).copied()
+    }
+
+    /// Number of keys resident.
+    pub fn len(&self) -> usize {
+        self.db.len()
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.db.is_empty()
+    }
+
+    /// Starts a transaction.
+    pub fn begin(&mut self) -> TxnHandle {
+        let txn = TxnId(self.next_txn);
+        self.next_txn += 1;
+        self.locks.begin(txn);
+        self.undo.insert(txn, Vec::new());
+        self.append_record(LogRecord::Begin { txn });
+        TxnHandle(txn)
+    }
+
+    fn next_lsn(&mut self) -> Lsn {
+        let l = Lsn(self.next_lsn);
+        self.next_lsn += 1;
+        l
+    }
+
+    fn append_record(&mut self, rec: LogRecord) -> Lsn {
+        let lsn = self.next_lsn();
+        if let Some(stable) = self.stable.as_mut() {
+            if !stable.append(lsn, rec.clone()) {
+                // Region full: drain committed records to disk, then retry.
+                self.drain_stable();
+                let stable = self.stable.as_mut().expect("stable mode");
+                if !stable.append(lsn, rec.clone()) {
+                    // Still full (all records belong to in-doubt txns):
+                    // model the paper's back-pressure by forcing a page of
+                    // raw (uncompressed) tail out. Simplest sound fallback:
+                    // grow is forbidden, so panic loudly — workloads in
+                    // this repo size the region adequately.
+                    panic!("stable memory exhausted by uncommitted transactions");
+                }
+            }
+        } else {
+            let size = rec.byte_size();
+            if self.buffer_bytes + size > self.devices[0].page_bytes() {
+                self.flush_page();
+            }
+            self.buffer_bytes += size;
+            self.buffer.push((lsn, rec));
+        }
+        lsn
+    }
+
+    /// Writes `key = value` under `txn`.
+    pub fn write(&mut self, txn: &TxnHandle, key: u64, value: i64) -> Result<()> {
+        if !self.locks.is_active(txn.0) {
+            return Err(Error::InvalidTransaction(txn.0 .0));
+        }
+        self.locks.acquire(txn.0, key)?;
+        let old = self.db.get(&key).copied();
+        let lsn = self.append_record(LogRecord::Update {
+            txn: txn.0,
+            key,
+            old,
+            new: value,
+            padding: 0,
+        });
+        // §5.5 dirty-page bookkeeping: first update since last checkpoint.
+        let page = page_of(key);
+        if let Some(stable) = self.stable.as_mut() {
+            stable.note_page_update(page, lsn);
+        }
+        self.dirty_first_update.entry(page).or_insert(lsn);
+        self.undo
+            .get_mut(&txn.0)
+            .expect("active txn has an undo list")
+            .push((key, old));
+        self.db.insert(key, value);
+        Ok(())
+    }
+
+    /// Writes a "typical" §5.1 banking update: same as [`Self::write`]
+    /// but padded so the whole transaction logs 400 bytes.
+    pub fn write_typical(&mut self, txn: &TxnHandle, key: u64, value: i64) -> Result<()> {
+        if !self.locks.is_active(txn.0) {
+            return Err(Error::InvalidTransaction(txn.0 .0));
+        }
+        self.locks.acquire(txn.0, key)?;
+        let old = self.db.get(&key).copied();
+        let lsn = self.append_record(LogRecord::Update {
+            txn: txn.0,
+            key,
+            old,
+            new: value,
+            padding: 320,
+        });
+        let page = page_of(key);
+        if let Some(stable) = self.stable.as_mut() {
+            stable.note_page_update(page, lsn);
+        }
+        self.dirty_first_update.entry(page).or_insert(lsn);
+        self.undo
+            .get_mut(&txn.0)
+            .expect("active txn has an undo list")
+            .push((key, old));
+        self.db.insert(key, value);
+        Ok(())
+    }
+
+    /// Aborts a transaction: undoes its in-memory updates (reverse order),
+    /// logs the abort, and releases its locks.
+    pub fn abort(&mut self, txn: TxnHandle) -> Result<()> {
+        let undo = self
+            .undo
+            .remove(&txn.0)
+            .ok_or(Error::InvalidTransaction(txn.0 .0))?;
+        for (key, old) in undo.into_iter().rev() {
+            match old {
+                Some(v) => {
+                    self.db.insert(key, v);
+                }
+                None => {
+                    self.db.remove(&key);
+                }
+            }
+        }
+        self.append_record(LogRecord::Abort { txn: txn.0 });
+        self.locks.abort(txn.0);
+        Ok(())
+    }
+
+    /// Pre-commits and, depending on the mode, completes the commit:
+    /// the commit record is logged, locks are released immediately
+    /// (dependents may read the dirty data), and the call returns the
+    /// virtual time at which the transaction is durably committed —
+    /// already known in every mode because device completion times are
+    /// deterministic.
+    pub fn commit(&mut self, txn: TxnHandle) -> Result<Micros> {
+        if !self.locks.is_active(txn.0) {
+            return Err(Error::InvalidTransaction(txn.0 .0));
+        }
+        self.undo.remove(&txn.0);
+        let deps = self.locks.precommit(txn.0)?;
+        self.append_record(LogRecord::Commit { txn: txn.0 });
+
+        if self.stable.is_some() {
+            // §5.4: "transactions commit as soon as they write their
+            // commit records into the in-memory log".
+            let t = self.now;
+            self.commit_durable_at.insert(txn.0, t);
+            self.locks.finalize_commit(txn.0);
+            return Ok(t);
+        }
+
+        self.buffer_commits.push((txn.0, deps));
+        match self.mode {
+            CommitMode::Synchronous => {
+                let t = self.flush_page().expect("buffer holds the commit record");
+                self.now = t; // the transaction waits for its log write
+                Ok(t)
+            }
+            _ => {
+                // Group commit: durable when the page fills (or is forced).
+                // If the page just filled inside append_record the commit
+                // time is already known.
+                Ok(self
+                    .commit_durable_at
+                    .get(&txn.0)
+                    .copied()
+                    .unwrap_or(Micros::MAX))
+            }
+        }
+    }
+
+    /// Forces the buffered log page out (group-commit timeout). Returns
+    /// the durability time, or `None` if nothing was buffered.
+    pub fn flush(&mut self) -> Option<Micros> {
+        if self.stable.is_some() {
+            return self.drain_stable();
+        }
+        self.flush_page()
+    }
+
+    fn flush_page(&mut self) -> Option<Micros> {
+        if self.buffer.is_empty() {
+            return None;
+        }
+        let records = std::mem::take(&mut self.buffer);
+        let commits = std::mem::take(&mut self.buffer_commits);
+        self.buffer_bytes = 0;
+        // Commit-group dependency ordering: never become durable before a
+        // dependency does (§5.2's topological lattice).
+        let mut not_before = self.now;
+        for (_, deps) in &commits {
+            for d in deps {
+                if let Some(t) = self.commit_durable_at.get(d) {
+                    not_before = not_before.max(*t);
+                }
+            }
+        }
+        let dev = self.next_device;
+        self.next_device = (self.next_device + 1) % self.devices.len();
+        let done = self.devices[dev].write_page(records, not_before);
+        for (txn, _) in commits {
+            self.commit_durable_at.insert(txn, done);
+            self.locks.finalize_commit(txn);
+        }
+        Some(done)
+    }
+
+    /// Drains committed, compressed log records from stable memory to the
+    /// log device. The drain only runs when forced (region full, or an
+    /// explicit flush), at which point the caller genuinely has to wait
+    /// for space — so the virtual clock advances to the final write's
+    /// completion (back-pressure, §5.4: "the number of transactions
+    /// processed per second is still limited by how fast we can empty
+    /// buffer pages"). Returns the last completion time, if anything
+    /// drained.
+    fn drain_stable(&mut self) -> Option<Micros> {
+        let committed: HashSet<TxnId> = self.commit_durable_at.keys().copied().collect();
+        let page_bytes = self.devices[0].page_bytes();
+        let mut last_done = None;
+        loop {
+            let stable = self.stable.as_mut().expect("stable mode");
+            let (drained, bytes) = stable.drain_committed(page_bytes, |t| committed.contains(&t));
+            if drained.is_empty() {
+                break;
+            }
+            debug_assert!(bytes <= page_bytes);
+            for (_, rec) in &drained {
+                self.drained_committed.insert(rec.txn());
+            }
+            last_done = Some(self.devices[0].write_page(drained, self.now));
+        }
+        if let Some(done) = last_done {
+            self.now = self.now.max(done);
+        }
+        last_done
+    }
+
+    /// Whether `txn` is durably committed at the current virtual time.
+    pub fn is_durably_committed(&self, txn: TxnId) -> bool {
+        self.commit_durable_at
+            .get(&txn)
+            .map(|t| *t <= self.now)
+            .unwrap_or(false)
+    }
+
+    /// Waits (advances the clock) until `txn`'s commit record is on disk.
+    pub fn wait_for(&mut self, txn: TxnId) -> Result<Micros> {
+        let t = *self
+            .commit_durable_at
+            .get(&txn)
+            .ok_or(Error::InvalidTransaction(txn.0))?;
+        if t == Micros::MAX {
+            return Err(Error::Internal(
+                "commit record still buffered; call flush() first".into(),
+            ));
+        }
+        self.now = self.now.max(t);
+        Ok(t)
+    }
+
+    /// §5.3: sweeps up to `max_pages` dirty data pages to the disk
+    /// snapshot (fuzzy — pages may hold uncommitted data). Returns how
+    /// many pages were written.
+    ///
+    /// Write-ahead rule: the log records covering a page's changes must be
+    /// durable before the page itself reaches disk — otherwise recovery
+    /// could find uncommitted data in the snapshot with no old values to
+    /// undo it. The sweep therefore forces the log first and waits for it.
+    pub fn checkpoint_sweep(&mut self, max_pages: usize) -> usize {
+        if self.stable.is_none() {
+            if let Some(done) = self.flush_page() {
+                self.now = self.now.max(done);
+            }
+        }
+        let mut pages: Vec<u64> = self.dirty_first_update.keys().copied().collect();
+        pages.sort_unstable();
+        pages.truncate(max_pages);
+        let as_of = Lsn(self.next_lsn - 1);
+        for page in &pages {
+            let contents: HashMap<u64, i64> = self
+                .db
+                .iter()
+                .filter(|(k, _)| page_of(**k) == *page)
+                .map(|(k, v)| (*k, *v))
+                .collect();
+            self.snapshot.write_page(*page, contents, as_of);
+            self.dirty_first_update.remove(page);
+            if let Some(stable) = self.stable.as_mut() {
+                stable.page_checkpointed(*page);
+            }
+        }
+        pages.len()
+    }
+
+    /// Log pages written so far across all devices.
+    pub fn log_pages_written(&self) -> usize {
+        self.devices.iter().map(|d| d.pages_written()).sum()
+    }
+
+    /// Crashes at the current virtual time: volatile state (the in-memory
+    /// image, the unflushed log buffer, the lock table) is lost; the disk
+    /// snapshot, durable log pages, and stable memory survive.
+    pub fn crash(self) -> CrashImage {
+        let mut durable: Vec<(Lsn, LogRecord)> = self
+            .devices
+            .iter()
+            .flat_map(|d| d.durable_records(self.now))
+            .collect();
+        durable.sort_by_key(|(lsn, _)| *lsn);
+        CrashImage {
+            mode: self.mode,
+            snapshot: self.snapshot,
+            durable_log: durable,
+            stable: self.stable,
+        }
+    }
+
+    /// Restart recovery: reload the snapshot, merge the durable log
+    /// fragments with the stable-memory tail, redo committed transactions
+    /// and undo losers whose updates leaked into the fuzzy snapshot.
+    pub fn recover(image: CrashImage) -> (RecoveryManager, RecoveryReport) {
+        let mut records = image.durable_log;
+        if let Some(stable) = &image.stable {
+            records.extend(stable.buffered().iter().cloned());
+        }
+        records.sort_by_key(|(lsn, _)| *lsn);
+        records.dedup_by_key(|(lsn, _)| *lsn);
+
+        let winners: HashSet<TxnId> = records
+            .iter()
+            .filter_map(|(_, r)| match r {
+                LogRecord::Commit { txn } => Some(*txn),
+                _ => None,
+            })
+            .collect();
+        let mut seen: HashSet<TxnId> = HashSet::new();
+        for (_, r) in &records {
+            seen.insert(r.txn());
+        }
+        let losers: HashSet<TxnId> = seen.difference(&winners).copied().collect();
+
+        // §5.5: the dirty-page table bounds where redo must start. With
+        // stable memory present, an *empty* table means every committed
+        // update is already reflected in the snapshot — no redo at all;
+        // without stable memory the table did not survive, so redo scans
+        // from the beginning.
+        let redo_start = match &image.stable {
+            Some(s) => s.recovery_start().unwrap_or(Lsn(u64::MAX)),
+            None => Lsn(0),
+        };
+        let mut skipped = 0usize;
+
+        let mut db = image.snapshot.materialize();
+        // Redo committed updates newer than their page's snapshot.
+        for (lsn, rec) in &records {
+            if let LogRecord::Update { txn, key, new, .. } = rec {
+                if !winners.contains(txn) {
+                    continue;
+                }
+                if *lsn < redo_start {
+                    skipped += 1;
+                    continue;
+                }
+                if *lsn > image.snapshot.page_lsn(page_of(*key)) {
+                    db.insert(*key, *new);
+                }
+            }
+        }
+        // Undo loser updates the fuzzy snapshot captured, newest first.
+        // An *aborted* transaction was already undone in memory when its
+        // abort record was logged, so a page checkpointed after the abort
+        // holds the undone state — re-applying old values there would
+        // clobber later committed writes. Its dirty data can only hide in
+        // snapshots taken before the abort.
+        let abort_lsns: std::collections::HashMap<TxnId, Lsn> = records
+            .iter()
+            .filter_map(|(lsn, r)| match r {
+                LogRecord::Abort { txn } => Some((*txn, *lsn)),
+                _ => None,
+            })
+            .collect();
+        for (lsn, rec) in records.iter().rev() {
+            if let LogRecord::Update { txn, key, old, .. } = rec {
+                if winners.contains(txn) {
+                    continue;
+                }
+                let page_lsn = image.snapshot.page_lsn(page_of(*key));
+                let undone_before_snapshot = abort_lsns
+                    .get(txn)
+                    .map(|abort| *abort <= page_lsn)
+                    .unwrap_or(false);
+                if *lsn <= page_lsn && !undone_before_snapshot {
+                    match old {
+                        Some(v) => {
+                            db.insert(*key, *v);
+                        }
+                        None => {
+                            db.remove(key);
+                        }
+                    }
+                }
+            }
+        }
+
+        let max_lsn = records.last().map(|(l, _)| l.0).unwrap_or(0);
+        let max_txn = seen.iter().map(|t| t.0).max().unwrap_or(0);
+        let mut committed: Vec<TxnId> = winners.iter().copied().collect();
+        committed.sort();
+        let mut lost: Vec<TxnId> = losers.iter().copied().collect();
+        lost.sort();
+        let report = RecoveryReport {
+            committed,
+            losers: lost,
+            records_scanned: records.len(),
+            records_skipped_by_dirty_table: skipped,
+        };
+
+        let mut mgr = RecoveryManager::new(image.mode);
+        mgr.db = db;
+        mgr.snapshot = image.snapshot;
+        mgr.next_lsn = max_lsn + 1;
+        mgr.next_txn = max_txn + 1;
+        // Recovered stable memory is drained of history; the dirty-page
+        // table restarts empty (everything just got reconciled).
+        (mgr, report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn committed_then_crashed(mode: CommitMode) -> (RecoveryManager, RecoveryReport) {
+        let mut m = RecoveryManager::new(mode);
+        let t1 = m.begin();
+        m.write(&t1, 1, 100).unwrap();
+        m.write(&t1, 2, 200).unwrap();
+        m.commit(t1).unwrap();
+        m.flush();
+        let t2 = m.begin();
+        m.write(&t2, 3, 300).unwrap();
+        // t2 never commits, but its update records do reach the log.
+        m.flush();
+        m.now = Micros::MAX / 2; // let every submitted write complete
+        RecoveryManager::recover(m.crash())
+    }
+
+    #[test]
+    fn committed_survive_uncommitted_roll_back_sync() {
+        let (m, report) = committed_then_crashed(CommitMode::Synchronous);
+        assert_eq!(m.read(1), Some(100));
+        assert_eq!(m.read(2), Some(200));
+        assert_eq!(m.read(3), None, "uncommitted write must vanish");
+        assert_eq!(report.committed, vec![TxnId(1)]);
+        assert_eq!(report.losers, vec![TxnId(2)]);
+    }
+
+    #[test]
+    fn committed_survive_group_commit() {
+        let (m, report) = committed_then_crashed(CommitMode::GroupCommit);
+        assert_eq!(m.read(1), Some(100));
+        assert_eq!(m.read(3), None);
+        assert_eq!(report.committed, vec![TxnId(1)]);
+    }
+
+    #[test]
+    fn committed_survive_partitioned() {
+        let (m, _) = committed_then_crashed(CommitMode::PartitionedLog { devices: 4 });
+        assert_eq!(m.read(1), Some(100));
+        assert_eq!(m.read(3), None);
+    }
+
+    #[test]
+    fn committed_survive_stable_memory() {
+        let (m, _) = committed_then_crashed(CommitMode::StableMemory {
+            capacity_bytes: 1 << 20,
+        });
+        assert_eq!(m.read(1), Some(100));
+        assert_eq!(m.read(2), Some(200));
+        assert_eq!(m.read(3), None);
+    }
+
+    #[test]
+    fn unflushed_group_commit_is_lost() {
+        let mut m = RecoveryManager::new(CommitMode::GroupCommit);
+        let t1 = m.begin();
+        m.write(&t1, 1, 100).unwrap();
+        m.commit(t1).unwrap();
+        // No flush: the commit record sits in the volatile buffer.
+        let (m2, report) = RecoveryManager::recover(m.crash());
+        assert_eq!(m2.read(1), None, "un-flushed commit must not survive");
+        assert!(report.committed.is_empty());
+    }
+
+    #[test]
+    fn stable_memory_commit_survives_without_any_disk_write() {
+        let mut m = RecoveryManager::new(CommitMode::StableMemory {
+            capacity_bytes: 1 << 20,
+        });
+        let t1 = m.begin();
+        m.write(&t1, 7, 70).unwrap();
+        let t = m.commit(t1).unwrap();
+        assert_eq!(t, m.now(), "commit is immediate in stable memory");
+        assert_eq!(m.log_pages_written(), 0);
+        let (m2, report) = RecoveryManager::recover(m.crash());
+        assert_eq!(m2.read(7), Some(70));
+        assert_eq!(report.committed, vec![TxnId(1)]);
+    }
+
+    #[test]
+    fn sync_commit_takes_a_page_write() {
+        let mut m = RecoveryManager::new(CommitMode::Synchronous);
+        let t1 = m.begin();
+        m.write(&t1, 1, 1).unwrap();
+        let done = m.commit(t1).unwrap();
+        assert_eq!(done, 10_000, "one 10 ms page write");
+        assert!(m.is_durably_committed(TxnId(1)));
+    }
+
+    #[test]
+    fn group_commit_amortizes_the_write() {
+        let mut m = RecoveryManager::new(CommitMode::GroupCommit);
+        let mut txns = Vec::new();
+        for i in 0..9 {
+            let t = m.begin();
+            m.write_typical(&t, i, i as i64).unwrap();
+            m.commit(t).unwrap();
+            txns.push(t.0);
+        }
+        m.flush();
+        for t in &txns {
+            m.wait_for(*t).unwrap();
+        }
+        // ~9 typical transactions (400 B each ≈ 3600 B) of log: with a
+        // little page-boundary slop this is one or two page writes, not
+        // nine.
+        assert!(
+            m.log_pages_written() <= 2,
+            "pages written: {}",
+            m.log_pages_written()
+        );
+    }
+
+    #[test]
+    fn abort_undoes_in_memory_state() {
+        let mut m = RecoveryManager::new(CommitMode::GroupCommit);
+        let t0 = m.begin();
+        m.write(&t0, 5, 50).unwrap();
+        m.commit(t0).unwrap();
+        m.flush();
+        let t1 = m.begin();
+        m.write(&t1, 5, 99).unwrap();
+        m.write(&t1, 6, 60).unwrap();
+        assert_eq!(m.read(5), Some(99));
+        m.abort(t1).unwrap();
+        assert_eq!(m.read(5), Some(50), "old value restored");
+        assert_eq!(m.read(6), None);
+        // The lock is free again.
+        let t2 = m.begin();
+        m.write(&t2, 5, 51).unwrap();
+    }
+
+    #[test]
+    fn dependent_transaction_reads_dirty_data_and_orders_after() {
+        // T1 pre-commits (group commit, record buffered); T2 reads T1's
+        // dirty write and commits. T2's durable time must be ≥ T1's.
+        let mut m = RecoveryManager::new(CommitMode::PartitionedLog { devices: 2 });
+        let t1 = m.begin();
+        m.write(&t1, 1, 10).unwrap();
+        m.commit(t1).unwrap();
+        m.flush(); // T1's group goes to device 0
+        let t1_durable = *m.commit_durable_at.get(&TxnId(1)).unwrap();
+        let t2 = m.begin();
+        assert_eq!(m.read(1), Some(10), "dirty read of pre-committed data");
+        m.write(&t2, 1, 20).unwrap();
+        m.commit(t2).unwrap();
+        m.flush(); // T2's group goes to device 1 (idle!), but must wait
+        let t2_durable = *m.commit_durable_at.get(&TxnId(2)).unwrap();
+        assert!(
+            t2_durable >= t1_durable,
+            "dependent commit {t2_durable} before dependency {t1_durable}"
+        );
+    }
+
+    #[test]
+    fn checkpoint_bounds_recovery_and_fuzzy_pages_are_undone() {
+        let mut m = RecoveryManager::new(CommitMode::StableMemory {
+            capacity_bytes: 1 << 20,
+        });
+        // Committed base state.
+        let t1 = m.begin();
+        for k in 0..10 {
+            m.write(&t1, k, 1_000 + k as i64).unwrap();
+        }
+        m.commit(t1).unwrap();
+        // An in-flight transaction dirties key 3...
+        let t2 = m.begin();
+        m.write(&t2, 3, -3).unwrap();
+        // ...and a fuzzy checkpoint captures the dirty value.
+        let swept = m.checkpoint_sweep(100);
+        assert!(swept >= 1);
+        // Crash with T2 unresolved.
+        let (m2, report) = RecoveryManager::recover(m.crash());
+        assert_eq!(
+            m2.read(3),
+            Some(1_003),
+            "fuzzy snapshot's uncommitted value must be undone"
+        );
+        assert!(report.losers.contains(&TxnId(2)));
+        for k in 0..10u64 {
+            if k != 3 {
+                assert_eq!(m2.read(k), Some(1_000 + k as i64));
+            }
+        }
+    }
+
+    #[test]
+    fn dirty_page_table_skips_old_log_during_redo() {
+        let mut m = RecoveryManager::new(CommitMode::StableMemory {
+            capacity_bytes: 1 << 20,
+        });
+        // Phase 1: lots of committed history, then checkpoint everything.
+        for round in 0..20 {
+            let t = m.begin();
+            m.write(&t, round % 5, round as i64).unwrap();
+            m.commit(t).unwrap();
+        }
+        m.checkpoint_sweep(100);
+        // Phase 2: one more committed write after the checkpoint.
+        let t = m.begin();
+        m.write(&t, 100, 42).unwrap();
+        m.commit(t).unwrap();
+        let (m2, report) = RecoveryManager::recover(m.crash());
+        assert_eq!(m2.read(100), Some(42));
+        assert_eq!(m2.read(4), Some(19), "pre-checkpoint state intact");
+        assert!(
+            report.records_skipped_by_dirty_table > 0,
+            "§5.5 optimization should skip pre-checkpoint records: {report:?}"
+        );
+    }
+
+    #[test]
+    fn stable_drain_writes_compressed_pages() {
+        let mut m = RecoveryManager::new(CommitMode::StableMemory {
+            capacity_bytes: 4_000,
+        });
+        // ~20 typical transactions = 8 000 bytes of raw log; the region
+        // holds 4 000, so draining must kick in, writing compressed pages.
+        for i in 0..20u64 {
+            let t = m.begin();
+            m.write_typical(&t, i, i as i64).unwrap();
+            m.commit(t).unwrap();
+        }
+        m.flush();
+        assert!(m.log_pages_written() >= 1);
+        // Everything still recovers.
+        m.now = Micros::MAX / 2;
+        let (m2, report) = RecoveryManager::recover(m.crash());
+        assert_eq!(report.committed.len(), 20);
+        for i in 0..20u64 {
+            assert_eq!(m2.read(i), Some(i as i64));
+        }
+    }
+
+    #[test]
+    fn write_conflicts_surface_as_lock_errors() {
+        let mut m = RecoveryManager::new(CommitMode::GroupCommit);
+        let t1 = m.begin();
+        let t2 = m.begin();
+        m.write(&t1, 9, 1).unwrap();
+        let err = m.write(&t2, 9, 2).unwrap_err();
+        assert!(matches!(err, Error::LockConflict { .. }));
+        // After t1 pre-commits, t2 may proceed.
+        m.commit(t1).unwrap();
+        m.write(&t2, 9, 2).unwrap();
+    }
+
+    #[test]
+    fn operations_on_dead_transactions_fail() {
+        let mut m = RecoveryManager::new(CommitMode::Synchronous);
+        let t = m.begin();
+        m.commit(t).unwrap();
+        assert!(m.write(&t, 1, 1).is_err());
+        assert!(m.commit(t).is_err());
+        assert!(m.abort(t).is_err());
+    }
+
+    #[test]
+    fn recovery_of_empty_database() {
+        let m = RecoveryManager::new(CommitMode::Synchronous);
+        let (m2, report) = RecoveryManager::recover(m.crash());
+        assert!(m2.is_empty());
+        assert!(report.committed.is_empty());
+        assert_eq!(report.records_scanned, 0);
+    }
+
+    #[test]
+    fn new_manager_continues_transaction_ids() {
+        let mut m = RecoveryManager::new(CommitMode::Synchronous);
+        let t1 = m.begin();
+        m.write(&t1, 1, 1).unwrap();
+        m.commit(t1).unwrap();
+        let (mut m2, _) = RecoveryManager::recover(m.crash());
+        let t2 = m2.begin();
+        assert!(t2.0 .0 > t1.0 .0, "txn ids must not be reused");
+    }
+}

@@ -1,0 +1,305 @@
+//! Heap files: relations stored as unordered collections of slotted pages.
+//!
+//! A heap file goes through a [`BufferPool`] for all page access, so the
+//! §2 fault economics apply to base-table access exactly as they do to
+//! index access.
+
+use crate::buffer::BufferPool;
+use crate::disk::{IoKind, SimDisk};
+use crate::page::SlottedPage;
+use crate::tuple_codec;
+use mmdb_types::{Error, PageId, Result, Tuple, TupleId};
+
+/// A relation stored as slotted pages on a simulated disk.
+#[derive(Debug)]
+pub struct HeapFile {
+    pages: Vec<PageId>,
+    tuple_count: usize,
+}
+
+impl HeapFile {
+    /// An empty heap file.
+    pub fn new() -> Self {
+        HeapFile {
+            pages: Vec::new(),
+            tuple_count: 0,
+        }
+    }
+
+    /// Number of pages in the file.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Number of live tuples.
+    pub fn tuple_count(&self) -> usize {
+        self.tuple_count
+    }
+
+    /// Page ids of the file, in order.
+    pub fn pages(&self) -> &[PageId] {
+        &self.pages
+    }
+
+    /// Inserts a tuple, returning its TID. Appends to the last page,
+    /// allocating a fresh page when full.
+    pub fn insert(
+        &mut self,
+        disk: &mut SimDisk,
+        pool: &mut BufferPool,
+        tuple: &Tuple,
+    ) -> Result<TupleId> {
+        let record = tuple_codec::encode(tuple);
+        if record.len() > SlottedPage::max_record_len() {
+            return Err(Error::TupleTooLarge(record.len()));
+        }
+        if let Some(&last) = self.pages.last() {
+            let bytes = pool.get(disk, last, IoKind::Auto)?;
+            let mut page = SlottedPage::from_bytes(bytes)?;
+            if page.fits(record.len()) {
+                let slot = page.insert(&record)?;
+                pool.put(disk, last, page.as_bytes())?;
+                self.tuple_count += 1;
+                return Ok(TupleId { page: last, slot });
+            }
+        }
+        let id = disk.allocate();
+        let mut page = SlottedPage::new();
+        let slot = page.insert(&record)?;
+        pool.put(disk, id, page.as_bytes())?;
+        self.pages.push(id);
+        self.tuple_count += 1;
+        Ok(TupleId { page: id, slot })
+    }
+
+    /// Fetches a tuple by TID.
+    pub fn get(
+        &self,
+        disk: &mut SimDisk,
+        pool: &mut BufferPool,
+        tid: TupleId,
+    ) -> Result<Tuple> {
+        if !self.pages.contains(&tid.page) {
+            return Err(Error::PageNotFound(tid.page.0));
+        }
+        let bytes = pool.get(disk, tid.page, IoKind::Random)?;
+        let page = SlottedPage::from_bytes(bytes)?;
+        let record = page
+            .get(tid.slot)
+            .ok_or_else(|| Error::KeyNotFound(tid.to_string()))?;
+        tuple_codec::decode(record)
+    }
+
+    /// Deletes a tuple by TID. Returns whether a live tuple was removed.
+    pub fn delete(
+        &mut self,
+        disk: &mut SimDisk,
+        pool: &mut BufferPool,
+        tid: TupleId,
+    ) -> Result<bool> {
+        if !self.pages.contains(&tid.page) {
+            return Err(Error::PageNotFound(tid.page.0));
+        }
+        let bytes = pool.get(disk, tid.page, IoKind::Random)?;
+        let mut page = SlottedPage::from_bytes(bytes)?;
+        let removed = page.delete(tid.slot);
+        if removed {
+            pool.put(disk, tid.page, page.as_bytes())?;
+            self.tuple_count -= 1;
+        }
+        Ok(removed)
+    }
+
+    /// Replaces a tuple in place. The TID may change if the new encoding is
+    /// larger than the old cell; the (possibly new) TID is returned.
+    pub fn update(
+        &mut self,
+        disk: &mut SimDisk,
+        pool: &mut BufferPool,
+        tid: TupleId,
+        tuple: &Tuple,
+    ) -> Result<TupleId> {
+        if !self.pages.contains(&tid.page) {
+            return Err(Error::PageNotFound(tid.page.0));
+        }
+        let record = tuple_codec::encode(tuple);
+        let bytes = pool.get(disk, tid.page, IoKind::Random)?;
+        let mut page = SlottedPage::from_bytes(bytes)?;
+        match page.update(tid.slot, &record) {
+            Ok(slot) => {
+                pool.put(disk, tid.page, page.as_bytes())?;
+                Ok(TupleId {
+                    page: tid.page,
+                    slot,
+                })
+            }
+            Err(Error::OutOfMemory { .. }) => {
+                // No room on this page: delete here, insert elsewhere.
+                page.delete(tid.slot);
+                pool.put(disk, tid.page, page.as_bytes())?;
+                self.tuple_count -= 1;
+                self.insert(disk, pool, tuple)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Scans every live tuple in file order, invoking `f` with its TID.
+    /// Pages are read sequentially — the access pattern of the paper's
+    /// `emp.name = "J*"` example once positioned.
+    pub fn scan<F: FnMut(TupleId, Tuple)>(
+        &self,
+        disk: &mut SimDisk,
+        pool: &mut BufferPool,
+        mut f: F,
+    ) -> Result<()> {
+        for &pid in &self.pages {
+            let bytes = pool.get(disk, pid, IoKind::Sequential)?;
+            let page = SlottedPage::from_bytes(bytes)?;
+            // Collect first: decoding borrows the pool's frame.
+            let records: Vec<(mmdb_types::SlotId, Vec<u8>)> = page
+                .iter()
+                .map(|(s, r)| (s, r.to_vec()))
+                .collect();
+            for (slot, rec) in records {
+                f(TupleId { page: pid, slot }, tuple_codec::decode(&rec)?);
+            }
+        }
+        Ok(())
+    }
+
+    /// Collects all live tuples (convenience for tests and loading).
+    pub fn all_tuples(&self, disk: &mut SimDisk, pool: &mut BufferPool) -> Result<Vec<Tuple>> {
+        let mut out = Vec::with_capacity(self.tuple_count);
+        self.scan(disk, pool, |_, t| out.push(t))?;
+        Ok(out)
+    }
+}
+
+impl Default for HeapFile {
+    fn default() -> Self {
+        HeapFile::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::ReplacementPolicy;
+    use crate::meter::CostMeter;
+    use mmdb_types::Value;
+    use std::sync::Arc;
+
+    fn env() -> (SimDisk, BufferPool) {
+        let meter = Arc::new(CostMeter::new());
+        (
+            SimDisk::new(meter),
+            BufferPool::new(64, ReplacementPolicy::Lru),
+        )
+    }
+
+    fn t(i: i64) -> Tuple {
+        Tuple::new(vec![Value::Int(i), Value::Str(format!("tuple-{i}"))])
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let (mut disk, mut pool) = env();
+        let mut hf = HeapFile::new();
+        let tid = hf.insert(&mut disk, &mut pool, &t(7)).unwrap();
+        assert_eq!(hf.get(&mut disk, &mut pool, tid).unwrap(), t(7));
+        assert_eq!(hf.tuple_count(), 1);
+    }
+
+    #[test]
+    fn spills_to_multiple_pages() {
+        let (mut disk, mut pool) = env();
+        let mut hf = HeapFile::new();
+        for i in 0..2_000 {
+            hf.insert(&mut disk, &mut pool, &t(i)).unwrap();
+        }
+        assert!(hf.page_count() > 1, "2000 tuples need several pages");
+        assert_eq!(hf.tuple_count(), 2_000);
+        let all = hf.all_tuples(&mut disk, &mut pool).unwrap();
+        assert_eq!(all.len(), 2_000);
+        // Scan preserves insertion order within the file.
+        assert_eq!(all[0], t(0));
+        assert_eq!(all[1999], t(1999));
+    }
+
+    #[test]
+    fn delete_then_get_fails() {
+        let (mut disk, mut pool) = env();
+        let mut hf = HeapFile::new();
+        let tid = hf.insert(&mut disk, &mut pool, &t(1)).unwrap();
+        assert!(hf.delete(&mut disk, &mut pool, tid).unwrap());
+        assert!(!hf.delete(&mut disk, &mut pool, tid).unwrap());
+        assert!(hf.get(&mut disk, &mut pool, tid).is_err());
+        assert_eq!(hf.tuple_count(), 0);
+    }
+
+    #[test]
+    fn update_in_place_and_relocating() {
+        let (mut disk, mut pool) = env();
+        let mut hf = HeapFile::new();
+        let tid = hf.insert(&mut disk, &mut pool, &t(1)).unwrap();
+        // Same-size update keeps the TID.
+        let tid2 = hf.update(&mut disk, &mut pool, tid, &t(2)).unwrap();
+        assert_eq!(tid.page, tid2.page);
+        assert_eq!(hf.get(&mut disk, &mut pool, tid2).unwrap(), t(2));
+        assert_eq!(hf.tuple_count(), 1);
+    }
+
+    #[test]
+    fn update_relocates_across_pages_when_page_is_full() {
+        let (mut disk, mut pool) = env();
+        let mut hf = HeapFile::new();
+        // Fill page 0 almost exactly.
+        let filler = Tuple::new(vec![Value::Str("x".repeat(400))]);
+        let mut first = None;
+        while hf.page_count() <= 1 {
+            let tid = hf.insert(&mut disk, &mut pool, &filler).unwrap();
+            if first.is_none() {
+                first = Some(tid);
+            }
+        }
+        let first = first.unwrap();
+        // Grow the first tuple beyond its cell: page 0 is full, so it must
+        // relocate (possibly to another page).
+        let big = Tuple::new(vec![Value::Str("y".repeat(900))]);
+        let moved = hf.update(&mut disk, &mut pool, first, &big).unwrap();
+        assert_eq!(hf.get(&mut disk, &mut pool, moved).unwrap(), big);
+    }
+
+    #[test]
+    fn bad_tids_error() {
+        let (mut disk, mut pool) = env();
+        let mut hf = HeapFile::new();
+        hf.insert(&mut disk, &mut pool, &t(0)).unwrap();
+        assert!(hf
+            .get(&mut disk, &mut pool, TupleId::new(999, 0))
+            .is_err());
+        let first_page = hf.pages()[0];
+        assert!(hf
+            .get(
+                &mut disk,
+                &mut pool,
+                TupleId {
+                    page: first_page,
+                    slot: mmdb_types::SlotId(200)
+                }
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn oversized_tuple_rejected() {
+        let (mut disk, mut pool) = env();
+        let mut hf = HeapFile::new();
+        let huge = Tuple::new(vec![Value::Str("z".repeat(8192))]);
+        assert!(matches!(
+            hf.insert(&mut disk, &mut pool, &huge),
+            Err(Error::TupleTooLarge(_))
+        ));
+    }
+}

@@ -1,0 +1,215 @@
+//! The virtual cost clock.
+//!
+//! Every primitive operation the paper prices (Table 2) is counted here.
+//! Algorithms call `charge_*` as they execute; experiments convert the
+//! counters to simulated seconds with the parameter block of their choice.
+//! Counters are atomic so a single meter can be shared (`Arc<CostMeter>`)
+//! across operators and threads.
+
+use mmdb_types::SystemParams;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Thread-safe counters for the six primitive operations of Table 2.
+#[derive(Debug, Default)]
+pub struct CostMeter {
+    comparisons: AtomicU64,
+    hashes: AtomicU64,
+    moves: AtomicU64,
+    swaps: AtomicU64,
+    seq_ios: AtomicU64,
+    rand_ios: AtomicU64,
+}
+
+/// A point-in-time copy of a [`CostMeter`]'s counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CostSnapshot {
+    /// Key comparisons (`comp`).
+    pub comparisons: u64,
+    /// Key hashes (`hash`).
+    pub hashes: u64,
+    /// Tuple moves (`move`).
+    pub moves: u64,
+    /// Tuple swaps (`swap`).
+    pub swaps: u64,
+    /// Sequential I/O operations (`IOseq`).
+    pub seq_ios: u64,
+    /// Random I/O operations (`IOrand`).
+    pub rand_ios: u64,
+}
+
+impl CostSnapshot {
+    /// Simulated elapsed seconds under the given parameters. The paper
+    /// assumes no CPU/I/O overlap (§3.2), so contributions sum.
+    pub fn seconds(&self, p: &SystemParams) -> f64 {
+        self.comparisons as f64 * p.comp()
+            + self.hashes as f64 * p.hash()
+            + self.moves as f64 * p.mv()
+            + self.swaps as f64 * p.swap()
+            + self.seq_ios as f64 * p.io_seq()
+            + self.rand_ios as f64 * p.io_rand()
+    }
+
+    /// Total I/O operations of either kind.
+    pub fn total_ios(&self) -> u64 {
+        self.seq_ios + self.rand_ios
+    }
+
+    /// CPU-only seconds (everything but the I/O terms).
+    pub fn cpu_seconds(&self, p: &SystemParams) -> f64 {
+        self.comparisons as f64 * p.comp()
+            + self.hashes as f64 * p.hash()
+            + self.moves as f64 * p.mv()
+            + self.swaps as f64 * p.swap()
+    }
+
+    /// Counter-wise difference `self - earlier`; saturates at zero.
+    pub fn delta_since(&self, earlier: &CostSnapshot) -> CostSnapshot {
+        CostSnapshot {
+            comparisons: self.comparisons.saturating_sub(earlier.comparisons),
+            hashes: self.hashes.saturating_sub(earlier.hashes),
+            moves: self.moves.saturating_sub(earlier.moves),
+            swaps: self.swaps.saturating_sub(earlier.swaps),
+            seq_ios: self.seq_ios.saturating_sub(earlier.seq_ios),
+            rand_ios: self.rand_ios.saturating_sub(earlier.rand_ios),
+        }
+    }
+}
+
+impl CostMeter {
+    /// A fresh meter with zeroed counters.
+    pub fn new() -> Self {
+        CostMeter::default()
+    }
+
+    /// Charges `n` key comparisons.
+    #[inline]
+    pub fn charge_comparisons(&self, n: u64) {
+        self.comparisons.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Charges `n` key hashes.
+    #[inline]
+    pub fn charge_hashes(&self, n: u64) {
+        self.hashes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Charges `n` tuple moves.
+    #[inline]
+    pub fn charge_moves(&self, n: u64) {
+        self.moves.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Charges `n` tuple swaps.
+    #[inline]
+    pub fn charge_swaps(&self, n: u64) {
+        self.swaps.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Charges `n` sequential I/O operations.
+    #[inline]
+    pub fn charge_seq_ios(&self, n: u64) {
+        self.seq_ios.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Charges `n` random I/O operations.
+    #[inline]
+    pub fn charge_rand_ios(&self, n: u64) {
+        self.rand_ios.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Copies out the counters.
+    pub fn snapshot(&self) -> CostSnapshot {
+        CostSnapshot {
+            comparisons: self.comparisons.load(Ordering::Relaxed),
+            hashes: self.hashes.load(Ordering::Relaxed),
+            moves: self.moves.load(Ordering::Relaxed),
+            swaps: self.swaps.load(Ordering::Relaxed),
+            seq_ios: self.seq_ios.load(Ordering::Relaxed),
+            rand_ios: self.rand_ios.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zeroes every counter.
+    pub fn reset(&self) {
+        self.comparisons.store(0, Ordering::Relaxed);
+        self.hashes.store(0, Ordering::Relaxed);
+        self.moves.store(0, Ordering::Relaxed);
+        self.swaps.store(0, Ordering::Relaxed);
+        self.seq_ios.store(0, Ordering::Relaxed);
+        self.rand_ios.store(0, Ordering::Relaxed);
+    }
+
+    /// Simulated elapsed seconds under `p` for the current counters.
+    pub fn seconds(&self, p: &SystemParams) -> f64 {
+        self.snapshot().seconds(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate() {
+        let m = CostMeter::new();
+        m.charge_comparisons(3);
+        m.charge_comparisons(2);
+        m.charge_seq_ios(7);
+        let s = m.snapshot();
+        assert_eq!(s.comparisons, 5);
+        assert_eq!(s.seq_ios, 7);
+        assert_eq!(s.total_ios(), 7);
+    }
+
+    #[test]
+    fn seconds_match_table2_arithmetic() {
+        let m = CostMeter::new();
+        m.charge_comparisons(1_000_000); // 3 s at 3 µs each
+        m.charge_rand_ios(40);           // 1 s at 25 ms each
+        let p = SystemParams::table2();
+        let secs = m.seconds(&p);
+        assert!((secs - 4.0).abs() < 1e-9, "got {secs}");
+        assert!((m.snapshot().cpu_seconds(&p) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let m = CostMeter::new();
+        m.charge_moves(10);
+        m.reset();
+        assert_eq!(m.snapshot(), CostSnapshot::default());
+    }
+
+    #[test]
+    fn delta_since() {
+        let m = CostMeter::new();
+        m.charge_hashes(4);
+        let before = m.snapshot();
+        m.charge_hashes(6);
+        m.charge_swaps(2);
+        let d = m.snapshot().delta_since(&before);
+        assert_eq!(d.hashes, 6);
+        assert_eq!(d.swaps, 2);
+        assert_eq!(d.comparisons, 0);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        use std::sync::Arc;
+        let m = Arc::new(CostMeter::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        m.charge_comparisons(1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.snapshot().comparisons, 4000);
+    }
+}

@@ -1,0 +1,331 @@
+//! A slotted-page layout over a fixed 4 KB buffer.
+//!
+//! Layout (offsets in bytes):
+//!
+//! ```text
+//! 0..2    slot count (u16)
+//! 2..4    cell-region start (u16) — cells grow downward from PAGE_SIZE
+//! 4..     slot directory, 4 bytes per slot: cell offset (u16), length (u16)
+//! ...     free space
+//! ...PAGE_SIZE  cell data
+//! ```
+//!
+//! A slot with length `0` is a tombstone left by deletion; its slot id is
+//! never reused so TIDs stay stable, matching what index entries require.
+
+use mmdb_types::{Error, Result, SlotId, PAGE_SIZE};
+
+const HEADER: usize = 4;
+const SLOT_ENTRY: usize = 4;
+
+/// A slotted page backed by an owned 4 KB buffer.
+#[derive(Clone, PartialEq, Eq)]
+pub struct SlottedPage {
+    data: Box<[u8]>,
+}
+
+impl std::fmt::Debug for SlottedPage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SlottedPage")
+            .field("slots", &self.slot_count())
+            .field("free", &self.free_space())
+            .finish()
+    }
+}
+
+impl SlottedPage {
+    /// An empty page.
+    pub fn new() -> Self {
+        let mut data = vec![0u8; PAGE_SIZE].into_boxed_slice();
+        write_u16(&mut data, 2, PAGE_SIZE as u16);
+        SlottedPage { data }
+    }
+
+    /// Reconstructs a page from raw bytes (e.g. read back from the disk).
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        if bytes.len() != PAGE_SIZE {
+            return Err(Error::Internal(format!(
+                "page must be {PAGE_SIZE} bytes, got {}",
+                bytes.len()
+            )));
+        }
+        let page = SlottedPage {
+            data: bytes.to_vec().into_boxed_slice(),
+        };
+        // Sanity-check the header so corrupt buffers fail loudly.
+        let cell_start = page.cell_start();
+        let dir_end = HEADER + page.slot_count() * SLOT_ENTRY;
+        if cell_start > PAGE_SIZE || dir_end > cell_start {
+            return Err(Error::Internal("corrupt slotted page header".into()));
+        }
+        Ok(page)
+    }
+
+    /// The raw page bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Number of slots, including tombstones.
+    pub fn slot_count(&self) -> usize {
+        read_u16(&self.data, 0) as usize
+    }
+
+    fn cell_start(&self) -> usize {
+        read_u16(&self.data, 2) as usize
+    }
+
+    /// Contiguous free bytes between the slot directory and the cell region.
+    pub fn free_space(&self) -> usize {
+        self.cell_start() - (HEADER + self.slot_count() * SLOT_ENTRY)
+    }
+
+    /// Whether a record of `len` bytes fits (including its new slot entry).
+    pub fn fits(&self, len: usize) -> bool {
+        len > 0 && len + SLOT_ENTRY <= self.free_space()
+    }
+
+    /// Inserts a record, returning its slot id.
+    pub fn insert(&mut self, record: &[u8]) -> Result<SlotId> {
+        if record.is_empty() {
+            return Err(Error::Internal("cannot store empty record".into()));
+        }
+        if record.len() > Self::max_record_len() {
+            return Err(Error::TupleTooLarge(record.len()));
+        }
+        if !self.fits(record.len()) {
+            return Err(Error::OutOfMemory {
+                needed: record.len() + SLOT_ENTRY,
+                available: self.free_space(),
+            });
+        }
+        let slot = self.slot_count();
+        let new_cell_start = self.cell_start() - record.len();
+        self.data[new_cell_start..new_cell_start + record.len()].copy_from_slice(record);
+        let dir = HEADER + slot * SLOT_ENTRY;
+        write_u16(&mut self.data, dir, new_cell_start as u16);
+        write_u16(&mut self.data, dir + 2, record.len() as u16);
+        write_u16(&mut self.data, 0, (slot + 1) as u16);
+        write_u16(&mut self.data, 2, new_cell_start as u16);
+        Ok(SlotId(slot as u16))
+    }
+
+    /// The largest record a fresh page can hold.
+    pub fn max_record_len() -> usize {
+        PAGE_SIZE - HEADER - SLOT_ENTRY
+    }
+
+    /// Reads the record in `slot`, or `None` for tombstones / out-of-range.
+    pub fn get(&self, slot: SlotId) -> Option<&[u8]> {
+        let idx = slot.0 as usize;
+        if idx >= self.slot_count() {
+            return None;
+        }
+        let dir = HEADER + idx * SLOT_ENTRY;
+        let off = read_u16(&self.data, dir) as usize;
+        let len = read_u16(&self.data, dir + 2) as usize;
+        if len == 0 {
+            return None;
+        }
+        Some(&self.data[off..off + len])
+    }
+
+    /// Deletes the record in `slot` (tombstoning it). Space is reclaimed
+    /// only by [`SlottedPage::compact`]. Returns whether a live record was
+    /// removed.
+    pub fn delete(&mut self, slot: SlotId) -> bool {
+        let idx = slot.0 as usize;
+        if idx >= self.slot_count() {
+            return false;
+        }
+        let dir = HEADER + idx * SLOT_ENTRY;
+        if read_u16(&self.data, dir + 2) == 0 {
+            return false;
+        }
+        write_u16(&mut self.data, dir, 0);
+        write_u16(&mut self.data, dir + 2, 0);
+        true
+    }
+
+    /// Updates the record in `slot` in place if the new record fits in the
+    /// old cell; otherwise deletes and re-inserts, returning the (possibly
+    /// new) slot id.
+    pub fn update(&mut self, slot: SlotId, record: &[u8]) -> Result<SlotId> {
+        let idx = slot.0 as usize;
+        if idx >= self.slot_count() {
+            return Err(Error::KeyNotFound(format!("slot {idx}")));
+        }
+        let dir = HEADER + idx * SLOT_ENTRY;
+        let off = read_u16(&self.data, dir) as usize;
+        let len = read_u16(&self.data, dir + 2) as usize;
+        if len == 0 {
+            return Err(Error::KeyNotFound(format!("slot {idx} is deleted")));
+        }
+        if record.len() <= len && !record.is_empty() {
+            // Shrink in place; keep the cell where it is.
+            self.data[off..off + record.len()].copy_from_slice(record);
+            write_u16(&mut self.data, dir + 2, record.len() as u16);
+            Ok(slot)
+        } else {
+            self.delete(slot);
+            self.insert(record)
+        }
+    }
+
+    /// Live (non-tombstone) records with their slot ids.
+    pub fn iter(&self) -> impl Iterator<Item = (SlotId, &[u8])> + '_ {
+        (0..self.slot_count()).filter_map(move |i| {
+            let slot = SlotId(i as u16);
+            self.get(slot).map(|r| (slot, r))
+        })
+    }
+
+    /// Number of live records.
+    pub fn live_count(&self) -> usize {
+        self.iter().count()
+    }
+
+    /// Rewrites the page without tombstones, renumbering slots. Returns the
+    /// mapping `old slot -> new slot` for live records so callers can fix
+    /// up index entries.
+    pub fn compact(&mut self) -> Vec<(SlotId, SlotId)> {
+        let live: Vec<(SlotId, Vec<u8>)> = self
+            .iter()
+            .map(|(s, r)| (s, r.to_vec()))
+            .collect();
+        let mut fresh = SlottedPage::new();
+        let mut mapping = Vec::with_capacity(live.len());
+        for (old, rec) in live {
+            let new = fresh
+                .insert(&rec)
+                .expect("records that fit before must fit after compaction");
+            mapping.push((old, new));
+        }
+        *self = fresh;
+        mapping
+    }
+}
+
+impl Default for SlottedPage {
+    fn default() -> Self {
+        SlottedPage::new()
+    }
+}
+
+fn read_u16(data: &[u8], off: usize) -> u16 {
+    u16::from_le_bytes([data[off], data[off + 1]])
+}
+
+fn write_u16(data: &mut [u8], off: usize, v: u16) {
+    data[off..off + 2].copy_from_slice(&v.to_le_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_get() {
+        let mut p = SlottedPage::new();
+        let a = p.insert(b"alpha").unwrap();
+        let b = p.insert(b"beta").unwrap();
+        assert_eq!(p.get(a), Some(&b"alpha"[..]));
+        assert_eq!(p.get(b), Some(&b"beta"[..]));
+        assert_eq!(p.slot_count(), 2);
+    }
+
+    #[test]
+    fn fills_up_and_rejects() {
+        let mut p = SlottedPage::new();
+        let rec = [7u8; 100];
+        let mut n = 0;
+        while p.fits(rec.len()) {
+            p.insert(&rec).unwrap();
+            n += 1;
+        }
+        // 4096 - 4 header = 4092; each record takes 104 bytes -> 39 records.
+        assert_eq!(n, (PAGE_SIZE - HEADER) / (100 + SLOT_ENTRY));
+        assert!(p.insert(&rec).is_err());
+    }
+
+    #[test]
+    fn delete_tombstones_and_preserves_other_slots() {
+        let mut p = SlottedPage::new();
+        let a = p.insert(b"aaa").unwrap();
+        let b = p.insert(b"bbb").unwrap();
+        assert!(p.delete(a));
+        assert!(!p.delete(a), "double delete is a no-op");
+        assert_eq!(p.get(a), None);
+        assert_eq!(p.get(b), Some(&b"bbb"[..]));
+        assert_eq!(p.live_count(), 1);
+    }
+
+    #[test]
+    fn update_in_place_and_relocating() {
+        let mut p = SlottedPage::new();
+        let a = p.insert(b"0123456789").unwrap();
+        // Shrinking update keeps the slot.
+        let same = p.update(a, b"xyz").unwrap();
+        assert_eq!(same, a);
+        assert_eq!(p.get(a), Some(&b"xyz"[..]));
+        // Growing update relocates.
+        let moved = p.update(a, b"a-much-longer-record").unwrap();
+        assert_eq!(p.get(moved), Some(&b"a-much-longer-record"[..]));
+    }
+
+    #[test]
+    fn update_of_dead_slot_fails() {
+        let mut p = SlottedPage::new();
+        let a = p.insert(b"x").unwrap();
+        p.delete(a);
+        assert!(p.update(a, b"y").is_err());
+        assert!(p.update(SlotId(99), b"y").is_err());
+    }
+
+    #[test]
+    fn compact_reclaims_space() {
+        let mut p = SlottedPage::new();
+        let rec = [1u8; 200];
+        let mut slots = Vec::new();
+        while p.fits(rec.len()) {
+            slots.push(p.insert(&rec).unwrap());
+        }
+        // Delete every other record.
+        for s in slots.iter().step_by(2) {
+            p.delete(*s);
+        }
+        let before = p.free_space();
+        let mapping = p.compact();
+        assert!(p.free_space() > before);
+        assert_eq!(mapping.len(), slots.len() / 2);
+        assert_eq!(p.live_count(), slots.len() / 2);
+        for (_, new) in mapping {
+            assert_eq!(p.get(new), Some(&rec[..]));
+        }
+    }
+
+    #[test]
+    fn round_trips_through_bytes() {
+        let mut p = SlottedPage::new();
+        p.insert(b"persist me").unwrap();
+        let q = SlottedPage::from_bytes(p.as_bytes()).unwrap();
+        assert_eq!(q.get(SlotId(0)), Some(&b"persist me"[..]));
+    }
+
+    #[test]
+    fn from_bytes_rejects_wrong_size_and_corrupt_header() {
+        assert!(SlottedPage::from_bytes(&[0u8; 10]).is_err());
+        let mut bad = vec![0u8; PAGE_SIZE];
+        bad[0] = 0xFF; // slot count 0xFF with cell start 0 -> dir overruns
+        bad[1] = 0xFF;
+        assert!(SlottedPage::from_bytes(&bad).is_err());
+    }
+
+    #[test]
+    fn rejects_oversized_and_empty_records() {
+        let mut p = SlottedPage::new();
+        assert!(p.insert(&[]).is_err());
+        let huge = vec![0u8; PAGE_SIZE];
+        assert!(matches!(p.insert(&huge), Err(Error::TupleTooLarge(_))));
+    }
+}

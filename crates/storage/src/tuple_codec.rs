@@ -1,0 +1,164 @@
+//! Binary tuple encoding used by slotted pages, spill files and the log.
+//!
+//! Layout: `u16` arity, then per value a 1-byte tag (`0` null, `1` int,
+//! `2` float, `3` string) followed by the payload (8-byte little-endian
+//! scalar, or `u16` length + UTF-8 bytes).
+
+use bytes::{Buf, BufMut};
+use mmdb_types::{Error, Result, Tuple, Value};
+
+const TAG_NULL: u8 = 0;
+const TAG_INT: u8 = 1;
+const TAG_FLOAT: u8 = 2;
+const TAG_STR: u8 = 3;
+
+/// Appends the encoding of `tuple` to `out`.
+pub fn encode_into(tuple: &Tuple, out: &mut Vec<u8>) {
+    out.put_u16_le(tuple.arity() as u16);
+    for v in tuple.values() {
+        match v {
+            Value::Null => out.put_u8(TAG_NULL),
+            Value::Int(i) => {
+                out.put_u8(TAG_INT);
+                out.put_i64_le(*i);
+            }
+            Value::Float(x) => {
+                out.put_u8(TAG_FLOAT);
+                out.put_f64_le(*x);
+            }
+            Value::Str(s) => {
+                out.put_u8(TAG_STR);
+                out.put_u16_le(s.len() as u16);
+                out.put_slice(s.as_bytes());
+            }
+        }
+    }
+}
+
+/// Encodes a tuple into a fresh buffer.
+pub fn encode(tuple: &Tuple) -> Vec<u8> {
+    let mut out = Vec::with_capacity(tuple.stored_width());
+    encode_into(tuple, &mut out);
+    out
+}
+
+/// Decodes one tuple from the front of `buf`, advancing it.
+pub fn decode_from(buf: &mut &[u8]) -> Result<Tuple> {
+    if buf.remaining() < 2 {
+        return Err(Error::CorruptLog("truncated tuple header".into()));
+    }
+    let arity = buf.get_u16_le() as usize;
+    let mut values = Vec::with_capacity(arity);
+    for _ in 0..arity {
+        if buf.remaining() < 1 {
+            return Err(Error::CorruptLog("truncated value tag".into()));
+        }
+        let tag = buf.get_u8();
+        let v = match tag {
+            TAG_NULL => Value::Null,
+            TAG_INT => {
+                if buf.remaining() < 8 {
+                    return Err(Error::CorruptLog("truncated int".into()));
+                }
+                Value::Int(buf.get_i64_le())
+            }
+            TAG_FLOAT => {
+                if buf.remaining() < 8 {
+                    return Err(Error::CorruptLog("truncated float".into()));
+                }
+                Value::Float(buf.get_f64_le())
+            }
+            TAG_STR => {
+                if buf.remaining() < 2 {
+                    return Err(Error::CorruptLog("truncated string length".into()));
+                }
+                let len = buf.get_u16_le() as usize;
+                if buf.remaining() < len {
+                    return Err(Error::CorruptLog("truncated string body".into()));
+                }
+                let bytes = &buf[..len];
+                let s = std::str::from_utf8(bytes)
+                    .map_err(|_| Error::CorruptLog("invalid utf-8 in string".into()))?
+                    .to_owned();
+                buf.advance(len);
+                Value::Str(s)
+            }
+            other => {
+                return Err(Error::CorruptLog(format!("unknown value tag {other}")));
+            }
+        };
+        values.push(v);
+    }
+    Ok(Tuple::new(values))
+}
+
+/// Decodes a tuple that occupies the whole of `bytes`.
+pub fn decode(mut bytes: &[u8]) -> Result<Tuple> {
+    let t = decode_from(&mut bytes)?;
+    if !bytes.is_empty() {
+        return Err(Error::CorruptLog(format!(
+            "{} trailing bytes after tuple",
+            bytes.len()
+        )));
+    }
+    Ok(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(t: &Tuple) {
+        let enc = encode(t);
+        let dec = decode(&enc).unwrap();
+        assert_eq!(&dec, t);
+    }
+
+    #[test]
+    fn roundtrips_all_types() {
+        roundtrip(&Tuple::new(vec![]));
+        roundtrip(&Tuple::new(vec![Value::Null]));
+        roundtrip(&Tuple::new(vec![
+            Value::Int(i64::MIN),
+            Value::Int(i64::MAX),
+            Value::Float(-0.0),
+            Value::Float(f64::INFINITY),
+            Value::Str(String::new()),
+            Value::Str("héllo wörld".into()),
+        ]));
+    }
+
+    #[test]
+    fn rejects_truncation_at_every_length() {
+        let t = Tuple::new(vec![Value::Int(77), Value::Str("abcdef".into())]);
+        let enc = encode(&t);
+        for cut in 0..enc.len() {
+            assert!(decode(&enc[..cut]).is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let mut enc = encode(&Tuple::new(vec![Value::Int(1)]));
+        enc.push(0xAB);
+        assert!(decode(&enc).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_tag() {
+        let enc = vec![1u8, 0, 9]; // arity 1, tag 9
+        assert!(decode(&enc).is_err());
+    }
+
+    #[test]
+    fn decode_from_advances() {
+        let a = Tuple::new(vec![Value::Int(1)]);
+        let b = Tuple::new(vec![Value::Str("xy".into())]);
+        let mut buf = encode(&a);
+        buf.extend(encode(&b));
+        let mut view = buf.as_slice();
+        assert_eq!(decode_from(&mut view).unwrap(), a);
+        assert_eq!(decode_from(&mut view).unwrap(), b);
+        assert!(view.is_empty());
+    }
+}

@@ -1,0 +1,110 @@
+//! Workspace-wide error type.
+
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by the storage, index, execution and recovery layers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A page id was out of range or never allocated.
+    PageNotFound(u64),
+    /// A relation name or id did not resolve in the catalog.
+    RelationNotFound(String),
+    /// A column name did not resolve against a schema.
+    ColumnNotFound(String),
+    /// A tuple did not match the schema it was checked against.
+    SchemaMismatch {
+        /// What the schema expected.
+        expected: String,
+        /// What the tuple provided.
+        found: String,
+    },
+    /// A duplicate key was inserted into a unique index.
+    DuplicateKey(String),
+    /// A key lookup found nothing.
+    KeyNotFound(String),
+    /// The requested operation needs more buffer/memory pages than granted.
+    OutOfMemory {
+        /// Pages needed to proceed.
+        needed: usize,
+        /// Pages available.
+        available: usize,
+    },
+    /// A tuple was too large to fit in a page.
+    TupleTooLarge(usize),
+    /// A transaction referenced after it terminated, or used incorrectly.
+    InvalidTransaction(u64),
+    /// Lock acquisition failed (deadlock victim or conflicting mode).
+    LockConflict {
+        /// Transaction that failed to acquire the lock.
+        txn: u64,
+        /// A printable description of the locked object.
+        object: String,
+    },
+    /// The transaction was aborted (by the user or by the system).
+    TransactionAborted(u64),
+    /// The log was corrupt or truncated at recovery time.
+    CorruptLog(String),
+    /// A query-planning failure (unknown operator, empty plan space, ...).
+    Planning(String),
+    /// Catch-all invariant violation; indicates a bug if ever produced.
+    Internal(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::PageNotFound(id) => write!(f, "page {id} not found"),
+            Error::RelationNotFound(name) => write!(f, "relation '{name}' not found"),
+            Error::ColumnNotFound(name) => write!(f, "column '{name}' not found"),
+            Error::SchemaMismatch { expected, found } => {
+                write!(f, "schema mismatch: expected {expected}, found {found}")
+            }
+            Error::DuplicateKey(k) => write!(f, "duplicate key: {k}"),
+            Error::KeyNotFound(k) => write!(f, "key not found: {k}"),
+            Error::OutOfMemory { needed, available } => {
+                write!(f, "out of memory: need {needed} pages, have {available}")
+            }
+            Error::TupleTooLarge(n) => write!(f, "tuple of {n} bytes exceeds page capacity"),
+            Error::InvalidTransaction(id) => write!(f, "invalid transaction {id}"),
+            Error::LockConflict { txn, object } => {
+                write!(f, "transaction {txn} lock conflict on {object}")
+            }
+            Error::TransactionAborted(id) => write!(f, "transaction {id} aborted"),
+            Error::CorruptLog(msg) => write!(f, "corrupt log: {msg}"),
+            Error::Planning(msg) => write!(f, "planning error: {msg}"),
+            Error::Internal(msg) => write!(f, "internal invariant violated: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = Error::OutOfMemory {
+            needed: 10,
+            available: 4,
+        };
+        assert_eq!(e.to_string(), "out of memory: need 10 pages, have 4");
+        assert_eq!(Error::PageNotFound(7).to_string(), "page 7 not found");
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(Error::PageNotFound(1), Error::PageNotFound(1));
+        assert_ne!(Error::PageNotFound(1), Error::PageNotFound(2));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_std_error<E: std::error::Error>(_: &E) {}
+        assert_std_error(&Error::Internal("x".into()));
+    }
+}

@@ -1,0 +1,268 @@
+//! Selection predicates over tuples.
+//!
+//! A small expression language shared by the executor (which evaluates
+//! predicates) and the access planner (which estimates their selectivity
+//! and pushes them down the operator tree, §4).
+
+use crate::tuple::Tuple;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Comparison operator for column-vs-constant predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Applies the operator to an ordering result.
+    pub fn matches(&self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CmpOp::Eq => ord == Equal,
+            CmpOp::Ne => ord != Equal,
+            CmpOp::Lt => ord == Less,
+            CmpOp::Le => ord != Greater,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::Ge => ord != Less,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A boolean predicate over one tuple.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Predicate {
+    /// `column <op> constant`.
+    Compare {
+        /// Column index.
+        column: usize,
+        /// Operator.
+        op: CmpOp,
+        /// Constant operand.
+        value: Value,
+    },
+    /// `lo <= column <= hi`.
+    Between {
+        /// Column index.
+        column: usize,
+        /// Inclusive lower bound.
+        lo: Value,
+        /// Inclusive upper bound.
+        hi: Value,
+    },
+    /// String column starts with a prefix — the paper's
+    /// `emp.name = "J*"` example.
+    StrPrefix {
+        /// Column index.
+        column: usize,
+        /// Required prefix.
+        prefix: String,
+    },
+    /// Conjunction.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Disjunction.
+    Or(Box<Predicate>, Box<Predicate>),
+    /// Negation.
+    Not(Box<Predicate>),
+    /// Always true (the planner's neutral element).
+    True,
+}
+
+impl Predicate {
+    /// Convenience: `column = value`.
+    pub fn eq(column: usize, value: impl Into<Value>) -> Self {
+        Predicate::Compare {
+            column,
+            op: CmpOp::Eq,
+            value: value.into(),
+        }
+    }
+
+    /// Convenience: `column <op> value`.
+    pub fn cmp(column: usize, op: CmpOp, value: impl Into<Value>) -> Self {
+        Predicate::Compare {
+            column,
+            op,
+            value: value.into(),
+        }
+    }
+
+    /// Convenience: conjunction.
+    pub fn and(self, other: Predicate) -> Self {
+        Predicate::And(Box::new(self), Box::new(other))
+    }
+
+    /// Convenience: disjunction.
+    pub fn or(self, other: Predicate) -> Self {
+        Predicate::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Evaluates the predicate against a tuple. Nulls compare as the §2
+    /// value model dictates (smallest). Returns the verdict plus the number
+    /// of leaf comparisons performed (for cost accounting).
+    pub fn eval_counting(&self, tuple: &Tuple) -> (bool, u64) {
+        match self {
+            Predicate::Compare { column, op, value } => {
+                (op.matches(tuple.get(*column).cmp(value)), 1)
+            }
+            Predicate::Between { column, lo, hi } => {
+                let v = tuple.get(*column);
+                (v >= lo && v <= hi, 2)
+            }
+            Predicate::StrPrefix { column, prefix } => match tuple.get(*column) {
+                Value::Str(s) => (s.starts_with(prefix.as_str()), 1),
+                _ => (false, 1),
+            },
+            Predicate::And(a, b) => {
+                let (ra, ca) = a.eval_counting(tuple);
+                if !ra {
+                    return (false, ca); // short-circuit
+                }
+                let (rb, cb) = b.eval_counting(tuple);
+                (rb, ca + cb)
+            }
+            Predicate::Or(a, b) => {
+                let (ra, ca) = a.eval_counting(tuple);
+                if ra {
+                    return (true, ca);
+                }
+                let (rb, cb) = b.eval_counting(tuple);
+                (rb, ca + cb)
+            }
+            Predicate::Not(p) => {
+                let (r, c) = p.eval_counting(tuple);
+                (!r, c)
+            }
+            Predicate::True => (true, 0),
+        }
+    }
+
+    /// Evaluates without counting.
+    pub fn eval(&self, tuple: &Tuple) -> bool {
+        self.eval_counting(tuple).0
+    }
+
+    /// Columns the predicate mentions.
+    pub fn columns(&self) -> Vec<usize> {
+        let mut cols = Vec::new();
+        self.collect_columns(&mut cols);
+        cols.sort_unstable();
+        cols.dedup();
+        cols
+    }
+
+    fn collect_columns(&self, out: &mut Vec<usize>) {
+        match self {
+            Predicate::Compare { column, .. }
+            | Predicate::Between { column, .. }
+            | Predicate::StrPrefix { column, .. } => out.push(*column),
+            Predicate::And(a, b) | Predicate::Or(a, b) => {
+                a.collect_columns(out);
+                b.collect_columns(out);
+            }
+            Predicate::Not(p) => p.collect_columns(out),
+            Predicate::True => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn emp(name: &str, salary: f64) -> Tuple {
+        Tuple::new(vec![Value::Int(1), name.into(), Value::Float(salary)])
+    }
+
+    #[test]
+    fn compare_ops() {
+        let t = emp("Jones", 50_000.0);
+        assert!(Predicate::eq(1, "Jones").eval(&t));
+        assert!(!Predicate::eq(1, "Smith").eval(&t));
+        assert!(Predicate::cmp(2, CmpOp::Gt, 40_000.0).eval(&t));
+        assert!(Predicate::cmp(2, CmpOp::Le, 50_000.0).eval(&t));
+        assert!(!Predicate::cmp(2, CmpOp::Lt, 50_000.0).eval(&t));
+        assert!(Predicate::cmp(2, CmpOp::Ne, 0.0).eval(&t));
+    }
+
+    #[test]
+    fn prefix_matches_paper_example() {
+        // retrieve (emp.salary, emp.name) where emp.name = "J*"
+        let pred = Predicate::StrPrefix {
+            column: 1,
+            prefix: "J".into(),
+        };
+        assert!(pred.eval(&emp("Jones", 1.0)));
+        assert!(pred.eval(&emp("Jacobs", 1.0)));
+        assert!(!pred.eval(&emp("Smith", 1.0)));
+        // Non-string columns never prefix-match.
+        let on_int = Predicate::StrPrefix {
+            column: 0,
+            prefix: "1".into(),
+        };
+        assert!(!on_int.eval(&emp("x", 1.0)));
+    }
+
+    #[test]
+    fn boolean_combinators_and_short_circuit() {
+        let t = emp("Jones", 50_000.0);
+        let p = Predicate::eq(1, "Jones").and(Predicate::cmp(2, CmpOp::Gt, 10_000.0));
+        let (r, comps) = p.eval_counting(&t);
+        assert!(r);
+        assert_eq!(comps, 2);
+        // False left arm short-circuits.
+        let p2 = Predicate::eq(1, "Nope").and(Predicate::cmp(2, CmpOp::Gt, 10_000.0));
+        let (r2, comps2) = p2.eval_counting(&t);
+        assert!(!r2);
+        assert_eq!(comps2, 1);
+        // Or short-circuits on true.
+        let p3 = Predicate::eq(1, "Jones").or(Predicate::eq(1, "Smith"));
+        assert_eq!(p3.eval_counting(&t), (true, 1));
+        assert!(!Predicate::Not(Box::new(Predicate::True)).eval(&t));
+    }
+
+    #[test]
+    fn between_is_inclusive() {
+        let t = emp("A", 100.0);
+        let p = Predicate::Between {
+            column: 2,
+            lo: Value::Float(100.0),
+            hi: Value::Float(200.0),
+        };
+        assert!(p.eval(&t));
+    }
+
+    #[test]
+    fn columns_collects_and_dedups() {
+        let p = Predicate::eq(2, 1i64)
+            .and(Predicate::eq(0, 1i64).or(Predicate::eq(2, 3i64)));
+        assert_eq!(p.columns(), vec![0, 2]);
+        assert!(Predicate::True.columns().is_empty());
+    }
+}

@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! Core types shared by every crate in the `mmdb` workspace.
+//!
+//! This crate defines the relational data model (values, tuples, schemas),
+//! identifier newtypes, the error type, the parameter blocks used by the
+//! cost models of DeWitt et al. (SIGMOD 1984), and deterministic workload
+//! generation helpers.
+//!
+//! The paper models a relation `R` by five characteristics (its §2 notation
+//! is preserved throughout the workspace):
+//!
+//! * `||R||` — number of tuples (here [`AccessGeometry::tuples`]),
+//! * `K`     — key width in bytes,
+//! * `T`     — tuple width in bytes,
+//! * `Pg`    — page size in bytes,
+//! * `P`     — pointer width in bytes.
+
+pub mod error;
+pub mod expr;
+pub mod ids;
+pub mod params;
+pub mod rng;
+pub mod schema;
+pub mod tuple;
+pub mod value;
+
+pub use error::{Error, Result};
+pub use expr::{CmpOp, Predicate};
+pub use ids::{PageId, RelationId, SlotId, TupleId, TxnId};
+pub use params::{AccessGeometry, CostWeights, RelationShape, SystemParams};
+pub use rng::WorkloadRng;
+pub use schema::{Column, DataType, Schema};
+pub use tuple::Tuple;
+pub use value::Value;
+
+/// Page size used throughout the workspace (bytes). Matches the paper's
+/// 4096-byte log/data pages.
+pub const PAGE_SIZE: usize = 4096;

@@ -1,0 +1,227 @@
+//! Deterministic workload randomness.
+//!
+//! Every experiment in the workspace must be reproducible run-to-run, so all
+//! randomness flows through [`WorkloadRng`], a seeded ChaCha-free wrapper
+//! around [`rand::rngs::StdRng`].
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// A deterministic random source for workload generation.
+#[derive(Debug, Clone)]
+pub struct WorkloadRng {
+    rng: StdRng,
+}
+
+impl WorkloadRng {
+    /// Creates a generator from a seed. The same seed always produces the
+    /// same stream.
+    pub fn seeded(seed: u64) -> Self {
+        WorkloadRng {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    pub fn int_in(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi, "empty range");
+        self.rng.gen_range(lo..hi)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.rng.gen::<f64>()
+    }
+
+    /// Uniform index in `[0, n)`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "empty range");
+        self.rng.gen_range(0..n)
+    }
+
+    /// Coin flip with probability `p` of `true`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.rng.gen::<f64>() < p
+    }
+
+    /// A fixed-width uppercase-alphabetic string, deterministic in the
+    /// stream. Useful for name columns.
+    pub fn name(&mut self, width: usize) -> String {
+        (0..width)
+            .map(|_| (b'A' + self.rng.gen_range(0..26u8)) as char)
+            .collect()
+    }
+
+    /// Fisher–Yates shuffles a slice in place.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.rng.gen_range(0..=i);
+            xs.swap(i, j);
+        }
+    }
+
+    /// A random permutation of `0..n`.
+    pub fn permutation(&mut self, n: usize) -> Vec<usize> {
+        let mut v: Vec<usize> = (0..n).collect();
+        self.shuffle(&mut v);
+        v
+    }
+
+    /// Generates `n` employee-style tuples `(id INT, name STR, salary FLOAT,
+    /// dept INT)` with ids `0..n` in random order — the workload behind the
+    /// paper's motivating `emp.name = "Jones"` queries.
+    pub fn employees(&mut self, n: usize, departments: i64) -> Vec<Tuple> {
+        let ids = self.permutation(n);
+        ids.into_iter()
+            .map(|id| {
+                Tuple::new(vec![
+                    Value::Int(id as i64),
+                    Value::Str(self.name(8)),
+                    Value::Float(20_000.0 + self.unit() * 80_000.0),
+                    Value::Int(self.int_in(0, departments.max(1))),
+                ])
+            })
+            .collect()
+    }
+
+    /// Generates a join column workload: `n` tuples with key drawn uniformly
+    /// from `[0, key_space)` and a payload integer. Used to build R and S
+    /// relations whose key values "are distributed similarly" (§3.5).
+    pub fn keyed_tuples(&mut self, n: usize, key_space: i64) -> Vec<Tuple> {
+        (0..n)
+            .map(|i| Tuple::new(vec![Value::Int(self.int_in(0, key_space)), Value::Int(i as i64)]))
+            .collect()
+    }
+
+    /// A Zipf(s) sampler over `[0, key_space)`: key `k` has probability
+    /// proportional to `1/(k+1)^s`. Skewed key workloads stress the §3.3
+    /// partition-overflow handling (the paper's recursive hybrid hash).
+    pub fn zipf_index(&mut self, key_space: usize, s: f64) -> usize {
+        assert!(key_space > 0);
+        // Inverse-CDF sampling on the fly: cheap for the small key spaces
+        // skew experiments use; callers needing bulk draws use
+        // `zipf_tuples`, which precomputes the CDF.
+        let mut total = 0.0;
+        for k in 0..key_space {
+            total += 1.0 / ((k + 1) as f64).powf(s);
+        }
+        let target = self.unit() * total;
+        let mut acc = 0.0;
+        for k in 0..key_space {
+            acc += 1.0 / ((k + 1) as f64).powf(s);
+            if acc >= target {
+                return k;
+            }
+        }
+        key_space - 1
+    }
+
+    /// `n` tuples with Zipf(s)-distributed keys over `[0, key_space)`.
+    pub fn zipf_tuples(&mut self, n: usize, key_space: usize, s: f64) -> Vec<Tuple> {
+        assert!(key_space > 0);
+        let mut cdf = Vec::with_capacity(key_space);
+        let mut acc = 0.0;
+        for k in 0..key_space {
+            acc += 1.0 / ((k + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = *cdf.last().expect("non-empty");
+        (0..n)
+            .map(|i| {
+                let target = self.unit() * total;
+                let k = cdf.partition_point(|&c| c < target).min(key_space - 1);
+                Tuple::new(vec![Value::Int(k as i64), Value::Int(i as i64)])
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = WorkloadRng::seeded(42);
+        let mut b = WorkloadRng::seeded(42);
+        for _ in 0..100 {
+            assert_eq!(a.int_in(0, 1000), b.int_in(0, 1000));
+        }
+        assert_eq!(a.name(8), b.name(8));
+    }
+
+    #[test]
+    fn different_seed_differs() {
+        let mut a = WorkloadRng::seeded(1);
+        let mut b = WorkloadRng::seeded(2);
+        let va: Vec<i64> = (0..32).map(|_| a.int_in(0, 1 << 30)).collect();
+        let vb: Vec<i64> = (0..32).map(|_| b.int_in(0, 1 << 30)).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn permutation_is_a_permutation() {
+        let mut r = WorkloadRng::seeded(7);
+        let mut p = r.permutation(100);
+        p.sort_unstable();
+        assert_eq!(p, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn employees_have_unique_ids_and_valid_fields() {
+        let mut r = WorkloadRng::seeded(3);
+        let emps = r.employees(500, 10);
+        assert_eq!(emps.len(), 500);
+        let mut ids: Vec<i64> = emps.iter().map(|t| t.get(0).as_int().unwrap()).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..500).collect::<Vec<_>>());
+        for t in &emps {
+            let sal = t.get(2).as_float().unwrap();
+            assert!((20_000.0..100_000.0).contains(&sal));
+            let dept = t.get(3).as_int().unwrap();
+            assert!((0..10).contains(&dept));
+        }
+    }
+
+    #[test]
+    fn keyed_tuples_bound_keys() {
+        let mut r = WorkloadRng::seeded(9);
+        for t in r.keyed_tuples(200, 50) {
+            let k = t.get(0).as_int().unwrap();
+            assert!((0..50).contains(&k));
+        }
+    }
+
+    #[test]
+    fn zipf_is_skewed_toward_small_keys() {
+        let mut r = WorkloadRng::seeded(13);
+        let ts = r.zipf_tuples(10_000, 100, 1.2);
+        let zero = ts
+            .iter()
+            .filter(|t| t.get(0).as_int().unwrap() == 0)
+            .count();
+        // Zipf(1.2) over 100 keys gives key 0 about 26 % of the mass.
+        assert!(
+            (1_500..4_500).contains(&zero),
+            "key 0 drawn {zero} times out of 10 000"
+        );
+        for t in &ts {
+            let k = t.get(0).as_int().unwrap();
+            assert!((0..100).contains(&k));
+        }
+        // The single-draw sampler agrees with the bulk sampler in range.
+        for _ in 0..50 {
+            assert!(r.zipf_index(100, 1.2) < 100);
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = WorkloadRng::seeded(4);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+    }
+}

@@ -1,0 +1,230 @@
+//! Relation schemas: named, typed columns.
+
+use crate::error::{Error, Result};
+use crate::tuple::Tuple;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The scalar type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// Variable-width string.
+    Str,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Int => write!(f, "INT"),
+            DataType::Float => write!(f, "FLOAT"),
+            DataType::Str => write!(f, "STR"),
+        }
+    }
+}
+
+/// A single named column.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Column {
+    /// Column name, unique within its schema.
+    pub name: String,
+    /// Column type.
+    pub ty: DataType,
+}
+
+impl Column {
+    /// Builds a column.
+    pub fn new(name: impl Into<String>, ty: DataType) -> Self {
+        Column {
+            name: name.into(),
+            ty,
+        }
+    }
+}
+
+/// An ordered list of columns describing a relation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    columns: Vec<Column>,
+}
+
+impl Schema {
+    /// Builds a schema from columns. Column names must be unique.
+    pub fn new(columns: Vec<Column>) -> Result<Self> {
+        for (i, c) in columns.iter().enumerate() {
+            if columns[..i].iter().any(|d| d.name == c.name) {
+                return Err(Error::SchemaMismatch {
+                    expected: "unique column names".into(),
+                    found: format!("duplicate column '{}'", c.name),
+                });
+            }
+        }
+        Ok(Schema { columns })
+    }
+
+    /// Convenience constructor from `(name, type)` pairs.
+    pub fn of(cols: &[(&str, DataType)]) -> Self {
+        Schema::new(
+            cols.iter()
+                .map(|(n, t)| Column::new(*n, *t))
+                .collect::<Vec<_>>(),
+        )
+        .expect("static schema must have unique names")
+    }
+
+    /// The columns, in order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Index of the named column.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name == name)
+            .ok_or_else(|| Error::ColumnNotFound(name.to_owned()))
+    }
+
+    /// The column at `idx`, if in range.
+    pub fn column(&self, idx: usize) -> Option<&Column> {
+        self.columns.get(idx)
+    }
+
+    /// Validates a tuple against this schema (arity and per-column types;
+    /// nulls satisfy any column type).
+    pub fn check(&self, tuple: &Tuple) -> Result<()> {
+        if tuple.arity() != self.arity() {
+            return Err(Error::SchemaMismatch {
+                expected: format!("{} columns", self.arity()),
+                found: format!("{} values", tuple.arity()),
+            });
+        }
+        for (i, v) in tuple.values().iter().enumerate() {
+            if let Some(ty) = v.data_type() {
+                if ty != self.columns[i].ty {
+                    return Err(Error::SchemaMismatch {
+                        expected: format!("{} for column '{}'", self.columns[i].ty, self.columns[i].name),
+                        found: ty.to_string(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Concatenates two schemas (used by joins). Columns of the right schema
+    /// that collide with a left name get a `_r` suffix.
+    pub fn join(&self, right: &Schema) -> Schema {
+        let mut cols = self.columns.clone();
+        for c in &right.columns {
+            let name = if cols.iter().any(|d| d.name == c.name) {
+                format!("{}_r", c.name)
+            } else {
+                c.name.clone()
+            };
+            cols.push(Column::new(name, c.ty));
+        }
+        Schema { columns: cols }
+    }
+
+    /// Projects this schema onto the given column indices.
+    pub fn project(&self, indices: &[usize]) -> Result<Schema> {
+        let mut cols = Vec::with_capacity(indices.len());
+        for &i in indices {
+            let c = self
+                .columns
+                .get(i)
+                .ok_or_else(|| Error::ColumnNotFound(format!("#{i}")))?;
+            cols.push(c.clone());
+        }
+        Ok(Schema { columns: cols })
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {}", c.name, c.ty)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn emp() -> Schema {
+        Schema::of(&[
+            ("id", DataType::Int),
+            ("name", DataType::Str),
+            ("salary", DataType::Float),
+        ])
+    }
+
+    #[test]
+    fn rejects_duplicate_names() {
+        let r = Schema::new(vec![
+            Column::new("a", DataType::Int),
+            Column::new("a", DataType::Str),
+        ]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn index_of_resolves() {
+        let s = emp();
+        assert_eq!(s.index_of("salary").unwrap(), 2);
+        assert!(s.index_of("missing").is_err());
+    }
+
+    #[test]
+    fn check_validates_arity_and_types() {
+        let s = emp();
+        let good = Tuple::new(vec![Value::Int(1), "bob".into(), Value::Float(10.0)]);
+        assert!(s.check(&good).is_ok());
+        let short = Tuple::new(vec![Value::Int(1)]);
+        assert!(s.check(&short).is_err());
+        let wrong = Tuple::new(vec![Value::Int(1), Value::Int(2), Value::Float(1.0)]);
+        assert!(s.check(&wrong).is_err());
+        let with_null = Tuple::new(vec![Value::Int(1), Value::Null, Value::Float(1.0)]);
+        assert!(s.check(&with_null).is_ok());
+    }
+
+    #[test]
+    fn join_renames_collisions() {
+        let s = emp().join(&emp());
+        assert_eq!(s.arity(), 6);
+        assert_eq!(s.columns()[3].name, "id_r");
+        assert_eq!(s.columns()[4].name, "name_r");
+    }
+
+    #[test]
+    fn project_selects_columns() {
+        let p = emp().project(&[2, 0]).unwrap();
+        assert_eq!(p.columns()[0].name, "salary");
+        assert_eq!(p.columns()[1].name, "id");
+        assert!(emp().project(&[9]).is_err());
+    }
+
+    #[test]
+    fn display_renders() {
+        assert_eq!(
+            emp().to_string(),
+            "(id INT, name STR, salary FLOAT)"
+        );
+    }
+}

@@ -1,0 +1,126 @@
+//! Tuples: ordered lists of values.
+
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A tuple (row) of a relation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+pub struct Tuple {
+    values: Vec<Value>,
+}
+
+impl Tuple {
+    /// Builds a tuple from values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Tuple { values }
+    }
+
+    /// The values, in column order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Number of values.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The value in column `idx`. Panics if out of range — callers are
+    /// expected to have validated against a schema.
+    pub fn get(&self, idx: usize) -> &Value {
+        &self.values[idx]
+    }
+
+    /// Stored width in bytes (sum of value widths plus a 2-byte arity header).
+    pub fn stored_width(&self) -> usize {
+        2 + self.values.iter().map(Value::stored_width).sum::<usize>()
+    }
+
+    /// Concatenates two tuples (used when a join outputs a matched pair).
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let mut values = Vec::with_capacity(self.arity() + other.arity());
+        values.extend_from_slice(&self.values);
+        values.extend_from_slice(&other.values);
+        Tuple { values }
+    }
+
+    /// Projects the tuple onto the given column indices.
+    pub fn project(&self, indices: &[usize]) -> Tuple {
+        Tuple {
+            values: indices.iter().map(|&i| self.values[i].clone()).collect(),
+        }
+    }
+
+    /// Consumes the tuple, returning its values.
+    pub fn into_values(self) -> Vec<Value> {
+        self.values
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(values: Vec<Value>) -> Self {
+        Tuple { values }
+    }
+}
+
+impl FromIterator<Value> for Tuple {
+    fn from_iter<T: IntoIterator<Item = Value>>(iter: T) -> Self {
+        Tuple {
+            values: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concat_appends() {
+        let a = Tuple::new(vec![Value::Int(1), "x".into()]);
+        let b = Tuple::new(vec![Value::Int(2)]);
+        let c = a.concat(&b);
+        assert_eq!(c.arity(), 3);
+        assert_eq!(c.get(2), &Value::Int(2));
+    }
+
+    #[test]
+    fn project_reorders() {
+        let t = Tuple::new(vec![Value::Int(1), Value::Int(2), Value::Int(3)]);
+        let p = t.project(&[2, 0]);
+        assert_eq!(p.values(), &[Value::Int(3), Value::Int(1)]);
+    }
+
+    #[test]
+    fn stored_width_sums_values() {
+        let t = Tuple::new(vec![Value::Int(1), "abc".into()]);
+        assert_eq!(t.stored_width(), 2 + 8 + 5);
+    }
+
+    #[test]
+    fn display_renders() {
+        let t = Tuple::new(vec![Value::Int(1), "x".into()]);
+        assert_eq!(t.to_string(), "[1, 'x']");
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let a = Tuple::new(vec![Value::Int(1), Value::Int(9)]);
+        let b = Tuple::new(vec![Value::Int(2), Value::Int(0)]);
+        assert!(a < b);
+    }
+}

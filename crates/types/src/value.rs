@@ -1,0 +1,236 @@
+//! The value model: a small set of scalar types with a total order.
+//!
+//! Floats are wrapped so that [`Value`] is totally ordered and hashable —
+//! index keys and hash-partitioning both require that. NaN sorts greater
+//! than every other float, mirroring `f64::total_cmp`.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// A scalar value stored in a tuple.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Value {
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float (totally ordered via `total_cmp`).
+    Float(f64),
+    /// Variable-width string.
+    Str(String),
+    /// SQL-style null; sorts before everything else.
+    Null,
+}
+
+impl Value {
+    /// Returns the value's type tag for schema checking.
+    pub fn data_type(&self) -> Option<crate::schema::DataType> {
+        match self {
+            Value::Int(_) => Some(crate::schema::DataType::Int),
+            Value::Float(_) => Some(crate::schema::DataType::Float),
+            Value::Str(_) => Some(crate::schema::DataType::Str),
+            Value::Null => None,
+        }
+    }
+
+    /// Width of this value when stored, in bytes. Strings are their byte
+    /// length plus a 2-byte length prefix; scalars are 8 bytes; nulls 1.
+    pub fn stored_width(&self) -> usize {
+        match self {
+            Value::Int(_) | Value::Float(_) => 8,
+            Value::Str(s) => 2 + s.len(),
+            Value::Null => 1,
+        }
+    }
+
+    /// Extracts an integer, if that is what this value holds.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Extracts a float, if that is what this value holds.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// Extracts a string slice, if that is what this value holds.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True for `Value::Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view used by aggregate functions: ints are widened to float.
+    pub fn numeric(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    fn rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Int(_) => 1,
+            Value::Float(_) => 1, // ints and floats compare numerically
+            Value::Str(_) => 2,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Int(a), Float(b)) => (*a as f64).total_cmp(b),
+            (Float(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            (Str(a), Str(b)) => a.cmp(b),
+            _ => self.rank().cmp(&other.rank()),
+        }
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => state.write_u8(0),
+            // Ints and floats must hash identically when they compare equal.
+            Value::Int(i) => {
+                state.write_u8(1);
+                (*i as f64).to_bits().hash(state);
+            }
+            Value::Float(x) => {
+                state.write_u8(1);
+                x.to_bits().hash(state);
+            }
+            Value::Str(s) => {
+                state.write_u8(2);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "'{s}'"),
+            Value::Null => write!(f, "NULL"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn total_order_across_types() {
+        assert!(Value::Null < Value::Int(i64::MIN));
+        assert!(Value::Int(5) < Value::Str("a".into()));
+        assert!(Value::Int(2) < Value::Int(10));
+        assert!(Value::Str("abc".into()) < Value::Str("abd".into()));
+    }
+
+    #[test]
+    fn int_float_compare_numerically() {
+        assert_eq!(Value::Int(3), Value::Float(3.0));
+        assert!(Value::Int(3) < Value::Float(3.5));
+        assert!(Value::Float(2.5) < Value::Int(3));
+    }
+
+    #[test]
+    fn equal_values_hash_equal() {
+        assert_eq!(hash_of(&Value::Int(7)), hash_of(&Value::Float(7.0)));
+        assert_eq!(
+            hash_of(&Value::Str("x".into())),
+            hash_of(&Value::Str("x".into()))
+        );
+    }
+
+    #[test]
+    fn nan_is_ordered() {
+        let nan = Value::Float(f64::NAN);
+        assert_eq!(nan.cmp(&nan), Ordering::Equal);
+        assert!(Value::Float(f64::INFINITY) < nan);
+    }
+
+    #[test]
+    fn stored_width() {
+        assert_eq!(Value::Int(1).stored_width(), 8);
+        assert_eq!(Value::Str("abcd".into()).stored_width(), 6);
+        assert_eq!(Value::Null.stored_width(), 1);
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(4).as_int(), Some(4));
+        assert_eq!(Value::Int(4).as_str(), None);
+        assert_eq!(Value::Str("q".into()).as_str(), Some("q"));
+        assert_eq!(Value::Int(4).numeric(), Some(4.0));
+        assert!(Value::Null.is_null());
+    }
+}

@@ -1,0 +1,133 @@
+//! §4 access planning demonstrated: the same three-relation query planned
+//! under different selectivities and memory grants, showing the collapsed
+//! plan space — selectivity ordering plus hybrid hash everywhere.
+//!
+//! ```text
+//! cargo run --release --example access_planning
+//! ```
+
+use mmdb::{Database, EngineConfig};
+use mmdb_planner::{JoinEdge, QuerySpec, TableRef};
+use mmdb_types::{DataType, Predicate, Schema, Tuple, Value, WorkloadRng};
+
+fn build(mem_pages: usize) -> Database {
+    let mut db = Database::with_config(EngineConfig {
+        mem_pages,
+        ..EngineConfig::default()
+    });
+    db.create_table(
+        "lineitem",
+        Schema::of(&[
+            ("order_id", DataType::Int),
+            ("part_id", DataType::Int),
+            ("qty", DataType::Int),
+        ]),
+    )
+    .unwrap();
+    db.create_table(
+        "orders",
+        Schema::of(&[("order_id", DataType::Int), ("status", DataType::Int)]),
+    )
+    .unwrap();
+    db.create_table(
+        "parts",
+        Schema::of(&[("part_id", DataType::Int), ("color", DataType::Int)]),
+    )
+    .unwrap();
+    let mut rng = WorkloadRng::seeded(5);
+    for i in 0..30_000i64 {
+        db.insert(
+            "lineitem",
+            Tuple::new(vec![
+                Value::Int(rng.int_in(0, 5_000)),
+                Value::Int(rng.int_in(0, 1_000)),
+                Value::Int(rng.int_in(1, 50)),
+            ]),
+        )
+        .unwrap();
+        let _ = i;
+    }
+    for o in 0..5_000i64 {
+        db.insert(
+            "orders",
+            Tuple::new(vec![Value::Int(o), Value::Int(rng.int_in(0, 5))]),
+        )
+        .unwrap();
+    }
+    for p in 0..1_000i64 {
+        db.insert(
+            "parts",
+            Tuple::new(vec![Value::Int(p), Value::Int(rng.int_in(0, 25))]),
+        )
+        .unwrap();
+    }
+    db
+}
+
+fn query(order_pred: Predicate, part_pred: Predicate) -> QuerySpec {
+    QuerySpec {
+        tables: vec![
+            TableRef::plain("lineitem"),
+            TableRef::filtered("orders", order_pred),
+            TableRef::filtered("parts", part_pred),
+        ],
+        joins: vec![
+            JoinEdge {
+                left_table: 0,
+                left_column: 0,
+                right_table: 1,
+                right_column: 0,
+            },
+            JoinEdge {
+                left_table: 0,
+                left_column: 1,
+                right_table: 2,
+                right_column: 0,
+            },
+        ],
+    }
+}
+
+fn main() {
+    println!("§4 access planning under large memory\n");
+    let db = build(12_000);
+    for (label, spec) in [
+        ("no filters", query(Predicate::True, Predicate::True)),
+        (
+            "status = 0 (1/5 of orders)",
+            query(Predicate::eq(1, 0i64), Predicate::True),
+        ),
+        (
+            "color = 7 (1/25 of parts)",
+            query(Predicate::True, Predicate::eq(1, 7i64)),
+        ),
+    ] {
+        let outcome = db.query(&spec).unwrap();
+        println!("query: {label}");
+        print!("{}", outcome.plan.plan);
+        println!(
+            "  -> {} rows, {:.4} simulated s, estimated {:.0} rows\n",
+            outcome.rows.tuple_count(),
+            outcome.simulated_seconds,
+            outcome.plan.estimated_rows
+        );
+    }
+
+    println!("same query, memory starved to 8 pages:");
+    let tight = build(8);
+    let outcome = tight
+        .query(&query(Predicate::True, Predicate::True))
+        .unwrap();
+    print!("{}", outcome.plan.plan);
+    println!(
+        "  -> {} rows, {:.2} simulated s, {} spill I/Os",
+        outcome.rows.tuple_count(),
+        outcome.simulated_seconds,
+        outcome.measured.total_ios()
+    );
+    println!(
+        "\n§4's collapse: hashing's insensitivity to input order removes\n\
+         \"interesting order\" bookkeeping — the planner only orders operators\n\
+         by selectivity and prices the one dominant algorithm."
+    );
+}

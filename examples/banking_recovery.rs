@@ -1,0 +1,79 @@
+//! The §5 story end-to-end: Gray-style banking transactions against the
+//! memory-resident transactional store, under every commit policy, with a
+//! crash mid-stream and full recovery — money is conserved, uncommitted
+//! work vanishes.
+//!
+//! ```text
+//! cargo run --example banking_recovery
+//! ```
+
+use mmdb::{CommitMode, TransactionalStore};
+
+fn run(mode: CommitMode, label: &str) {
+    println!("-- {label} --");
+    let mut bank = TransactionalStore::new(mode);
+
+    // Open 50 accounts with $1 000 each.
+    let seed = bank.begin();
+    for acct in 0..50u64 {
+        bank.write(&seed, acct, 1_000).unwrap();
+    }
+    bank.commit(seed).unwrap();
+    bank.flush();
+
+    // 500 committed transfers (the paper's "typical" 400-byte-log txns).
+    for i in 0..500u64 {
+        bank.transfer(i % 50, (i * 7 + 3) % 50, 10).unwrap();
+    }
+    bank.flush();
+    let committed_pages = bank.log_pages_written();
+
+    // Two transactions in flight when the lights go out: one aborted
+    // cleanly, one simply unfinished.
+    let doomed = bank.begin();
+    bank.write(&doomed, 0, 1_000_000).unwrap();
+    bank.abort(doomed).unwrap();
+    let unfinished = bank.begin();
+    bank.write(&unfinished, 1, -777).unwrap();
+
+    println!(
+        "  before crash: balance(0) = {:?}, balance(1) = {:?} (dirty!), {} log pages, t = {:.0} ms",
+        bank.read(0),
+        bank.read(1),
+        committed_pages,
+        bank.now() as f64 / 1000.0
+    );
+
+    // Power failure.
+    let (recovered, report) = TransactionalStore::recover(bank.crash());
+    let total: i64 = (0..50).map(|a| recovered.read(a).unwrap_or(0)).sum();
+    println!(
+        "  recovered: {} committed txns, {} losers rolled back, {} log records scanned",
+        report.committed.len(),
+        report.losers.len(),
+        report.records_scanned
+    );
+    println!(
+        "  balance(1) = {:?} (dirty write gone), total money = ${total} (conserved: {})\n",
+        recovered.read(1),
+        total == 50_000
+    );
+    assert_eq!(total, 50_000);
+}
+
+fn main() {
+    println!("§5 of DeWitt et al. 1984 — recovery for memory-resident databases\n");
+    run(CommitMode::Synchronous, "synchronous commit (≤100 tps)");
+    run(CommitMode::GroupCommit, "group commit (≈1000 tps)");
+    run(
+        CommitMode::PartitionedLog { devices: 4 },
+        "partitioned log, 4 devices (≈4000 tps)",
+    );
+    run(
+        CommitMode::StableMemory {
+            capacity_bytes: 256 * 1024,
+        },
+        "stable memory + §5.4 log compression",
+    );
+    println!("all four §5 commit policies recover correctly.");
+}

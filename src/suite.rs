@@ -1,0 +1,5 @@
+//! Shared helpers for the mmdb-suite integration tests and examples.
+//!
+//! The substantive code lives in the workspace crates; this library only
+//! exists so the root package can host `tests/` and `examples/`.
+

@@ -1,0 +1,204 @@
+//! End-to-end engine scenarios spanning catalog, indexes, planner,
+//! executor and the cost meter.
+
+use mmdb::{Database, EngineConfig, IndexKind};
+use mmdb_planner::{JoinEdge, QuerySpec, TableRef};
+use mmdb_types::{CmpOp, DataType, Predicate, Schema, Tuple, Value, WorkloadRng};
+
+fn load_company(db: &mut Database, employees: usize, depts: i64) {
+    db.create_table(
+        "emp",
+        Schema::of(&[
+            ("id", DataType::Int),
+            ("name", DataType::Str),
+            ("salary", DataType::Float),
+            ("dept", DataType::Int),
+        ]),
+    )
+    .unwrap();
+    db.create_table(
+        "dept",
+        Schema::of(&[("id", DataType::Int), ("name", DataType::Str)]),
+    )
+    .unwrap();
+    let mut rng = WorkloadRng::seeded(42);
+    db.insert_many("emp", rng.employees(employees, depts)).unwrap();
+    for d in 0..depts {
+        db.insert(
+            "dept",
+            Tuple::new(vec![Value::Int(d), Value::Str(format!("d{d}"))]),
+        )
+        .unwrap();
+    }
+}
+
+#[test]
+fn full_lifecycle_load_index_query_update_delete() {
+    let mut db = Database::new();
+    load_company(&mut db, 2_000, 20);
+    db.create_index("emp", 0, IndexKind::BPlusTree).unwrap();
+    db.create_index("emp", 3, IndexKind::Hash).unwrap();
+
+    // Point lookup.
+    let one = db.lookup_eq("emp", 0, &Value::Int(999)).unwrap();
+    assert_eq!(one.len(), 1);
+
+    // Planned join.
+    let spec = QuerySpec {
+        tables: vec![TableRef::plain("emp"), TableRef::plain("dept")],
+        joins: vec![JoinEdge {
+            left_table: 0,
+            left_column: 3,
+            right_table: 1,
+            right_column: 0,
+        }],
+    };
+    let joined = db.query(&spec).unwrap();
+    assert_eq!(joined.rows.tuple_count(), 2_000);
+
+    // Update through the table API, verify via index.
+    let changed = db
+        .table_mut("emp")
+        .unwrap()
+        .update_where(&Predicate::eq(3, 7i64), 3, Value::Int(19))
+        .unwrap();
+    assert!(changed > 0);
+    assert!(db.lookup_eq("emp", 3, &Value::Int(7)).unwrap().is_empty());
+
+    // Delete and re-query.
+    let removed = db
+        .table_mut("emp")
+        .unwrap()
+        .delete_where(&Predicate::cmp(0, CmpOp::Ge, 1_000i64));
+    assert_eq!(removed, 1_000);
+    let rejoined = db.query(&spec).unwrap();
+    assert_eq!(rejoined.rows.tuple_count(), 1_000);
+}
+
+#[test]
+fn query_answers_are_memory_invariant() {
+    // The §3/§4 machinery must never change *answers*, only costs.
+    let specs = |db: &Database| {
+        let spec = QuerySpec {
+            tables: vec![
+                TableRef::filtered("emp", Predicate::cmp(2, CmpOp::Gt, 50_000.0)),
+                TableRef::plain("dept"),
+            ],
+            joins: vec![JoinEdge {
+                left_table: 0,
+                left_column: 3,
+                right_table: 1,
+                right_column: 0,
+            }],
+        };
+        let mut rows = db.query(&spec).unwrap().rows.into_tuples();
+        rows.sort();
+        rows
+    };
+    let mut ample = Database::new();
+    load_company(&mut ample, 3_000, 15);
+    let mut tight = Database::with_config(EngineConfig {
+        mem_pages: 6,
+        ..EngineConfig::default()
+    });
+    load_company(&mut tight, 3_000, 15);
+    assert_eq!(specs(&ample), specs(&tight));
+}
+
+#[test]
+fn aggregate_joins_and_projection_compose() {
+    let mut db = Database::new();
+    load_company(&mut db, 5_000, 25);
+    // Average salary by department (§3.9's example) ...
+    let by_dept = db
+        .aggregate(
+            "emp",
+            3,
+            &[
+                mmdb_exec::aggregate::AggFunc::Count,
+                mmdb_exec::aggregate::AggFunc::Avg(2),
+            ],
+        )
+        .unwrap();
+    assert_eq!(by_dept.tuple_count(), 25);
+    let total: i64 = by_dept
+        .tuples()
+        .iter()
+        .map(|t| t.get(1).as_int().unwrap())
+        .sum();
+    assert_eq!(total, 5_000);
+    // ... and DISTINCT projection agrees on the group count.
+    let distinct = db.project_distinct("emp", &[3]).unwrap();
+    assert_eq!(distinct.tuple_count(), 25);
+}
+
+#[test]
+fn planned_range_query_uses_the_ordered_index() {
+    use mmdb_planner::{AccessPath, PhysicalPlan};
+    let mut db = Database::new();
+    load_company(&mut db, 2_000, 10);
+    db.create_index("emp", 0, IndexKind::BPlusTree).unwrap();
+    let spec = QuerySpec::single(TableRef::filtered(
+        "emp",
+        Predicate::Between {
+            column: 0,
+            lo: Value::Int(100),
+            hi: Value::Int(199),
+        },
+    ));
+    let outcome = db.query(&spec).unwrap();
+    assert!(
+        matches!(
+            outcome.plan.plan,
+            PhysicalPlan::Access(AccessPath::IndexRange { .. })
+        ),
+        "expected a range plan:\n{}",
+        outcome.plan.plan
+    );
+    assert_eq!(outcome.rows.tuple_count(), 100);
+    // Far fewer comparisons than a 2000-tuple scan.
+    assert!(
+        outcome.measured.comparisons < 500,
+        "range scan should not touch every tuple: {:?}",
+        outcome.measured
+    );
+}
+
+#[test]
+fn simulated_seconds_track_memory_pressure() {
+    let run = |mem_pages: usize| {
+        let mut db = Database::with_config(EngineConfig {
+            mem_pages,
+            ..EngineConfig::default()
+        });
+        db.create_table(
+            "r",
+            Schema::of(&[("k", DataType::Int), ("v", DataType::Int)]),
+        )
+        .unwrap();
+        db.create_table(
+            "s",
+            Schema::of(&[("k", DataType::Int), ("v", DataType::Int)]),
+        )
+        .unwrap();
+        let mut rng = WorkloadRng::seeded(3);
+        db.insert_many("r", rng.keyed_tuples(4_000, 1_000)).unwrap();
+        db.insert_many("s", rng.keyed_tuples(4_000, 1_000)).unwrap();
+        let spec = QuerySpec {
+            tables: vec![TableRef::plain("r"), TableRef::plain("s")],
+            joins: vec![JoinEdge {
+                left_table: 0,
+                left_column: 0,
+                right_table: 1,
+                right_column: 0,
+            }],
+        };
+        db.query(&spec).unwrap().simulated_seconds
+    };
+    let tight = run(10);
+    let ample = run(10_000);
+    assert!(
+        tight > ample * 3.0,
+        "starved join should cost much more: {tight} vs {ample}"
+    );
+}
