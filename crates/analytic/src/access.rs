@@ -16,6 +16,7 @@
 //! memory fraction `H = |M|/S` at which the AVL tree becomes competitive;
 //! [`table1`] regenerates it.
 
+use mmdb_types::cast::f64_from_u64;
 use mmdb_types::AccessGeometry;
 
 /// Clamped miss probability `1 − resident/total`.
@@ -29,7 +30,7 @@ fn miss(resident_pages: f64, total_pages: f64) -> f64 {
 /// `m_pages` is the memory available to the structure, in pages.
 pub fn avl_random_cost(g: &AccessGeometry, z: f64, y: f64, m_pages: f64) -> f64 {
     let c = g.avl_comparisons();
-    let s = g.avl_pages() as f64;
+    let s = f64_from_u64(g.avl_pages());
     z * c * miss(m_pages, s) + y * c
 }
 
@@ -37,8 +38,8 @@ pub fn avl_random_cost(g: &AccessGeometry, z: f64, y: f64, m_pages: f64) -> f64 
 /// `Z · (height + 1) · (1 − |M|/S') + C'` with `C' = log2(||R||)`.
 pub fn btree_random_cost(g: &AccessGeometry, z: f64, m_pages: f64) -> f64 {
     let c = g.btree_comparisons();
-    let s = g.btree_pages() as f64;
-    let height = g.btree_height() as f64;
+    let s = f64_from_u64(g.btree_pages());
+    let height = f64_from_u64(g.btree_height());
     z * (height + 1.0) * miss(m_pages, s) + c
 }
 
@@ -47,8 +48,8 @@ pub fn btree_random_cost(g: &AccessGeometry, z: f64, m_pages: f64) -> f64 {
 /// without clustering each node visit is a potential fault (§2):
 /// `Z · n · (1 − |M|/S) + Y · n`.
 pub fn avl_sequential_cost(g: &AccessGeometry, z: f64, y: f64, m_pages: f64, n: u64) -> f64 {
-    let s = g.avl_pages() as f64;
-    let n = n as f64;
+    let s = f64_from_u64(g.avl_pages());
+    let n = f64_from_u64(n);
     z * n * miss(m_pages, s) + y * n
 }
 
@@ -57,9 +58,9 @@ pub fn avl_sequential_cost(g: &AccessGeometry, z: f64, y: f64, m_pages: f64, n: 
 /// reads are needed, plus one comparison per tuple:
 /// `Z · (n/L) · (1 − |M|/S') + n`.
 pub fn btree_sequential_cost(g: &AccessGeometry, z: f64, m_pages: f64, n: u64) -> f64 {
-    let s = g.btree_pages() as f64;
-    let leaf_cap = g.btree_leaf_capacity() as f64;
-    let n = n as f64;
+    let s = f64_from_u64(g.btree_pages());
+    let leaf_cap = f64_from_u64(g.btree_leaf_capacity());
+    let n = f64_from_u64(n);
     z * (n / leaf_cap) * miss(m_pages, s) + n
 }
 
@@ -89,7 +90,7 @@ pub fn sequential_break_even_fraction(g: &AccessGeometry, z: f64, y: f64, n: u64
 /// point where the AVL tree stops losing. The cost difference is monotone
 /// in `m`, so bisection suffices.
 fn break_even(g: &AccessGeometry, diff: impl Fn(&AccessGeometry, f64) -> f64) -> f64 {
-    let s = g.avl_pages() as f64;
+    let s = f64_from_u64(g.avl_pages());
     if diff(g, 0.0) >= 0.0 {
         return 0.0;
     }
@@ -171,10 +172,7 @@ mod tests {
         let g = g();
         for z in [10.0, 20.0, 30.0] {
             let h = random_break_even_fraction(&g, z, 0.9);
-            assert!(
-                h > 0.8,
-                "z={z}: break-even fraction {h} unexpectedly low"
-            );
+            assert!(h > 0.8, "z={z}: break-even fraction {h} unexpectedly low");
             assert!(h <= 1.0);
         }
     }

@@ -8,6 +8,7 @@
 //! The horizontal axis of **Figure 1** is `|M| / (|R|·F)`; [`figure1`]
 //! regenerates all four curves over that axis.
 
+use mmdb_types::cast::{f64_from_u64, u64_from_f64};
 use mmdb_types::{RelationShape, SystemParams};
 
 /// Which join algorithm a cost or result refers to.
@@ -61,13 +62,13 @@ impl JoinScenario {
         JoinScenario {
             params,
             shape,
-            mem_pages: ratio * shape.r_pages as f64 * params.fudge,
+            mem_pages: ratio * f64_from_u64(shape.r_pages) * params.fudge,
         }
     }
 
     /// The x-axis position of this scenario.
     pub fn ratio(&self) -> f64 {
-        self.mem_pages / (self.shape.r_pages as f64 * self.params.fudge)
+        self.mem_pages / (f64_from_u64(self.shape.r_pages) * self.params.fudge)
     }
 
     /// Costs this scenario under the given algorithm.
@@ -84,7 +85,7 @@ impl JoinScenario {
 /// The two-pass threshold: `sqrt(|S|·F)` pages (§3.2). Below this memory
 /// grant the formulas stop holding.
 pub fn min_memory_pages(shape: &RelationShape, fudge: f64) -> f64 {
-    (shape.s_pages as f64 * fudge).sqrt()
+    (f64_from_u64(shape.s_pages) * fudge).sqrt()
 }
 
 fn log2_at_least_1(x: f64) -> f64 {
@@ -107,15 +108,15 @@ pub fn sort_merge_cost(sc: &JoinScenario) -> f64 {
     let p = &sc.params;
     let sh = &sc.shape;
     let m = sc.mem_pages;
-    let (r_pages, s_pages) = (sh.r_pages as f64, sh.s_pages as f64);
-    let (r_t, s_t) = (sh.r_tuples() as f64, sh.s_tuples() as f64);
+    let (r_pages, s_pages) = (f64_from_u64(sh.r_pages), f64_from_u64(sh.s_pages));
+    let (r_t, s_t) = (f64_from_u64(sh.r_tuples()), f64_from_u64(sh.s_tuples()));
 
     // Tuples the in-memory priority queue can hold for each relation.
-    let mq_r = (m * sh.r_tuples_per_page as f64 / p.fudge).min(r_t);
-    let mq_s = (m * sh.s_tuples_per_page as f64 / p.fudge).min(s_t);
+    let mq_r = (m * f64_from_u64(sh.r_tuples_per_page) / p.fudge).min(r_t);
+    let mq_s = (m * f64_from_u64(sh.s_tuples_per_page) / p.fudge).min(s_t);
 
-    let run_formation = (r_t * log2_at_least_1(mq_r) + s_t * log2_at_least_1(mq_s))
-        * (p.comp() + p.swap());
+    let run_formation =
+        (r_t * log2_at_least_1(mq_r) + s_t * log2_at_least_1(mq_s)) * (p.comp() + p.swap());
 
     let fully_in_memory = m >= s_pages * p.fudge && m >= r_pages * p.fudge;
     let io = if fully_in_memory {
@@ -148,8 +149,8 @@ pub fn simple_hash_cost(sc: &JoinScenario) -> f64 {
     let p = &sc.params;
     let sh = &sc.shape;
     let m = sc.mem_pages;
-    let r_pages = sh.r_pages as f64;
-    let (r_t, s_t) = (sh.r_tuples() as f64, sh.s_tuples() as f64);
+    let r_pages = f64_from_u64(sh.r_pages);
+    let (r_t, s_t) = (f64_from_u64(sh.r_tuples()), f64_from_u64(sh.s_tuples()));
 
     // Base work performed exactly once per tuple.
     let build = r_t * (p.hash() + p.mv());
@@ -161,15 +162,15 @@ pub fn simple_hash_cost(sc: &JoinScenario) -> f64 {
 
     let mut passed_r_tuples = 0.0;
     let mut passed_s_tuples = 0.0;
-    for i in 1..(passes as u64) {
-        let remaining = (1.0 - i as f64 * frac_per_pass).max(0.0);
+    for i in 1..u64_from_f64(passes) {
+        let remaining = (1.0 - f64_from_u64(i) * frac_per_pass).max(0.0);
         passed_r_tuples += r_t * remaining;
         passed_s_tuples += s_t * remaining;
     }
 
     let cpu_passed = (passed_r_tuples + passed_s_tuples) * (p.hash() + p.mv());
-    let passed_pages =
-        passed_r_tuples / sh.r_tuples_per_page as f64 + passed_s_tuples / sh.s_tuples_per_page as f64;
+    let passed_pages = passed_r_tuples / f64_from_u64(sh.r_tuples_per_page)
+        + passed_s_tuples / f64_from_u64(sh.s_tuples_per_page);
     let io_passed = passed_pages * 2.0 * p.io_seq();
 
     build + probe + cpu_passed + io_passed
@@ -184,8 +185,8 @@ pub fn simple_hash_cost(sc: &JoinScenario) -> f64 {
 pub fn grace_hash_cost(sc: &JoinScenario) -> f64 {
     let p = &sc.params;
     let sh = &sc.shape;
-    let (r_pages, s_pages) = (sh.r_pages as f64, sh.s_pages as f64);
-    let (r_t, s_t) = (sh.r_tuples() as f64, sh.s_tuples() as f64);
+    let (r_pages, s_pages) = (f64_from_u64(sh.r_pages), f64_from_u64(sh.s_pages));
+    let (r_t, s_t) = (f64_from_u64(sh.r_tuples()), f64_from_u64(sh.s_tuples()));
 
     let partition = (r_t + s_t) * (p.hash() + p.mv());
     let write = (r_pages + s_pages) * p.io_rand();
@@ -200,11 +201,13 @@ pub fn grace_hash_cost(sc: &JoinScenario) -> f64 {
 /// of the `B` partitions fits, given that `B` output-buffer pages are
 /// reserved.
 pub fn hybrid_partitions(shape: &RelationShape, fudge: f64, mem_pages: f64) -> f64 {
-    let r_f = shape.r_pages as f64 * fudge;
+    let r_f = f64_from_u64(shape.r_pages) * fudge;
     if mem_pages >= r_f {
         0.0
     } else {
-        ((r_f - mem_pages) / (mem_pages - 1.0).max(1.0)).ceil().max(1.0)
+        ((r_f - mem_pages) / (mem_pages - 1.0).max(1.0))
+            .ceil()
+            .max(1.0)
     }
 }
 
@@ -216,7 +219,7 @@ pub fn hybrid_in_memory_fraction(shape: &RelationShape, fudge: f64, mem_pages: f
         return 1.0;
     }
     let r0_pages = ((mem_pages - b) / fudge).max(0.0);
-    (r0_pages / shape.r_pages as f64).clamp(0.0, 1.0)
+    (r0_pages / f64_from_u64(shape.r_pages)).clamp(0.0, 1.0)
 }
 
 /// §3.7 hybrid-hash join cost in seconds, exactly the paper's formula:
@@ -237,8 +240,8 @@ pub fn hybrid_in_memory_fraction(shape: &RelationShape, fudge: f64, mem_pages: f
 pub fn hybrid_hash_cost(sc: &JoinScenario) -> f64 {
     let p = &sc.params;
     let sh = &sc.shape;
-    let (r_pages, s_pages) = (sh.r_pages as f64, sh.s_pages as f64);
-    let (r_t, s_t) = (sh.r_tuples() as f64, sh.s_tuples() as f64);
+    let (r_pages, s_pages) = (f64_from_u64(sh.r_pages), f64_from_u64(sh.s_pages));
+    let (r_t, s_t) = (f64_from_u64(sh.r_tuples()), f64_from_u64(sh.s_tuples()));
 
     let b = hybrid_partitions(sh, p.fudge, sc.mem_pages);
     let q = hybrid_in_memory_fraction(sh, p.fudge, sc.mem_pages);
@@ -320,8 +323,7 @@ pub mod tid {
     ) -> f64 {
         let whole = sc.cost(algo);
         let tid_base = tid_join_cost(sc, algo);
-        let per_tuple =
-            2.0 * (1.0 - resident_fraction).clamp(0.0, 1.0) * sc.params.io_rand();
+        let per_tuple = 2.0 * (1.0 - resident_fraction).clamp(0.0, 1.0) * sc.params.io_rand();
         if per_tuple <= 0.0 {
             return f64::INFINITY; // fully resident: TIDs always win
         }

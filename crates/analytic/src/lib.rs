@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! The closed-form cost models of DeWitt et al., SIGMOD 1984.

@@ -16,6 +16,8 @@
 //!   still bounded by the drain rate to disk, but stripping old values of
 //!   committed transactions (§5.4) roughly halves the bytes drained.
 
+use mmdb_types::cast::f64_from_u64;
+
 /// A commit policy whose §5 throughput bound we model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CommitPolicy {
@@ -84,21 +86,21 @@ impl ThroughputModel {
         match policy {
             CommitPolicy::Synchronous => self.page_writes_per_second(),
             CommitPolicy::GroupCommit => {
-                self.page_writes_per_second() * self.group_size() as f64
+                self.page_writes_per_second() * f64_from_u64(self.group_size())
             }
             CommitPolicy::PartitionedLog { devices } => {
                 self.page_writes_per_second()
-                    * self.group_size() as f64
-                    * devices as f64
+                    * f64_from_u64(self.group_size())
+                    * f64::from(devices)
                     * self.partition_efficiency
             }
             CommitPolicy::StableMemory { devices } => {
                 // Drain-bound: only `txn_log_bytes - old_value_bytes` per
                 // transaction reach disk, written a full page at a time
                 // across `devices` with no ordering bookkeeping (§5.4).
-                let disk_bytes = (self.txn_log_bytes - self.old_value_bytes) as f64;
-                let txns_per_page = self.page_bytes as f64 / disk_bytes;
-                self.page_writes_per_second() * txns_per_page * devices as f64
+                let disk_bytes = f64_from_u64(self.txn_log_bytes - self.old_value_bytes);
+                let txns_per_page = f64_from_u64(self.page_bytes) / disk_bytes;
+                self.page_writes_per_second() * txns_per_page * f64::from(devices)
             }
         }
     }
@@ -106,7 +108,7 @@ impl ThroughputModel {
     /// §5.4 compression ratio: disk-log bytes after stripping old values of
     /// committed transactions, as a fraction of the full log.
     pub fn compression_ratio(&self) -> f64 {
-        (self.txn_log_bytes - self.old_value_bytes) as f64 / self.txn_log_bytes as f64
+        f64_from_u64(self.txn_log_bytes - self.old_value_bytes) / f64_from_u64(self.txn_log_bytes)
     }
 }
 

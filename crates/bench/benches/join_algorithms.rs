@@ -8,7 +8,7 @@ use mmdb_types::RelationShape;
 
 fn bench_joins(c: &mut Criterion) {
     let shape = RelationShape::table2();
-    let (r, s) = workload::table2_relations(shape, 0.005, 3); // 50 pages each
+    let (r, s) = workload::table2_relations(shape, 0.005, 3).expect("workload generation"); // 50 pages each
     let spec = JoinSpec::new(0, 0);
     for (label, mem) in [("tight", 10usize), ("ample", 100)] {
         let mut g = c.benchmark_group(format!("join_50pages_{label}"));

@@ -11,7 +11,12 @@ fn relation(n: usize) -> MemRelation {
     let mut rng = WorkloadRng::seeded(5);
     let schema = Schema::of(&[("k", DataType::Int), ("v", DataType::Int)]);
     let tuples: Vec<Tuple> = (0..n)
-        .map(|i| Tuple::new(vec![Value::Int(rng.int_in(0, 1 << 40)), Value::Int(i as i64)]))
+        .map(|i| {
+            Tuple::new(vec![
+                Value::Int(rng.int_in(0, 1 << 40)),
+                Value::Int(i as i64),
+            ])
+        })
         .collect();
     MemRelation::from_tuples(schema, 40, tuples).unwrap()
 }

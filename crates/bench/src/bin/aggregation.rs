@@ -18,7 +18,7 @@ fn main() {
     // --- Aggregation: average salary by department ----------------------
     let mut rows = Vec::new();
     for n in [10_000usize, 50_000, 200_000] {
-        let rel = workload::employees(n, 100, 7);
+        let rel = workload::employees(n, 100, 7).expect("workload generation");
         let hctx = ExecContext::new(10_000, 1.2);
         let h = hash_aggregate(&rel, 3, &[AggFunc::Count, AggFunc::Avg(2)], &hctx).unwrap();
         let sctx = ExecContext::new(10_000, 1.2);
@@ -40,7 +40,7 @@ fn main() {
     );
 
     // --- Aggregation under memory pressure -----------------------------
-    let rel = workload::employees(100_000, 1_000, 8);
+    let rel = workload::employees(100_000, 1_000, 8).expect("workload generation");
     let tight = ExecContext::new(20, 1.2);
     let hh = hybrid_hash_aggregate(&rel, 3, &[AggFunc::Count], &tight).unwrap();
     let tight_secs = tight.meter.seconds(&params);
@@ -64,7 +64,7 @@ fn main() {
     // --- Projection with duplicate elimination ---------------------------
     let mut prows = Vec::new();
     for n in [10_000usize, 50_000, 200_000] {
-        let rel = workload::employees(n, 50, 9);
+        let rel = workload::employees(n, 50, 9).expect("workload generation");
         let hctx = ExecContext::new(10_000, 1.2);
         let h = hash_project(&rel, &[3], &hctx).unwrap();
         let sctx = ExecContext::new(10_000, 1.2);

@@ -26,9 +26,7 @@ fn main() {
     let ratios = figure1_ratios();
 
     println!("Experiment F1 — Figure 1 of DeWitt et al. 1984");
-    println!(
-        "Table 2: comp 3µs, hash 9µs, move 20µs, swap 60µs, IOseq 10ms, IOrand 25ms, F 1.2"
-    );
+    println!("Table 2: comp 3µs, hash 9µs, move 20µs, swap 60µs, IOseq 10ms, IOrand 25ms, F 1.2");
     println!("|R| = |S| = 10 000 pages × 40 tuples/page (analytic at full scale)");
 
     // --- Analytic curves ------------------------------------------------
@@ -45,14 +43,22 @@ fn main() {
         .collect();
     print_table(
         "Figure 1 (analytic): execution time in seconds vs |M|/(|R|*F)",
-        &["ratio", "sort-merge", "simple-hash", "grace-hash", "hybrid-hash"],
+        &[
+            "ratio",
+            "sort-merge",
+            "simple-hash",
+            "grace-hash",
+            "hybrid-hash",
+        ],
         &rows,
     );
 
     // --- Empirical curves -----------------------------------------------
-    println!("\nexecuting the real algorithms at scale {scale} (|R| = |S| = {} pages)...",
-        (shape.r_pages as f64 * scale) as u64);
-    let (r, s) = workload::table2_relations(shape, scale, 42);
+    println!(
+        "\nexecuting the real algorithms at scale {scale} (|R| = |S| = {} pages)...",
+        (shape.r_pages as f64 * scale) as u64
+    );
+    let (r, s) = workload::table2_relations(shape, scale, 42).expect("workload generation");
     let spec = JoinSpec::new(0, 0);
     let algos = [
         Algo::SortMerge,
@@ -64,8 +70,7 @@ fn main() {
     let mut winners_match = 0usize;
     let mut total_points = 0usize;
     for &ratio in &ratios {
-        let mem_pages =
-            ((ratio * r.page_count() as f64 * params.fudge).round() as usize).max(2);
+        let mem_pages = ((ratio * r.page_count() as f64 * params.fudge).round() as usize).max(2);
         let mut row = vec![format!("{ratio:.3}")];
         let mut emp_secs = Vec::new();
         for algo in algos {
@@ -82,9 +87,7 @@ fn main() {
             .min_by(|&a, &b| emp_secs[a].total_cmp(&emp_secs[b]))
             .unwrap();
         let ana_winner = (0..4)
-            .min_by(|&a, &b| {
-                analytic_pt.seconds[a].total_cmp(&analytic_pt.seconds[b])
-            })
+            .min_by(|&a, &b| analytic_pt.seconds[a].total_cmp(&analytic_pt.seconds[b]))
             .unwrap();
         total_points += 1;
         if emp_winner == ana_winner {

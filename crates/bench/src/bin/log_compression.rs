@@ -68,7 +68,10 @@ fn main() {
         pct(model.compression_ratio()),
         pct(compressed_pages as f64 / full_pages as f64)
     );
-    assert!(full_ok && compressed_ok, "recovery must succeed in both modes");
+    assert!(
+        full_ok && compressed_ok,
+        "recovery must succeed in both modes"
+    );
     assert!(
         compressed_pages < full_pages,
         "compression must reduce disk-log volume"

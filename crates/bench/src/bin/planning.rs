@@ -58,7 +58,8 @@ fn build_db() -> Database {
         )
         .unwrap();
     }
-    db.create_index("customers", 0, IndexKind::BPlusTree).unwrap();
+    db.create_index("customers", 0, IndexKind::BPlusTree)
+        .unwrap();
     db.create_index("parts", 0, IndexKind::Hash).unwrap();
     db
 }
@@ -136,7 +137,14 @@ fn main() {
     }
     print_table(
         "Chosen plans (|M| = 12 000 pages)",
-        &["scenario", "join order", "methods", "est rows", "actual rows", "sim secs"],
+        &[
+            "scenario",
+            "join order",
+            "methods",
+            "est rows",
+            "actual rows",
+            "sim secs",
+        ],
         &rows,
     );
 

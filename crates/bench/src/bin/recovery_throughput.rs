@@ -14,7 +14,12 @@ fn main() {
     let n = 20_000;
 
     let mut rows: Vec<Vec<String>> = Vec::new();
-    let push = |rows: &mut Vec<Vec<String>>, name: &str, paper: &str, model_tps: f64, sim_tps: f64, pages: usize| {
+    let push = |rows: &mut Vec<Vec<String>>,
+                name: &str,
+                paper: &str,
+                model_tps: f64,
+                sim_tps: f64,
+                pages: usize| {
         rows.push(vec![
             name.to_string(),
             paper.to_string(),
@@ -60,7 +65,10 @@ fn main() {
         let stable = ThroughputSim::new(SimConfig::stable(k)).run_grouped(n);
         push(
             &mut rows,
-            &format!("stable memory ({k} drain device{})", if k == 1 { "" } else { "s" }),
+            &format!(
+                "stable memory ({k} drain device{})",
+                if k == 1 { "" } else { "s" }
+            ),
             "drain-bound",
             model.throughput(CommitPolicy::StableMemory { devices: k as u32 }),
             stable.tps(),

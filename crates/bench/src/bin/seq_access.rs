@@ -68,8 +68,7 @@ fn main() {
     for &k in &keys {
         avl.insert(k, k);
     }
-    let bt: BPlusTree<i64, i64> =
-        BPlusTree::bulk_load(235, 28, 0.69, (0..tuples).map(|k| (k, k)));
+    let bt: BPlusTree<i64, i64> = BPlusTree::bulk_load(235, 28, 0.69, (0..tuples).map(|k| (k, k)));
 
     let scan_len = 1_000usize;
     let scans = 40;
@@ -112,13 +111,16 @@ fn main() {
             pct(h),
             format!("{avl_cost:.0}"),
             format!("{bt_cost:.0}"),
-            if avl_cost <= bt_cost { "AVL" } else { "B+-tree" }.to_string(),
+            if avl_cost <= bt_cost {
+                "AVL"
+            } else {
+                "B+-tree"
+            }
+            .to_string(),
         ]);
     }
     print_table(
-        &format!(
-            "Empirical: {scan_len}-tuple scans over ||R|| = {tuples} (Z=20, Y=0.9, measured)"
-        ),
+        &format!("Empirical: {scan_len}-tuple scans over ||R|| = {tuples} (Z=20, Y=0.9, measured)"),
         &["H", "AVL cost", "B+ cost", "winner"],
         &emp,
     );

@@ -69,10 +69,7 @@ fn measured_costs(
             bt.get_traced(&k, tr);
         }),
     );
-    (
-        z * avl_faults + y * avl_comps,
-        z * bt_faults + bt_comps,
-    )
+    (z * avl_faults + y * avl_comps, z * bt_faults + bt_comps)
 }
 
 fn main() {
@@ -129,8 +126,7 @@ fn main() {
     for &k in &keys {
         avl.insert(k, k);
     }
-    let bt: BPlusTree<i64, i64> =
-        BPlusTree::bulk_load(235, 28, 0.69, (0..n).map(|k| (k, k)));
+    let bt: BPlusTree<i64, i64> = BPlusTree::bulk_load(235, 28, 0.69, (0..n).map(|k| (k, k)));
     println!(
         "\nempirical structures: ||R|| = {n}; AVL {} pages, height {}; B+-tree {} pages, height {}",
         avl.pages(),
@@ -153,7 +149,12 @@ fn main() {
             pct(h),
             format!("{avl_cost:.1}"),
             format!("{bt_cost:.1}"),
-            if avl_cost <= bt_cost { "AVL" } else { "B+-tree" }.to_string(),
+            if avl_cost <= bt_cost {
+                "AVL"
+            } else {
+                "B+-tree"
+            }
+            .to_string(),
         ]);
     }
     print_table(

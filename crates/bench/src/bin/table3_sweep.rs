@@ -78,8 +78,7 @@ fn main() {
     let mut hybrid_wins = 0usize;
     let mut evaluated = 0usize;
     for p in &pts {
-        let floor =
-            mmdb_analytic::join::min_memory_pages(&p.shape, p.params.fudge);
+        let floor = mmdb_analytic::join::min_memory_pages(&p.shape, p.params.fudge);
         let r_f = p.shape.r_pages as f64 * p.params.fudge;
         // Sample the memory axis from the two-pass floor to |R|F.
         for step in 1..=10 {
@@ -109,19 +108,13 @@ fn main() {
                 // the documented accounting region — counts as expected
                 hybrid_wins += 1;
             } else {
-                violations.push(format!(
-                    "unexpected ordering at {} (mem {mem:.0})",
-                    p.label
-                ));
+                violations.push(format!("unexpected ordering at {} (mem {mem:.0})", p.label));
             }
         }
     }
 
     let rows = vec![
-        vec![
-            "memory points evaluated".to_string(),
-            evaluated.to_string(),
-        ],
+        vec!["memory points evaluated".to_string(), evaluated.to_string()],
         vec![
             "hybrid best (or §3.8 region)".to_string(),
             hybrid_wins.to_string(),

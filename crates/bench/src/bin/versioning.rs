@@ -100,7 +100,9 @@ fn run_mvcc(scan_len: u64) -> (u64, u64, usize) {
 
 fn main() {
     println!("Experiment V1 — §6: locking vs versioning (REED83)");
-    println!("{ROUNDS} rounds; each round = one writer + one reader scanning N of {ACCOUNTS} accounts\n");
+    println!(
+        "{ROUNDS} rounds; each round = one writer + one reader scanning N of {ACCOUNTS} accounts\n"
+    );
     let mut rows = Vec::new();
     for scan_len in [4u64, 16, 48] {
         let (lock_done, r_aborts, w_aborts) = run_locking(scan_len);

@@ -3,13 +3,9 @@
 use crate::table::{IndexKind, Table};
 use mmdb_exec::join::{run_join, Algo, JoinSpec};
 use mmdb_exec::{aggregate, project, select, ExecContext};
-use mmdb_planner::{
-    optimize, AccessPath, JoinMethod, PhysicalPlan, PlannedQuery, QuerySpec,
-};
+use mmdb_planner::{optimize, AccessPath, JoinMethod, PhysicalPlan, PlannedQuery, QuerySpec};
 use mmdb_storage::{CostMeter, CostSnapshot, MemRelation};
-use mmdb_types::{
-    CostWeights, Error, Predicate, Result, Schema, SystemParams, Tuple, Value,
-};
+use mmdb_types::{CostWeights, Error, Predicate, Result, Schema, SystemParams, Tuple, Value};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -197,7 +193,7 @@ impl Database {
     /// Filters a table by a predicate (metered).
     pub fn select(&self, table: &str, pred: &Predicate) -> Result<MemRelation> {
         let rel = self.table(table)?.as_relation();
-        Ok(select::select(&rel, pred, &self.exec_ctx()))
+        select::select(&rel, pred, &self.exec_ctx())
     }
 
     /// Hash aggregation over a table, choosing the §3.9 algorithm by the
@@ -235,8 +231,9 @@ impl Database {
     pub fn analyze(&self, name: &str) -> Result<mmdb_planner::TableStats> {
         let t = self.table(name)?;
         let arity = t.schema().arity();
-        let mut distinct: Vec<std::collections::HashSet<&Value>> =
-            (0..arity).map(|_| std::collections::HashSet::new()).collect();
+        let mut distinct: Vec<std::collections::HashSet<&Value>> = (0..arity)
+            .map(|_| std::collections::HashSet::new())
+            .collect();
         let mut mins: Vec<Option<&Value>> = vec![None; arity];
         let mut maxs: Vec<Option<&Value>> = vec![None; arity];
         for tuple in t.scan() {
@@ -267,7 +264,12 @@ impl Database {
             ordered_indexed_columns: t
                 .indexed_columns()
                 .iter()
-                .filter(|(_, k)| matches!(k, crate::table::IndexKind::Avl | crate::table::IndexKind::BPlusTree))
+                .filter(|(_, k)| {
+                    matches!(
+                        k,
+                        crate::table::IndexKind::Avl | crate::table::IndexKind::BPlusTree
+                    )
+                })
                 .map(|(c, _)| *c)
                 .collect(),
         })
@@ -275,11 +277,7 @@ impl Database {
 
     /// Plans a query with the §4 optimizer, using fresh statistics.
     pub fn plan(&self, spec: &QuerySpec) -> Result<PlannedQuery> {
-        let stats: Result<Vec<_>> = spec
-            .tables
-            .iter()
-            .map(|t| self.analyze(&t.table))
-            .collect();
+        let stats: Result<Vec<_>> = spec.tables.iter().map(|t| self.analyze(&t.table)).collect();
         let env = mmdb_planner::optimizer::PlanEnv {
             params: self.config.params,
             weights: self.config.weights,
@@ -357,7 +355,7 @@ impl Database {
         match plan {
             PhysicalPlan::Access(AccessPath::SeqScan { table, predicate }) => {
                 let rel = self.table(table)?.as_relation();
-                Ok(select::select(&rel, predicate, &ctx))
+                select::select(&rel, predicate, &ctx)
             }
             PhysicalPlan::Access(AccessPath::IndexLookup {
                 table,
@@ -369,17 +367,11 @@ impl Database {
                 // Charge the index descent: ~log2(||R||) comparisons.
                 let comps = (t.len().max(2) as f64).log2().ceil() as u64;
                 self.meter.charge_comparisons(comps);
-                let matches: Vec<Tuple> = t
-                    .lookup_eq(*column, value)?
-                    .into_iter()
-                    .cloned()
-                    .collect();
-                let rel = MemRelation::from_tuples(
-                    t.schema().clone(),
-                    t.tuples_per_page(),
-                    matches,
-                )?;
-                Ok(select::select(&rel, residual, &ctx))
+                let matches: Vec<Tuple> =
+                    t.lookup_eq(*column, value)?.into_iter().cloned().collect();
+                let rel =
+                    MemRelation::from_tuples(t.schema().clone(), t.tuples_per_page(), matches)?;
+                select::select(&rel, residual, &ctx)
             }
             PhysicalPlan::Access(AccessPath::IndexRange {
                 table,
@@ -397,12 +389,9 @@ impl Database {
                 // Descent comparisons plus one per tuple read in key order.
                 let comps = (t.len().max(2) as f64).log2().ceil() as u64 + matches.len() as u64;
                 self.meter.charge_comparisons(comps);
-                let rel = MemRelation::from_tuples(
-                    t.schema().clone(),
-                    t.tuples_per_page(),
-                    matches,
-                )?;
-                Ok(select::select(&rel, residual, &ctx))
+                let rel =
+                    MemRelation::from_tuples(t.schema().clone(), t.tuples_per_page(), matches)?;
+                select::select(&rel, residual, &ctx)
             }
             PhysicalPlan::Join {
                 left,

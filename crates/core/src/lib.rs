@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! `mmdb` — a main-memory relational database engine reproducing
@@ -44,9 +45,13 @@
 //! assert_eq!(rows[0].get(1), &Value::Str("Jones".into()));
 //! ```
 
+/// §6 the integrated engine: catalog, planner, and executor glue.
 pub mod db;
+/// §4.3 multi-version concurrency control for read-only queries.
 pub mod mvcc;
+/// §2 memory-resident tables with a choice of index structure.
 pub mod table;
+/// §5 transactional store combining locking, logging, and recovery.
 pub mod txn;
 
 pub use db::{Database, EngineConfig, QueryOutcome};

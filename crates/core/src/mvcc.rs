@@ -16,7 +16,7 @@
 //! reader with zero conflicts at the cost of retaining old versions until
 //! garbage collection.
 
-use mmdb_types::{Error, Result};
+use mmdb_types::{AuditViolation, Auditable, Error, Result};
 use std::collections::{BTreeMap, HashMap};
 
 /// A read-only transaction: a registered snapshot timestamp.
@@ -192,6 +192,8 @@ impl VersionedStore {
         for k in state.locked {
             self.write_locks.remove(&k);
         }
+        #[cfg(debug_assertions)]
+        self.audit()?;
         Ok(ts)
     }
 
@@ -231,6 +233,73 @@ impl VersionedStore {
             }
         }
         dropped
+    }
+}
+
+impl Auditable for VersionedStore {
+    /// Verifies version-chain and lock bookkeeping: per-key version chains
+    /// strictly ascend by commit timestamp and never exceed the commit
+    /// clock, write locks and writer descriptors mirror each other
+    /// exactly, and reader pins reference reachable snapshots. These are
+    /// the conditions under which §6's "readers never block, never abort,
+    /// never see a torn state" claim is actually safe.
+    fn audit(&self) -> std::result::Result<(), AuditViolation> {
+        const C: &str = "VersionedStore";
+        for (key, versions) in &self.versions {
+            AuditViolation::ensure(!versions.is_empty(), C, "version-chain", || {
+                format!("key {key} has an empty version chain")
+            })?;
+            for w in versions.windows(2) {
+                AuditViolation::ensure(w[0].0 < w[1].0, C, "version-order", || {
+                    format!(
+                        "key {key} versions out of order: ts {} then ts {}",
+                        w[0].0, w[1].0
+                    )
+                })?;
+            }
+            let newest = versions.last().expect("non-empty checked above").0;
+            AuditViolation::ensure(newest <= self.commit_clock, C, "version-horizon", || {
+                format!(
+                    "key {key} has version ts {newest} beyond commit clock {}",
+                    self.commit_clock
+                )
+            })?;
+        }
+        for (key, owner) in &self.write_locks {
+            let holds = self
+                .writers
+                .get(owner)
+                .map(|s| s.locked.contains(key))
+                .unwrap_or(false);
+            AuditViolation::ensure(holds, C, "lock-ownership", || {
+                format!("key {key} locked by txn {owner}, which does not record holding it")
+            })?;
+        }
+        for (id, state) in &self.writers {
+            AuditViolation::ensure(*id <= self.next_txn, C, "txn-ids", || {
+                format!("writer {id} beyond allocator {}", self.next_txn)
+            })?;
+            for key in &state.locked {
+                AuditViolation::ensure(
+                    self.write_locks.get(key) == Some(id),
+                    C,
+                    "lock-ownership",
+                    || format!("txn {id} records lock on key {key} it does not own"),
+                )?;
+            }
+        }
+        for (snapshot, count) in &self.readers {
+            AuditViolation::ensure(*snapshot <= self.commit_clock, C, "reader-snapshot", || {
+                format!(
+                    "reader snapshot {snapshot} beyond commit clock {}",
+                    self.commit_clock
+                )
+            })?;
+            AuditViolation::ensure(*count > 0, C, "reader-pins", || {
+                format!("snapshot {snapshot} pinned with zero readers")
+            })?;
+        }
+        Ok(())
     }
 }
 
@@ -315,8 +384,7 @@ mod tests {
         // transfer.
         let total_b =
             store.read(&reader_before, 1).unwrap() + store.read(&reader_before, 2).unwrap();
-        let total_a =
-            store.read(&reader_after, 1).unwrap() + store.read(&reader_after, 2).unwrap();
+        let total_a = store.read(&reader_after, 1).unwrap() + store.read(&reader_after, 2).unwrap();
         assert_eq!(total_b, 2_000);
         assert_eq!(total_a, 2_000);
         store.end_read(reader_before);
@@ -366,8 +434,8 @@ mod tests {
         let w = store.begin_write();
         store.write(&w, 1, 99).unwrap();
         store.commit(w).unwrap(); // ts = 6
-        // GC horizon is the reader's snapshot (5): versions 1..4 die, the
-        // version visible at 5 and the one at 6 survive.
+                                  // GC horizon is the reader's snapshot (5): versions 1..4 die, the
+                                  // version visible at 5 and the one at 6 survive.
         let dropped = store.gc();
         assert_eq!(dropped, 4);
         assert_eq!(store.read(&reader, 1), Some(4));

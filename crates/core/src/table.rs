@@ -171,11 +171,8 @@ impl Table {
 
     /// Columns currently indexed, with their index kinds.
     pub fn indexed_columns(&self) -> Vec<(usize, IndexKind)> {
-        let mut v: Vec<(usize, IndexKind)> = self
-            .indexes
-            .iter()
-            .map(|(c, i)| (*c, i.kind()))
-            .collect();
+        let mut v: Vec<(usize, IndexKind)> =
+            self.indexes.iter().map(|(c, i)| (*c, i.kind())).collect();
         v.sort_by_key(|(c, _)| *c);
         v
     }
@@ -221,10 +218,7 @@ impl Table {
             .ok_or_else(|| Error::Planning(format!("no index on column {column}")))?;
         let mut rows = index.lookup(value);
         rows.sort_unstable();
-        Ok(rows
-            .into_iter()
-            .filter_map(|r| self.get(r))
-            .collect())
+        Ok(rows.into_iter().filter_map(|r| self.get(r)).collect())
     }
 
     /// Whether `column` has an index.
@@ -441,9 +435,7 @@ mod tests {
         for kind in [IndexKind::Avl, IndexKind::BPlusTree] {
             let mut t = emp_table();
             t.create_index(0, kind).unwrap();
-            let rows = t
-                .range_scan(0, &Value::Int(10), &Value::Int(19))
-                .unwrap();
+            let rows = t.range_scan(0, &Value::Int(10), &Value::Int(19)).unwrap();
             assert_eq!(rows.len(), 10, "{kind:?}");
             let ids: Vec<i64> = rows.iter().map(|r| r.get(0).as_int().unwrap()).collect();
             assert_eq!(ids, (10..20).collect::<Vec<_>>(), "{kind:?}: key order");
@@ -454,12 +446,11 @@ mod tests {
     fn range_scan_rejects_hash_index() {
         let mut t = emp_table();
         t.create_index(0, IndexKind::Hash).unwrap();
-        assert!(t
-            .range_scan(0, &Value::Int(0), &Value::Int(5))
-            .is_err());
-        assert!(t
-            .range_scan(1, &Value::Int(0), &Value::Int(5))
-            .is_err(), "no index at all");
+        assert!(t.range_scan(0, &Value::Int(0), &Value::Int(5)).is_err());
+        assert!(
+            t.range_scan(1, &Value::Int(0), &Value::Int(5)).is_err(),
+            "no index at all"
+        );
     }
 
     #[test]
@@ -471,7 +462,11 @@ mod tests {
         }
         t.create_index(0, IndexKind::BPlusTree).unwrap();
         let js = t
-            .range_scan(0, &Value::Str("J".into()), &Value::Str("J\u{10FFFF}".into()))
+            .range_scan(
+                0,
+                &Value::Str("J".into()),
+                &Value::Str("J\u{10FFFF}".into()),
+            )
             .unwrap();
         let names: Vec<&str> = js.iter().map(|r| r.get(0).as_str().unwrap()).collect();
         assert_eq!(names, vec!["Jacobs", "Johnson", "Jones"]);

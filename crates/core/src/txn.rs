@@ -49,7 +49,8 @@ impl TransactionalStore {
         }
         let from_balance = self.inner.read(from).unwrap_or(0);
         let to_balance = self.inner.read(to).unwrap_or(0);
-        self.inner.write_typical(&txn, from, from_balance - amount)?;
+        self.inner
+            .write_typical(&txn, from, from_balance - amount)?;
         self.inner.write_typical(&txn, to, to_balance + amount)?;
         self.inner.commit(txn)
     }

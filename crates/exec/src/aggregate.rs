@@ -139,7 +139,7 @@ fn aggregate_in_memory(
     aggs: &[AggFunc],
     ctx: &ExecContext,
     out: &mut MemRelation,
-) {
+) -> Result<()> {
     let mut groups: HashMap<Value, AggState> = HashMap::new();
     for t in tuples {
         ctx.meter.charge_hashes(1);
@@ -159,8 +159,9 @@ fn aggregate_in_memory(
         let state = &groups[&k];
         let mut values = vec![k.clone()];
         values.extend(state.finish(aggs));
-        out.push(Tuple::new(values)).expect("aggregate schema");
+        out.push(Tuple::new(values))?;
     }
+    Ok(())
 }
 
 /// One-pass hash aggregation: assumes the result relation fits in memory
@@ -174,7 +175,7 @@ pub fn hash_aggregate(
 ) -> Result<MemRelation> {
     let schema = aggregate_schema(rel.schema(), group_col, aggs)?;
     let mut out = MemRelation::new(schema, rel.tuples_per_page());
-    aggregate_in_memory(rel.tuples().iter().cloned(), group_col, aggs, ctx, &mut out);
+    aggregate_in_memory(rel.tuples().iter().cloned(), group_col, aggs, ctx, &mut out)?;
     Ok(out)
 }
 
@@ -192,7 +193,7 @@ pub fn hybrid_hash_aggregate(
     let mut out = MemRelation::new(schema, tpp);
     let capacity = ctx.mem_tuple_capacity(tpp);
     if rel.tuple_count() <= capacity {
-        aggregate_in_memory(rel.tuples().iter().cloned(), group_col, aggs, ctx, &mut out);
+        aggregate_in_memory(rel.tuples().iter().cloned(), group_col, aggs, ctx, &mut out)?;
         return Ok(out);
     }
     // Partition to disk so each partition's groups fit.
@@ -211,7 +212,7 @@ pub fn hybrid_hash_aggregate(
     }
     for f in files {
         let tuples = f.drain_pages(SpillIo::Sequential).flatten();
-        aggregate_in_memory(tuples, group_col, aggs, ctx, &mut out);
+        aggregate_in_memory(tuples, group_col, aggs, ctx, &mut out)?;
     }
     Ok(out)
 }
@@ -231,7 +232,10 @@ pub fn aggregate_schema_multi(
         cols.push(mmdb_types::Column::new(c.name.clone(), c.ty));
     }
     for a in aggs {
-        cols.push(mmdb_types::Column::new(a.output_name(), a.output_type(input)));
+        cols.push(mmdb_types::Column::new(
+            a.output_name(),
+            a.output_type(input),
+        ));
     }
     Schema::new(cols)
 }
@@ -265,7 +269,7 @@ pub fn hash_aggregate_multi(
         let state = &groups[&k];
         let mut values = k.into_values();
         values.extend(state.finish(aggs));
-        out.push(Tuple::new(values)).expect("aggregate schema");
+        out.push(Tuple::new(values))?;
     }
     Ok(out)
 }
@@ -291,7 +295,7 @@ pub fn sort_aggregate(
                 if let Some((k, state)) = current.take() {
                     let mut values = vec![k];
                     values.extend(state.finish(aggs));
-                    out.push(Tuple::new(values)).expect("aggregate schema");
+                    out.push(Tuple::new(values))?;
                 }
                 ctx.meter.charge_moves(1);
                 let mut state = AggState::new(aggs);
@@ -303,7 +307,7 @@ pub fn sort_aggregate(
     if let Some((k, state)) = current {
         let mut values = vec![k];
         values.extend(state.finish(aggs));
-        out.push(Tuple::new(values)).expect("aggregate schema");
+        out.push(Tuple::new(values))?;
     }
     Ok(out)
 }
@@ -412,14 +416,17 @@ mod tests {
         )
         .unwrap();
         let ctx = ExecContext::new(10, 1.2); // forces partitioning
-        let hybrid = hybrid_hash_aggregate(&rel, 3, &[AggFunc::Count, AggFunc::Sum(2)], &ctx)
-            .unwrap();
+        let hybrid =
+            hybrid_hash_aggregate(&rel, 3, &[AggFunc::Count, AggFunc::Sum(2)], &ctx).unwrap();
         let mut got = hybrid.tuples().to_vec();
         got.sort();
         let mut want = one.tuples().to_vec();
         want.sort();
         assert_eq!(got, want);
-        assert!(ctx.meter.snapshot().total_ios() > 0, "must have partitioned");
+        assert!(
+            ctx.meter.snapshot().total_ios() > 0,
+            "must have partitioned"
+        );
     }
 
     #[test]
@@ -457,8 +464,8 @@ mod tests {
         assert_eq!(total, 1_200);
         // Coarser composite: dept alone via the multi API matches the
         // single-column API.
-        let multi = hash_aggregate_multi(&rel, &[3], &[AggFunc::Count, AggFunc::Avg(2)], &ctx)
-            .unwrap();
+        let multi =
+            hash_aggregate_multi(&rel, &[3], &[AggFunc::Count, AggFunc::Avg(2)], &ctx).unwrap();
         let single = hash_aggregate(&rel, 3, &[AggFunc::Count, AggFunc::Avg(2)], &ctx).unwrap();
         assert_eq!(multi.tuples(), single.tuples());
     }

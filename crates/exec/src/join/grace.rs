@@ -16,6 +16,7 @@ use crate::context::ExecContext;
 use crate::partition::uniform_class;
 use crate::spill::{SpillFile, SpillIo};
 use mmdb_storage::MemRelation;
+use mmdb_types::Result;
 use std::sync::Arc;
 
 /// Joins `r` and `s` with the two-phase GRACE algorithm.
@@ -24,7 +25,7 @@ pub fn grace_hash_join(
     s: &MemRelation,
     spec: JoinSpec,
     ctx: &ExecContext,
-) -> MemRelation {
+) -> Result<MemRelation> {
     let mut out = output_relation(&spec, r, s);
     let r_tpp = r.tuples_per_page().max(1);
     let s_tpp = s.tuples_per_page().max(1);
@@ -73,13 +74,11 @@ pub fn grace_hash_join(
             for t in page {
                 ctx.meter.charge_hashes(1);
                 let h = crate::partition::hash_key(t.get(spec.s_key));
-                table.probe(h, t.get(spec.s_key), |rt| {
-                    out.push(rt.concat(&t)).expect("join schema is consistent");
-                });
+                table.probe(h, t.get(spec.s_key), |rt| out.push(rt.concat(&t)))?;
             }
         }
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -108,10 +107,10 @@ mod tests {
         let s = keyed(45, 4_000, 400, 40);
         let spec = JoinSpec::new(0, 0);
         let small = ExecContext::new(20, 1.2);
-        grace_hash_join(&r, &s, spec, &small);
+        grace_hash_join(&r, &s, spec, &small).unwrap();
         let io_small = small.meter.snapshot().total_ios();
         let large = ExecContext::new(120, 1.2);
-        grace_hash_join(&r, &s, spec, &large);
+        grace_hash_join(&r, &s, spec, &large).unwrap();
         let io_large = large.meter.snapshot().total_ios();
         // GRACE writes and reads every page regardless of memory; more
         // buckets only add partial-page flush overhead.
@@ -128,7 +127,7 @@ mod tests {
         let r = keyed(46, 2_000, 300, 40);
         let s = keyed(47, 2_000, 300, 40);
         let ctx = ExecContext::new(25, 1.2);
-        grace_hash_join(&r, &s, JoinSpec::new(0, 0), &ctx);
+        grace_hash_join(&r, &s, JoinSpec::new(0, 0), &ctx).unwrap();
         let snap = ctx.meter.snapshot();
         assert!(snap.rand_ios > 0, "phase-1 buffer flushes are random");
         assert!(snap.seq_ios > 0, "phase-2 reads are sequential");

@@ -12,6 +12,7 @@ use crate::context::ExecContext;
 use crate::partition::{hash_key_level, HybridSplit};
 use crate::spill::{SpillFile, SpillIo};
 use mmdb_storage::MemRelation;
+use mmdb_types::Result;
 use std::sync::Arc;
 
 /// Execution statistics exposing the memory discipline (for tests and the
@@ -47,8 +48,8 @@ pub fn hybrid_hash_join(
     s: &MemRelation,
     spec: JoinSpec,
     ctx: &ExecContext,
-) -> MemRelation {
-    hybrid_hash_join_with_stats(r, s, spec, ctx).0
+) -> Result<MemRelation> {
+    Ok(hybrid_hash_join_with_stats(r, s, spec, ctx)?.0)
 }
 
 /// Like [`hybrid_hash_join`], additionally reporting execution statistics.
@@ -57,7 +58,7 @@ pub fn hybrid_hash_join_with_stats(
     s: &MemRelation,
     spec: JoinSpec,
     ctx: &ExecContext,
-) -> (MemRelation, HybridStats) {
+) -> Result<(MemRelation, HybridStats)> {
     let mut out = output_relation(&spec, r, s);
     let r_tpp = r.tuples_per_page().max(1);
     let s_tpp = s.tuples_per_page().max(1);
@@ -67,8 +68,7 @@ pub fn hybrid_hash_join_with_stats(
     let r0_capacity_tuples = if b == 0 {
         r.tuple_count().max(1)
     } else {
-        ((((ctx.mem_pages.saturating_sub(b)) as f64) * r_tpp as f64 / ctx.fudge).floor()
-            as usize)
+        ((((ctx.mem_pages.saturating_sub(b)) as f64) * r_tpp as f64 / ctx.fudge).floor() as usize)
             .max(1)
     };
     let q = (r0_capacity_tuples as f64 / r.tuple_count().max(1) as f64).min(1.0);
@@ -117,9 +117,7 @@ pub fn hybrid_hash_join_with_stats(
     for t in s.tuples() {
         let h = charged_hash(&ctx.meter, t, spec.s_key);
         match split.classify(h) {
-            0 => table0.probe(h, t.get(spec.s_key), |rt| {
-                out.push(rt.concat(t)).expect("join schema is consistent");
-            }),
+            0 => table0.probe(h, t.get(spec.s_key), |rt| out.push(rt.concat(t)))?,
             i => {
                 ctx.meter.charge_moves(1);
                 s_parts[i - 1].append(t.clone(), write_io);
@@ -145,9 +143,9 @@ pub fn hybrid_hash_join_with_stats(
             s_part.drain_pages(SpillIo::Sequential).flatten().collect();
         join_pair(
             r_tuples, s_tuples, 1, spec, ctx, r_tpp, s_tpp, &mut out, &mut stats,
-        );
+        )?;
     }
-    (out, stats)
+    Ok((out, stats))
 }
 
 /// Hard cap on recursion: beyond this a partition is joined in place even
@@ -169,9 +167,9 @@ fn join_pair(
     s_tpp: usize,
     out: &mut MemRelation,
     stats: &mut HybridStats,
-) {
+) -> Result<()> {
     if r_tuples.is_empty() {
-        return;
+        return Ok(());
     }
     stats.max_recursion_depth = stats.max_recursion_depth.max(level);
     let capacity = ctx.mem_tuple_capacity(r_tpp);
@@ -195,11 +193,9 @@ fn join_pair(
         for t in s_tuples {
             ctx.meter.charge_hashes(1);
             let h = hash_key_level(t.get(spec.s_key), level);
-            table.probe(h, t.get(spec.s_key), |rt| {
-                out.push(rt.concat(&t)).expect("join schema is consistent");
-            });
+            table.probe(h, t.get(spec.s_key), |rt| out.push(rt.concat(&t)))?;
         }
-        return;
+        return Ok(());
     }
 
     // Overflow: re-partition with an independent (level-salted) hash.
@@ -237,8 +233,19 @@ fn join_pair(
             r_part.drain_pages(SpillIo::Sequential).flatten().collect();
         let s_next: Vec<mmdb_types::Tuple> =
             s_part.drain_pages(SpillIo::Sequential).flatten().collect();
-        join_pair(r_next, s_next, level + 1, spec, ctx, r_tpp, s_tpp, out, stats);
+        join_pair(
+            r_next,
+            s_next,
+            level + 1,
+            spec,
+            ctx,
+            r_tpp,
+            s_tpp,
+            out,
+            stats,
+        )?;
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -274,7 +281,7 @@ mod tests {
         let r = keyed(56, 1_000, 100, 40);
         let s = keyed(57, 1_000, 100, 40);
         let ctx = ExecContext::new(100, 1.2);
-        hybrid_hash_join(&r, &s, JoinSpec::new(0, 0), &ctx);
+        hybrid_hash_join(&r, &s, JoinSpec::new(0, 0), &ctx).unwrap();
         assert_eq!(ctx.meter.snapshot().total_ios(), 0);
     }
 
@@ -283,14 +290,14 @@ mod tests {
         let r = keyed(58, 4_000, 400, 40); // 100 pages, ·F = 120
         let s = keyed(59, 4_000, 400, 40);
         let one_buffer = ExecContext::new(70, 1.2); // B = 1
-        hybrid_hash_join(&r, &s, JoinSpec::new(0, 0), &one_buffer);
+        hybrid_hash_join(&r, &s, JoinSpec::new(0, 0), &one_buffer).unwrap();
         assert_eq!(
             one_buffer.meter.snapshot().rand_ios,
             0,
             "B = 1 ⇒ sequential writes (§3.8 footnote)"
         );
         let many_buffers = ExecContext::new(25, 1.2); // B > 1
-        hybrid_hash_join(&r, &s, JoinSpec::new(0, 0), &many_buffers);
+        hybrid_hash_join(&r, &s, JoinSpec::new(0, 0), &many_buffers).unwrap();
         assert!(many_buffers.meter.snapshot().rand_ios > 0);
     }
 
@@ -302,7 +309,7 @@ mod tests {
         let mut prev = u64::MAX;
         for mem in [20, 40, 80, 130] {
             let ctx = ExecContext::new(mem, 1.2);
-            hybrid_hash_join(&r, &s, spec, &ctx);
+            hybrid_hash_join(&r, &s, spec, &ctx).unwrap();
             let io = ctx.meter.snapshot().total_ios();
             assert!(io <= prev, "I/O must shrink with memory: {io} at {mem}");
             prev = io;
@@ -348,7 +355,7 @@ mod tests {
         let s = zipf_relation(71, 6_000, 2_000, 1.1);
         assert_matches_reference(hybrid_hash_join, &r, &s, 8);
         let ctx = ExecContext::new(8, 1.2);
-        let (_, stats) = hybrid_hash_join_with_stats(&r, &s, JoinSpec::new(0, 0), &ctx);
+        let (_, stats) = hybrid_hash_join_with_stats(&r, &s, JoinSpec::new(0, 0), &ctx).unwrap();
         assert!(
             stats.recursive_partitionings > 0,
             "skewed partitions should force recursion: {stats:?}"
@@ -363,7 +370,7 @@ mod tests {
         let r = zipf_relation(72, 8_000, 8_000, 0.8);
         let s = zipf_relation(73, 8_000, 8_000, 0.8);
         let ctx = ExecContext::new(12, 1.2);
-        let (_, stats) = hybrid_hash_join_with_stats(&r, &s, JoinSpec::new(0, 0), &ctx);
+        let (_, stats) = hybrid_hash_join_with_stats(&r, &s, JoinSpec::new(0, 0), &ctx).unwrap();
         let capacity = ctx.mem_tuple_capacity(40);
         assert!(
             stats.depth_capped || stats.max_build_tuples <= capacity.max(1) * 2,
@@ -379,7 +386,7 @@ mod tests {
         let r = keyed(74, 3_000, 1, 40);
         let s = keyed(75, 100, 1, 40);
         let ctx = ExecContext::new(4, 1.2);
-        let (out, stats) = hybrid_hash_join_with_stats(&r, &s, JoinSpec::new(0, 0), &ctx);
+        let (out, stats) = hybrid_hash_join_with_stats(&r, &s, JoinSpec::new(0, 0), &ctx).unwrap();
         assert_eq!(out.tuple_count(), 3_000 * 100);
         assert!(stats.depth_capped, "{stats:?}");
     }
@@ -389,7 +396,7 @@ mod tests {
         let r = keyed(76, 2_000, 500, 40);
         let s = keyed(77, 2_000, 500, 40);
         let ctx = ExecContext::new(30, 1.2);
-        let (_, stats) = hybrid_hash_join_with_stats(&r, &s, JoinSpec::new(0, 0), &ctx);
+        let (_, stats) = hybrid_hash_join_with_stats(&r, &s, JoinSpec::new(0, 0), &ctx).unwrap();
         assert_eq!(stats.recursive_partitionings, 0, "{stats:?}");
     }
 }

@@ -95,19 +95,25 @@ impl ProbeTable {
     }
 
     /// Probes with a key hash and the probing tuple's key value; invokes
-    /// `on_match` for every matching build tuple. Charges one `comp` per
-    /// chain entry whose hash matches (the key comparison the paper prices
-    /// at `F · comp` on average).
-    pub fn probe(&self, hash: u64, key: &mmdb_types::Value, mut on_match: impl FnMut(&Tuple)) {
+    /// `on_match` for every matching build tuple, stopping at the first
+    /// error. Charges one `comp` per chain entry whose hash matches (the
+    /// key comparison the paper prices at `F · comp` on average).
+    pub fn probe(
+        &self,
+        hash: u64,
+        key: &mmdb_types::Value,
+        mut on_match: impl FnMut(&Tuple) -> Result<()>,
+    ) -> Result<()> {
         let b = self.bucket(hash);
         for (h, t) in &self.buckets[b] {
             if *h == hash {
                 self.meter.charge_comparisons(1);
                 if t.get(self.key_col) == key {
-                    on_match(t);
+                    on_match(t)?;
                 }
             }
         }
+        Ok(())
     }
 }
 
@@ -169,13 +175,13 @@ pub fn run_join(
     spec: JoinSpec,
     ctx: &crate::ExecContext,
 ) -> Result<MemRelation> {
-    Ok(match algo {
+    match algo {
         Algo::NestedLoops => nested_loops_join(r, s, spec, ctx),
         Algo::SortMerge => sort_merge_join(r, s, spec, ctx),
         Algo::SimpleHash => simple_hash_join(r, s, spec, ctx),
         Algo::GraceHash => grace_hash_join(r, s, spec, ctx),
         Algo::HybridHash => hybrid_hash_join(r, s, spec, ctx),
-    })
+    }
 }
 
 #[cfg(test)]
@@ -193,16 +199,16 @@ pub(crate) mod testkit {
 
     /// Asserts `algo(r, s)` produces exactly the nested-loops result.
     pub fn assert_matches_reference(
-        algo: fn(&MemRelation, &MemRelation, JoinSpec, &ExecContext) -> MemRelation,
+        algo: fn(&MemRelation, &MemRelation, JoinSpec, &ExecContext) -> Result<MemRelation>,
         r: &MemRelation,
         s: &MemRelation,
         mem_pages: usize,
     ) {
         let spec = JoinSpec::new(0, 0);
         let ref_ctx = ExecContext::new(usize::MAX / 2, 1.2);
-        let want = canonical(&nested_loops_join(r, s, spec, &ref_ctx));
+        let want = canonical(&nested_loops_join(r, s, spec, &ref_ctx).unwrap());
         let ctx = ExecContext::new(mem_pages, 1.2);
-        let got = canonical(&algo(r, s, spec, &ctx));
+        let got = canonical(&algo(r, s, spec, &ctx).unwrap());
         assert_eq!(
             got.len(),
             want.len(),

@@ -8,6 +8,7 @@
 use super::{output_relation, JoinSpec};
 use crate::context::ExecContext;
 use mmdb_storage::MemRelation;
+use mmdb_types::Result;
 
 /// Joins `r` and `s` by comparing every pair of tuples.
 pub fn nested_loops_join(
@@ -15,18 +16,18 @@ pub fn nested_loops_join(
     s: &MemRelation,
     spec: JoinSpec,
     ctx: &ExecContext,
-) -> MemRelation {
+) -> Result<MemRelation> {
     let mut out = output_relation(&spec, r, s);
     for rt in r.tuples() {
         let rk = rt.get(spec.r_key);
         for st in s.tuples() {
             ctx.meter.charge_comparisons(1);
             if rk == st.get(spec.s_key) {
-                out.push(rt.concat(st)).expect("join schema is consistent");
+                out.push(rt.concat(st))?;
             }
         }
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -41,7 +42,7 @@ mod tests {
         let r = keyed(1, 100, 50, 10);
         let s = keyed(2, 100, 50, 10);
         let ctx = ExecContext::new(1000, 1.2);
-        let out = nested_loops_join(&r, &s, JoinSpec::new(0, 0), &ctx);
+        let out = nested_loops_join(&r, &s, JoinSpec::new(0, 0), &ctx).unwrap();
         // Every output row carries equal keys in columns 0 and 2.
         assert!(!out.tuples().is_empty());
         for t in out.tuples() {
@@ -64,7 +65,7 @@ mod tests {
         }
         let s = MemRelation::from_tuples(r.schema().clone(), 10, s).unwrap();
         let ctx = ExecContext::new(1000, 1.2);
-        let out = nested_loops_join(&r, &s, JoinSpec::new(0, 0), &ctx);
+        let out = nested_loops_join(&r, &s, JoinSpec::new(0, 0), &ctx).unwrap();
         assert_eq!(out.tuple_count(), 0);
     }
 
@@ -73,7 +74,7 @@ mod tests {
         let r = keyed(5, 30, 1, 10); // all keys = 0
         let s = keyed(6, 20, 1, 10);
         let ctx = ExecContext::new(1000, 1.2);
-        let out = nested_loops_join(&r, &s, JoinSpec::new(0, 0), &ctx);
+        let out = nested_loops_join(&r, &s, JoinSpec::new(0, 0), &ctx).unwrap();
         assert_eq!(out.tuple_count(), 30 * 20);
     }
 }

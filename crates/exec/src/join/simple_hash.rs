@@ -12,7 +12,7 @@ use crate::context::ExecContext;
 use crate::partition::in_first_fraction;
 use crate::spill::{SpillFile, SpillIo};
 use mmdb_storage::MemRelation;
-use mmdb_types::Tuple;
+use mmdb_types::{Result, Tuple};
 use std::sync::Arc;
 
 /// Joins `r` and `s` by multipass simple hashing.
@@ -21,7 +21,7 @@ pub fn simple_hash_join(
     s: &MemRelation,
     spec: JoinSpec,
     ctx: &ExecContext,
-) -> MemRelation {
+) -> Result<MemRelation> {
     let mut out = output_relation(&spec, r, s);
     let r_tpp = r.tuples_per_page().max(1);
     let s_tpp = s.tuples_per_page().max(1);
@@ -65,9 +65,7 @@ pub fn simple_hash_join(
         for t in s_remaining.drain(..) {
             let h = charged_hash(&ctx.meter, &t, spec.s_key);
             if whole || in_first_fraction(h, fraction) {
-                table.probe(h, t.get(spec.s_key), |rt| {
-                    out.push(rt.concat(&t)).expect("join schema is consistent");
-                });
+                table.probe(h, t.get(spec.s_key), |rt| out.push(rt.concat(&t)))?;
             } else {
                 ctx.meter.charge_moves(1);
                 s_spill.append(t, SpillIo::Sequential);
@@ -82,7 +80,7 @@ pub fn simple_hash_join(
         r_remaining = r_spill.drain_pages(SpillIo::Sequential).flatten().collect();
         s_remaining = s_spill.drain_pages(SpillIo::Sequential).flatten().collect();
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -111,7 +109,7 @@ mod tests {
         let r = keyed(24, 1_000, 100, 40);
         let s = keyed(25, 1_000, 100, 40);
         let ctx = ExecContext::new(100, 1.2);
-        simple_hash_join(&r, &s, JoinSpec::new(0, 0), &ctx);
+        simple_hash_join(&r, &s, JoinSpec::new(0, 0), &ctx).unwrap();
         assert_eq!(ctx.meter.snapshot().total_ios(), 0);
     }
 
@@ -121,11 +119,11 @@ mod tests {
         let s = keyed(27, 4_000, 300, 40);
         let spec = JoinSpec::new(0, 0);
         let two_pass = ExecContext::new(60, 1.2);
-        simple_hash_join(&r, &s, spec, &two_pass);
+        simple_hash_join(&r, &s, spec, &two_pass).unwrap();
         let io2 = two_pass.meter.snapshot().total_ios();
 
         let five_pass = ExecContext::new(24, 1.2);
-        simple_hash_join(&r, &s, spec, &five_pass);
+        simple_hash_join(&r, &s, spec, &five_pass).unwrap();
         let io5 = five_pass.meter.snapshot().total_ios();
         assert!(
             io5 > io2 * 2,
@@ -138,7 +136,7 @@ mod tests {
         let r = keyed(28, 4_000, 300, 40);
         let s = keyed(29, 4_000, 300, 40);
         let ctx = ExecContext::new(24, 1.2);
-        simple_hash_join(&r, &s, JoinSpec::new(0, 0), &ctx);
+        simple_hash_join(&r, &s, JoinSpec::new(0, 0), &ctx).unwrap();
         let snap = ctx.meter.snapshot();
         assert!(snap.seq_ios > 0);
         assert_eq!(snap.rand_ios, 0, "§3.5 charges 2·IOseq per page");
@@ -150,7 +148,9 @@ mod tests {
         let s = keyed(31, 50, 10, 40);
         let ctx = ExecContext::new(10, 1.2);
         assert_eq!(
-            simple_hash_join(&r, &s, JoinSpec::new(0, 0), &ctx).tuple_count(),
+            simple_hash_join(&r, &s, JoinSpec::new(0, 0), &ctx)
+                .unwrap()
+                .tuple_count(),
             0
         );
     }

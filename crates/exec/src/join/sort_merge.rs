@@ -10,7 +10,7 @@ use super::{output_relation, JoinSpec};
 use crate::context::ExecContext;
 use crate::sort::external_sort;
 use mmdb_storage::MemRelation;
-use mmdb_types::Tuple;
+use mmdb_types::{Result, Tuple};
 
 /// Joins `r` and `s` by sorting both on their key columns and merging.
 pub fn sort_merge_join(
@@ -18,7 +18,7 @@ pub fn sort_merge_join(
     s: &MemRelation,
     spec: JoinSpec,
     ctx: &ExecContext,
-) -> MemRelation {
+) -> Result<MemRelation> {
     let sorted_r = external_sort(r, spec.r_key, ctx);
     let sorted_s = external_sort(s, spec.s_key, ctx);
     let mut out = output_relation(&spec, r, s);
@@ -38,7 +38,7 @@ pub fn sort_merge_join(
                 let gj_end = run_end(&sorted_s, j, spec.s_key, &key, ctx);
                 for rt in &sorted_r[i..gi_end] {
                     for st in &sorted_s[j..gj_end] {
-                        out.push(rt.concat(st)).expect("join schema is consistent");
+                        out.push(rt.concat(st))?;
                     }
                 }
                 i = gi_end;
@@ -46,7 +46,7 @@ pub fn sort_merge_join(
             }
         }
     }
-    out
+    Ok(out)
 }
 
 /// First index after `start` whose key differs; one comparison per probe.
@@ -94,11 +94,11 @@ mod tests {
         let s = keyed(15, 2_000, 300, 40);
         let spec = JoinSpec::new(0, 0);
         let big = ExecContext::new(10_000, 1.2);
-        sort_merge_join(&r, &s, spec, &big);
+        sort_merge_join(&r, &s, spec, &big).unwrap();
         assert_eq!(big.meter.snapshot().total_ios(), 0);
 
         let small = ExecContext::new(8, 1.2);
-        sort_merge_join(&r, &s, spec, &small);
+        sort_merge_join(&r, &s, spec, &small).unwrap();
         let ios = small.meter.snapshot().total_ios();
         assert!(ios > 0, "constrained sort-merge must do I/O");
     }
@@ -118,11 +118,15 @@ mod tests {
         let s = keyed(19, 100, 10, 40);
         let ctx = ExecContext::new(100, 1.2);
         assert_eq!(
-            sort_merge_join(&r, &s, JoinSpec::new(0, 0), &ctx).tuple_count(),
+            sort_merge_join(&r, &s, JoinSpec::new(0, 0), &ctx)
+                .unwrap()
+                .tuple_count(),
             0
         );
         assert_eq!(
-            sort_merge_join(&s, &r, JoinSpec::new(0, 0), &ctx).tuple_count(),
+            sort_merge_join(&s, &r, JoinSpec::new(0, 0), &ctx)
+                .unwrap()
+                .tuple_count(),
             0
         );
     }

@@ -31,29 +31,34 @@ fn dedup_in_memory(
     tuples: impl Iterator<Item = Tuple>,
     ctx: &ExecContext,
     out: &mut MemRelation,
-) {
+) -> Result<()> {
     let mut seen: HashSet<Tuple> = HashSet::new();
     for t in tuples {
         ctx.meter.charge_hashes(1);
         ctx.meter.charge_comparisons(1);
         if seen.insert(t.clone()) {
             ctx.meter.charge_moves(1);
-            out.push(t).expect("projected schema");
+            out.push(t)?;
         }
     }
+    Ok(())
 }
 
 /// Projects `rel` onto `columns` and removes duplicates with one-pass
 /// hashing (assumes the result fits in memory, else use
 /// [`hybrid_hash_project`]).
-pub fn hash_project(rel: &MemRelation, columns: &[usize], ctx: &ExecContext) -> Result<MemRelation> {
+pub fn hash_project(
+    rel: &MemRelation,
+    columns: &[usize],
+    ctx: &ExecContext,
+) -> Result<MemRelation> {
     let schema = rel.schema().project(columns)?;
     let mut out = MemRelation::new(schema, rel.tuples_per_page());
     let projected = rel.tuples().iter().map(|t| {
         ctx.meter.charge_moves(1);
         t.project(columns)
     });
-    dedup_in_memory(projected, ctx, &mut out);
+    dedup_in_memory(projected, ctx, &mut out)?;
     Ok(out)
 }
 
@@ -73,7 +78,7 @@ pub fn hybrid_hash_project(
             ctx.meter.charge_moves(1);
             t.project(columns)
         });
-        dedup_in_memory(projected, ctx, &mut out);
+        dedup_in_memory(projected, ctx, &mut out)?;
         return Ok(out);
     }
     let parts = rel.tuple_count().div_ceil(capacity).max(1);
@@ -92,14 +97,18 @@ pub fn hybrid_hash_project(
     }
     for f in files {
         let tuples = f.drain_pages(SpillIo::Sequential).flatten();
-        dedup_in_memory(tuples, ctx, &mut out);
+        dedup_in_memory(tuples, ctx, &mut out)?;
     }
     Ok(out)
 }
 
 /// Sort-based projection baseline: project, sort the projected tuples,
 /// emit on key change.
-pub fn sort_project(rel: &MemRelation, columns: &[usize], ctx: &ExecContext) -> Result<MemRelation> {
+pub fn sort_project(
+    rel: &MemRelation,
+    columns: &[usize],
+    ctx: &ExecContext,
+) -> Result<MemRelation> {
     let schema = rel.schema().project(columns)?;
     let mut out = MemRelation::new(schema, rel.tuples_per_page());
     let mut heap: CountingHeap<Tuple> = CountingHeap::new(Arc::clone(&ctx.meter));
@@ -112,7 +121,7 @@ pub fn sort_project(rel: &MemRelation, columns: &[usize], ctx: &ExecContext) -> 
         ctx.meter.charge_comparisons(1);
         if last.as_ref() != Some(&t) {
             ctx.meter.charge_moves(1);
-            out.push(t.clone()).expect("projected schema");
+            out.push(t.clone())?;
             last = Some(t);
         }
     }
@@ -136,7 +145,11 @@ mod tests {
         let ctx = ExecContext::new(100, 1.2);
         let out = hash_project(&rel, &[0], &ctx).unwrap();
         assert_eq!(out.tuple_count(), 20);
-        let mut ks: Vec<i64> = out.tuples().iter().map(|t| t.get(0).as_int().unwrap()).collect();
+        let mut ks: Vec<i64> = out
+            .tuples()
+            .iter()
+            .map(|t| t.get(0).as_int().unwrap())
+            .collect();
         ks.sort_unstable();
         ks.dedup();
         assert_eq!(ks.len(), 20);

@@ -2,19 +2,19 @@
 
 use crate::context::ExecContext;
 use mmdb_storage::MemRelation;
-use mmdb_types::Predicate;
+use mmdb_types::{Predicate, Result};
 
 /// Filters `rel` by `pred`, charging the actual leaf comparisons evaluated.
-pub fn select(rel: &MemRelation, pred: &Predicate, ctx: &ExecContext) -> MemRelation {
+pub fn select(rel: &MemRelation, pred: &Predicate, ctx: &ExecContext) -> Result<MemRelation> {
     let mut out = rel.empty_like();
     for t in rel.tuples() {
         let (keep, comps) = pred.eval_counting(t);
         ctx.meter.charge_comparisons(comps);
         if keep {
-            out.push(t.clone()).expect("same schema");
+            out.push(t.clone())?;
         }
     }
-    out
+    Ok(out)
 }
 
 /// Estimated fraction of tuples a selection keeps, measured exactly by
@@ -47,7 +47,7 @@ mod tests {
     fn filters_and_charges() {
         let rel = employees(1_000);
         let ctx = ExecContext::new(100, 1.2);
-        let out = select(&rel, &Predicate::cmp(3, CmpOp::Eq, 0i64), &ctx);
+        let out = select(&rel, &Predicate::cmp(3, CmpOp::Eq, 0i64), &ctx).unwrap();
         assert!(out.tuple_count() > 0);
         assert!(out.tuple_count() < 1_000);
         for t in out.tuples() {
@@ -65,7 +65,7 @@ mod tests {
             column: 1,
             prefix: "J".into(),
         };
-        let out = select(&rel, &pred, &ctx);
+        let out = select(&rel, &pred, &ctx).unwrap();
         // Names are uniform over 26 letters: expect ≈ 1/26 of tuples.
         let frac = out.tuple_count() as f64 / 2_000.0;
         assert!((frac - 1.0 / 26.0).abs() < 0.02, "prefix fraction {frac}");
@@ -90,8 +90,12 @@ mod tests {
         let tuples: Vec<Tuple> = (0..10).map(|i| Tuple::new(vec![Value::Int(i)])).collect();
         let rel = MemRelation::from_tuples(schema, 4, tuples).unwrap();
         let ctx = ExecContext::new(10, 1.2);
-        let out = select(&rel, &Predicate::cmp(0, CmpOp::Ge, 5i64), &ctx);
-        let ks: Vec<i64> = out.tuples().iter().map(|t| t.get(0).as_int().unwrap()).collect();
+        let out = select(&rel, &Predicate::cmp(0, CmpOp::Ge, 5i64), &ctx).unwrap();
+        let ks: Vec<i64> = out
+            .tuples()
+            .iter()
+            .map(|t| t.get(0).as_int().unwrap())
+            .collect();
         assert_eq!(ks, vec![5, 6, 7, 8, 9]);
     }
 }

@@ -6,7 +6,7 @@
 //! reduced size with identical geometry.
 
 use mmdb_storage::MemRelation;
-use mmdb_types::{DataType, RelationShape, Schema, WorkloadRng};
+use mmdb_types::{DataType, RelationShape, Result, Schema, WorkloadRng};
 
 /// The schema used by the join workloads: an integer key plus a payload.
 pub fn join_schema() -> Schema {
@@ -17,7 +17,11 @@ pub fn join_schema() -> Schema {
 /// paper's 10 000 pages each). Keys are uniform over a space sized to give
 /// roughly one match per R tuple — "key values of the two relations are
 /// distributed similarly" (§3.5).
-pub fn table2_relations(shape: RelationShape, scale: f64, seed: u64) -> (MemRelation, MemRelation) {
+pub fn table2_relations(
+    shape: RelationShape,
+    scale: f64,
+    seed: u64,
+) -> Result<(MemRelation, MemRelation)> {
     assert!(scale > 0.0);
     let r_tuples = (shape.r_tuples() as f64 * scale).round() as usize;
     let s_tuples = (shape.s_tuples() as f64 * scale).round() as usize;
@@ -27,15 +31,13 @@ pub fn table2_relations(shape: RelationShape, scale: f64, seed: u64) -> (MemRela
         join_schema(),
         shape.r_tuples_per_page as usize,
         rng.keyed_tuples(r_tuples, key_space),
-    )
-    .expect("generated tuples match schema");
+    )?;
     let s = MemRelation::from_tuples(
         join_schema(),
         shape.s_tuples_per_page as usize,
         rng.keyed_tuples(s_tuples, key_space),
-    )
-    .expect("generated tuples match schema");
-    (r, s)
+    )?;
+    Ok((r, s))
 }
 
 /// The Wisconsin benchmark relation schema (DeWitt 1983 — the authors'
@@ -59,7 +61,7 @@ pub fn wisconsin_schema() -> Schema {
 }
 
 /// Generates an `n`-tuple Wisconsin relation.
-pub fn wisconsin(n: usize, seed: u64) -> MemRelation {
+pub fn wisconsin(n: usize, seed: u64) -> Result<MemRelation> {
     use mmdb_types::{Tuple, Value};
     let mut rng = WorkloadRng::seeded(seed);
     let unique1 = rng.permutation(n);
@@ -80,7 +82,6 @@ pub fn wisconsin(n: usize, seed: u64) -> MemRelation {
         })
         .collect();
     MemRelation::from_tuples(wisconsin_schema(), 40, tuples)
-        .expect("generated tuples match schema")
 }
 
 /// The employee relation of the paper's motivating queries.
@@ -94,10 +95,9 @@ pub fn employee_schema() -> Schema {
 }
 
 /// Generates `n` employees over `departments` departments.
-pub fn employees(n: usize, departments: i64, seed: u64) -> MemRelation {
+pub fn employees(n: usize, departments: i64, seed: u64) -> Result<MemRelation> {
     let mut rng = WorkloadRng::seeded(seed);
     MemRelation::from_tuples(employee_schema(), 40, rng.employees(n, departments))
-        .expect("generated tuples match schema")
 }
 
 #[cfg(test)]
@@ -107,7 +107,7 @@ mod tests {
     #[test]
     fn table2_shape_at_scale() {
         let shape = RelationShape::table2();
-        let (r, s) = table2_relations(shape, 0.01, 1);
+        let (r, s) = table2_relations(shape, 0.01, 1).unwrap();
         assert_eq!(r.tuple_count(), 4_000);
         assert_eq!(s.tuple_count(), 4_000);
         assert_eq!(r.page_count(), 100);
@@ -118,10 +118,10 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let shape = RelationShape::table2();
-        let (r1, _) = table2_relations(shape, 0.001, 9);
-        let (r2, _) = table2_relations(shape, 0.001, 9);
+        let (r1, _) = table2_relations(shape, 0.001, 9).unwrap();
+        let (r2, _) = table2_relations(shape, 0.001, 9).unwrap();
         assert_eq!(r1.tuples(), r2.tuples());
-        let (r3, _) = table2_relations(shape, 0.001, 10);
+        let (r3, _) = table2_relations(shape, 0.001, 10).unwrap();
         assert_ne!(r1.tuples(), r3.tuples());
     }
 
@@ -129,9 +129,9 @@ mod tests {
     fn join_produces_meaningful_matches() {
         // Keys uniform over ||R||: an R-S join yields ≈ ||S|| matches.
         let shape = RelationShape::table2();
-        let (r, s) = table2_relations(shape, 0.005, 3);
+        let (r, s) = table2_relations(shape, 0.005, 3).unwrap();
         let ctx = crate::ExecContext::new(10_000, 1.2);
-        let out = crate::join::hybrid_hash_join(&r, &s, crate::JoinSpec::new(0, 0), &ctx);
+        let out = crate::join::hybrid_hash_join(&r, &s, crate::JoinSpec::new(0, 0), &ctx).unwrap();
         let n = out.tuple_count() as f64;
         let expect = s.tuple_count() as f64;
         assert!(
@@ -142,7 +142,7 @@ mod tests {
 
     #[test]
     fn wisconsin_columns_have_their_defined_relationships() {
-        let rel = wisconsin(1_000, 7);
+        let rel = wisconsin(1_000, 7).unwrap();
         assert_eq!(rel.tuple_count(), 1_000);
         let mut u1_seen = std::collections::HashSet::new();
         let mut u2_seen = std::collections::HashSet::new();
@@ -165,7 +165,7 @@ mod tests {
     #[test]
     fn wisconsin_selectivity_controls() {
         // The ten column selects exactly 10 % of tuples per value.
-        let rel = wisconsin(2_000, 8);
+        let rel = wisconsin(2_000, 8).unwrap();
         for v in 0..10i64 {
             let n = rel
                 .tuples()
@@ -178,7 +178,7 @@ mod tests {
 
     #[test]
     fn employees_shape() {
-        let e = employees(1_000, 12, 4);
+        let e = employees(1_000, 12, 4).unwrap();
         assert_eq!(e.tuple_count(), 1_000);
         assert_eq!(e.schema().arity(), 4);
     }

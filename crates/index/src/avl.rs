@@ -250,14 +250,22 @@ impl<K: Ord, V> AvlTree<K, V> {
                 let left = self.node(i).left;
                 let (nl, removed) = self.remove_at(left, key);
                 self.node_mut(i).left = nl;
-                let r = if removed.is_some() { self.rebalance(i) } else { i };
+                let r = if removed.is_some() {
+                    self.rebalance(i)
+                } else {
+                    i
+                };
                 (Some(r), removed)
             }
             Greater => {
                 let right = self.node(i).right;
                 let (nr, removed) = self.remove_at(right, key);
                 self.node_mut(i).right = nr;
-                let r = if removed.is_some() { self.rebalance(i) } else { i };
+                let r = if removed.is_some() {
+                    self.rebalance(i)
+                } else {
+                    i
+                };
                 (Some(r), removed)
             }
             Equal => {
@@ -272,8 +280,7 @@ impl<K: Ord, V> AvlTree<K, V> {
                         // successor's, then free the successor slot.
                         let (new_right, succ) = self.detach_min(r);
                         self.node_mut(i).right = new_right;
-                        let succ_node =
-                            self.nodes[succ as usize].take().expect("successor live");
+                        let succ_node = self.nodes[succ as usize].take().expect("successor live");
                         self.free.push(succ);
                         let n = self.node_mut(i);
                         n.key = succ_node.key;
@@ -425,6 +432,15 @@ impl<K: Ord, V> AvlTree<K, V> {
             return Err(format!("len {} but {count} reachable nodes", self.len));
         }
         Ok(())
+    }
+}
+
+impl<K: Ord + std::fmt::Debug, V> mmdb_types::Auditable for AvlTree<K, V> {
+    /// Delegates to [`AvlTree::check_invariants`], wrapping its report in
+    /// the engine-wide [`mmdb_types::AuditViolation`] shape.
+    fn audit(&self) -> Result<(), mmdb_types::AuditViolation> {
+        self.check_invariants()
+            .map_err(|detail| mmdb_types::AuditViolation::new("AvlTree", "structure", detail))
     }
 }
 
@@ -633,7 +649,11 @@ mod tests {
         for k in [10, 20, 30] {
             sparse.insert(k, ());
         }
-        let r: Vec<i32> = sparse.range(&11, &29).into_iter().map(|(k, _)| *k).collect();
+        let r: Vec<i32> = sparse
+            .range(&11, &29)
+            .into_iter()
+            .map(|(k, _)| *k)
+            .collect();
         assert_eq!(r, vec![20]);
     }
 

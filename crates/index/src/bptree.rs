@@ -762,8 +762,8 @@ impl<K: Ord + Clone, V> BPlusTree<K, V> {
         // Build interior levels at the same fill fraction. Chunk sizes are
         // chosen so no node (in particular the last one of a level) falls
         // below the deletion-time minimum child count.
-        let per_node = ((branching as f64 * fill).round() as usize)
-            .clamp(tree.min_children(), branching);
+        let per_node =
+            ((branching as f64 * fill).round() as usize).clamp(tree.min_children(), branching);
         let mut level = leaves;
         while level.len() > 1 {
             let mut next_level: Vec<(K, u32)> = Vec::new();
@@ -878,6 +878,15 @@ impl<K: Ord + Clone, V> BPlusTree<K, V> {
             ));
         }
         Ok(())
+    }
+}
+
+impl<K: Ord + Clone + std::fmt::Debug, V> mmdb_types::Auditable for BPlusTree<K, V> {
+    /// Delegates to [`BPlusTree::check_invariants`], wrapping its report
+    /// in the engine-wide [`mmdb_types::AuditViolation`] shape.
+    fn audit(&self) -> Result<(), mmdb_types::AuditViolation> {
+        self.check_invariants()
+            .map_err(|detail| mmdb_types::AuditViolation::new("BPlusTree", "structure", detail))
     }
 }
 

@@ -101,10 +101,7 @@ impl<K: Hash + Eq + Clone, V> HashIndex<K, V> {
 
     fn grow(&mut self) {
         let new_n = self.buckets.len() * 2;
-        let old = std::mem::replace(
-            &mut self.buckets,
-            (0..new_n).map(|_| Vec::new()).collect(),
-        );
+        let old = std::mem::replace(&mut self.buckets, (0..new_n).map(|_| Vec::new()).collect());
         for bucket in old {
             for (k, v) in bucket {
                 let b = self.bucket_of(&k);
@@ -180,11 +177,7 @@ impl<K: Hash + Eq + Clone, V> HashIndex<K, V> {
             return 0.0;
         }
         // For each entry, the probe that finds it scans its whole bucket.
-        let total: usize = self
-            .buckets
-            .iter()
-            .map(|b| b.len() * b.len())
-            .sum();
+        let total: usize = self.buckets.iter().map(|b| b.len() * b.len()).sum();
         total as f64 / self.len as f64
     }
 }

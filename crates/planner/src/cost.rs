@@ -7,6 +7,7 @@
 
 use crate::physical::JoinMethod;
 use mmdb_analytic::join::{JoinAlgorithm, JoinScenario};
+use mmdb_types::cast::{f64_from_u64, f64_from_usize, u64_from_f64};
 use mmdb_types::{CostWeights, RelationShape, SystemParams};
 
 /// Separated CPU/I/O cost of a (sub)plan, both in seconds.
@@ -79,8 +80,8 @@ pub fn join_cost(
         (right_tuples, left_tuples)
     };
     let shape = RelationShape {
-        r_pages: (small.max(1.0) as u64).div_ceil(tpp).max(1),
-        s_pages: (large.max(1.0) as u64).div_ceil(tpp).max(1),
+        r_pages: u64_from_f64(small.max(1.0)).div_ceil(tpp).max(1),
+        s_pages: u64_from_f64(large.max(1.0)).div_ceil(tpp).max(1),
         r_tuples_per_page: tpp,
         s_tuples_per_page: tpp,
     };
@@ -88,7 +89,7 @@ pub fn join_cost(
     let make = |p: SystemParams| JoinScenario {
         params: p,
         shape,
-        mem_pages: mem_pages as f64,
+        mem_pages: f64_from_usize(mem_pages),
     };
     PlanCost {
         cpu_seconds: make(cpu_only(params)).cost(algo),
@@ -170,14 +171,14 @@ pub fn plan_cost(
             let rows = row_estimate(plan);
             let kind = match a {
                 crate::physical::AccessPath::IndexLookup { .. } => AccessKind::IndexEq,
-                crate::physical::AccessPath::IndexRange { .. } => AccessKind::IndexRange {
-                    matched_rows: rows,
-                },
+                crate::physical::AccessPath::IndexRange { .. } => {
+                    AccessKind::IndexRange { matched_rows: rows }
+                }
                 crate::physical::AccessPath::SeqScan { .. } => AccessKind::SeqScan,
             };
             access_cost(
                 rows,
-                rows / tuples_per_page.max(1) as f64,
+                rows / f64_from_u64(tuples_per_page.max(1)),
                 resident,
                 kind,
                 params,
@@ -189,8 +190,22 @@ pub fn plan_cost(
             method,
             ..
         } => {
-            let lc = plan_cost(left, row_estimate, tuples_per_page, params, mem_pages, resident);
-            let rc = plan_cost(right, row_estimate, tuples_per_page, params, mem_pages, resident);
+            let lc = plan_cost(
+                left,
+                row_estimate,
+                tuples_per_page,
+                params,
+                mem_pages,
+                resident,
+            );
+            let rc = plan_cost(
+                right,
+                row_estimate,
+                tuples_per_page,
+                params,
+                mem_pages,
+                resident,
+            );
             let jc = join_cost(
                 *method,
                 row_estimate(left),
@@ -235,11 +250,7 @@ mod tests {
                 (*m, c.weighted(&CostWeights::default()))
             })
             .collect();
-        let best = costs
-            .iter()
-            .min_by(|a, b| a.1.total_cmp(&b.1))
-            .unwrap()
-            .0;
+        let best = costs.iter().min_by(|a, b| a.1.total_cmp(&b.1)).unwrap().0;
         assert_eq!(best, JoinMethod::HybridHash, "costs: {costs:?}");
     }
 
@@ -293,13 +304,37 @@ mod tests {
         assert!(idx.cpu_seconds < scan.cpu_seconds / 1000.0);
         // A selective range scan sits between the two, scaling with the
         // matched rows.
-        let narrow = access_cost(1e6, 25_000.0, true, AccessKind::IndexRange { matched_rows: 100.0 }, &p);
-        let wide = access_cost(1e6, 25_000.0, true, AccessKind::IndexRange { matched_rows: 100_000.0 }, &p);
+        let narrow = access_cost(
+            1e6,
+            25_000.0,
+            true,
+            AccessKind::IndexRange {
+                matched_rows: 100.0,
+            },
+            &p,
+        );
+        let wide = access_cost(
+            1e6,
+            25_000.0,
+            true,
+            AccessKind::IndexRange {
+                matched_rows: 100_000.0,
+            },
+            &p,
+        );
         assert!(idx.cpu_seconds < narrow.cpu_seconds);
         assert!(narrow.cpu_seconds < wide.cpu_seconds);
         assert!(wide.cpu_seconds < scan.cpu_seconds);
         // Cold range scans read clustered leaves sequentially.
-        let cold_range = access_cost(1e6, 25_000.0, false, AccessKind::IndexRange { matched_rows: 280.0 }, &p);
+        let cold_range = access_cost(
+            1e6,
+            25_000.0,
+            false,
+            AccessKind::IndexRange {
+                matched_rows: 280.0,
+            },
+            &p,
+        );
         assert!((cold_range.io_seconds - 13.0 * p.io_seq()).abs() < 1e-9);
     }
 

@@ -14,6 +14,7 @@ use crate::logical::QuerySpec;
 use crate::optimizer::PlanEnv;
 use crate::physical::JoinMethod;
 use crate::stats::{estimate_join_cardinality, estimate_selectivity, TableStats};
+use mmdb_types::cast::{f64_from_u64, u32_from_u64, u32_from_usize, u64_from_f64};
 use mmdb_types::{Error, Result};
 
 /// Result of exhaustive enumeration.
@@ -45,8 +46,8 @@ pub fn classical_plan_space(n_tables: u64, algorithms: u64, interesting_orders: 
     }
     let joins = n_tables - 1;
     orders
-        .saturating_mul(algorithms.saturating_pow(joins as u32))
-        .saturating_mul(interesting_orders.saturating_pow(joins as u32))
+        .saturating_mul(algorithms.saturating_pow(u32_from_u64(joins)))
+        .saturating_mul(interesting_orders.saturating_pow(u32_from_u64(joins)))
 }
 
 /// The §4 planner's plan count for the same query: one greedy order, four
@@ -80,7 +81,7 @@ pub fn enumerate_left_deep(
         .tables
         .iter()
         .zip(stats)
-        .map(|(t, st)| (st.tuples as f64 * estimate_selectivity(&t.predicate, st)).max(1.0))
+        .map(|(t, st)| (f64_from_u64(st.tuples) * estimate_selectivity(&t.predicate, st)).max(1.0))
         .collect();
     let tpp = stats.iter().map(|s| s.tuples_per_page).max().unwrap_or(40);
 
@@ -134,10 +135,10 @@ pub fn enumerate_left_deep(
                             (e.left_table, e.left_column, e.right_column)
                         };
                         (
-                            stats[in_t].distinct(in_c).min(rows.ceil() as u64),
+                            stats[in_t].distinct(in_c).min(u64_from_f64(rows.ceil())),
                             stats[next]
                                 .distinct(out_c)
-                                .min(table_rows[next].ceil() as u64),
+                                .min(u64_from_f64(table_rows[next].ceil())),
                         )
                     }
                     None => (10, 10),
@@ -151,7 +152,8 @@ pub fn enumerate_left_deep(
                         )
                     })
                     .min_by(|a, b| {
-                        a.1.weighted(&env.weights).total_cmp(&b.1.weighted(&env.weights))
+                        a.1.weighted(&env.weights)
+                            .total_cmp(&b.1.weighted(&env.weights))
                     })
                     .expect("four methods");
                 methods.push(method);
@@ -180,7 +182,15 @@ pub fn enumerate_left_deep(
             used[cand] = true;
             stack.push(cand);
             recurse(
-                spec, stats, env, table_rows, tpp, stack, used, orders_examined, best,
+                spec,
+                stats,
+                env,
+                table_rows,
+                tpp,
+                stack,
+                used,
+                orders_examined,
+                best,
             );
             stack.pop();
             used[cand] = false;
@@ -200,7 +210,8 @@ pub fn enumerate_left_deep(
     );
     let mut result = best.ok_or_else(|| Error::Planning("no connected order".into()))?;
     result.orders_examined = orders_examined;
-    result.plans_priced = orders_examined * 4u64.saturating_pow(n as u32 - 1);
+    result.plans_priced =
+        orders_examined * 4u64.saturating_pow(u32_from_usize(n).saturating_sub(1));
     Ok(result)
 }
 
@@ -283,10 +294,7 @@ mod tests {
         let (spec, stats) = chain(3, &[10_000, 10_000, 10_000]);
         let result = enumerate_left_deep(&spec, &stats, &PlanEnv::default()).unwrap();
         for m in result.best_methods {
-            assert!(matches!(
-                m,
-                JoinMethod::HybridHash | JoinMethod::SimpleHash
-            ));
+            assert!(matches!(m, JoinMethod::HybridHash | JoinMethod::SimpleHash));
         }
     }
 

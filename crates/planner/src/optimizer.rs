@@ -12,6 +12,7 @@ use crate::cost::{access_cost, join_cost, PlanCost};
 use crate::logical::QuerySpec;
 use crate::physical::{AccessPath, JoinMethod, PhysicalPlan};
 use crate::stats::{estimate_join_cardinality, estimate_selectivity, TableStats};
+use mmdb_types::cast::{f64_from_u64, u64_from_f64};
 use mmdb_types::{CostWeights, Error, Predicate, Result, SystemParams};
 
 /// Planning environment: machine prices, objective weights, memory.
@@ -127,8 +128,8 @@ fn split_range_indexable(
 struct JoinedState {
     plan: PhysicalPlan,
     rows: f64,
-    tables: Vec<usize>,       // table indices joined so far
-    offsets: Vec<usize>,      // column offset of each joined table in the output
+    tables: Vec<usize>,  // table indices joined so far
+    offsets: Vec<usize>, // column offset of each joined table in the output
     arity: usize,
     cost: PlanCost,
 }
@@ -162,7 +163,7 @@ pub fn optimize(spec: &QuerySpec, stats: &[TableStats], env: &PlanEnv) -> Result
     let mut access_costs = Vec::with_capacity(spec.tables.len());
     for (t, st) in spec.tables.iter().zip(stats) {
         let sel = estimate_selectivity(&t.predicate, st);
-        let rows = (st.tuples as f64 * sel).max(1.0);
+        let rows = (f64_from_u64(st.tuples) * sel).max(1.0);
         // Prefer an equality lookup, then an ordered-index range scan,
         // then a full scan with the predicate applied per tuple.
         let (path, kind) = if let Some((column, value, residual)) =
@@ -177,9 +178,7 @@ pub fn optimize(spec: &QuerySpec, stats: &[TableStats], env: &PlanEnv) -> Result
                 },
                 crate::cost::AccessKind::IndexEq,
             )
-        } else if let Some((column, lo, hi, residual)) =
-            split_range_indexable(&t.predicate, st)
-        {
+        } else if let Some((column, lo, hi, residual)) = split_range_indexable(&t.predicate, st) {
             (
                 AccessPath::IndexRange {
                     table: t.table.clone(),
@@ -201,8 +200,8 @@ pub fn optimize(spec: &QuerySpec, stats: &[TableStats], env: &PlanEnv) -> Result
         };
         table_rows.push(rows);
         access_costs.push(access_cost(
-            st.tuples as f64,
-            st.pages as f64,
+            f64_from_u64(st.tuples),
+            f64_from_u64(st.pages),
             env.resident,
             kind,
             &env.params,
@@ -244,8 +243,7 @@ pub fn optimize(spec: &QuerySpec, stats: &[TableStats], env: &PlanEnv) -> Result
                 && !state.tables.contains(&e.right_table)
             {
                 (e.left_table, e.right_table)
-            } else if state.tables.contains(&e.right_table)
-                && !state.tables.contains(&e.left_table)
+            } else if state.tables.contains(&e.right_table) && !state.tables.contains(&e.left_table)
             {
                 (e.right_table, e.left_table)
             } else {
@@ -256,10 +254,12 @@ pub fn optimize(spec: &QuerySpec, stats: &[TableStats], env: &PlanEnv) -> Result
             } else {
                 (e.right_column, e.left_column)
             };
-            let d_in = stats[inside].distinct(in_col).min(state.rows.ceil() as u64);
+            let d_in = stats[inside]
+                .distinct(in_col)
+                .min(u64_from_f64(state.rows.ceil()));
             let d_out = stats[outside]
                 .distinct(out_col)
-                .min(table_rows[outside].ceil() as u64);
+                .min(u64_from_f64(table_rows[outside].ceil()));
             let est = estimate_join_cardinality(state.rows, d_in, table_rows[outside], d_out);
             if best.map(|(_, _, b)| est < b).unwrap_or(true) {
                 best = Some((outside, e, est));
@@ -285,16 +285,19 @@ pub fn optimize(spec: &QuerySpec, stats: &[TableStats], env: &PlanEnv) -> Result
         let priced: Vec<(JoinMethod, f64)> = JoinMethod::ALL
             .iter()
             .map(|m| {
-                let c =
-                    join_cost(*m, state.rows, table_rows[next], tpp, &env.params, env.mem_pages)
-                        .weighted(&env.weights);
+                let c = join_cost(
+                    *m,
+                    state.rows,
+                    table_rows[next],
+                    tpp,
+                    &env.params,
+                    env.mem_pages,
+                )
+                .weighted(&env.weights);
                 (*m, c)
             })
             .collect();
-        let min_cost = priced
-            .iter()
-            .map(|(_, c)| *c)
-            .fold(f64::INFINITY, f64::min);
+        let min_cost = priced.iter().map(|(_, c)| *c).fold(f64::INFINITY, f64::min);
         let tolerance = min_cost.abs() * 1e-9 + 1e-12;
         let method = priced
             .iter()
@@ -392,11 +395,8 @@ mod tests {
     #[test]
     fn most_selective_table_leads_the_plan() {
         // Equality on an id column (1/100 000) makes `c` tiny.
-        let (mut spec, stats) = chain_query([
-            Predicate::True,
-            Predicate::True,
-            Predicate::eq(0, 7i64),
-        ]);
+        let (mut spec, stats) =
+            chain_query([Predicate::True, Predicate::True, Predicate::eq(0, 7i64)]);
         spec.tables[2].predicate = Predicate::eq(0, 7i64);
         let planned = optimize(&spec, &stats, &PlanEnv::default()).unwrap();
         assert_eq!(
@@ -506,7 +506,9 @@ mod tests {
         ));
         let planned = optimize(&spec, &[st.clone()], &PlanEnv::default()).unwrap();
         match &planned.plan {
-            PhysicalPlan::Access(AccessPath::IndexRange { lo, hi, residual, .. }) => {
+            PhysicalPlan::Access(AccessPath::IndexRange {
+                lo, hi, residual, ..
+            }) => {
                 assert_eq!(lo, &Value::Int(9_000));
                 assert_eq!(hi, &Value::Int(9_999));
                 assert_ne!(residual, &Predicate::True, "strictness re-checked");

@@ -5,6 +5,7 @@
 //! `[min, max]` interval, conjunctions multiply, disjunctions
 //! inclusion-exclude.
 
+use mmdb_types::cast::f64_from_u64;
 use mmdb_types::{CmpOp, Predicate, Value};
 
 /// Per-column statistics.
@@ -52,7 +53,12 @@ pub struct TableStats {
 
 impl TableStats {
     /// Builds stats with uniform defaults for `arity` columns.
-    pub fn uniform(name: impl Into<String>, tuples: u64, tuples_per_page: u64, arity: usize) -> Self {
+    pub fn uniform(
+        name: impl Into<String>,
+        tuples: u64,
+        tuples_per_page: u64,
+        arity: usize,
+    ) -> Self {
         TableStats {
             name: name.into(),
             tuples,
@@ -110,23 +116,31 @@ pub fn estimate_selectivity(pred: &Predicate, stats: &TableStats) -> Selectivity
     match pred {
         Predicate::True => 1.0,
         Predicate::Compare { column, op, value } => {
-            let col = stats.columns.get(*column).cloned().unwrap_or_else(ColumnStats::unknown);
+            let col = stats
+                .columns
+                .get(*column)
+                .cloned()
+                .unwrap_or_else(ColumnStats::unknown);
             match op {
-                CmpOp::Eq => 1.0 / stats.distinct(*column) as f64,
-                CmpOp::Ne => 1.0 - 1.0 / stats.distinct(*column) as f64,
+                CmpOp::Eq => 1.0 / f64_from_u64(stats.distinct(*column)),
+                CmpOp::Ne => 1.0 - 1.0 / f64_from_u64(stats.distinct(*column)),
                 CmpOp::Lt | CmpOp::Le => fraction_below(&col, value).max(1e-6),
                 CmpOp::Gt | CmpOp::Ge => (1.0 - fraction_below(&col, value)).max(1e-6),
             }
         }
         Predicate::Between { column, lo, hi } => {
-            let col = stats.columns.get(*column).cloned().unwrap_or_else(ColumnStats::unknown);
+            let col = stats
+                .columns
+                .get(*column)
+                .cloned()
+                .unwrap_or_else(ColumnStats::unknown);
             (fraction_below(&col, hi) - fraction_below(&col, lo)).clamp(1e-6, 1.0)
         }
         // One letter of the alphabet, roughly — the J* query.
-        Predicate::StrPrefix { prefix, .. } => (1.0f64 / 26.0).powi(prefix.len().min(3) as i32),
-        Predicate::And(a, b) => {
-            estimate_selectivity(a, stats) * estimate_selectivity(b, stats)
+        Predicate::StrPrefix { prefix, .. } => {
+            (1.0f64 / 26.0).powi(i32::try_from(prefix.len().min(3)).unwrap_or(3))
         }
+        Predicate::And(a, b) => estimate_selectivity(a, stats) * estimate_selectivity(b, stats),
         Predicate::Or(a, b) => {
             let sa = estimate_selectivity(a, stats);
             let sb = estimate_selectivity(b, stats);
@@ -144,7 +158,7 @@ pub fn estimate_join_cardinality(
     right_tuples: f64,
     right_distinct: u64,
 ) -> f64 {
-    left_tuples * right_tuples / left_distinct.max(right_distinct).max(1) as f64
+    left_tuples * right_tuples / f64_from_u64(left_distinct.max(right_distinct).max(1))
 }
 
 #[cfg(test)]

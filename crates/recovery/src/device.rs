@@ -1,4 +1,4 @@
-//! Simulated log devices.
+//! Simulated log devices (§5.2).
 //!
 //! A device writes one 4096-byte log page in 10 ms of *virtual* time (the
 //! paper's figure for a seek-free page write) and is busy until the write

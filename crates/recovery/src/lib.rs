@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! Recovery for memory-resident databases (§5 of the paper).
@@ -28,12 +29,19 @@
 //!   numbers (100 tps synchronous, ~1000 tps with group commit, ~k× with
 //!   k log devices).
 
+/// §5.3 fuzzy checkpointing against the live database.
 pub mod checkpoint;
+/// §5.2 simulated log devices (one 4096-byte page per 10 ms).
 pub mod device;
+/// §5.2 lock manager with pre-commit and commit dependencies.
 pub mod lock;
+/// §5.1 log records and log sequence numbers.
 pub mod log;
+/// §5.2 the recovery manager: WAL buffer, commit modes, restart.
 pub mod manager;
+/// §5.2 discrete-event throughput simulator for the commit policies.
 pub mod sim;
+/// §5.4 stable memory absorbing commits ahead of the disk log.
 pub mod stable;
 
 pub use device::LogDevice;

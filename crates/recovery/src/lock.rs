@@ -8,7 +8,7 @@
 //! list lives in the transaction's descriptor, and the log manager must
 //! not write a dependent's commit record before its dependencies'.
 
-use mmdb_types::{Error, Result, TxnId};
+use mmdb_types::{AuditViolation, Auditable, Error, Result, TxnId};
 use std::collections::{HashMap, HashSet};
 
 /// A lockable object (a key of the memory-resident database).
@@ -98,9 +98,10 @@ impl LockManager {
             Some(LockMode::Shared) if mode == LockMode::Shared => return Ok(()),
             _ => {}
         }
-        let others_conflict = lock.holders.iter().any(|(h, m)| {
-            *h != txn && (mode == LockMode::Exclusive || *m == LockMode::Exclusive)
-        });
+        let others_conflict = lock
+            .holders
+            .iter()
+            .any(|(h, m)| *h != txn && (mode == LockMode::Exclusive || *m == LockMode::Exclusive));
         if others_conflict {
             if !lock.waiters.contains(&txn) {
                 lock.waiters.push(txn);
@@ -140,9 +141,16 @@ impl LockManager {
             lock.holders.remove(&txn);
             lock.precommitted.insert(txn);
         }
+        // A pre-committed transaction has finished its work and will never
+        // retry an acquire: drop any stale waiter entries it left behind
+        // (§5.2 — pre-committed transactions hold no locks and never wait).
+        for lock in self.locks.values_mut() {
+            lock.waiters.retain(|w| *w != txn);
+        }
         let deps = desc.dependencies.clone();
         let d = self.txns.get_mut(&txn).expect("exists");
         d.held.clear();
+        self.gc();
         Ok(deps)
     }
 
@@ -182,8 +190,9 @@ impl LockManager {
     }
 
     fn gc(&mut self) {
-        self.locks
-            .retain(|_, l| !(l.holders.is_empty() && l.waiters.is_empty() && l.precommitted.is_empty()));
+        self.locks.retain(|_, l| {
+            !(l.holders.is_empty() && l.waiters.is_empty() && l.precommitted.is_empty())
+        });
     }
 
     /// Current waiters on an object, in arrival order (test/diagnostic).
@@ -265,6 +274,188 @@ impl LockManager {
     /// Live locks (test/diagnostic).
     pub fn lock_count(&self) -> usize {
         self.locks.len()
+    }
+}
+
+impl Auditable for LockManager {
+    /// Verifies the §5.2 lock-table invariants: every holder, waiter, and
+    /// pre-committed transaction is registered; no transaction both holds
+    /// and waits on the same lock; exclusive holders are sole holders;
+    /// descriptor `held` sets mirror the per-lock holder sets exactly;
+    /// pre-committed transactions hold nothing; and the dependency graph
+    /// over pre-committed transactions is acyclic — the property that
+    /// makes the commit-ordering lattice well-founded, so a dependent's
+    /// commit record can always be ordered after its dependencies'.
+    fn audit(&self) -> std::result::Result<(), AuditViolation> {
+        const C: &str = "LockManager";
+        let mut precommitted_anywhere: HashSet<TxnId> = HashSet::new();
+        for (obj, lock) in &self.locks {
+            AuditViolation::ensure(
+                !(lock.holders.is_empty()
+                    && lock.waiters.is_empty()
+                    && lock.precommitted.is_empty()),
+                C,
+                "lock-gc",
+                || format!("lock {obj} survived gc with no holders, waiters or pre-commits"),
+            )?;
+            for txn in lock
+                .holders
+                .keys()
+                .chain(lock.waiters.iter())
+                .chain(lock.precommitted.iter())
+            {
+                AuditViolation::ensure(self.txns.contains_key(txn), C, "registered", || {
+                    format!("lock {obj} references unregistered txn {}", txn.0)
+                })?;
+            }
+            for txn in &lock.waiters {
+                // A shared holder may wait on its own lock (a blocked
+                // shared-to-exclusive upgrade); an exclusive holder has
+                // nothing left to wait for.
+                AuditViolation::ensure(
+                    lock.holders.get(txn) != Some(&LockMode::Exclusive),
+                    C,
+                    "holder-not-waiter",
+                    || {
+                        format!(
+                            "txn {} holds lock {obj} exclusively yet still waits on it",
+                            txn.0
+                        )
+                    },
+                )?;
+            }
+            let exclusive = lock
+                .holders
+                .iter()
+                .filter(|(_, m)| **m == LockMode::Exclusive)
+                .count();
+            AuditViolation::ensure(
+                exclusive == 0 || lock.holders.len() == 1,
+                C,
+                "mode-compatibility",
+                || {
+                    format!(
+                        "lock {obj} has an exclusive holder among {} holders",
+                        lock.holders.len()
+                    )
+                },
+            )?;
+            for txn in lock.holders.keys() {
+                let recorded = self
+                    .txns
+                    .get(txn)
+                    .map(|d| d.held.contains(obj))
+                    .unwrap_or(false);
+                AuditViolation::ensure(recorded, C, "held-bookkeeping", || {
+                    format!("txn {} holds lock {obj} but its descriptor omits it", txn.0)
+                })?;
+            }
+            for txn in &lock.precommitted {
+                let empty_held = self
+                    .txns
+                    .get(txn)
+                    .map(|d| d.held.is_empty())
+                    .unwrap_or(true);
+                AuditViolation::ensure(empty_held, C, "precommit-released", || {
+                    format!("pre-committed txn {} still records held locks", txn.0)
+                })?;
+            }
+            precommitted_anywhere.extend(lock.precommitted.iter().copied());
+        }
+        for (obj, lock) in &self.locks {
+            for w in &lock.waiters {
+                AuditViolation::ensure(
+                    !precommitted_anywhere.contains(w),
+                    C,
+                    "precommitted-never-waits",
+                    || format!("pre-committed txn {} still waits on lock {obj}", w.0),
+                )?;
+            }
+        }
+        for (txn, desc) in &self.txns {
+            for obj in &desc.held {
+                let holds = self
+                    .locks
+                    .get(obj)
+                    .map(|l| l.holders.contains_key(txn))
+                    .unwrap_or(false);
+                AuditViolation::ensure(holds, C, "held-bookkeeping", || {
+                    format!(
+                        "txn {} descriptor claims lock {obj} it does not hold",
+                        txn.0
+                    )
+                })?;
+            }
+            for dep in &desc.dependencies {
+                AuditViolation::ensure(dep != txn, C, "no-self-dependency", || {
+                    format!("txn {} depends on itself", txn.0)
+                })?;
+                AuditViolation::ensure(
+                    precommitted_anywhere.contains(dep),
+                    C,
+                    "dependency-target",
+                    || {
+                        format!(
+                            "txn {} depends on txn {}, which is not pre-committed anywhere",
+                            txn.0, dep.0
+                        )
+                    },
+                )?;
+            }
+        }
+        // Dependency-graph acyclicity via iterative three-color DFS.
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Grey,
+            Black,
+        }
+        let mut color: HashMap<TxnId, Color> = HashMap::new();
+        let mut starts: Vec<TxnId> = self.txns.keys().copied().collect();
+        starts.sort();
+        for start in starts {
+            if color.get(&start).copied().unwrap_or(Color::White) != Color::White {
+                continue;
+            }
+            let mut stack: Vec<(TxnId, Vec<TxnId>, usize)> = Vec::new();
+            let children = |t: TxnId| -> Vec<TxnId> {
+                self.txns
+                    .get(&t)
+                    .map(|d| {
+                        let mut v: Vec<TxnId> = d.dependencies.iter().copied().collect();
+                        v.sort();
+                        v
+                    })
+                    .unwrap_or_default()
+            };
+            color.insert(start, Color::Grey);
+            stack.push((start, children(start), 0));
+            while let Some((node, kids, idx)) = stack.last_mut() {
+                if *idx < kids.len() {
+                    let child = kids[*idx];
+                    *idx += 1;
+                    match color.get(&child).copied().unwrap_or(Color::White) {
+                        Color::White => {
+                            color.insert(child, Color::Grey);
+                            let kids = children(child);
+                            stack.push((child, kids, 0));
+                        }
+                        Color::Grey => {
+                            return Err(AuditViolation::new(
+                                C,
+                                "dependency-acyclic",
+                                format!("dependency cycle through txns {} and {}", node.0, child.0),
+                            ));
+                        }
+                        Color::Black => {}
+                    }
+                } else {
+                    color.insert(*node, Color::Black);
+                    stack.pop();
+                }
+            }
+        }
+        Ok(())
     }
 }
 

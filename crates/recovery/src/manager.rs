@@ -12,7 +12,7 @@ use crate::device::{LogDevice, Micros};
 use crate::lock::LockManager;
 use crate::log::{LogRecord, Lsn};
 use crate::stable::StableMemory;
-use mmdb_types::{Error, Result, TxnId};
+use mmdb_types::{AuditViolation, Auditable, Error, Result, TxnId};
 use std::collections::{HashMap, HashSet};
 
 /// How commit durability is achieved (§5.2/§5.4).
@@ -271,6 +271,19 @@ impl RecoveryManager {
     /// already known in every mode because device completion times are
     /// deterministic.
     pub fn commit(&mut self, txn: TxnHandle) -> Result<Micros> {
+        let t = self.commit_inner(txn)?;
+        // Debug builds audit the lock table and log bookkeeping at every
+        // commit point: a violation here is an engine bug, caught at the
+        // moment §5.2's ordering guarantees are supposed to hold.
+        #[cfg(debug_assertions)]
+        {
+            self.locks.audit()?;
+            self.audit()?;
+        }
+        Ok(t)
+    }
+
+    fn commit_inner(&mut self, txn: TxnHandle) -> Result<Micros> {
         if !self.locks.is_active(txn.0) {
             return Err(Error::InvalidTransaction(txn.0 .0));
         }
@@ -561,6 +574,127 @@ impl RecoveryManager {
         // Recovered stable memory is drained of history; the dirty-page
         // table restarts empty (everything just got reconciled).
         (mgr, report)
+    }
+}
+
+impl Auditable for RecoveryManager {
+    /// Verifies the log-manager bookkeeping behind the §5.2 safety
+    /// argument: LSNs in the volatile buffer strictly ascend and stay
+    /// below the allocator; the buffered byte count matches the records;
+    /// every buffered commit still awaits durability and its record is in
+    /// the same buffer; every dependency of a pending commit is known
+    /// (already durable or pending alongside) so the dependent's commit
+    /// record can always be ordered after its dependencies'; and undo
+    /// lists exist exactly for live transactions.
+    fn audit(&self) -> std::result::Result<(), AuditViolation> {
+        const C: &str = "RecoveryManager";
+        AuditViolation::ensure(self.next_lsn >= 1, C, "lsn-allocator", || {
+            format!("next LSN is {}", self.next_lsn)
+        })?;
+        let mut bytes = 0usize;
+        for pair in self.buffer.windows(2) {
+            AuditViolation::ensure(pair[0].0 < pair[1].0, C, "lsn-monotonic", || {
+                format!(
+                    "buffered log out of order: LSN {} then {}",
+                    pair[0].0 .0, pair[1].0 .0
+                )
+            })?;
+        }
+        for (lsn, rec) in &self.buffer {
+            bytes += rec.byte_size();
+            AuditViolation::ensure(lsn.0 < self.next_lsn, C, "lsn-monotonic", || {
+                format!(
+                    "buffered LSN {} not below allocator {}",
+                    lsn.0, self.next_lsn
+                )
+            })?;
+        }
+        AuditViolation::ensure(bytes == self.buffer_bytes, C, "buffer-bytes", || {
+            format!(
+                "buffer holds {bytes} bytes of records, bookkeeping says {}",
+                self.buffer_bytes
+            )
+        })?;
+        if self.stable.is_some() {
+            AuditViolation::ensure(
+                self.buffer.is_empty() && self.buffer_commits.is_empty(),
+                C,
+                "stable-mode-buffer",
+                || "stable-memory mode must not buffer log pages volatilely".into(),
+            )?;
+        }
+        let buffered_commits: HashSet<TxnId> = self
+            .buffer
+            .iter()
+            .filter_map(|(_, r)| match r {
+                LogRecord::Commit { txn } => Some(*txn),
+                _ => None,
+            })
+            .collect();
+        let pending: HashSet<TxnId> = self.buffer_commits.iter().map(|(t, _)| *t).collect();
+        for (txn, deps) in &self.buffer_commits {
+            AuditViolation::ensure(txn.0 < self.next_txn, C, "txn-ids", || {
+                format!(
+                    "pending commit of txn {} beyond allocator {}",
+                    txn.0, self.next_txn
+                )
+            })?;
+            AuditViolation::ensure(
+                buffered_commits.contains(txn),
+                C,
+                "commit-record-buffered",
+                || {
+                    format!(
+                        "txn {} awaits durability but its commit record left the buffer",
+                        txn.0
+                    )
+                },
+            )?;
+            AuditViolation::ensure(
+                !self.commit_durable_at.contains_key(txn),
+                C,
+                "commit-once",
+                || {
+                    format!(
+                        "txn {} is both pending and already durably scheduled",
+                        txn.0
+                    )
+                },
+            )?;
+            for dep in deps {
+                AuditViolation::ensure(
+                    self.commit_durable_at.contains_key(dep) || pending.contains(dep),
+                    C,
+                    "dependent-commit-ordering",
+                    || {
+                        format!(
+                            "txn {} depends on txn {}, whose commit is neither durable nor pending",
+                            txn.0, dep.0
+                        )
+                    },
+                )?;
+            }
+        }
+        for txn in self.undo.keys() {
+            AuditViolation::ensure(self.locks.is_active(*txn), C, "undo-liveness", || {
+                format!("undo list for txn {} which the lock manager dropped", txn.0)
+            })?;
+            AuditViolation::ensure(
+                !self.commit_durable_at.contains_key(txn),
+                C,
+                "undo-liveness",
+                || format!("committed txn {} still has an undo list", txn.0),
+            )?;
+        }
+        for (page, lsn) in &self.dirty_first_update {
+            AuditViolation::ensure(lsn.0 < self.next_lsn, C, "dirty-page-table", || {
+                format!(
+                    "dirty page {page} first-update LSN {} not below allocator {}",
+                    lsn.0, self.next_lsn
+                )
+            })?;
+        }
+        Ok(())
     }
 }
 

@@ -160,7 +160,6 @@ impl ThroughputSim {
             pages_written: devices.iter().map(|d| d.pages_written()).sum(),
         }
     }
-
 }
 
 #[cfg(test)]

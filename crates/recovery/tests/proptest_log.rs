@@ -13,15 +13,20 @@ fn record_strategy() -> impl Strategy<Value = LogRecord> {
         any::<u64>().prop_map(|t| LogRecord::Begin { txn: TxnId(t) }),
         any::<u64>().prop_map(|t| LogRecord::Commit { txn: TxnId(t) }),
         any::<u64>().prop_map(|t| LogRecord::Abort { txn: TxnId(t) }),
-        (any::<u64>(), any::<u64>(), any::<Option<i64>>(), any::<i64>(), 0u32..10_000).prop_map(
-            |(t, key, old, new, padding)| LogRecord::Update {
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<Option<i64>>(),
+            any::<i64>(),
+            0u32..10_000
+        )
+            .prop_map(|(t, key, old, new, padding)| LogRecord::Update {
                 txn: TxnId(t),
                 key,
                 old,
                 new,
                 padding,
-            }
-        ),
+            }),
     ]
 }
 

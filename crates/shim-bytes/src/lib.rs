@@ -1,0 +1,139 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! Offline stand-in for the `bytes` crate.
+//!
+//! The build container has no crates.io access, so this crate vendors the
+//! little-endian [`Buf`]/[`BufMut`] subset the tuple and log codecs use,
+//! implemented for `&[u8]` and `Vec<u8>` over plain safe slice operations.
+//!
+//! Reads panic when the buffer is too short, matching upstream `bytes`;
+//! the workspace codecs always check [`Buf::remaining`] first, and the
+//! `cargo xtask audit` panic-freedom pass keeps it that way.
+
+/// Read side: a cursor over a shrinking byte slice.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Skips `cnt` bytes. Panics if fewer remain.
+    fn advance(&mut self, cnt: usize);
+    /// Copies out the next `N` bytes. Panics if fewer remain.
+    fn take_array<const N: usize>(&mut self) -> [u8; N];
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        self.take_array::<1>()[0]
+    }
+    /// Reads a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16 {
+        u16::from_le_bytes(self.take_array())
+    }
+    /// Reads a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.take_array())
+    }
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.take_array())
+    }
+    /// Reads a little-endian `i64`.
+    fn get_i64_le(&mut self) -> i64 {
+        i64::from_le_bytes(self.take_array())
+    }
+    /// Reads a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_le_bytes(self.take_array())
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end of buffer");
+        *self = &self[cnt..];
+    }
+
+    fn take_array<const N: usize>(&mut self) -> [u8; N] {
+        assert!(N <= self.len(), "read past end of buffer");
+        let mut out = [0u8; N];
+        out.copy_from_slice(&self[..N]);
+        *self = &self[N..];
+        out
+    }
+}
+
+/// Write side: append-only little-endian encoding.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Appends a little-endian `i64`.
+    fn put_i64_le(&mut self, v: i64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Appends a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{Buf, BufMut};
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut buf = Vec::new();
+        buf.put_u8(7);
+        buf.put_u16_le(0xBEEF);
+        buf.put_u32_le(0xDEAD_BEEF);
+        buf.put_u64_le(u64::MAX - 1);
+        buf.put_i64_le(i64::MIN);
+        buf.put_f64_le(-0.5);
+        buf.put_slice(b"xyz");
+
+        let mut view = buf.as_slice();
+        assert_eq!(view.remaining(), buf.len());
+        assert_eq!(view.get_u8(), 7);
+        assert_eq!(view.get_u16_le(), 0xBEEF);
+        assert_eq!(view.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(view.get_u64_le(), u64::MAX - 1);
+        assert_eq!(view.get_i64_le(), i64::MIN);
+        assert_eq!(view.get_f64_le(), -0.5);
+        assert_eq!(view, b"xyz");
+        view.advance(3);
+        assert_eq!(view.remaining(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "read past end")]
+    fn short_read_panics() {
+        let mut view: &[u8] = &[1, 2];
+        let _ = view.get_u32_le();
+    }
+}

@@ -1,0 +1,182 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no crates.io access, so this crate vendors the
+//! subset of the criterion API the workspace's `harness = false` benches
+//! use: [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! benchmark groups with `bench_function`/`bench_with_input`/`finish`,
+//! [`BenchmarkId`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Instead of criterion's statistical analysis it reports a plain mean
+//! wall-clock time per iteration over a short warm-up plus a fixed
+//! measurement batch — enough to compare the §3/§4 algorithm variants by
+//! eye without any external dependency.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Iterations discarded before timing starts.
+const WARMUP_ITERS: u32 = 3;
+/// Iterations whose mean wall-clock time is reported.
+const MEASURE_ITERS: u32 = 20;
+
+/// Entry point handed to every `criterion_group!` target function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Times `routine` and prints a one-line report labelled `name`.
+    pub fn bench_function<F, R>(&mut self, name: &str, mut routine: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher) -> R,
+    {
+        let mut bencher = Bencher::default();
+        routine(&mut bencher);
+        bencher.report(name);
+        self
+    }
+
+    /// Starts a named group; member benchmarks print as `group/member`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    _criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Times `routine` under this group's name.
+    pub fn bench_function<F, R>(&mut self, name: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher) -> R,
+    {
+        let mut bencher = Bencher::default();
+        routine(&mut bencher);
+        bencher.report(&format!("{}/{}", self.name, name));
+        self
+    }
+
+    /// Times `routine` with a fixed input, labelled by `id`.
+    pub fn bench_with_input<I, F, R>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I) -> R,
+    {
+        let mut bencher = Bencher::default();
+        routine(&mut bencher, input);
+        bencher.report(&format!("{}/{}", self.name, id.label));
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; ours are immediate).
+    pub fn finish(self) {}
+}
+
+/// Identifies one parameterised benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A label of the form `name/parameter`.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+}
+
+/// Runs and times the benchmark routine.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    mean: Option<Duration>,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly and records the mean wall-clock time.
+    pub fn iter<F, R>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> R,
+    {
+        for _ in 0..WARMUP_ITERS {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        for _ in 0..MEASURE_ITERS {
+            black_box(routine());
+        }
+        self.mean = Some(start.elapsed() / MEASURE_ITERS);
+    }
+
+    fn report(&self, label: &str) {
+        match self.mean {
+            Some(mean) => println!("{label:<50} {mean:>12.2?}/iter ({MEASURE_ITERS} iters)"),
+            None => println!("{label:<50} (no iter() call)"),
+        }
+    }
+}
+
+/// Declares a function that runs each listed benchmark target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` to run the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_times_the_routine() {
+        let mut c = Criterion::default();
+        let mut runs = 0u32;
+        c.bench_function("counting", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, WARMUP_ITERS + MEASURE_ITERS);
+    }
+
+    #[test]
+    fn groups_run_inputs() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        let mut total = 0u64;
+        g.bench_with_input(BenchmarkId::new("sum", 4), &4u64, |b, &n| {
+            b.iter(|| total += n)
+        });
+        g.finish();
+        assert_eq!(total as u32, (WARMUP_ITERS + MEASURE_ITERS) * 4);
+    }
+}

@@ -6,7 +6,7 @@
 //! experiments the paper lists as future work.
 
 use crate::disk::{IoKind, SimDisk};
-use mmdb_types::{Error, PageId, Result, PAGE_SIZE};
+use mmdb_types::{AuditViolation, Auditable, Error, PageId, Result, PAGE_SIZE};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{BTreeMap, HashMap};
@@ -332,7 +332,10 @@ impl BufferPool {
 
     /// Releases one pin.
     pub fn unpin(&mut self, id: PageId) -> Result<()> {
-        let f = self.frames.get_mut(&id.0).ok_or(Error::PageNotFound(id.0))?;
+        let f = self
+            .frames
+            .get_mut(&id.0)
+            .ok_or(Error::PageNotFound(id.0))?;
         if f.pins == 0 {
             return Err(Error::Internal(format!("unpin of unpinned page {}", id.0)));
         }
@@ -342,7 +345,10 @@ impl BufferPool {
 
     /// Writes a single dirty page back to disk (keeps it resident).
     pub fn flush(&mut self, disk: &mut SimDisk, id: PageId) -> Result<()> {
-        let f = self.frames.get_mut(&id.0).ok_or(Error::PageNotFound(id.0))?;
+        let f = self
+            .frames
+            .get_mut(&id.0)
+            .ok_or(Error::PageNotFound(id.0))?;
         if f.dirty {
             disk.write(id, IoKind::Random, &f.data)?;
             f.dirty = false;
@@ -377,6 +383,125 @@ impl BufferPool {
             .collect();
         v.sort_unstable();
         v
+    }
+}
+
+impl Auditable for BufferPool {
+    /// Verifies frame accounting: occupancy never exceeds capacity, every
+    /// frame is page-sized and stamp-consistent, and the policy-specific
+    /// victim bookkeeping (random residency vector, LRU order map, clock
+    /// ring) describes exactly the resident frame set. The §2 fault model
+    /// only holds if the pool's idea of "resident" is self-consistent.
+    fn audit(&self) -> std::result::Result<(), AuditViolation> {
+        const C: &str = "BufferPool";
+        AuditViolation::ensure(self.frames.len() <= self.capacity, C, "capacity", || {
+            format!(
+                "{} frames resident, capacity {}",
+                self.frames.len(),
+                self.capacity
+            )
+        })?;
+        for (id, f) in &self.frames {
+            AuditViolation::ensure(f.data.len() == PAGE_SIZE, C, "frame-size", || {
+                format!("page {id} frame holds {} bytes", f.data.len())
+            })?;
+            AuditViolation::ensure(f.lru_stamp <= self.lru_counter, C, "stamp-order", || {
+                format!(
+                    "page {id} stamp {} exceeds counter {}",
+                    f.lru_stamp, self.lru_counter
+                )
+            })?;
+        }
+        match self.policy {
+            ReplacementPolicy::Random { .. } => {
+                AuditViolation::ensure(
+                    self.resident.len() == self.frames.len(),
+                    C,
+                    "random-bookkeeping",
+                    || {
+                        format!(
+                            "residency vector tracks {} pages, {} frames resident",
+                            self.resident.len(),
+                            self.frames.len()
+                        )
+                    },
+                )?;
+                for (pos, id) in self.resident.iter().enumerate() {
+                    AuditViolation::ensure(
+                        self.frames.contains_key(id),
+                        C,
+                        "random-bookkeeping",
+                        || format!("residency vector lists non-resident page {id}"),
+                    )?;
+                    AuditViolation::ensure(
+                        self.resident_pos.get(id) == Some(&pos),
+                        C,
+                        "random-bookkeeping",
+                        || format!("page {id} at slot {pos} but position map disagrees"),
+                    )?;
+                }
+            }
+            ReplacementPolicy::Lru => {
+                AuditViolation::ensure(
+                    self.lru_order.len() == self.frames.len(),
+                    C,
+                    "lru-bookkeeping",
+                    || {
+                        format!(
+                            "LRU order tracks {} pages, {} frames resident",
+                            self.lru_order.len(),
+                            self.frames.len()
+                        )
+                    },
+                )?;
+                for (stamp, id) in &self.lru_order {
+                    let frame_stamp = self.frames.get(id).map(|f| f.lru_stamp);
+                    AuditViolation::ensure(
+                        frame_stamp == Some(*stamp),
+                        C,
+                        "lru-bookkeeping",
+                        || {
+                            format!(
+                                "LRU entry ({stamp}, page {id}) but frame stamp is {frame_stamp:?}"
+                            )
+                        },
+                    )?;
+                }
+            }
+            ReplacementPolicy::Clock => {
+                AuditViolation::ensure(
+                    self.ring.len() == self.frames.len(),
+                    C,
+                    "clock-bookkeeping",
+                    || {
+                        format!(
+                            "clock ring holds {} pages, {} frames resident",
+                            self.ring.len(),
+                            self.frames.len()
+                        )
+                    },
+                )?;
+                let mut seen = std::collections::HashSet::new();
+                for id in &self.ring {
+                    AuditViolation::ensure(seen.insert(*id), C, "clock-bookkeeping", || {
+                        format!("page {id} appears twice in the clock ring")
+                    })?;
+                    AuditViolation::ensure(
+                        self.frames.contains_key(id),
+                        C,
+                        "clock-bookkeeping",
+                        || format!("clock ring lists non-resident page {id}"),
+                    )?;
+                }
+                AuditViolation::ensure(
+                    self.ring.is_empty() && self.hand == 0 || self.hand < self.ring.len(),
+                    C,
+                    "clock-hand",
+                    || format!("hand {} outside ring of {}", self.hand, self.ring.len()),
+                )?;
+            }
+        }
+        Ok(())
     }
 }
 

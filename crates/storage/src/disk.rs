@@ -50,7 +50,8 @@ impl SimDisk {
     /// that follows pays).
     pub fn allocate(&mut self) -> PageId {
         let id = self.pages.len() as u64;
-        self.pages.push(Some(vec![0u8; PAGE_SIZE].into_boxed_slice()));
+        self.pages
+            .push(Some(vec![0u8; PAGE_SIZE].into_boxed_slice()));
         PageId(id)
     }
 
@@ -67,23 +68,23 @@ impl SimDisk {
             .unwrap_or(false)
     }
 
-    fn classify(&mut self, id: PageId, kind: IoKind) -> IoKind {
-        let resolved = match kind {
-            IoKind::Auto => match self.last_accessed {
-                Some(last) if id.0 == last + 1 || id.0 == last => IoKind::Sequential,
-                _ => IoKind::Random,
-            },
-            k => k,
+    /// True when the access should be charged at the sequential rate.
+    fn classify_sequential(&mut self, id: PageId, kind: IoKind) -> bool {
+        let sequential = match kind {
+            IoKind::Auto => {
+                matches!(self.last_accessed, Some(last) if id.0 == last + 1 || id.0 == last)
+            }
+            k => k == IoKind::Sequential,
         };
         self.last_accessed = Some(id.0);
-        resolved
+        sequential
     }
 
     fn charge(&mut self, id: PageId, kind: IoKind) {
-        match self.classify(id, kind) {
-            IoKind::Sequential => self.meter.charge_seq_ios(1),
-            IoKind::Random => self.meter.charge_rand_ios(1),
-            IoKind::Auto => unreachable!("classify resolves Auto"),
+        if self.classify_sequential(id, kind) {
+            self.meter.charge_seq_ios(1);
+        } else {
+            self.meter.charge_rand_ios(1);
         }
     }
 

@@ -8,7 +8,7 @@ use crate::buffer::BufferPool;
 use crate::disk::{IoKind, SimDisk};
 use crate::page::SlottedPage;
 use crate::tuple_codec;
-use mmdb_types::{Error, PageId, Result, Tuple, TupleId};
+use mmdb_types::{AuditViolation, Auditable, Error, PageId, Result, Tuple, TupleId};
 
 /// A relation stored as slotted pages on a simulated disk.
 #[derive(Debug)]
@@ -73,12 +73,7 @@ impl HeapFile {
     }
 
     /// Fetches a tuple by TID.
-    pub fn get(
-        &self,
-        disk: &mut SimDisk,
-        pool: &mut BufferPool,
-        tid: TupleId,
-    ) -> Result<Tuple> {
+    pub fn get(&self, disk: &mut SimDisk, pool: &mut BufferPool, tid: TupleId) -> Result<Tuple> {
         if !self.pages.contains(&tid.page) {
             return Err(Error::PageNotFound(tid.page.0));
         }
@@ -157,10 +152,8 @@ impl HeapFile {
             let bytes = pool.get(disk, pid, IoKind::Sequential)?;
             let page = SlottedPage::from_bytes(bytes)?;
             // Collect first: decoding borrows the pool's frame.
-            let records: Vec<(mmdb_types::SlotId, Vec<u8>)> = page
-                .iter()
-                .map(|(s, r)| (s, r.to_vec()))
-                .collect();
+            let records: Vec<(mmdb_types::SlotId, Vec<u8>)> =
+                page.iter().map(|(s, r)| (s, r.to_vec())).collect();
             for (slot, rec) in records {
                 f(TupleId { page: pid, slot }, tuple_codec::decode(&rec)?);
             }
@@ -173,6 +166,66 @@ impl HeapFile {
         let mut out = Vec::with_capacity(self.tuple_count);
         self.scan(disk, pool, |_, t| out.push(t))?;
         Ok(out)
+    }
+
+    /// Full audit against the stored pages: every page must parse as a
+    /// slotted page, every record must decode as a tuple, and the live
+    /// records must sum to exactly [`HeapFile::tuple_count`]. Goes through
+    /// the pool (and therefore the §2 fault economics) like any other
+    /// access; see [`Auditable`] for the standalone subset.
+    pub fn audit_with(
+        &self,
+        disk: &mut SimDisk,
+        pool: &mut BufferPool,
+    ) -> std::result::Result<(), AuditViolation> {
+        const C: &str = "HeapFile";
+        self.audit()?;
+        let mut live = 0usize;
+        for &pid in &self.pages {
+            let bytes = pool
+                .get(disk, pid, IoKind::Sequential)
+                .map_err(|e| AuditViolation::new(C, "page-readable", e.to_string()))?;
+            let page = SlottedPage::from_bytes(bytes)
+                .map_err(|e| AuditViolation::new(C, "page-parse", e.to_string()))?;
+            let records: Vec<Vec<u8>> = page.iter().map(|(_, r)| r.to_vec()).collect();
+            live += records.len();
+            for rec in records {
+                tuple_codec::decode(&rec)
+                    .map_err(|e| AuditViolation::new(C, "tuple-decode", e.to_string()))?;
+            }
+        }
+        AuditViolation::ensure(live == self.tuple_count, C, "tuple-count", || {
+            format!(
+                "pages hold {live} live records, bookkeeping says {}",
+                self.tuple_count
+            )
+        })
+    }
+}
+
+impl Auditable for HeapFile {
+    /// Standalone free-space bookkeeping checks: the page list must be
+    /// duplicate-free (a page appearing twice would double-count its
+    /// tuples) and a non-zero tuple count requires at least one page.
+    fn audit(&self) -> std::result::Result<(), AuditViolation> {
+        const C: &str = "HeapFile";
+        let mut seen = std::collections::HashSet::new();
+        for pid in &self.pages {
+            AuditViolation::ensure(seen.insert(*pid), C, "page-list-unique", || {
+                format!("page {} appears twice in the file", pid.0)
+            })?;
+        }
+        AuditViolation::ensure(
+            self.tuple_count == 0 || !self.pages.is_empty(),
+            C,
+            "tuple-count",
+            || {
+                format!(
+                    "{} tuples recorded but the file has no pages",
+                    self.tuple_count
+                )
+            },
+        )
     }
 }
 
@@ -276,9 +329,7 @@ mod tests {
         let (mut disk, mut pool) = env();
         let mut hf = HeapFile::new();
         hf.insert(&mut disk, &mut pool, &t(0)).unwrap();
-        assert!(hf
-            .get(&mut disk, &mut pool, TupleId::new(999, 0))
-            .is_err());
+        assert!(hf.get(&mut disk, &mut pool, TupleId::new(999, 0)).is_err());
         let first_page = hf.pages()[0];
         assert!(hf
             .get(

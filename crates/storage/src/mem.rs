@@ -29,11 +29,7 @@ impl MemRelation {
     }
 
     /// Builds a relation from tuples, validating each against the schema.
-    pub fn from_tuples(
-        schema: Schema,
-        tuples_per_page: usize,
-        tuples: Vec<Tuple>,
-    ) -> Result<Self> {
+    pub fn from_tuples(schema: Schema, tuples_per_page: usize, tuples: Vec<Tuple>) -> Result<Self> {
         for t in &tuples {
             schema.check(t)?;
         }
@@ -137,7 +133,9 @@ mod tests {
     #[test]
     fn push_validates_schema() {
         let mut r = rel(0, 4);
-        assert!(r.push(Tuple::new(vec![Value::Int(1), Value::Int(2)])).is_ok());
+        assert!(r
+            .push(Tuple::new(vec![Value::Int(1), Value::Int(2)]))
+            .is_ok());
         assert!(r
             .push(Tuple::new(vec![Value::Str("no".into()), Value::Int(2)]))
             .is_err());

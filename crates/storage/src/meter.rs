@@ -165,7 +165,7 @@ mod tests {
     fn seconds_match_table2_arithmetic() {
         let m = CostMeter::new();
         m.charge_comparisons(1_000_000); // 3 s at 3 µs each
-        m.charge_rand_ios(40);           // 1 s at 25 ms each
+        m.charge_rand_ios(40); // 1 s at 25 ms each
         let p = SystemParams::table2();
         let secs = m.seconds(&p);
         assert!((secs - 4.0).abs() < 1e-9, "got {secs}");

@@ -189,10 +189,7 @@ impl SlottedPage {
     /// mapping `old slot -> new slot` for live records so callers can fix
     /// up index entries.
     pub fn compact(&mut self) -> Vec<(SlotId, SlotId)> {
-        let live: Vec<(SlotId, Vec<u8>)> = self
-            .iter()
-            .map(|(s, r)| (s, r.to_vec()))
-            .collect();
+        let live: Vec<(SlotId, Vec<u8>)> = self.iter().map(|(s, r)| (s, r.to_vec())).collect();
         let mut fresh = SlottedPage::new();
         let mut mapping = Vec::with_capacity(live.len());
         for (old, rec) in live {

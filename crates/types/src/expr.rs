@@ -6,11 +6,10 @@
 
 use crate::tuple::Tuple;
 use crate::value::Value;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Comparison operator for column-vs-constant predicates.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CmpOp {
     /// `=`
     Eq,
@@ -56,7 +55,7 @@ impl fmt::Display for CmpOp {
 }
 
 /// A boolean predicate over one tuple.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Predicate {
     /// `column <op> constant`.
     Compare {
@@ -260,8 +259,7 @@ mod tests {
 
     #[test]
     fn columns_collects_and_dedups() {
-        let p = Predicate::eq(2, 1i64)
-            .and(Predicate::eq(0, 1i64).or(Predicate::eq(2, 3i64)));
+        let p = Predicate::eq(2, 1i64).and(Predicate::eq(0, 1i64).or(Predicate::eq(2, 3i64)));
         assert_eq!(p.columns(), vec![0, 2]);
         assert!(Predicate::True.columns().is_empty());
     }

@@ -3,26 +3,19 @@
 //! Using distinct newtypes for page, slot, tuple, transaction and relation
 //! identifiers prevents an entire class of "wrong id" bugs at compile time.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifies a page within a simulated disk or log device.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct PageId(pub u64);
 
 /// Identifies a slot within a slotted page.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SlotId(pub u16);
 
 /// A tuple identifier (TID): page plus slot. The paper's §3.2 discusses
 /// manipulating TID-key pairs instead of whole tuples; this is that TID.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct TupleId {
     /// Page holding the tuple.
     pub page: PageId,
@@ -41,15 +34,11 @@ impl TupleId {
 }
 
 /// Identifies a transaction.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct TxnId(pub u64);
 
 /// Identifies a relation in the catalog.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct RelationId(pub u32);
 
 impl fmt::Display for PageId {

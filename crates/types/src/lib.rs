@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! Core types shared by every crate in the `mmdb` workspace.
@@ -16,6 +17,8 @@
 //! * `Pg`    — page size in bytes,
 //! * `P`     — pointer width in bytes.
 
+pub mod audit;
+pub mod cast;
 pub mod error;
 pub mod expr;
 pub mod ids;
@@ -25,6 +28,7 @@ pub mod schema;
 pub mod tuple;
 pub mod value;
 
+pub use audit::{AuditViolation, Auditable};
 pub use error::{Error, Result};
 pub use expr::{CmpOp, Predicate};
 pub use ids::{PageId, RelationId, SlotId, TupleId, TxnId};

@@ -7,12 +7,10 @@
 //!   (`||R||, K, T, Pg, P`).
 //! * [`CostWeights`] — the §4 Selinger-style objective `W·CPU + IO`.
 
-use serde::{Deserialize, Serialize};
-
 /// Per-operation costs, Table 2 of the paper. CPU times are in
 /// **microseconds**, I/O times in **milliseconds**; accessors convert to
 /// seconds so downstream arithmetic is unit-safe.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SystemParams {
     /// `comp` — time to compare keys, µs.
     pub comp_us: f64,
@@ -83,7 +81,7 @@ impl Default for SystemParams {
 }
 
 /// Shapes of the two relations joined in §3, Table 2.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RelationShape {
     /// `|R|` — pages in the smaller relation R.
     pub r_pages: u64,
@@ -124,7 +122,7 @@ impl Default for RelationShape {
 }
 
 /// §2 relation characteristics for the access-method study.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AccessGeometry {
     /// `||R||` — number of tuples in the relation.
     pub tuples: u64,
@@ -226,7 +224,7 @@ impl Default for AccessGeometry {
 }
 
 /// Weights for the §4 planning objective `W·|CPU| + |I/O|` (Selinger).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostWeights {
     /// `W` — relative weight of a second of CPU versus one I/O operation.
     pub cpu_weight: f64,

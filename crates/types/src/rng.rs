@@ -92,7 +92,12 @@ impl WorkloadRng {
     /// relations whose key values "are distributed similarly" (§3.5).
     pub fn keyed_tuples(&mut self, n: usize, key_space: i64) -> Vec<Tuple> {
         (0..n)
-            .map(|i| Tuple::new(vec![Value::Int(self.int_in(0, key_space)), Value::Int(i as i64)]))
+            .map(|i| {
+                Tuple::new(vec![
+                    Value::Int(self.int_in(0, key_space)),
+                    Value::Int(i as i64),
+                ])
+            })
             .collect()
     }
 

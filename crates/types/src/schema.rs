@@ -2,11 +2,10 @@
 
 use crate::error::{Error, Result};
 use crate::tuple::Tuple;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The scalar type of a column.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DataType {
     /// 64-bit signed integer.
     Int,
@@ -27,7 +26,7 @@ impl fmt::Display for DataType {
 }
 
 /// A single named column.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Column {
     /// Column name, unique within its schema.
     pub name: String,
@@ -46,7 +45,7 @@ impl Column {
 }
 
 /// An ordered list of columns describing a relation.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Schema {
     columns: Vec<Column>,
 }
@@ -111,7 +110,10 @@ impl Schema {
             if let Some(ty) = v.data_type() {
                 if ty != self.columns[i].ty {
                     return Err(Error::SchemaMismatch {
-                        expected: format!("{} for column '{}'", self.columns[i].ty, self.columns[i].name),
+                        expected: format!(
+                            "{} for column '{}'",
+                            self.columns[i].ty, self.columns[i].name
+                        ),
                         found: ty.to_string(),
                     });
                 }
@@ -222,9 +224,6 @@ mod tests {
 
     #[test]
     fn display_renders() {
-        assert_eq!(
-            emp().to_string(),
-            "(id INT, name STR, salary FLOAT)"
-        );
+        assert_eq!(emp().to_string(), "(id INT, name STR, salary FLOAT)");
     }
 }

@@ -4,13 +4,12 @@
 //! index keys and hash-partitioning both require that. NaN sorts greater
 //! than every other float, mirroring `f64::total_cmp`.
 
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 
 /// A scalar value stored in a tuple.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum Value {
     /// 64-bit signed integer.
     Int(i64),

@@ -1,0 +1,171 @@
+//! Workspace automation for the mmdb reproduction.
+//!
+//! `cargo xtask audit` runs three static-analysis passes over the engine
+//! crates (everything except the `shim-*` stand-ins, the benchmark
+//! harness, and this tool):
+//!
+//! * **panic-freedom** — flags `unwrap`/`expect`, panicking macros, and
+//!   slice indexing in non-test library code. §5.2 of the paper assumes
+//!   a crash mid-commit leaves a recoverable log; library code that
+//!   aborts instead of returning `Err` breaks that contract.
+//! * **lossy-cast** — flags bare `as` numeric casts in the `analytic`
+//!   and `planner` cost-model code; conversions must go through the
+//!   checked helpers in `mmdb_types::cast`.
+//! * **hygiene** — every engine crate opens with
+//!   `#![forbid(unsafe_code)]` + `#![warn(missing_docs)]`, and public
+//!   items in `recovery` and `core` carry doc comments with the
+//!   workspace's `§5.2`-style paper citations.
+//!
+//! Findings are suppressed only through `crates/xtask/audit-allowlist.toml`,
+//! where every entry needs a one-line justification; stale entries are
+//! reported so suppressions cannot outlive the code they excused.
+
+mod allowlist;
+mod passes;
+mod scan;
+
+use passes::Finding;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Engine crates covered by the audit, as `crates/<name>` directories.
+const ENGINE_CRATES: [&str; 8] = [
+    "types", "storage", "index", "analytic", "exec", "planner", "recovery", "core",
+];
+
+/// Crates whose cost-model code the lossy-cast pass applies to.
+const CAST_CRATES: [&str; 2] = ["analytic", "planner"];
+
+/// Crates whose public items must carry §-cited doc comments.
+const CITED_CRATES: [&str; 2] = ["recovery", "core"];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("audit") => audit(args.iter().any(|a| a == "--verbose")),
+        _ => {
+            eprintln!("usage: cargo xtask audit [--verbose]");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Workspace root, resolved relative to this crate's manifest so the
+/// audit works from any working directory.
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/xtask sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+fn audit(verbose: bool) -> ExitCode {
+    let root = workspace_root();
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut files_scanned = 0usize;
+
+    for krate in ENGINE_CRATES {
+        let src = root.join("crates").join(krate).join("src");
+        for file in rust_files(&src) {
+            let rel = file
+                .strip_prefix(&root)
+                .unwrap_or(&file)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let Ok(text) = std::fs::read_to_string(&file) else {
+                findings.push(Finding {
+                    pass: "hygiene",
+                    path: rel,
+                    line: 1,
+                    what: "unreadable file".to_string(),
+                    snippet: String::new(),
+                });
+                continue;
+            };
+            files_scanned += 1;
+            let raw: Vec<&str> = text.lines().collect();
+            let lines = scan::clean(&text);
+
+            findings.extend(passes::panic_freedom(&rel, &lines, &raw));
+            if CAST_CRATES.contains(&krate) {
+                findings.extend(passes::lossy_cast(&rel, &lines, &raw));
+            }
+            if rel.ends_with("/lib.rs") {
+                findings.extend(passes::crate_headers(&rel, &raw));
+            }
+            if CITED_CRATES.contains(&krate) {
+                findings.extend(passes::doc_citations(&rel, &lines, &raw));
+            }
+        }
+    }
+
+    let allow_path = root.join("crates/xtask/audit-allowlist.toml");
+    let allow_text = std::fs::read_to_string(&allow_path).unwrap_or_default();
+    let entries = match allowlist::parse(&allow_text) {
+        Ok(e) => e,
+        Err(errors) => {
+            eprintln!("audit-allowlist.toml is malformed:");
+            for e in errors {
+                eprintln!("  {e}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let total = findings.len();
+    let (kept, suppressed, stale) = allowlist::apply(&entries, findings);
+
+    if verbose {
+        println!(
+            "allowlist: {} entr{} suppressing {suppressed} finding(s)",
+            entries.len(),
+            if entries.len() == 1 { "y" } else { "ies" },
+        );
+    }
+    for at in &stale {
+        println!("warning: allowlist entry at line {at} matches nothing — prune it");
+    }
+
+    if kept.is_empty() {
+        println!(
+            "audit clean: {files_scanned} files, {total} finding(s), {suppressed} allowlisted"
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    for pass in ["panic-freedom", "lossy-cast", "hygiene"] {
+        let of_pass: Vec<&Finding> = kept.iter().filter(|f| f.pass == pass).collect();
+        if of_pass.is_empty() {
+            continue;
+        }
+        println!("\n{pass}: {} finding(s)", of_pass.len());
+        for f in of_pass {
+            println!("  {}:{} [{}] {}", f.path, f.line, f.what, f.snippet);
+        }
+    }
+    println!(
+        "\naudit FAILED: {} unsuppressed finding(s) ({suppressed} allowlisted); \
+         fix them or add a justified entry to crates/xtask/audit-allowlist.toml",
+        kept.len()
+    );
+    ExitCode::FAILURE
+}
+
+/// All `.rs` files under `dir`, recursively, in sorted order.
+fn rust_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return out;
+    };
+    let mut entries: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            out.extend(rust_files(&path));
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    out
+}

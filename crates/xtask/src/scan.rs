@@ -1,0 +1,291 @@
+//! Lexical cleaning for the audit passes.
+//!
+//! The container this workspace builds in is fully offline, so a proper
+//! syntax-tree pass (`syn`) is not available; instead the audit works on
+//! a *cleaned* view of each source file in which comments and string
+//! literals are blanked out (replaced by spaces, preserving line and
+//! column structure) and `#[cfg(test)]` regions are marked.  That is
+//! enough to make substring checks for `.unwrap()`, `panic!(`, bare `as`
+//! casts and slice indexing reliable: none of those can be hidden in the
+//! constructs we blank, and false positives from comments/strings are
+//! impossible by construction.
+
+/// One line of a cleaned source file.
+pub struct CleanLine {
+    /// 1-based line number in the original file.
+    pub no: usize,
+    /// The line with comments and literal interiors blanked.
+    pub code: String,
+    /// True when the line sits inside a `#[cfg(test)]` item.
+    pub in_test: bool,
+}
+
+/// Comment/string state carried across lines.
+enum Mode {
+    Code,
+    Block(u32),
+    Str,
+    RawStr(u32),
+}
+
+/// Blanks comments and literal interiors, then marks `#[cfg(test)]`
+/// regions by brace tracking. Returns one entry per source line.
+pub fn clean(source: &str) -> Vec<CleanLine> {
+    let cleaned = blank_noncode(source);
+    mark_test_regions(&cleaned)
+}
+
+/// Pass 1: character state machine producing the blanked text.
+fn blank_noncode(source: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut mode = Mode::Code;
+    for line in source.lines() {
+        let chars: Vec<char> = line.chars().collect();
+        let mut buf = String::with_capacity(chars.len());
+        let mut i = 0;
+        while i < chars.len() {
+            let c = chars[i];
+            let next = chars.get(i + 1).copied();
+            match mode {
+                Mode::Code => match c {
+                    '/' if next == Some('/') => {
+                        // Line comment (incl. doc comments): blank the rest.
+                        for _ in i..chars.len() {
+                            buf.push(' ');
+                        }
+                        i = chars.len();
+                        continue;
+                    }
+                    '/' if next == Some('*') => {
+                        mode = Mode::Block(1);
+                        buf.push_str("  ");
+                        i += 2;
+                        continue;
+                    }
+                    '"' => {
+                        mode = Mode::Str;
+                        buf.push('"');
+                    }
+                    'r' | 'b' if is_raw_string_start(&chars, i) => {
+                        let (hashes, consumed) = raw_string_open(&chars, i);
+                        mode = Mode::RawStr(hashes);
+                        for _ in 0..consumed {
+                            buf.push(' ');
+                        }
+                        buf.pop();
+                        buf.push('"');
+                        i += consumed;
+                        continue;
+                    }
+                    '\'' => {
+                        // Char literal or lifetime. A lifetime is `'ident`
+                        // not followed by a closing quote.
+                        if next == Some('\\') {
+                            // Escaped char literal: skip to the closing quote.
+                            buf.push('\'');
+                            i += 1;
+                            while i < chars.len() && chars[i] != '\'' {
+                                buf.push(' ');
+                                i += 1;
+                            }
+                            if i < chars.len() {
+                                buf.push('\'');
+                            }
+                        } else if chars.get(i + 2) == Some(&'\'') {
+                            buf.push_str("' '");
+                            i += 2;
+                        } else {
+                            buf.push('\''); // lifetime marker
+                        }
+                    }
+                    _ => buf.push(c),
+                },
+                Mode::Block(depth) => {
+                    if c == '*' && next == Some('/') {
+                        mode = if depth == 1 {
+                            Mode::Code
+                        } else {
+                            Mode::Block(depth - 1)
+                        };
+                        buf.push_str("  ");
+                        i += 2;
+                        continue;
+                    } else if c == '/' && next == Some('*') {
+                        mode = Mode::Block(depth + 1);
+                        buf.push_str("  ");
+                        i += 2;
+                        continue;
+                    }
+                    buf.push(' ');
+                }
+                Mode::Str => match c {
+                    '\\' => {
+                        buf.push_str("  ");
+                        i += 2;
+                        continue;
+                    }
+                    '"' => {
+                        mode = Mode::Code;
+                        buf.push('"');
+                    }
+                    _ => buf.push(' '),
+                },
+                Mode::RawStr(hashes) => {
+                    if c == '"' && raw_string_closes(&chars, i, hashes) {
+                        mode = Mode::Code;
+                        buf.push('"');
+                        for _ in 0..hashes {
+                            buf.push(' ');
+                        }
+                        i += 1 + hashes as usize;
+                        continue;
+                    }
+                    buf.push(' ');
+                }
+            }
+            i += 1;
+        }
+        out.push(buf);
+    }
+    out
+}
+
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    // `r"`, `r#"`, `br"`, `br#"` — only when not part of an identifier.
+    if i > 0 {
+        let prev = chars[i - 1];
+        if prev.is_alphanumeric() || prev == '_' {
+            return false;
+        }
+    }
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+    }
+    if chars.get(j) != Some(&'r') {
+        return false;
+    }
+    j += 1;
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+}
+
+/// Returns (hash count, chars consumed through the opening quote).
+fn raw_string_open(chars: &[char], i: usize) -> (u32, usize) {
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+    }
+    j += 1; // the `r`
+    let mut hashes = 0u32;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (hashes, j + 1 - i)
+}
+
+fn raw_string_closes(chars: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// Pass 2: brace-tracking to flag `#[cfg(test)]` items.
+fn mark_test_regions(cleaned: &[String]) -> Vec<CleanLine> {
+    let mut out = Vec::new();
+    let mut depth: i64 = 0;
+    let mut pending_attr = false;
+    let mut test_floor: Option<i64> = None;
+    for (idx, line) in cleaned.iter().enumerate() {
+        let mut touched_test = test_floor.is_some();
+        let attr_here = line.contains("#[cfg(test)") || line.contains("#[cfg(all(test");
+        if attr_here && test_floor.is_none() {
+            pending_attr = true;
+        }
+        for c in line.chars() {
+            match c {
+                '{' => {
+                    if pending_attr && test_floor.is_none() {
+                        test_floor = Some(depth);
+                        pending_attr = false;
+                        touched_test = true;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if test_floor == Some(depth) {
+                        test_floor = None;
+                    }
+                }
+                ';' if pending_attr && test_floor.is_none() => {
+                    // `#[cfg(test)] use …;` — a braceless test item.
+                    pending_attr = false;
+                }
+                _ => {}
+            }
+        }
+        out.push(CleanLine {
+            no: idx + 1,
+            code: line.clone(),
+            in_test: touched_test || attr_here || test_floor.is_some(),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_blanked() {
+        let src = "let x = v[0]; // index[1] in a comment\nlet s = \"a[0].unwrap()\";\n";
+        let lines = clean(src);
+        assert!(lines[0].code.contains("v[0]"));
+        assert!(!lines[0].code.contains("index[1]"));
+        assert!(!lines[1].code.contains("unwrap"));
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let src = "/* a /* b */ still comment .unwrap() */ let y = 1;\n";
+        let lines = clean(src);
+        assert!(!lines[0].code.contains("unwrap"));
+        assert!(lines[0].code.contains("let y = 1;"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes_survive() {
+        let src = "fn f<'a>(x: &'a str) -> char { '[' }\n";
+        let lines = clean(src);
+        // The bracket inside the char literal must not look like indexing.
+        assert!(!lines[0].code.contains('['));
+        assert!(lines[0].code.contains("fn f<'a>"));
+    }
+
+    #[test]
+    fn cfg_test_modules_are_marked() {
+        let src = "fn lib() { a.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() { b.unwrap(); }\n}\nfn lib2() {}\n";
+        let lines = clean(src);
+        assert!(!lines[0].in_test);
+        assert!(lines[1].in_test && lines[2].in_test && lines[3].in_test && lines[4].in_test);
+        assert!(!lines[5].in_test);
+    }
+
+    #[test]
+    fn braceless_cfg_test_item_does_not_poison_the_rest() {
+        let src = "#[cfg(test)]\nuse std::fmt;\nfn lib() {}\n";
+        let lines = clean(src);
+        assert!(!lines[2].in_test);
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let src = "let p = r#\"x[0].unwrap()\"#; let q = v[i];\n";
+        let lines = clean(src);
+        assert!(!lines[0].code.contains("unwrap"));
+        assert!(lines[0].code.contains("v[i]"));
+    }
+}

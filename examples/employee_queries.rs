@@ -56,12 +56,18 @@ fn main() {
             }
             (res.faults() as f64 / 500.0, comps as f64 / 500.0)
         };
-        let (af, ac) = do_probe(&mut |k, tr| {
-            avl.get_traced(&k, tr);
-        }, avl.pages());
-        let (bf, bc) = do_probe(&mut |k, tr| {
-            bt.get_traced(&k, tr);
-        }, bt.pages());
+        let (af, ac) = do_probe(
+            &mut |k, tr| {
+                avl.get_traced(&k, tr);
+            },
+            avl.pages(),
+        );
+        let (bf, bc) = do_probe(
+            &mut |k, tr| {
+                bt.get_traced(&k, tr);
+            },
+            bt.pages(),
+        );
         println!(
             "  |M| = {:>3.0}% of AVL: AVL cost {:>6.1} ({af:.2} faults, {ac:.1} comps) | B+ cost {:>6.1} ({bf:.2} faults, {bc:.1} comps)",
             h * 100.0,

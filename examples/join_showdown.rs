@@ -14,7 +14,7 @@ fn main() {
     let params = SystemParams::table2();
     let shape = RelationShape::table2();
     // 1/20th of the paper's scale: |R| = |S| = 500 pages, 20 000 tuples.
-    let (r, s) = workload::table2_relations(shape, 0.05, 99);
+    let (r, s) = workload::table2_relations(shape, 0.05, 99).unwrap();
     let spec = JoinSpec::new(0, 0);
     println!(
         "joining R ({} tuples, {} pages) with S ({} tuples, {} pages)\n",

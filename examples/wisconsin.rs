@@ -19,9 +19,12 @@ fn main() {
     for name in ["onektup", "tenktup"] {
         db.create_table(name, workload::wisconsin_schema()).unwrap();
     }
-    db.insert_many("onektup", workload::wisconsin(n / 10, 1).into_tuples())
-        .unwrap();
-    db.insert_many("tenktup", workload::wisconsin(n, 2).into_tuples())
+    db.insert_many(
+        "onektup",
+        workload::wisconsin(n / 10, 1).unwrap().into_tuples(),
+    )
+    .unwrap();
+    db.insert_many("tenktup", workload::wisconsin(n, 2).unwrap().into_tuples())
         .unwrap();
     db.create_index("tenktup", 0, IndexKind::BPlusTree).unwrap(); // unique1
     db.create_index("tenktup", 1, IndexKind::Hash).unwrap(); // unique2

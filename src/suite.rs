@@ -2,4 +2,3 @@
 //!
 //! The substantive code lives in the workspace crates; this library only
 //! exists so the root package can host `tests/` and `examples/`.
-

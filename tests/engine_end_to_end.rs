@@ -22,7 +22,8 @@ fn load_company(db: &mut Database, employees: usize, depts: i64) {
     )
     .unwrap();
     let mut rng = WorkloadRng::seeded(42);
-    db.insert_many("emp", rng.employees(employees, depts)).unwrap();
+    db.insert_many("emp", rng.employees(employees, depts))
+        .unwrap();
     for d in 0..depts {
         db.insert(
             "dept",
@@ -66,10 +67,10 @@ fn full_lifecycle_load_index_query_update_delete() {
     assert!(db.lookup_eq("emp", 3, &Value::Int(7)).unwrap().is_empty());
 
     // Delete and re-query.
-    let removed = db
-        .table_mut("emp")
-        .unwrap()
-        .delete_where(&Predicate::cmp(0, CmpOp::Ge, 1_000i64));
+    let removed =
+        db.table_mut("emp")
+            .unwrap()
+            .delete_where(&Predicate::cmp(0, CmpOp::Ge, 1_000i64));
     assert_eq!(removed, 1_000);
     let rejoined = db.query(&spec).unwrap();
     assert_eq!(rejoined.rows.tuple_count(), 1_000);

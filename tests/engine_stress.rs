@@ -24,11 +24,8 @@ fn sustained_dml_with_index_maintenance() {
         match rng.index(10) {
             0..=5 => {
                 let grp = rng.int_in(0, 16);
-                db.insert(
-                    "t",
-                    Tuple::new(vec![Value::Int(next_id), Value::Int(grp)]),
-                )
-                .unwrap();
+                db.insert("t", Tuple::new(vec![Value::Int(next_id), Value::Int(grp)]))
+                    .unwrap();
                 live.insert(next_id, grp);
                 next_id += 1;
             }
@@ -103,11 +100,7 @@ fn repeated_crash_recover_cycles_accumulate_correctly() {
         store = recovered;
         assert!(report.losers.len() <= 1, "cycle {cycle}: {report:?}");
         for (k, v) in expected.iter().enumerate() {
-            assert_eq!(
-                store.read(k as u64),
-                Some(*v),
-                "cycle {cycle}, key {k}"
-            );
+            assert_eq!(store.read(k as u64), Some(*v), "cycle {cycle}, key {k}");
         }
     }
 }

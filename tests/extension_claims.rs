@@ -8,9 +8,7 @@ use mmdb_exec::join::JoinSpec;
 use mmdb_exec::ExecContext;
 use mmdb_planner::enumerate::{classical_plan_space, collapsed_plan_space};
 use mmdb_storage::{BufferPool, CostMeter, IoKind, MemRelation, ReplacementPolicy, SimDisk};
-use mmdb_types::{
-    DataType, PageId, RelationShape, Schema, SystemParams, WorkloadRng, PAGE_SIZE,
-};
+use mmdb_types::{DataType, PageId, RelationShape, Schema, SystemParams, WorkloadRng, PAGE_SIZE};
 use std::sync::Arc;
 
 /// §3.3: recursive hybrid hash handles skewed partitions and respects the
@@ -19,12 +17,11 @@ use std::sync::Arc;
 fn recursive_hybrid_handles_skew() {
     let mut rng = WorkloadRng::seeded(91);
     let schema = Schema::of(&[("k", DataType::Int), ("v", DataType::Int)]);
-    let r = MemRelation::from_tuples(schema.clone(), 40, rng.zipf_tuples(5_000, 3_000, 1.1))
-        .unwrap();
-    let s =
-        MemRelation::from_tuples(schema, 40, rng.zipf_tuples(5_000, 3_000, 1.1)).unwrap();
+    let r =
+        MemRelation::from_tuples(schema.clone(), 40, rng.zipf_tuples(5_000, 3_000, 1.1)).unwrap();
+    let s = MemRelation::from_tuples(schema, 40, rng.zipf_tuples(5_000, 3_000, 1.1)).unwrap();
     let ctx = ExecContext::new(6, 1.2);
-    let (out, stats) = hybrid_hash_join_with_stats(&r, &s, JoinSpec::new(0, 0), &ctx);
+    let (out, stats) = hybrid_hash_join_with_stats(&r, &s, JoinSpec::new(0, 0), &ctx).unwrap();
     assert!(out.tuple_count() > 0);
     assert!(
         stats.recursive_partitionings > 0,

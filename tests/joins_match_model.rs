@@ -10,7 +10,7 @@ use mmdb_types::{RelationShape, SystemParams};
 fn measured(algo: Algo, ratio: f64, scale: f64) -> (CostSnapshot, usize) {
     let params = SystemParams::table2();
     let shape = RelationShape::table2();
-    let (r, s) = workload::table2_relations(shape, scale, 7);
+    let (r, s) = workload::table2_relations(shape, scale, 7).unwrap();
     let mem = ((ratio * r.page_count() as f64 * params.fudge).round() as usize).max(2);
     let ctx = ExecContext::new(mem, params.fudge);
     let out = run_join(algo, &r, &s, JoinSpec::new(0, 0), &ctx).unwrap();
@@ -18,7 +18,9 @@ fn measured(algo: Algo, ratio: f64, scale: f64) -> (CostSnapshot, usize) {
 }
 
 fn seconds(algo: Algo, ratio: f64) -> f64 {
-    measured(algo, ratio, 0.01).0.seconds(&SystemParams::table2())
+    measured(algo, ratio, 0.01)
+        .0
+        .seconds(&SystemParams::table2())
 }
 
 #[test]
@@ -73,7 +75,10 @@ fn hybrid_beats_grace_and_sort_merge_across_the_range() {
             hybrid <= grace * 1.15,
             "ratio {ratio}: hybrid {hybrid} vs grace {grace}"
         );
-        assert!(hybrid < sm, "ratio {ratio}: hybrid {hybrid} vs sort-merge {sm}");
+        assert!(
+            hybrid < sm,
+            "ratio {ratio}: hybrid {hybrid} vs sort-merge {sm}"
+        );
     }
 }
 
@@ -83,7 +88,7 @@ fn hashing_beats_sort_merge_above_the_sqrt_floor() {
     // wins. Measure right at the floor.
     let shape = RelationShape::table2();
     let scale = 0.01;
-    let (r, s) = workload::table2_relations(shape, scale, 9);
+    let (r, s) = workload::table2_relations(shape, scale, 9).unwrap();
     let params = SystemParams::table2();
     let floor = ((s.page_count() as f64 * params.fudge).sqrt().ceil() as usize).max(2);
     let run = |algo| {
@@ -94,7 +99,10 @@ fn hashing_beats_sort_merge_above_the_sqrt_floor() {
     let hybrid = run(Algo::HybridHash);
     let grace = run(Algo::GraceHash);
     let sm = run(Algo::SortMerge);
-    assert!(hybrid < sm && grace < sm, "hybrid {hybrid}, grace {grace}, sm {sm}");
+    assert!(
+        hybrid < sm && grace < sm,
+        "hybrid {hybrid}, grace {grace}, sm {sm}"
+    );
 }
 
 #[test]
