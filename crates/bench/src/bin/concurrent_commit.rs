@@ -1,0 +1,296 @@
+//! Experiment S1 — §5.2's commit policies measured on real OS threads.
+//!
+//! A closed-loop driver: N client threads each run "typical" 400-byte
+//! banking transactions (begin, two padded updates, commit) back to
+//! back against one shared [`mmdb_session::Engine`], waiting for
+//! durability before issuing the next. Reported per policy: committed
+//! transactions per second and p50/p99 begin-to-durable latency. The
+//! paper's §5.2 prediction, scaled to the configured page-write
+//! latency: synchronous commit pays one page write per transaction
+//! while group commit amortizes it over the whole group, so grouped
+//! throughput should beat synchronous by roughly the group size.
+//!
+//! Usage: `concurrent_commit [--policy sync|group|partitioned:K|all]
+//! [--clients N] [--duration-ms MS] [--page-write-us US] [--smoke]
+//! [--out PATH]`. Results also land as JSON (default
+//! `BENCH_concurrent_commit.json`).
+
+use mmdb_bench::print_table;
+use mmdb_session::{CommitPolicy, Engine, EngineOptions};
+use std::time::{Duration, Instant};
+
+struct RunResult {
+    policy: String,
+    devices: usize,
+    committed: u64,
+    aborted: u64,
+    tps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    pages_written: usize,
+}
+
+struct Config {
+    policies: Vec<CommitPolicy>,
+    clients: usize,
+    duration: Duration,
+    page_write: Duration,
+    out: String,
+}
+
+fn parse_policy(s: &str) -> CommitPolicy {
+    match s {
+        "sync" => CommitPolicy::Synchronous,
+        "group" => CommitPolicy::Group,
+        other => {
+            if let Some(k) = other.strip_prefix("partitioned:") {
+                CommitPolicy::Partitioned {
+                    devices: k.parse().expect("partitioned:K needs an integer K"),
+                }
+            } else if other == "partitioned" {
+                CommitPolicy::Partitioned { devices: 2 }
+            } else {
+                panic!("unknown policy {other:?} (want sync|group|partitioned:K|all)");
+            }
+        }
+    }
+}
+
+fn parse_args() -> Config {
+    let mut cfg = Config {
+        policies: vec![
+            CommitPolicy::Synchronous,
+            CommitPolicy::Group,
+            CommitPolicy::Partitioned { devices: 2 },
+            CommitPolicy::Partitioned { devices: 4 },
+        ],
+        clients: 8,
+        duration: Duration::from_millis(1000),
+        page_write: Duration::from_micros(2000),
+        out: "BENCH_concurrent_commit.json".to_string(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--policy" => {
+                let v = value("--policy");
+                if v != "all" {
+                    cfg.policies = vec![parse_policy(&v)];
+                }
+            }
+            "--clients" => cfg.clients = value("--clients").parse().expect("--clients N"),
+            "--duration-ms" => {
+                cfg.duration =
+                    Duration::from_millis(value("--duration-ms").parse().expect("--duration-ms MS"))
+            }
+            "--page-write-us" => {
+                cfg.page_write = Duration::from_micros(
+                    value("--page-write-us")
+                        .parse()
+                        .expect("--page-write-us US"),
+                )
+            }
+            "--smoke" => {
+                cfg.clients = 4;
+                cfg.duration = Duration::from_millis(200);
+                cfg.page_write = Duration::from_micros(1000);
+            }
+            "--out" => cfg.out = value("--out"),
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+    cfg
+}
+
+fn percentile_ms(sorted_us: &[u64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * p).round() as usize;
+    sorted_us[idx.min(sorted_us.len() - 1)] as f64 / 1000.0
+}
+
+fn run_policy(cfg: &Config, policy: CommitPolicy) -> RunResult {
+    let dir = std::env::temp_dir().join(format!(
+        "mmdb-bench-cc-{}-{}-{}",
+        std::process::id(),
+        policy.name(),
+        policy.devices()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    let opts = EngineOptions::new(policy, &dir)
+        .with_page_write_latency(cfg.page_write)
+        .with_flush_interval(cfg.page_write / 4)
+        .with_lock_wait_timeout(Duration::from_secs(2));
+    let engine = Engine::start(opts).expect("engine start");
+
+    // Seed two accounts per client with round sums.
+    let accounts = (cfg.clients as u64) * 2;
+    let seeder = engine.session();
+    let t = seeder.begin().expect("seed begin");
+    for k in 0..accounts {
+        seeder.write(&t, k, 1_000_000).expect("seed write");
+    }
+    seeder.commit_durable(t).expect("seed commit");
+
+    let deadline = Instant::now() + cfg.duration;
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for c in 0..cfg.clients as u64 {
+        let session = engine.session();
+        handles.push(std::thread::spawn(move || {
+            let mut committed = 0u64;
+            let mut aborted = 0u64;
+            let mut latencies_us: Vec<u64> = Vec::new();
+            let mut i = 0u64;
+            while Instant::now() < deadline {
+                // Mostly transfer inside the client's own account pair;
+                // every 8th hop crosses into the neighbor's pair so the
+                // lock manager sees real conflicts and dependencies.
+                let from = c * 2;
+                let to = if i.is_multiple_of(8) {
+                    (c * 2 + 2) % accounts
+                } else {
+                    c * 2 + 1
+                };
+                if from == to {
+                    i += 1;
+                    continue;
+                }
+                let txn_started = Instant::now();
+                match session.transfer(from, to, 1) {
+                    Ok(ticket) => {
+                        session.wait_durable(&ticket).expect("wait durable");
+                        latencies_us.push(txn_started.elapsed().as_micros() as u64);
+                        committed += 1;
+                    }
+                    Err(_) => aborted += 1,
+                }
+                i += 1;
+            }
+            (committed, aborted, latencies_us)
+        }));
+    }
+    let mut committed = 0u64;
+    let mut aborted = 0u64;
+    let mut latencies: Vec<u64> = Vec::new();
+    for h in handles {
+        let (c, a, l) = h.join().expect("client thread");
+        committed += c;
+        aborted += a;
+        latencies.extend(l);
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    let pages_written = engine.pages_written().expect("pages written");
+    engine.shutdown().expect("shutdown");
+    std::fs::remove_dir_all(&dir).ok();
+
+    latencies.sort_unstable();
+    let name = match policy {
+        CommitPolicy::Partitioned { devices } => format!("partitioned:{devices}"),
+        other => other.name().to_string(),
+    };
+    RunResult {
+        policy: name,
+        devices: policy.devices(),
+        committed,
+        aborted,
+        tps: committed as f64 / elapsed,
+        p50_ms: percentile_ms(&latencies, 0.50),
+        p99_ms: percentile_ms(&latencies, 0.99),
+        pages_written,
+    }
+}
+
+fn main() {
+    let cfg = parse_args();
+    println!("Experiment S1 — §5.2 commit policies on OS threads");
+    println!(
+        "closed loop: {} clients, {} ms, {} µs/page write, 400-byte typical txns",
+        cfg.clients,
+        cfg.duration.as_millis(),
+        cfg.page_write.as_micros()
+    );
+
+    let results: Vec<RunResult> = cfg.policies.iter().map(|p| run_policy(&cfg, *p)).collect();
+
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.policy.clone(),
+                r.devices.to_string(),
+                r.committed.to_string(),
+                r.aborted.to_string(),
+                format!("{:.0}", r.tps),
+                format!("{:.2}", r.p50_ms),
+                format!("{:.2}", r.p99_ms),
+                r.pages_written.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "committed throughput and durability latency",
+        &[
+            "policy",
+            "devices",
+            "committed",
+            "aborted",
+            "tps",
+            "p50 ms",
+            "p99 ms",
+            "pages",
+        ],
+        &rows,
+    );
+
+    let sync_tps = results
+        .iter()
+        .find(|r| r.policy == "sync")
+        .map(|r| r.tps)
+        .unwrap_or(0.0);
+    let group_tps = results
+        .iter()
+        .find(|r| r.policy == "group")
+        .map(|r| r.tps)
+        .unwrap_or(0.0);
+    let speedup = if sync_tps > 0.0 {
+        group_tps / sync_tps
+    } else {
+        0.0
+    };
+    if sync_tps > 0.0 && group_tps > 0.0 {
+        println!("\n  group commit vs synchronous: {speedup:.1}x (§5.2 predicts ~group-size x)");
+    }
+
+    let runs_json: Vec<String> =
+        results
+            .iter()
+            .map(|r| {
+                format!(
+                "    {{\"policy\": \"{}\", \"devices\": {}, \"committed\": {}, \"aborted\": {}, \
+                 \"tps\": {:.1}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"pages_written\": {}}}",
+                r.policy, r.devices, r.committed, r.aborted, r.tps, r.p50_ms, r.p99_ms,
+                r.pages_written
+            )
+            })
+            .collect();
+    let json =
+        format!
+(
+        "{{\n  \"bench\": \"concurrent_commit\",\n  \"clients\": {},\n  \"duration_ms\": {},\n  \
+         \"page_write_us\": {},\n  \"typical_txn_bytes\": 400,\n  \"runs\": [\n{}\n  ],\n  \
+         \"group_vs_sync_speedup\": {:.2}\n}}\n",
+        cfg.clients,
+        cfg.duration.as_millis(),
+        cfg.page_write.as_micros(),
+        runs_json.join(",\n"),
+        speedup
+    );
+    std::fs::write(&cfg.out, json).expect("write JSON");
+    println!("  wrote {}", cfg.out);
+}

@@ -49,6 +49,8 @@
 pub mod db;
 /// §4.3 multi-version concurrency control for read-only queries.
 pub mod mvcc;
+/// §5 thread-shareable catalog handle for the multi-session front-end.
+pub mod shared;
 /// §2 memory-resident tables with a choice of index structure.
 pub mod table;
 /// §5 transactional store combining locking, logging, and recovery.
@@ -56,5 +58,6 @@ pub mod txn;
 
 pub use db::{Database, EngineConfig, QueryOutcome};
 pub use mvcc::VersionedStore;
+pub use shared::SharedDatabase;
 pub use table::{IndexKind, Table};
 pub use txn::{CommitMode, RecoveryReport, TransactionalStore};

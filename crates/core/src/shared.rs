@@ -1,0 +1,161 @@
+//! A thread-shareable catalog handle.
+//!
+//! The paper's §5 session model assumes many terminals issuing
+//! transactions against one memory-resident database. [`Database`] itself
+//! is a plain single-owner value; [`SharedDatabase`] wraps it in
+//! `Arc<RwLock<…>>` so OS threads (the session layer's clients) can read
+//! and mutate one catalog concurrently: many concurrent readers for the
+//! §3/§4 query path, exclusive writers for DDL and loads. Lock poisoning
+//! — a panicking thread mid-mutation — surfaces as
+//! [`mmdb_types::Error::Poisoned`] instead of propagating the panic, per
+//! the workspace's §5.2 panic-freedom rule (a crashed session must not
+//! take the engine down with it).
+
+use crate::db::Database;
+use mmdb_types::{Error, Result};
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Compile-time proof that the catalog may cross threads: everything in
+/// [`Database`] (tables, indexes, the atomic cost meter) is `Send + Sync`.
+fn assert_send_sync<T: Send + Sync>() {}
+
+/// A cloneable, thread-safe handle to one [`Database`] catalog (§5's
+/// shared memory-resident database, served to many sessions).
+#[derive(Debug, Clone, Default)]
+pub struct SharedDatabase {
+    inner: Arc<RwLock<Database>>,
+}
+
+impl SharedDatabase {
+    /// Wraps a database for shared access.
+    pub fn new(db: Database) -> Self {
+        assert_send_sync::<Database>();
+        SharedDatabase {
+            inner: Arc::new(RwLock::new(db)),
+        }
+    }
+
+    /// Acquires the catalog for reading (shared with other readers).
+    pub fn read(&self) -> Result<RwLockReadGuard<'_, Database>> {
+        self.inner
+            .read()
+            .map_err(|_| Error::Poisoned("shared catalog (read)".into()))
+    }
+
+    /// Acquires the catalog for writing (exclusive).
+    pub fn write(&self) -> Result<RwLockWriteGuard<'_, Database>> {
+        self.inner
+            .write()
+            .map_err(|_| Error::Poisoned("shared catalog (write)".into()))
+    }
+
+    /// Runs a closure under the read lock — convenience for one-shot
+    /// queries from session threads.
+    pub fn with_read<T>(&self, f: impl FnOnce(&Database) -> Result<T>) -> Result<T> {
+        f(&*self.read()?)
+    }
+
+    /// Runs a closure under the write lock — convenience for DDL and
+    /// loads from session threads.
+    pub fn with_write<T>(&self, f: impl FnOnce(&mut Database) -> Result<T>) -> Result<T> {
+        f(&mut *self.write()?)
+    }
+
+    /// How many handles share this catalog (diagnostic).
+    pub fn handle_count(&self) -> usize {
+        Arc::strong_count(&self.inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmdb_types::{DataType, Predicate, Schema, Tuple, Value};
+
+    fn shared_with_table() -> SharedDatabase {
+        let shared = SharedDatabase::default();
+        shared
+            .with_write(|db| {
+                db.create_table(
+                    "acct",
+                    Schema::of(&[("id", DataType::Int), ("balance", DataType::Int)]),
+                )
+            })
+            .unwrap();
+        shared
+    }
+
+    #[test]
+    fn concurrent_readers_share_one_catalog() {
+        let shared = shared_with_table();
+        shared
+            .with_write(|db| {
+                for i in 0..100i64 {
+                    db.insert("acct", Tuple::new(vec![Value::Int(i), Value::Int(1_000)]))?;
+                }
+                Ok(())
+            })
+            .unwrap();
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let h = shared.clone();
+            handles.push(std::thread::spawn(move || {
+                let out = h
+                    .with_read(|db| db.select("acct", &Predicate::eq(1, 1_000i64)))
+                    .unwrap();
+                out.tuple_count()
+            }));
+        }
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 100);
+        }
+    }
+
+    #[test]
+    fn concurrent_writers_serialize() {
+        let shared = shared_with_table();
+        let mut handles = Vec::new();
+        for t in 0..4i64 {
+            let h = shared.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50i64 {
+                    h.with_write(|db| {
+                        db.insert(
+                            "acct",
+                            Tuple::new(vec![Value::Int(t * 1_000 + i), Value::Int(0)]),
+                        )
+                    })
+                    .unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let n = shared.with_read(|db| Ok(db.table("acct")?.len())).unwrap();
+        assert_eq!(n, 200, "every insert from every thread landed");
+    }
+
+    #[test]
+    fn poisoned_catalog_reports_instead_of_panicking() {
+        let shared = shared_with_table();
+        let h = shared.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = h.write().unwrap();
+            panic!("session dies while holding the catalog");
+        })
+        .join();
+        assert!(matches!(shared.read(), Err(Error::Poisoned(_))));
+        assert!(matches!(shared.write(), Err(Error::Poisoned(_))));
+    }
+
+    #[test]
+    fn handle_count_tracks_clones() {
+        let shared = SharedDatabase::default();
+        assert_eq!(shared.handle_count(), 1);
+        let extra = shared.clone();
+        assert_eq!(shared.handle_count(), 2);
+        drop(extra);
+        assert_eq!(shared.handle_count(), 1);
+    }
+}

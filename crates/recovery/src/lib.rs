@@ -43,6 +43,9 @@ pub mod manager;
 pub mod sim;
 /// §5.4 stable memory absorbing commits ahead of the disk log.
 pub mod stable;
+/// §5.2 wall-clock log devices: page-framed append-only files with
+/// per-page fsync, for the real-thread session layer.
+pub mod wal;
 
 pub use device::LogDevice;
 pub use lock::{LockManager, LockMode};
@@ -50,3 +53,4 @@ pub use log::{LogRecord, Lsn};
 pub use manager::{CommitMode, RecoveryManager, TxnHandle};
 pub use sim::{SimConfig, ThroughputSim};
 pub use stable::StableMemory;
+pub use wal::WalDevice;

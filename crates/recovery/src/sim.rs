@@ -26,10 +26,17 @@ pub struct SimConfig {
     /// compression (≈ 0.55 for the paper's 400-byte transaction with 180
     /// old-value bytes).
     pub compression_ratio: f64,
+    /// Maximum transactions whose commit records share one log write —
+    /// the §5.2 commit-group size. Synchronous commit is the degenerate
+    /// group of one; grouped policies default to a full page's worth
+    /// (ten 400-byte transactions per 4096-byte page). This field is what
+    /// distinguishes [`SimConfig::synchronous`] from
+    /// [`SimConfig::group_commit`] at the configuration level.
+    pub commit_group_txns: usize,
 }
 
 impl SimConfig {
-    /// §5.2 synchronous commit.
+    /// §5.2 synchronous commit: a commit group of exactly one.
     pub fn synchronous() -> Self {
         SimConfig {
             txn_log_bytes: 400,
@@ -38,31 +45,49 @@ impl SimConfig {
             devices: 1,
             stable_memory: false,
             compression_ratio: 1.0,
+            commit_group_txns: 1,
         }
     }
 
-    /// §5.2 group commit on one device.
+    /// §5.2 group commit on one device: commit groups as large as a log
+    /// page allows.
     pub fn group_commit() -> Self {
-        SimConfig::synchronous()
+        let mut c = SimConfig::synchronous();
+        c.commit_group_txns = c.page_capacity();
+        c
     }
 
-    /// §5.2 partitioned log over `k` devices.
+    /// §5.2 partitioned log over `k` devices (grouped commits on each).
     pub fn partitioned(k: usize) -> Self {
         SimConfig {
             devices: k.max(1),
-            ..SimConfig::synchronous()
+            ..SimConfig::group_commit()
         }
     }
 
     /// §5.4 stable memory with new-values-only compression, draining to
     /// `k` devices.
     pub fn stable(k: usize) -> Self {
-        SimConfig {
+        let mut c = SimConfig {
             devices: k.max(1),
             stable_memory: true,
             compression_ratio: 220.0 / 400.0,
-            ..SimConfig::synchronous()
-        }
+            ..SimConfig::group_commit()
+        };
+        // Compression packs more transactions into each drained page.
+        c.commit_group_txns = c.page_capacity();
+        c
+    }
+
+    /// Transactions whose (possibly compressed) log fits one page — the
+    /// natural commit-group ceiling for this configuration.
+    pub fn page_capacity(&self) -> usize {
+        let effective = if self.stable_memory {
+            (self.txn_log_bytes as f64 * self.compression_ratio).ceil() as usize
+        } else {
+            self.txn_log_bytes
+        };
+        (self.page_bytes / effective.max(1)).max(1)
     }
 }
 
@@ -135,7 +160,9 @@ impl ThroughputSim {
         } else {
             c.txn_log_bytes
         };
-        let per_page = (c.page_bytes / effective_bytes).max(1) as u64;
+        let per_page = (c.page_bytes / effective_bytes)
+            .max(1)
+            .min(c.commit_group_txns.max(1)) as u64;
         let mut remaining = n;
         let mut now: Micros = 0;
         let mut next_dev = 0usize;
@@ -232,6 +259,26 @@ mod tests {
             .tps();
         assert!((sim_sync - 100.0).abs() < 2.0);
         assert!((sim_group - 1_000.0).abs() < 25.0);
+    }
+
+    #[test]
+    fn policies_differ_at_the_config_level() {
+        // `group_commit()` used to be an exact alias of `synchronous()`;
+        // the commit-group size now distinguishes them explicitly.
+        assert_ne!(SimConfig::synchronous(), SimConfig::group_commit());
+        assert_eq!(SimConfig::synchronous().commit_group_txns, 1);
+        assert_eq!(SimConfig::group_commit().commit_group_txns, 10);
+        assert_eq!(SimConfig::partitioned(4).commit_group_txns, 10);
+        assert_eq!(SimConfig::stable(1).commit_group_txns, 18);
+    }
+
+    #[test]
+    fn grouped_run_with_unit_group_degenerates_to_synchronous() {
+        // A commit group of one forces one page write per transaction,
+        // so the grouped engine reproduces the synchronous 100 tps.
+        let r = ThroughputSim::new(SimConfig::synchronous()).run_grouped(1_000);
+        assert!((r.tps() - 100.0).abs() < 1.0, "tps {}", r.tps());
+        assert_eq!(r.pages_written, 1_000);
     }
 
     #[test]

@@ -1,0 +1,608 @@
+//! The group-commit daemon and log-writer threads (§5.2 on OS threads).
+//!
+//! One *daemon* thread owns page formation: it drains the shared log
+//! queue, cuts page-sized batches, and stripes them round-robin over one
+//! *writer* thread per log device. Each writer sleeps the device's
+//! modeled page-write latency, then appends-and-syncs the page through
+//! [`WalDevice`]. The §5.2 invariants live here:
+//!
+//! * **Pre-commit** — committers release locks at precommit (in
+//!   [`crate::engine`]) and only *wait* here, so a log page in flight
+//!   never blocks lock traffic.
+//! * **Dependency write ordering** — a commit record's page is not
+//!   written until every page carrying a dependency's commit record is on
+//!   disk (the paper's rule for partitioned logs). Commit records enter
+//!   the queue in precommit order (appends happen under the state lock),
+//!   so a dependency's page sequence number is never larger than its
+//!   dependent's and the wait can never cycle.
+//! * **Durable watermark** — a transaction is *reported* durable only
+//!   once every page up to and including its own is on disk, matching
+//!   restart recovery's contiguous-LSN-prefix rule: nothing is promised
+//!   that a crash could take back.
+//!
+//! Lock order (a thread may only acquire downward): `state` → `queue` →
+//! `durable`. The writers take `durable` and `state` one at a time, never
+//! nested.
+
+use crate::policy::{CommitPolicy, EngineOptions};
+use mmdb_recovery::wal::WalDevice;
+use mmdb_recovery::{LockManager, LogRecord, Lsn};
+use mmdb_types::{AuditViolation, Error, Result, TxnId};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// A commit record waiting to become durable: the transaction and the
+/// §5.2 dependency list its precommit produced.
+#[derive(Debug, Clone)]
+pub(crate) struct PendingCommit {
+    /// The committing transaction.
+    pub txn: TxnId,
+    /// Transactions whose commit records must be durable first.
+    pub deps: Vec<TxnId>,
+}
+
+/// One record in the shared log queue.
+#[derive(Debug)]
+pub(crate) struct QueuedRecord {
+    pub lsn: Lsn,
+    pub record: LogRecord,
+    pub commit: Option<PendingCommit>,
+}
+
+/// The shared log queue sessions append to and the daemon drains.
+#[derive(Debug, Default)]
+pub(crate) struct LogQueue {
+    pub records: VecDeque<QueuedRecord>,
+    /// Paper-accounted bytes queued (decides when a page is full).
+    pub bytes: usize,
+    pub next_lsn: u64,
+    /// A committer (or `flush`) asked for an immediate partial flush.
+    pub force: bool,
+    /// Graceful shutdown: drain everything, then stop.
+    pub shutdown: bool,
+    /// Simulated crash: drop everything volatile on the floor.
+    pub crashed: bool,
+}
+
+/// A cut page travelling from the daemon to one writer.
+#[derive(Debug)]
+pub(crate) struct Page {
+    /// Dense page sequence number (0, 1, 2, …) across all devices.
+    pub seqno: u64,
+    pub records: Vec<(Lsn, LogRecord)>,
+    pub commits: Vec<PendingCommit>,
+}
+
+/// Durability bookkeeping shared by writers and waiting committers.
+#[derive(Debug, Default)]
+pub(crate) struct DurableTable {
+    /// Transactions whose commit is durable (survives any crash).
+    pub durable: HashSet<TxnId>,
+    /// Which page each dispatched commit record rides on.
+    pub commit_page: HashMap<TxnId, u64>,
+    /// Pages written out of order, ahead of the watermark.
+    pub written: BTreeSet<u64>,
+    /// Every page with seqno < watermark is on disk.
+    pub watermark: u64,
+    /// Dispatched commits per page, waiting for the watermark.
+    pub waiting: BTreeMap<u64, Vec<PendingCommit>>,
+    /// Commits appended but not yet durable (`flush` waits for zero).
+    pub outstanding: usize,
+    pub pages_written: usize,
+    pub crashed: bool,
+    /// A log device failed; the engine is dead.
+    pub failure: Option<Error>,
+}
+
+/// The volatile database image and lock state sessions operate on.
+#[derive(Debug)]
+pub(crate) struct CoreState {
+    /// The §5 memory-resident store the log protects.
+    pub db: HashMap<u64, i64>,
+    pub locks: LockManager,
+    /// Per-transaction undo lists: `(key, pre-image)` in write order.
+    pub undo: HashMap<TxnId, Vec<(u64, Option<i64>)>>,
+    pub next_txn: u64,
+}
+
+/// Everything the engine, its sessions, the daemon, and the writers
+/// share. Lock order: `state` → `queue` → `durable`.
+#[derive(Debug)]
+pub(crate) struct Shared {
+    pub options: EngineOptions,
+    pub state: Mutex<CoreState>,
+    /// Signalled when locks are released (precommit, abort, finalize).
+    pub lock_cv: Condvar,
+    pub queue: Mutex<LogQueue>,
+    /// Signalled when the queue gains records or flags change.
+    pub queue_cv: Condvar,
+    pub durable: Mutex<DurableTable>,
+    /// Signalled on every durability transition (page written, crash).
+    pub durable_cv: Condvar,
+}
+
+impl Shared {
+    /// Fresh shared state around an initial image (§5 restart or cold
+    /// start), with transaction and LSN counters continuing from the
+    /// given values.
+    pub fn new(
+        options: EngineOptions,
+        db: HashMap<u64, i64>,
+        next_txn: u64,
+        next_lsn: u64,
+    ) -> Self {
+        Shared {
+            options,
+            state: Mutex::new(CoreState {
+                db,
+                locks: LockManager::new(),
+                undo: HashMap::new(),
+                next_txn: next_txn.max(1),
+            }),
+            lock_cv: Condvar::new(),
+            queue: Mutex::new(LogQueue {
+                next_lsn: next_lsn.max(1),
+                ..LogQueue::default()
+            }),
+            queue_cv: Condvar::new(),
+            durable: Mutex::new(DurableTable::default()),
+            durable_cv: Condvar::new(),
+        }
+    }
+
+    /// Locks the volatile store and lock manager (top of the lock
+    /// order), mapping poison to an error.
+    pub fn state_guard(&self) -> Result<MutexGuard<'_, CoreState>> {
+        self.state
+            .lock()
+            .map_err(|_| Error::Poisoned("engine state".into()))
+    }
+
+    /// Locks the log queue (middle of the lock order).
+    pub fn queue_guard(&self) -> Result<MutexGuard<'_, LogQueue>> {
+        self.queue
+            .lock()
+            .map_err(|_| Error::Poisoned("log queue".into()))
+    }
+
+    /// Locks the durability table (bottom of the lock order).
+    pub fn durable_guard(&self) -> Result<MutexGuard<'_, DurableTable>> {
+        self.durable
+            .lock()
+            .map_err(|_| Error::Poisoned("durable table".into()))
+    }
+
+    /// Appends records to the log queue, assigning LSNs. MUST be called
+    /// while holding the state lock: that is what guarantees commit
+    /// records are queued in precommit order, which keeps every
+    /// dependency's commit LSN (and page) ahead of its dependent's.
+    /// `force` requests an immediate flush (synchronous commit).
+    pub fn append(&self, items: Vec<(LogRecord, Option<Vec<TxnId>>)>, force: bool) -> Result<Lsn> {
+        let mut q = self.queue_guard()?;
+        if q.shutdown || q.crashed {
+            return Err(Error::Shutdown);
+        }
+        let mut last = Lsn(q.next_lsn);
+        let mut commits = 0usize;
+        for (record, deps) in items {
+            let lsn = Lsn(q.next_lsn);
+            q.next_lsn += 1;
+            q.bytes += record.byte_size();
+            let commit = match (&record, deps) {
+                (LogRecord::Commit { txn }, Some(deps)) => {
+                    commits += 1;
+                    Some(PendingCommit { txn: *txn, deps })
+                }
+                _ => None,
+            };
+            q.records.push_back(QueuedRecord {
+                lsn,
+                record,
+                commit,
+            });
+            last = lsn;
+        }
+        if force {
+            q.force = true;
+        }
+        if commits > 0 {
+            // Nested queue → durable follows the lock order.
+            self.durable_guard()?.outstanding += commits;
+        }
+        self.queue_cv.notify_all();
+        Ok(last)
+    }
+
+    /// Records a fatal device failure and wakes every waiter. Locks are
+    /// taken one at a time (never nested) so no ordering applies.
+    pub fn fail(&self, err: Error) {
+        if let Ok(mut q) = self.queue.lock() {
+            q.crashed = true;
+        }
+        if let Ok(mut d) = self.durable.lock() {
+            d.crashed = true;
+            if d.failure.is_none() {
+                d.failure = Some(err);
+            }
+        }
+        self.queue_cv.notify_all();
+        self.durable_cv.notify_all();
+    }
+
+    /// True once a crash (simulated or device failure) was declared.
+    pub fn is_crashed(&self) -> bool {
+        self.durable.lock().map(|d| d.crashed).unwrap_or(true)
+    }
+
+    /// Cross-structure invariant check, used by [`crate::Engine::audit`].
+    pub fn audit_now(&self) -> std::result::Result<(), AuditViolation> {
+        const C: &str = "SessionShared";
+        let state = self
+            .state
+            .lock()
+            .map_err(|_| AuditViolation::new(C, "poison", "state mutex poisoned".to_string()))?;
+        for txn in state.undo.keys() {
+            AuditViolation::ensure(state.locks.is_active(*txn), C, "undo-active", || {
+                format!("undo list for inactive transaction {txn:?}")
+            })?;
+        }
+        drop(state);
+        let q = self
+            .queue
+            .lock()
+            .map_err(|_| AuditViolation::new(C, "poison", "queue mutex poisoned".to_string()))?;
+        let mut expect = q.next_lsn;
+        for r in q.records.iter().rev() {
+            expect = expect.saturating_sub(1);
+            AuditViolation::ensure(r.lsn.0 == expect, C, "lsn-dense", || {
+                format!("queued LSN {} where {expect} expected", r.lsn.0)
+            })?;
+        }
+        let bytes: usize = q.records.iter().map(|r| r.record.byte_size()).sum();
+        AuditViolation::ensure(bytes == q.bytes, C, "byte-accounting", || {
+            format!("queue says {} bytes, records sum to {bytes}", q.bytes)
+        })?;
+        let queued_commits = q.records.iter().filter(|r| r.commit.is_some()).count();
+        drop(q);
+        let d = self
+            .durable
+            .lock()
+            .map_err(|_| AuditViolation::new(C, "poison", "durable mutex poisoned".to_string()))?;
+        for seqno in &d.written {
+            AuditViolation::ensure(*seqno >= d.watermark, C, "watermark", || {
+                format!(
+                    "page {seqno} marked written below watermark {}",
+                    d.watermark
+                )
+            })?;
+        }
+        let dispatched: usize = d.waiting.values().map(Vec::len).sum();
+        AuditViolation::ensure(
+            d.outstanding == queued_commits + dispatched,
+            C,
+            "outstanding-accounting",
+            || {
+                format!(
+                    "outstanding {} != queued {queued_commits} + dispatched {dispatched}",
+                    d.outstanding
+                )
+            },
+        )
+    }
+}
+
+/// Cuts as many pages as the queue currently justifies. Full pages are
+/// always cut; a trailing partial page is cut only when `flush_partial`
+/// (force, timeout, or shutdown). Under the synchronous policy every
+/// commit record ends its page, making each commit pay its own page
+/// write — the paper's 100 tps baseline.
+pub(crate) fn cut_pages(
+    q: &mut LogQueue,
+    page_bytes: usize,
+    sync_cut: bool,
+    flush_partial: bool,
+    next_seqno: &mut u64,
+) -> Vec<Page> {
+    let mut pages = Vec::new();
+    loop {
+        let mut taken = 0usize;
+        let mut bytes = 0usize;
+        let mut cut = false;
+        for rec in q.records.iter() {
+            let size = rec.record.byte_size();
+            if taken > 0 && bytes + size > page_bytes {
+                cut = true;
+                break;
+            }
+            taken += 1;
+            bytes += size;
+            if sync_cut && rec.commit.is_some() {
+                cut = true;
+                break;
+            }
+        }
+        if taken == 0 || (!cut && !flush_partial) {
+            break;
+        }
+        let mut records = Vec::with_capacity(taken);
+        let mut commits = Vec::new();
+        for _ in 0..taken {
+            let Some(mut r) = q.records.pop_front() else {
+                break;
+            };
+            q.bytes = q.bytes.saturating_sub(r.record.byte_size());
+            if let Some(c) = r.commit.take() {
+                commits.push(c);
+            }
+            records.push((r.lsn, r.record));
+        }
+        pages.push(Page {
+            seqno: *next_seqno,
+            records,
+            commits,
+        });
+        *next_seqno += 1;
+    }
+    pages
+}
+
+/// The group-commit daemon: drains the queue, cuts pages, stripes them
+/// over the writers. Exits on shutdown (after draining), crash, or a
+/// poisoned lock.
+pub(crate) fn run_daemon(shared: Arc<Shared>, senders: Vec<Sender<Page>>) {
+    let sync_cut = matches!(shared.options.policy, CommitPolicy::Synchronous);
+    let mut next_seqno = 0u64;
+    let mut rr = 0usize;
+    loop {
+        let (pages, finished) = {
+            let Ok(mut q) = shared.queue.lock() else {
+                return;
+            };
+            let mut flush_partial;
+            loop {
+                if q.crashed {
+                    return;
+                }
+                flush_partial = q.force || q.shutdown;
+                let ready = flush_partial
+                    || q.bytes >= shared.options.page_bytes
+                    || (sync_cut && q.records.iter().any(|r| r.commit.is_some()));
+                if ready {
+                    break;
+                }
+                let Ok((guard, timeout)) = shared
+                    .queue_cv
+                    .wait_timeout(q, shared.options.flush_interval)
+                else {
+                    return;
+                };
+                q = guard;
+                if timeout.timed_out() && !q.records.is_empty() {
+                    flush_partial = true;
+                    break;
+                }
+            }
+            q.force = false;
+            let pages = cut_pages(
+                &mut q,
+                shared.options.page_bytes,
+                sync_cut,
+                flush_partial,
+                &mut next_seqno,
+            );
+            (pages, q.shutdown && q.records.is_empty())
+        };
+        if !pages.is_empty() {
+            // Register commit → page before dispatch so writers can
+            // resolve dependency pages and waiters can be found.
+            let Ok(mut d) = shared.durable.lock() else {
+                return;
+            };
+            if d.crashed {
+                return;
+            }
+            for page in &pages {
+                for c in &page.commits {
+                    d.commit_page.insert(c.txn, page.seqno);
+                }
+                if !page.commits.is_empty() {
+                    d.waiting.insert(page.seqno, page.commits.clone());
+                }
+            }
+            drop(d);
+            for page in pages {
+                let Some(tx) = senders.get(rr) else {
+                    return;
+                };
+                rr = (rr + 1) % senders.len().max(1);
+                if tx.send(page).is_err() {
+                    return; // a writer died; fail() already ran
+                }
+            }
+        }
+        if finished {
+            return;
+        }
+    }
+}
+
+/// One log-writer thread: sleeps the device's modeled latency, writes
+/// and syncs the page, then advances durability. A crash flag set during
+/// the modeled write loses the page — exactly the §5.2 failure the
+/// recovery test exercises.
+pub(crate) fn run_writer(shared: Arc<Shared>, rx: Receiver<Page>, mut device: WalDevice) {
+    while let Ok(page) = rx.recv() {
+        if !wait_for_dependencies(&shared, &page) {
+            continue; // crashed: the page is abandoned, never written
+        }
+        let latency = device.write_latency();
+        if !latency.is_zero() {
+            std::thread::sleep(latency);
+        }
+        if shared.is_crashed() {
+            continue; // crash mid-write: the page is lost
+        }
+        if let Err(e) = device.append_page(&page.records) {
+            shared.fail(e);
+            return;
+        }
+        if !complete_page(&shared, page) {
+            return;
+        }
+    }
+}
+
+/// §5.2 dependency write ordering: block until every dependency's commit
+/// record is on disk (or rides this very page). Returns `false` on crash.
+fn wait_for_dependencies(shared: &Shared, page: &Page) -> bool {
+    let Ok(mut d) = shared.durable.lock() else {
+        return false;
+    };
+    loop {
+        if d.crashed {
+            return false;
+        }
+        let ready = page.commits.iter().all(|c| {
+            c.deps.iter().all(|dep| match d.commit_page.get(dep) {
+                Some(&s) => s == page.seqno || s < d.watermark || d.written.contains(&s),
+                // Unknown dependency: its commit predates this log
+                // generation, so it is already durable.
+                None => true,
+            })
+        });
+        if ready {
+            return true;
+        }
+        let Ok(guard) = shared.durable_cv.wait(d) else {
+            return false;
+        };
+        d = guard;
+    }
+}
+
+/// Marks a page written, advances the durable watermark, reports every
+/// commit the watermark now covers, and finalizes their lock state.
+fn complete_page(shared: &Shared, page: Page) -> bool {
+    let newly = {
+        let Ok(mut guard) = shared.durable.lock() else {
+            return false;
+        };
+        let d = &mut *guard;
+        d.written.insert(page.seqno);
+        d.pages_written += 1;
+        let mut newly: Vec<PendingCommit> = Vec::new();
+        while d.written.remove(&d.watermark) {
+            if let Some(cs) = d.waiting.remove(&d.watermark) {
+                newly.extend(cs);
+            }
+            d.watermark += 1;
+        }
+        for c in &newly {
+            d.durable.insert(c.txn);
+            d.outstanding = d.outstanding.saturating_sub(1);
+        }
+        shared.durable_cv.notify_all();
+        newly
+    };
+    if newly.is_empty() {
+        return true;
+    }
+    let Ok(mut state) = shared.state_guard() else {
+        return false;
+    };
+    for c in &newly {
+        state.locks.finalize_commit(c.txn);
+    }
+    drop(state);
+    shared.lock_cv.notify_all();
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(lsn: u64, record: LogRecord) -> QueuedRecord {
+        let commit = match &record {
+            LogRecord::Commit { txn } => Some(PendingCommit {
+                txn: *txn,
+                deps: Vec::new(),
+            }),
+            _ => None,
+        };
+        QueuedRecord {
+            lsn: Lsn(lsn),
+            record,
+            commit,
+        }
+    }
+
+    fn queue_of(records: Vec<QueuedRecord>) -> LogQueue {
+        let bytes = records.iter().map(|r| r.record.byte_size()).sum();
+        let next_lsn = records.last().map(|r| r.lsn.0 + 1).unwrap_or(1);
+        LogQueue {
+            records: records.into(),
+            bytes,
+            next_lsn,
+            ..LogQueue::default()
+        }
+    }
+
+    fn typical(txn: u64, first_lsn: u64) -> Vec<QueuedRecord> {
+        mmdb_recovery::log::typical_transaction(TxnId(txn), txn, 0, 1)
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| rec(first_lsn + i as u64, r))
+            .collect()
+    }
+
+    #[test]
+    fn full_pages_cut_partial_held_back() {
+        // 11 typical transactions = 4400 bytes: one full 4096-byte page
+        // (10 txns) cut, the 11th held until a flush is forced.
+        let mut q = queue_of((0..11).flat_map(|t| typical(t + 1, 1 + t * 3)).collect());
+        let mut seq = 0;
+        let pages = cut_pages(&mut q, 4096, false, false, &mut seq);
+        assert_eq!(pages.len(), 1);
+        assert_eq!(pages[0].commits.len(), 10, "ten commits share the page");
+        // The 11th transaction's 20-byte begin record still fits in the
+        // page (4020 ≤ 4096); its update and commit stay queued.
+        assert_eq!(q.records.len(), 2);
+        let more = cut_pages(&mut q, 4096, false, true, &mut seq);
+        assert_eq!(more.len(), 1);
+        assert_eq!(more[0].seqno, 1);
+        assert!(q.records.is_empty());
+        assert_eq!(q.bytes, 0);
+    }
+
+    #[test]
+    fn sync_cut_ends_every_page_at_a_commit() {
+        let mut q = queue_of((0..3).flat_map(|t| typical(t + 1, 1 + t * 3)).collect());
+        let mut seq = 0;
+        let pages = cut_pages(&mut q, 4096, true, true, &mut seq);
+        assert_eq!(pages.len(), 3, "one page per commit under sync policy");
+        for p in &pages {
+            assert_eq!(p.commits.len(), 1);
+            assert!(matches!(
+                p.records.last(),
+                Some((_, LogRecord::Commit { .. }))
+            ));
+        }
+    }
+
+    #[test]
+    fn lsn_order_is_preserved_across_pages() {
+        let mut q = queue_of((0..25).flat_map(|t| typical(t + 1, 1 + t * 3)).collect());
+        let mut seq = 0;
+        let pages = cut_pages(&mut q, 4096, false, true, &mut seq);
+        let flat: Vec<u64> = pages
+            .iter()
+            .flat_map(|p| p.records.iter().map(|(l, _)| l.0))
+            .collect();
+        let mut sorted = flat.clone();
+        sorted.sort_unstable();
+        assert_eq!(flat, sorted);
+        assert_eq!(flat.len(), 75);
+    }
+}

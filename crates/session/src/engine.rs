@@ -1,0 +1,529 @@
+//! The engine front-end and its session handles (§5.2 made concurrent).
+//!
+//! An [`Engine`] owns the shared volatile state (a memory-resident
+//! key/value store guarded by the §5.2 [`mmdb_recovery::LockManager`]),
+//! the log queue, the group-commit daemon, and one writer thread per log
+//! device. [`Session`] is the per-client handle: any number may be
+//! created and moved to OS threads; all of them funnel commits through
+//! the daemon, which batches them per the configured [`CommitPolicy`].
+//!
+//! The commit path is the paper's pre-commit protocol: `commit` runs
+//! `precommit` on the lock manager — releasing the transaction's locks
+//! to its waiters and recording the resulting commit dependencies — then
+//! queues the commit record and returns. Durability arrives later, when
+//! the record's page (and every earlier page) is on disk;
+//! [`Session::wait_durable`] blocks for it and a synchronous-policy
+//! commit does so before returning.
+
+use crate::daemon::{self, Page, Shared};
+use crate::policy::{CommitPolicy, EngineOptions};
+use mmdb::SharedDatabase;
+use mmdb_recovery::wal::WalDevice;
+use mmdb_recovery::{LogRecord, Lsn};
+use mmdb_types::{AuditViolation, Auditable, Error, Result, TxnId};
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// A transaction handle issued by [`Session::begin`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Txn(TxnId);
+
+impl Txn {
+    /// The underlying transaction id.
+    pub fn id(&self) -> TxnId {
+        self.0
+    }
+}
+
+/// Proof of commit: the transaction and its commit record's LSN. Under
+/// grouped policies the transaction may not be durable yet — it is
+/// *pre-committed*, holding no locks (§5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommitTicket {
+    /// The committed transaction.
+    pub txn: TxnId,
+    /// LSN of its commit record.
+    pub lsn: Lsn,
+}
+
+/// The multi-threaded engine front-end: shared state, the group-commit
+/// daemon, and one log-writer thread per device (§5.2).
+#[derive(Debug)]
+pub struct Engine {
+    shared: Arc<Shared>,
+    catalog: SharedDatabase,
+    threads: Vec<JoinHandle<()>>,
+    finished: bool,
+}
+
+impl Engine {
+    /// Starts an engine with an empty store in a fresh log directory.
+    /// Fails if the directory already holds log files — recovering from
+    /// them is [`Engine::recover`]'s job, and silently appending a second
+    /// LSN sequence would corrupt both.
+    pub fn start(options: EngineOptions) -> Result<Engine> {
+        std::fs::create_dir_all(&options.log_dir)
+            .map_err(|e| Error::Io(format!("create {}: {e}", options.log_dir.display())))?;
+        if !log_files(&options.log_dir)?.is_empty() {
+            return Err(Error::Io(format!(
+                "{} already holds log files; use Engine::recover",
+                options.log_dir.display()
+            )));
+        }
+        Engine::start_with(options, HashMap::new(), 1, 1)
+    }
+
+    /// Starts the threads around an initial image — shared by [`start`]
+    /// (empty image) and [`recover`] (replayed image).
+    ///
+    /// [`start`]: Engine::start
+    /// [`recover`]: Engine::recover
+    pub(crate) fn start_with(
+        options: EngineOptions,
+        db: HashMap<u64, i64>,
+        next_txn: u64,
+        next_lsn: u64,
+    ) -> Result<Engine> {
+        let devices = open_devices(&options)?;
+        let shared = Arc::new(Shared::new(options, db, next_txn, next_lsn));
+        let mut threads = Vec::new();
+        let mut senders: Vec<mpsc::Sender<Page>> = Vec::new();
+        for (i, device) in devices.into_iter().enumerate() {
+            let (tx, rx) = mpsc::channel();
+            senders.push(tx);
+            let shared_w = Arc::clone(&shared);
+            let handle = std::thread::Builder::new()
+                .name(format!("mmdb-log-writer-{i}"))
+                .spawn(move || daemon::run_writer(shared_w, rx, device))
+                .map_err(|e| Error::Io(format!("spawn writer {i}: {e}")))?;
+            threads.push(handle);
+        }
+        let shared_d = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("mmdb-commit-daemon".into())
+            .spawn(move || daemon::run_daemon(shared_d, senders))
+            .map_err(|e| Error::Io(format!("spawn daemon: {e}")))?;
+        threads.push(handle);
+        Ok(Engine {
+            shared,
+            catalog: SharedDatabase::default(),
+            threads,
+            finished: false,
+        })
+    }
+
+    /// A new session handle for this engine (cheap; make one per client
+    /// thread).
+    pub fn session(&self) -> Session {
+        Session {
+            shared: Arc::clone(&self.shared),
+            catalog: self.catalog.clone(),
+        }
+    }
+
+    /// The shared relational catalog served alongside the transactional
+    /// store (schema and query traffic; see [`SharedDatabase`]).
+    pub fn catalog(&self) -> SharedDatabase {
+        self.catalog.clone()
+    }
+
+    /// Reads a key's current (possibly not-yet-durable) value.
+    pub fn read(&self, key: u64) -> Result<Option<i64>> {
+        Ok(self.shared.state_guard()?.db.get(&key).copied())
+    }
+
+    /// True once `txn`'s commit record — and every log page before it —
+    /// is on disk.
+    pub fn is_durable(&self, txn: TxnId) -> Result<bool> {
+        Ok(self.shared.durable_guard()?.durable.contains(&txn))
+    }
+
+    /// Forces a partial-page flush and blocks until every commit issued
+    /// so far is durable.
+    pub fn flush(&self) -> Result<()> {
+        {
+            let mut q = self.shared.queue_guard()?;
+            if q.crashed {
+                return Err(Error::Shutdown);
+            }
+            q.force = true;
+        }
+        self.shared.queue_cv.notify_all();
+        let mut d = self.shared.durable_guard()?;
+        loop {
+            if let Some(e) = &d.failure {
+                return Err(e.clone());
+            }
+            if d.crashed {
+                return Err(Error::Shutdown);
+            }
+            if d.outstanding == 0 {
+                return Ok(());
+            }
+            d = self
+                .shared
+                .durable_cv
+                .wait(d)
+                .map_err(|_| Error::Poisoned("durable table".into()))?;
+        }
+    }
+
+    /// Log pages durably written so far, across all devices.
+    pub fn pages_written(&self) -> Result<usize> {
+        Ok(self.shared.durable_guard()?.pages_written)
+    }
+
+    /// Stops the engine gracefully: drains and writes every queued
+    /// record, joins the threads, and surfaces any device failure.
+    pub fn shutdown(mut self) -> Result<()> {
+        self.stop(false)
+    }
+
+    /// Simulates a crash (§5.2's failure model): every volatile
+    /// structure — the store, the log queue, pages in flight — is
+    /// dropped on the floor. Only pages whose write completed survive,
+    /// in the log files. Returns without flushing anything.
+    pub fn crash(mut self) -> Result<()> {
+        self.stop(true)
+    }
+
+    fn stop(&mut self, crash: bool) -> Result<()> {
+        if self.finished {
+            return Ok(());
+        }
+        self.finished = true;
+        if let Ok(mut q) = self.shared.queue.lock() {
+            if crash {
+                q.crashed = true;
+            } else {
+                q.shutdown = true;
+            }
+        }
+        if crash {
+            if let Ok(mut d) = self.shared.durable.lock() {
+                d.crashed = true;
+            }
+        }
+        self.shared.queue_cv.notify_all();
+        self.shared.durable_cv.notify_all();
+        self.shared.lock_cv.notify_all();
+        for t in std::mem::take(&mut self.threads) {
+            let _ = t.join();
+        }
+        if let Ok(d) = self.shared.durable.lock() {
+            if let Some(e) = &d.failure {
+                return Err(e.clone());
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        let _ = self.stop(false);
+    }
+}
+
+impl Auditable for Engine {
+    /// Cross-checks the engine's shared bookkeeping: undo lists belong
+    /// to active transactions, queued LSNs are dense, queue byte
+    /// accounting matches, written pages sit at or above the watermark,
+    /// and outstanding-commit accounting balances.
+    fn audit(&self) -> std::result::Result<(), AuditViolation> {
+        self.shared.audit_now()
+    }
+}
+
+/// A per-client handle onto a shared [`Engine`] — the paper's "terminal"
+/// issuing transactions (§5). Cloneable and `Send`; one per OS thread.
+#[derive(Debug, Clone)]
+pub struct Session {
+    shared: Arc<Shared>,
+    catalog: SharedDatabase,
+}
+
+impl Session {
+    /// Begins a transaction: registers it with the lock manager and
+    /// queues its begin record.
+    pub fn begin(&self) -> Result<Txn> {
+        let mut state = self.shared.state_guard()?;
+        let id = TxnId(state.next_txn);
+        state.next_txn += 1;
+        state.locks.begin(id);
+        state.undo.insert(id, Vec::new());
+        if let Err(e) = self
+            .shared
+            .append(vec![(LogRecord::Begin { txn: id }, None)], false)
+        {
+            state.locks.abort(id);
+            state.undo.remove(&id);
+            return Err(e);
+        }
+        Ok(Txn(id))
+    }
+
+    /// Reads a key's current value without locking — the latest image,
+    /// which may belong to an uncommitted writer. Use [`read_shared`] or
+    /// [`read_for_update`] for isolated reads.
+    ///
+    /// [`read_shared`]: Session::read_shared
+    /// [`read_for_update`]: Session::read_for_update
+    pub fn read(&self, key: u64) -> Result<Option<i64>> {
+        Ok(self.shared.state_guard()?.db.get(&key).copied())
+    }
+
+    /// Reads a key under a shared lock. If the holder is pre-committed,
+    /// the lock is granted and `txn` picks up a §5.2 commit dependency
+    /// on it instead of blocking.
+    pub fn read_shared(&self, txn: &Txn, key: u64) -> Result<Option<i64>> {
+        let state = self.lock_key(txn.0, key, false)?;
+        Ok(state.db.get(&key).copied())
+    }
+
+    /// Reads a key under an exclusive lock (read-modify-write without
+    /// upgrade deadlocks).
+    pub fn read_for_update(&self, txn: &Txn, key: u64) -> Result<Option<i64>> {
+        let state = self.lock_key(txn.0, key, true)?;
+        Ok(state.db.get(&key).copied())
+    }
+
+    /// Writes `key := value` under an exclusive lock, logging old and
+    /// new images (no padding).
+    pub fn write(&self, txn: &Txn, key: u64, value: i64) -> Result<()> {
+        self.write_padded(txn, key, value, 0)
+    }
+
+    /// Writes with enough log padding that a two-write transaction
+    /// matches the paper's 400-byte "typical" accounting (§5.1: 40
+    /// bytes of begin/commit + 360 bytes of values).
+    pub fn write_typical(&self, txn: &Txn, key: u64, value: i64) -> Result<()> {
+        self.write_padded(txn, key, value, 160)
+    }
+
+    fn write_padded(&self, txn: &Txn, key: u64, value: i64, padding: u32) -> Result<()> {
+        let mut state = self.lock_key(txn.0, key, true)?;
+        if !state.undo.contains_key(&txn.0) {
+            return Err(Error::InvalidTransaction(txn.0 .0));
+        }
+        let old = state.db.get(&key).copied();
+        if let Some(list) = state.undo.get_mut(&txn.0) {
+            list.push((key, old));
+        }
+        state.db.insert(key, value);
+        self.shared.append(
+            vec![(
+                LogRecord::Update {
+                    txn: txn.0,
+                    key,
+                    old,
+                    new: value,
+                    padding,
+                },
+                None,
+            )],
+            false,
+        )?;
+        drop(state);
+        Ok(())
+    }
+
+    /// Commits `txn` with the paper's pre-commit protocol: locks are
+    /// released (to waiters, who pick up commit dependencies) *before*
+    /// the commit record is durable. Under [`CommitPolicy::Synchronous`]
+    /// this also waits for durability; grouped policies return
+    /// immediately with a ticket for [`wait_durable`].
+    ///
+    /// [`wait_durable`]: Session::wait_durable
+    pub fn commit(&self, txn: Txn) -> Result<CommitTicket> {
+        let sync = matches!(self.shared.options.policy, CommitPolicy::Synchronous);
+        let lsn = {
+            let mut state = self.shared.state_guard()?;
+            if state.undo.remove(&txn.0).is_none() {
+                return Err(Error::InvalidTransaction(txn.0 .0));
+            }
+            let deps = state.locks.precommit(txn.0)?;
+            self.shared.append(
+                vec![(
+                    LogRecord::Commit { txn: txn.0 },
+                    Some(deps.into_iter().collect()),
+                )],
+                sync,
+            )?
+        };
+        // Pre-commit released this transaction's locks: wake waiters.
+        self.shared.lock_cv.notify_all();
+        let ticket = CommitTicket { txn: txn.0, lsn };
+        if sync {
+            self.wait_durable(&ticket)?;
+        }
+        Ok(ticket)
+    }
+
+    /// Commits and waits for durability regardless of policy.
+    pub fn commit_durable(&self, txn: Txn) -> Result<CommitTicket> {
+        let ticket = self.commit(txn)?;
+        self.wait_durable(&ticket)?;
+        Ok(ticket)
+    }
+
+    /// Blocks until the ticket's transaction is durable (its page and
+    /// every earlier page on disk).
+    pub fn wait_durable(&self, ticket: &CommitTicket) -> Result<()> {
+        let mut d = self.shared.durable_guard()?;
+        loop {
+            if d.durable.contains(&ticket.txn) {
+                return Ok(());
+            }
+            if let Some(e) = &d.failure {
+                return Err(e.clone());
+            }
+            if d.crashed {
+                return Err(Error::Shutdown);
+            }
+            d = self
+                .shared
+                .durable_cv
+                .wait(d)
+                .map_err(|_| Error::Poisoned("durable table".into()))?;
+        }
+    }
+
+    /// True once `txn` is durable.
+    pub fn is_durable(&self, txn: TxnId) -> Result<bool> {
+        Ok(self.shared.durable_guard()?.durable.contains(&txn))
+    }
+
+    /// Aborts `txn`: undoes its writes from the undo list (reverse
+    /// order), releases its locks, and queues an abort record.
+    pub fn abort(&self, txn: Txn) -> Result<()> {
+        let mut state = self.shared.state_guard()?;
+        rollback(&mut state, txn.0);
+        let _ = self
+            .shared
+            .append(vec![(LogRecord::Abort { txn: txn.0 }, None)], false);
+        drop(state);
+        self.shared.lock_cv.notify_all();
+        Ok(())
+    }
+
+    /// The §5.1 "typical" banking transaction: moves `amount` from one
+    /// account to another under exclusive locks and commits (400 logged
+    /// bytes). Returns the commit ticket; on lock failure the
+    /// transaction is rolled back and the error surfaced.
+    pub fn transfer(&self, from: u64, to: u64, amount: i64) -> Result<CommitTicket> {
+        let txn = self.begin()?;
+        let result = (|| {
+            let src = self.read_for_update(&txn, from)?.unwrap_or(0);
+            self.write_typical(&txn, from, src - amount)?;
+            let dst = self.read_for_update(&txn, to)?.unwrap_or(0);
+            self.write_typical(&txn, to, dst + amount)?;
+            self.commit(txn)
+        })();
+        if result.is_err() {
+            let _ = self.abort(txn);
+        }
+        result
+    }
+
+    /// The shared relational catalog (see [`Engine::catalog`]).
+    pub fn catalog(&self) -> &SharedDatabase {
+        &self.catalog
+    }
+
+    /// Acquires a lock on `key` for `txn`, waiting (bounded) on
+    /// conflicts and aborting `txn` if deadlock detection picks it as
+    /// the victim. Returns the state guard so callers read/write the
+    /// store under the same critical section.
+    fn lock_key(
+        &self,
+        txn: TxnId,
+        key: u64,
+        exclusive: bool,
+    ) -> Result<std::sync::MutexGuard<'_, daemon::CoreState>> {
+        let deadline = Instant::now() + self.shared.options.lock_wait_timeout;
+        let mut state = self.shared.state_guard()?;
+        loop {
+            let attempt = if exclusive {
+                state.locks.acquire(txn, key)
+            } else {
+                state.locks.acquire_shared(txn, key)
+            };
+            match attempt {
+                Ok(()) => return Ok(state),
+                Err(Error::LockConflict { .. }) => {
+                    if state.locks.detect_deadlocks().contains(&txn) {
+                        rollback(&mut state, txn);
+                        let _ = self
+                            .shared
+                            .append(vec![(LogRecord::Abort { txn }, None)], false);
+                        drop(state);
+                        self.shared.lock_cv.notify_all();
+                        return Err(Error::TransactionAborted(txn.0));
+                    }
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return Err(Error::LockConflict {
+                            txn: txn.0,
+                            object: format!("key {key}"),
+                        });
+                    }
+                    // Cap each wait so parked transactions re-run
+                    // deadlock detection even if no one wakes them.
+                    let wait = (deadline - now).min(Duration::from_millis(10));
+                    let (guard, _) = self
+                        .shared
+                        .lock_cv
+                        .wait_timeout(state, wait)
+                        .map_err(|_| Error::Poisoned("engine state".into()))?;
+                    state = guard;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// Undoes `txn`'s writes in reverse order and releases its locks. The
+/// caller holds the state lock and notifies `lock_cv` afterwards.
+fn rollback(state: &mut daemon::CoreState, txn: TxnId) {
+    if let Some(list) = state.undo.remove(&txn) {
+        for (key, old) in list.into_iter().rev() {
+            match old {
+                Some(v) => state.db.insert(key, v),
+                None => state.db.remove(&key),
+            };
+        }
+    }
+    state.locks.abort(txn);
+}
+
+/// The `*.log` device files under `dir`, sorted by name.
+pub(crate) fn log_files(dir: &Path) -> Result<Vec<std::path::PathBuf>> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| Error::Io(format!("read {}: {e}", dir.display())))?;
+    let mut paths: Vec<std::path::PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "log"))
+        .collect();
+    paths.sort();
+    Ok(paths)
+}
+
+/// Opens one [`WalDevice`] per configured device, honoring per-device
+/// latency overrides.
+pub(crate) fn open_devices(options: &EngineOptions) -> Result<Vec<WalDevice>> {
+    let mut devices = Vec::new();
+    for i in 0..options.policy.devices() {
+        devices.push(WalDevice::create(
+            options.log_dir.join(format!("wal-d{i}.log")),
+            options.page_bytes,
+            options.device_latency(i),
+        )?);
+    }
+    Ok(devices)
+}

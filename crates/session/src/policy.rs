@@ -1,0 +1,174 @@
+//! Commit policies and engine options (§5.2 of the paper).
+//!
+//! The §5.2 commit policies — synchronous, group commit, partitioned log
+//! — exist twice in this workspace: once in virtual time
+//! ([`mmdb_recovery::SimConfig`] drives the discrete-event simulator) and
+//! once here, on real OS threads and a wall clock. [`CommitPolicy`] names
+//! the policy; [`EngineOptions`] carries the knobs shared with the
+//! simulator (page size, per-page write latency, group timeout) so a
+//! wall-clock run can be cross-checked against its virtual-time twin via
+//! [`EngineOptions::sim_config`].
+
+use mmdb_recovery::SimConfig;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// How a commit becomes durable (§5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommitPolicy {
+    /// Every commit forces its own log page and the committer waits for
+    /// the write — the paper's 100 tps baseline, one page write per
+    /// transaction.
+    Synchronous,
+    /// Commit records accumulate until a page fills (or the group timeout
+    /// fires); one page write commits the whole group and the committer
+    /// is *pre-committed* in between, holding no locks.
+    Group,
+    /// Group commit striped round-robin over `devices` log devices, the
+    /// §5.2 recipe for pushing past one device's page rate.
+    Partitioned {
+        /// Number of log devices the daemon stripes pages across.
+        devices: usize,
+    },
+}
+
+impl CommitPolicy {
+    /// Number of log devices this policy writes.
+    pub fn devices(&self) -> usize {
+        match self {
+            CommitPolicy::Synchronous | CommitPolicy::Group => 1,
+            CommitPolicy::Partitioned { devices } => (*devices).max(1),
+        }
+    }
+
+    /// Short lowercase name, for reports and file names.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CommitPolicy::Synchronous => "sync",
+            CommitPolicy::Group => "group",
+            CommitPolicy::Partitioned { .. } => "partitioned",
+        }
+    }
+}
+
+/// Configuration for a wall-clock [`crate::Engine`].
+#[derive(Debug, Clone)]
+pub struct EngineOptions {
+    /// The commit policy (§5.2).
+    pub policy: CommitPolicy,
+    /// Log page capacity in paper-accounted bytes (the paper's 4096).
+    pub page_bytes: usize,
+    /// Modeled time for one log-page write. The daemon sleeps this long
+    /// before each real write, scaling the paper's 10 ms disk down to
+    /// something a test can afford while keeping the §5.2 ratios.
+    pub page_write_latency: Duration,
+    /// Per-device latency overrides (tests use a slow device 0 and a fast
+    /// device 1 to force out-of-order page completion). Devices beyond
+    /// the vector's length fall back to `page_write_latency`.
+    pub device_latencies: Vec<Duration>,
+    /// Directory the log device files live in.
+    pub log_dir: PathBuf,
+    /// Group-commit timeout: the daemon flushes a partial page once the
+    /// oldest queued record has waited this long (§5.2's answer to "what
+    /// if the page never fills?").
+    pub flush_interval: Duration,
+    /// How long a writer waits on a lock before giving up with a
+    /// conflict error (deadlock victims abort much sooner).
+    pub lock_wait_timeout: Duration,
+}
+
+impl EngineOptions {
+    /// Options for `policy` logging under `log_dir`, with the paper's
+    /// 4096-byte pages, a 2 ms modeled page write (the paper's 10 ms
+    /// scaled 5× for test budgets), a 1 ms group timeout, and a 1 s lock
+    /// wait.
+    pub fn new(policy: CommitPolicy, log_dir: impl Into<PathBuf>) -> Self {
+        EngineOptions {
+            policy,
+            page_bytes: 4096,
+            page_write_latency: Duration::from_millis(2),
+            device_latencies: Vec::new(),
+            log_dir: log_dir.into(),
+            flush_interval: Duration::from_millis(1),
+            lock_wait_timeout: Duration::from_secs(1),
+        }
+    }
+
+    /// Sets the modeled page-write latency.
+    pub fn with_page_write_latency(mut self, latency: Duration) -> Self {
+        self.page_write_latency = latency;
+        self
+    }
+
+    /// Sets the group-commit flush timeout.
+    pub fn with_flush_interval(mut self, interval: Duration) -> Self {
+        self.flush_interval = interval;
+        self
+    }
+
+    /// Sets per-device latency overrides (device `i` uses entry `i`).
+    pub fn with_device_latencies(mut self, latencies: Vec<Duration>) -> Self {
+        self.device_latencies = latencies;
+        self
+    }
+
+    /// Sets the lock-wait timeout.
+    pub fn with_lock_wait_timeout(mut self, timeout: Duration) -> Self {
+        self.lock_wait_timeout = timeout;
+        self
+    }
+
+    /// The latency of device `index`, honoring any override.
+    pub fn device_latency(&self, index: usize) -> Duration {
+        self.device_latencies
+            .get(index)
+            .copied()
+            .unwrap_or(self.page_write_latency)
+    }
+
+    /// The virtual-time [`SimConfig`] modeling the same policy, so a
+    /// wall-clock measurement can be sanity-checked against the
+    /// discrete-event simulator's §5.2 arithmetic.
+    pub fn sim_config(&self) -> SimConfig {
+        let mut cfg = match self.policy {
+            CommitPolicy::Synchronous => SimConfig::synchronous(),
+            CommitPolicy::Group => SimConfig::group_commit(),
+            CommitPolicy::Partitioned { devices } => SimConfig::partitioned(devices.max(1)),
+        };
+        cfg.page_bytes = self.page_bytes;
+        cfg.page_write_us = self.page_write_latency.as_micros() as u64;
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_device_counts() {
+        assert_eq!(CommitPolicy::Synchronous.devices(), 1);
+        assert_eq!(CommitPolicy::Group.devices(), 1);
+        assert_eq!(CommitPolicy::Partitioned { devices: 4 }.devices(), 4);
+        assert_eq!(CommitPolicy::Partitioned { devices: 0 }.devices(), 1);
+    }
+
+    #[test]
+    fn sim_config_mirrors_policy() {
+        let opts = EngineOptions::new(CommitPolicy::Partitioned { devices: 3 }, "/tmp/x");
+        let cfg = opts.sim_config();
+        assert_eq!(cfg.devices, 3);
+        assert_eq!(cfg.page_bytes, 4096);
+        assert_eq!(cfg.page_write_us, 2_000);
+        let sync = EngineOptions::new(CommitPolicy::Synchronous, "/tmp/x").sim_config();
+        assert_eq!(sync.commit_group_txns, 1, "synchronous means groups of one");
+    }
+
+    #[test]
+    fn device_latency_overrides() {
+        let opts = EngineOptions::new(CommitPolicy::Partitioned { devices: 2 }, "/tmp/x")
+            .with_device_latencies(vec![Duration::from_millis(50)]);
+        assert_eq!(opts.device_latency(0), Duration::from_millis(50));
+        assert_eq!(opts.device_latency(1), Duration::from_millis(2));
+    }
+}

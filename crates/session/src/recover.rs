@@ -1,0 +1,291 @@
+//! Restart recovery for the wall-clock log (§5.2).
+//!
+//! After a crash the volatile store is gone; the log files are all that
+//! remain, and only *complete* pages at that (a torn tail is dropped by
+//! [`mmdb_recovery::wal::read_log_file`]). Recovery merges every device's
+//! pages by LSN and applies the **contiguous-prefix rule**: records count
+//! only up to the first missing LSN. A gap means a later page beat an
+//! earlier one to disk and the earlier one died with the crash — exactly
+//! the reordering partitioned logs permit — and nothing past the gap was
+//! ever reported durable (the daemon's watermark enforces the same
+//! prefix), so dropping it breaks no promise. Committed transactions in
+//! the prefix are redone from their new values; everything else is a
+//! loser and vanishes with the volatile state.
+//!
+//! Recovery then *compacts*: the old device files are replaced by a
+//! fresh snapshot generation — one synthetic committed transaction
+//! (id 0) rewriting the recovered image — so the new engine's LSN
+//! sequence starts clean and stale post-gap records can never collide
+//! with it. This is the restart flavor of the §5.3 idea: bound future
+//! recovery work by checkpointing the recovered state.
+
+use crate::daemon::Shared;
+use crate::engine::{log_files, open_devices, Engine};
+use crate::policy::EngineOptions;
+use mmdb_recovery::wal::{read_log_dir, WalDevice};
+use mmdb_recovery::{LogRecord, Lsn};
+use mmdb_types::{Error, Result, TxnId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// What restart recovery found and did (§5.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryInfo {
+    /// Transactions whose commits survived (sorted by id).
+    pub committed: Vec<TxnId>,
+    /// Transactions seen in the log prefix but not committed in it —
+    /// in-flight or pre-committed-but-not-durable at the crash. Their
+    /// effects are discarded.
+    pub losers: Vec<TxnId>,
+    /// Records read off the devices (all complete pages).
+    pub records_scanned: usize,
+    /// Update records replayed into the recovered image.
+    pub records_replayed: usize,
+    /// First missing LSN, when the prefix rule truncated the log —
+    /// `None` means every scanned record counted.
+    pub truncated_at: Option<Lsn>,
+}
+
+/// The outcome of replaying a log directory, before compaction.
+#[derive(Debug)]
+pub(crate) struct RecoveredImage {
+    pub db: BTreeMap<u64, i64>,
+    pub next_txn: u64,
+    pub info: RecoveryInfo,
+}
+
+/// Replays every complete page under `dir` into an image, applying the
+/// contiguous-LSN-prefix rule.
+pub(crate) fn replay_dir(dir: &std::path::Path) -> Result<RecoveredImage> {
+    let records = read_log_dir(dir)?;
+    let records_scanned = records.len();
+    let mut prefix = Vec::with_capacity(records.len());
+    let mut truncated_at = None;
+    for (expect, (lsn, rec)) in (1u64..).zip(records) {
+        if lsn.0 != expect {
+            truncated_at = Some(Lsn(expect));
+            break;
+        }
+        prefix.push(rec);
+    }
+    let mut seen = BTreeSet::new();
+    let mut committed = BTreeSet::new();
+    for rec in &prefix {
+        match rec {
+            LogRecord::Begin { txn } | LogRecord::Update { txn, .. } | LogRecord::Abort { txn } => {
+                seen.insert(*txn);
+            }
+            LogRecord::Commit { txn } => {
+                seen.insert(*txn);
+                committed.insert(*txn);
+            }
+        }
+    }
+    let mut db = BTreeMap::new();
+    let mut records_replayed = 0usize;
+    for rec in &prefix {
+        if let LogRecord::Update { txn, key, new, .. } = rec {
+            if committed.contains(txn) {
+                db.insert(*key, *new);
+                records_replayed += 1;
+            }
+        }
+    }
+    let next_txn = seen.iter().map(|t| t.0).max().unwrap_or(0) + 1;
+    let losers: Vec<TxnId> = seen.difference(&committed).copied().collect();
+    Ok(RecoveredImage {
+        db,
+        next_txn,
+        info: RecoveryInfo {
+            committed: committed.into_iter().collect(),
+            losers,
+            records_scanned,
+            records_replayed,
+            truncated_at,
+        },
+    })
+}
+
+/// Writes the recovered image into `device` as one synthetic committed
+/// transaction (id 0), page by page, returning the next free LSN.
+fn write_snapshot(
+    device: &mut WalDevice,
+    image: &BTreeMap<u64, i64>,
+    page_bytes: usize,
+) -> Result<u64> {
+    let mut lsn = 1u64;
+    let mut page: Vec<(Lsn, LogRecord)> = Vec::new();
+    let mut bytes = 0usize;
+    let mut records: Vec<LogRecord> = Vec::with_capacity(image.len() + 2);
+    records.push(LogRecord::Begin { txn: TxnId(0) });
+    for (key, value) in image {
+        records.push(LogRecord::Update {
+            txn: TxnId(0),
+            key: *key,
+            old: None,
+            new: *value,
+            padding: 0,
+        });
+    }
+    records.push(LogRecord::Commit { txn: TxnId(0) });
+    for rec in records {
+        let size = rec.byte_size();
+        if !page.is_empty() && bytes + size > page_bytes {
+            device.append_page(&page)?;
+            page.clear();
+            bytes = 0;
+        }
+        page.push((Lsn(lsn), rec));
+        lsn += 1;
+        bytes += size;
+    }
+    if !page.is_empty() {
+        device.append_page(&page)?;
+    }
+    Ok(lsn)
+}
+
+impl Engine {
+    /// Recovers from the log files under `options.log_dir` and starts a
+    /// fresh engine on the recovered image. The old files are compacted
+    /// into a snapshot generation (see the module docs), so recovery is
+    /// idempotent: crash, recover, crash again, recover again.
+    pub fn recover(options: EngineOptions) -> Result<(Engine, RecoveryInfo)> {
+        let image = replay_dir(&options.log_dir)?;
+        for path in log_files(&options.log_dir)? {
+            std::fs::remove_file(&path)
+                .map_err(|e| Error::Io(format!("remove {}: {e}", path.display())))?;
+        }
+        let mut devices = open_devices(&options)?;
+        let next_lsn = match devices.first_mut() {
+            Some(dev) if !image.db.is_empty() => {
+                write_snapshot(dev, &image.db, options.page_bytes)?
+            }
+            _ => 1,
+        };
+        drop(devices);
+        let engine = Engine::start_with(
+            options,
+            image.db.into_iter().collect(),
+            image.next_txn,
+            next_lsn,
+        )?;
+        Ok((engine, image.info))
+    }
+}
+
+/// Compile-time guard: the shared engine state must cross threads.
+fn _assert_shared_send_sync() {
+    fn assert<T: Send + Sync>() {}
+    assert::<Shared>();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+    use std::time::Duration;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "mmdb-session-recover-{}-{name}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn replay_empty_dir_is_empty() {
+        let dir = tmp_dir("empty");
+        let image = replay_dir(&dir).unwrap();
+        assert!(image.db.is_empty());
+        assert_eq!(image.next_txn, 1);
+        assert_eq!(image.info.records_scanned, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn prefix_rule_drops_records_after_a_gap() {
+        let dir = tmp_dir("gap");
+        let mut dev = WalDevice::create(dir.join("wal-d0.log"), 4096, Duration::ZERO).unwrap();
+        // Txn 1 commits in LSNs 1..=3; txn 2's commit lands at LSN 7
+        // with LSNs 4..=6 missing (their page died with the crash).
+        dev.append_page(&[
+            (Lsn(1), LogRecord::Begin { txn: TxnId(1) }),
+            (
+                Lsn(2),
+                LogRecord::Update {
+                    txn: TxnId(1),
+                    key: 10,
+                    old: None,
+                    new: 100,
+                    padding: 0,
+                },
+            ),
+            (Lsn(3), LogRecord::Commit { txn: TxnId(1) }),
+        ])
+        .unwrap();
+        dev.append_page(&[(Lsn(7), LogRecord::Commit { txn: TxnId(2) })])
+            .unwrap();
+        let image = replay_dir(&dir).unwrap();
+        assert_eq!(image.info.truncated_at, Some(Lsn(4)));
+        assert_eq!(image.info.committed, vec![TxnId(1)]);
+        assert_eq!(image.db.get(&10), Some(&100));
+        assert_eq!(image.db.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn losers_are_discarded() {
+        let dir = tmp_dir("losers");
+        let mut dev = WalDevice::create(dir.join("wal-d0.log"), 4096, Duration::ZERO).unwrap();
+        dev.append_page(&[
+            (Lsn(1), LogRecord::Begin { txn: TxnId(1) }),
+            (
+                Lsn(2),
+                LogRecord::Update {
+                    txn: TxnId(1),
+                    key: 1,
+                    old: None,
+                    new: 11,
+                    padding: 0,
+                },
+            ),
+            (Lsn(3), LogRecord::Begin { txn: TxnId(2) }),
+            (
+                Lsn(4),
+                LogRecord::Update {
+                    txn: TxnId(2),
+                    key: 2,
+                    old: None,
+                    new: 22,
+                    padding: 0,
+                },
+            ),
+            (Lsn(5), LogRecord::Commit { txn: TxnId(1) }),
+        ])
+        .unwrap();
+        let image = replay_dir(&dir).unwrap();
+        assert_eq!(image.info.committed, vec![TxnId(1)]);
+        assert_eq!(image.info.losers, vec![TxnId(2)]);
+        assert_eq!(image.db.get(&1), Some(&11));
+        assert_eq!(image.db.get(&2), None, "loser's update discarded");
+        assert_eq!(image.next_txn, 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_replay() {
+        let dir = tmp_dir("snapshot");
+        let image: BTreeMap<u64, i64> = (0..100).map(|i| (i, i as i64 * 7)).collect();
+        let mut dev = WalDevice::create(dir.join("wal-d0.log"), 512, Duration::ZERO).unwrap();
+        let next = write_snapshot(&mut dev, &image, 512).unwrap();
+        assert_eq!(next as usize, image.len() + 3, "begin + updates + commit");
+        assert!(dev.pages_written() > 1, "snapshot spans pages");
+        let replayed = replay_dir(&dir).unwrap();
+        assert_eq!(replayed.db, image);
+        assert_eq!(replayed.info.truncated_at, None);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -49,6 +49,14 @@ pub enum Error {
     CorruptLog(String),
     /// A query-planning failure (unknown operator, empty plan space, ...).
     Planning(String),
+    /// A wall-clock log device failed (disk full, unwritable path, ...).
+    Io(String),
+    /// A shared-state lock was poisoned: another session thread panicked
+    /// while holding it, so the protected invariants are suspect.
+    Poisoned(String),
+    /// The engine (or its group-commit daemon) has shut down; no further
+    /// transactions can be processed.
+    Shutdown,
     /// Catch-all invariant violation; indicates a bug if ever produced.
     Internal(String),
 }
@@ -75,6 +83,9 @@ impl fmt::Display for Error {
             Error::TransactionAborted(id) => write!(f, "transaction {id} aborted"),
             Error::CorruptLog(msg) => write!(f, "corrupt log: {msg}"),
             Error::Planning(msg) => write!(f, "planning error: {msg}"),
+            Error::Io(msg) => write!(f, "log I/O failed: {msg}"),
+            Error::Poisoned(what) => write!(f, "poisoned lock: {what}"),
+            Error::Shutdown => write!(f, "engine is shut down"),
             Error::Internal(msg) => write!(f, "internal invariant violated: {msg}"),
         }
     }
@@ -100,6 +111,19 @@ mod tests {
     fn errors_are_comparable() {
         assert_eq!(Error::PageNotFound(1), Error::PageNotFound(1));
         assert_ne!(Error::PageNotFound(1), Error::PageNotFound(2));
+    }
+
+    #[test]
+    fn session_layer_errors_display() {
+        assert_eq!(
+            Error::Io("disk full".into()).to_string(),
+            "log I/O failed: disk full"
+        );
+        assert_eq!(
+            Error::Poisoned("engine state".into()).to_string(),
+            "poisoned lock: engine state"
+        );
+        assert_eq!(Error::Shutdown.to_string(), "engine is shut down");
     }
 
     #[test]

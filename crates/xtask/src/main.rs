@@ -29,15 +29,15 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 /// Engine crates covered by the audit, as `crates/<name>` directories.
-const ENGINE_CRATES: [&str; 8] = [
-    "types", "storage", "index", "analytic", "exec", "planner", "recovery", "core",
+const ENGINE_CRATES: [&str; 9] = [
+    "types", "storage", "index", "analytic", "exec", "planner", "recovery", "core", "session",
 ];
 
 /// Crates whose cost-model code the lossy-cast pass applies to.
 const CAST_CRATES: [&str; 2] = ["analytic", "planner"];
 
 /// Crates whose public items must carry §-cited doc comments.
-const CITED_CRATES: [&str; 2] = ["recovery", "core"];
+const CITED_CRATES: [&str; 3] = ["recovery", "core", "session"];
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();

@@ -1,0 +1,258 @@
+//! End-to-end tests of the wall-clock session layer (§5.2): group-commit
+//! crash semantics, pre-commit dependency ordering across partitioned
+//! log devices, and a property test checking concurrent sessions against
+//! a single-threaded serial oracle.
+
+use mmdb_recovery::wal::read_log_file;
+use mmdb_recovery::LogRecord;
+use mmdb_session::{CommitPolicy, Engine, EngineOptions};
+use mmdb_types::Error;
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mmdb-session-e2e-{}-{name}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// Crash while the group-commit daemon is parked with a non-empty batch:
+/// recovery restores exactly the durably-committed prefix, and the
+/// commits the daemon never flushed are gone — they were never reported
+/// durable, so no promise is broken.
+#[test]
+fn crash_with_parked_daemon_recovers_durable_prefix_only() {
+    let dir = tmp_dir("parked");
+    // A huge flush interval parks the daemon unless a flush forces a
+    // page out; commits queue behind it exactly as §5.2 describes.
+    let opts = EngineOptions::new(CommitPolicy::Group, &dir)
+        .with_page_write_latency(Duration::from_micros(200))
+        .with_flush_interval(Duration::from_secs(30));
+    let engine = Engine::start(opts.clone()).unwrap();
+    let s = engine.session();
+
+    let t1 = s.begin().unwrap();
+    s.write(&t1, 1, 10).unwrap();
+    let ticket1 = s.commit(t1).unwrap();
+    let t2 = s.begin().unwrap();
+    s.write(&t2, 2, 20).unwrap();
+    let ticket2 = s.commit(t2).unwrap();
+    engine.flush().unwrap();
+    assert!(engine.is_durable(ticket1.txn).unwrap());
+    assert!(engine.is_durable(ticket2.txn).unwrap());
+
+    // These commit records sit in the parked daemon's queue: the
+    // sessions are pre-committed (locks gone) but not durable.
+    let t3 = s.begin().unwrap();
+    s.write(&t3, 1, 111).unwrap();
+    s.write(&t3, 3, 30).unwrap();
+    let ticket3 = s.commit(t3).unwrap();
+    let t4 = s.begin().unwrap();
+    s.write(&t4, 4, 40).unwrap();
+    assert!(!engine.is_durable(ticket3.txn).unwrap());
+    assert_eq!(
+        engine.read(1).unwrap(),
+        Some(111),
+        "volatile image moved on"
+    );
+
+    engine.crash().unwrap();
+    let (engine, info) = Engine::recover(opts).unwrap();
+    assert_eq!(
+        info.committed,
+        vec![ticket1.txn, ticket2.txn],
+        "exactly the durable prefix survives"
+    );
+    // t3 and t4 died in the parked daemon's queue: their records never
+    // reached any device, so recovery does not even see them.
+    assert!(!info.committed.contains(&ticket3.txn));
+    assert!(!info.committed.contains(&t4.id()));
+    assert_eq!(engine.read(1).unwrap(), Some(10), "t3's update rolled away");
+    assert_eq!(engine.read(2).unwrap(), Some(20));
+    assert_eq!(engine.read(3).unwrap(), None);
+    assert_eq!(engine.read(4).unwrap(), None);
+    engine.shutdown().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// §5.2 dependency write ordering, observed at the device level: with a
+/// partitioned log whose device 0 is slow and device 1 fast, a dependent
+/// transaction's commit page (bound for the fast device) is *held back*
+/// until its dependency's page (stuck on the slow device) is written. A
+/// crash in that window leaves neither on disk.
+#[test]
+fn dependent_commit_is_never_written_before_its_dependency() {
+    let dir = tmp_dir("dep-order");
+    let opts = EngineOptions::new(CommitPolicy::Partitioned { devices: 2 }, &dir)
+        .with_device_latencies(vec![Duration::from_millis(600), Duration::from_millis(1)])
+        .with_flush_interval(Duration::from_millis(15));
+    let engine = Engine::start(opts.clone()).unwrap();
+    let s = engine.session();
+
+    // Transaction A writes key 7 and pre-commits; its page (seqno 0)
+    // goes to slow device 0.
+    let a = s.begin().unwrap();
+    s.write_typical(&a, 7, 1).unwrap();
+    let ticket_a = s.commit(a).unwrap();
+    // Let the daemon's timeout cut A's page and dispatch it before B's
+    // records enter the queue, so B's page is a separate, later one.
+    std::thread::sleep(Duration::from_millis(40));
+
+    // B takes A's released lock (pre-commit!), inheriting a commit
+    // dependency on A, and pre-commits too; its page (seqno 1) goes to
+    // fast device 1 — which must wait for device 0.
+    let b = s.begin().unwrap();
+    s.write_typical(&b, 7, 2).unwrap();
+    let ticket_b = s.commit(b).unwrap();
+    std::thread::sleep(Duration::from_millis(80));
+
+    assert!(
+        !engine.is_durable(ticket_a.txn).unwrap(),
+        "A's page is still inside the slow device's write"
+    );
+    assert!(
+        !engine.is_durable(ticket_b.txn).unwrap(),
+        "B durable before A would break the dependency order"
+    );
+
+    // Crash while device 0 is mid-write: A's page is lost, and the
+    // writer for device 1 was still holding B's page back.
+    engine.crash().unwrap();
+    let fast_records = read_log_file(&dir.join("wal-d1.log")).unwrap();
+    assert!(
+        !fast_records
+            .iter()
+            .any(|(_, r)| matches!(r, LogRecord::Commit { .. })),
+        "no commit record ever reached the fast device ahead of its dependency"
+    );
+    let (engine, info) = Engine::recover(opts).unwrap();
+    assert!(
+        !info.committed.contains(&ticket_b.txn),
+        "dependent B must not be recovered when dependency A is lost"
+    );
+    assert!(!info.committed.contains(&ticket_a.txn));
+    assert_eq!(engine.read(7).unwrap(), None);
+    engine.shutdown().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The same dependency chain without a crash: when the dependent is
+/// reported durable, its dependency must already be durable.
+#[test]
+fn dependency_becomes_durable_no_later_than_dependent() {
+    let dir = tmp_dir("dep-wait");
+    let opts = EngineOptions::new(CommitPolicy::Partitioned { devices: 2 }, &dir)
+        .with_device_latencies(vec![Duration::from_millis(60), Duration::from_millis(1)])
+        .with_flush_interval(Duration::from_millis(5));
+    let engine = Engine::start(opts.clone()).unwrap();
+    let s = engine.session();
+    let a = s.begin().unwrap();
+    s.write_typical(&a, 7, 1).unwrap();
+    let ticket_a = s.commit(a).unwrap();
+    std::thread::sleep(Duration::from_millis(15));
+    let b = s.begin().unwrap();
+    s.write_typical(&b, 7, 2).unwrap();
+    let ticket_b = s.commit(b).unwrap();
+    s.wait_durable(&ticket_b).unwrap();
+    assert!(
+        engine.is_durable(ticket_a.txn).unwrap(),
+        "B durable implies A durable"
+    );
+    engine.shutdown().unwrap();
+    // Both survive a restart.
+    let (engine, info) = Engine::recover(opts).unwrap();
+    assert!(info.committed.contains(&ticket_a.txn));
+    assert!(info.committed.contains(&ticket_b.txn));
+    assert_eq!(engine.read(7).unwrap(), Some(2));
+    engine.shutdown().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// One client's worth of generated transactions: each is a list of
+/// `key := value` writes.
+type ClientScript = Vec<Vec<(u64, i64)>>;
+
+fn client_strategy() -> impl Strategy<Value = ClientScript> {
+    prop::collection::vec(prop::collection::vec((0u64..6, -100i64..100), 1..4), 1..5)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Concurrent sessions against the serial oracle: whatever the
+    /// interleaving, the final store equals the committed transactions'
+    /// writes replayed in commit-LSN order (2PL with pre-commit
+    /// serializes in precommit order, and commit LSNs are assigned at
+    /// precommit under the state lock).
+    #[test]
+    fn concurrent_sessions_match_serial_oracle(
+        scripts in prop::collection::vec(client_strategy(), 2..4),
+        case in 0u64..u64::MAX,
+    ) {
+        let dir = tmp_dir(&format!("oracle-{case}"));
+        let opts = EngineOptions::new(CommitPolicy::Group, &dir)
+            .with_page_write_latency(Duration::from_micros(100))
+            .with_flush_interval(Duration::from_micros(300))
+            .with_lock_wait_timeout(Duration::from_millis(500));
+        let engine = Engine::start(opts).unwrap();
+        let mut handles = Vec::new();
+        for script in scripts {
+            let s = engine.session();
+            handles.push(std::thread::spawn(move || {
+                let mut committed: Vec<(u64, Vec<(u64, i64)>)> = Vec::new();
+                for writes in script {
+                    let txn = match s.begin() {
+                        Ok(t) => t,
+                        Err(_) => continue,
+                    };
+                    let mut ok = true;
+                    for (key, value) in &writes {
+                        match s.write(&txn, *key, *value) {
+                            Ok(()) => {}
+                            Err(Error::TransactionAborted(_)) => {
+                                ok = false;
+                                break;
+                            }
+                            Err(_) => {
+                                let _ = s.abort(txn);
+                                ok = false;
+                                break;
+                            }
+                        }
+                    }
+                    if !ok {
+                        continue;
+                    }
+                    if let Ok(ticket) = s.commit(txn) {
+                        committed.push((ticket.lsn.0, writes));
+                    }
+                }
+                committed
+            }));
+        }
+        let mut committed: Vec<(u64, Vec<(u64, i64)>)> = Vec::new();
+        for h in handles {
+            committed.extend(h.join().expect("client thread panicked"));
+        }
+        engine.flush().unwrap();
+
+        // Serial oracle: replay committed transactions in commit order.
+        committed.sort_by_key(|(lsn, _)| *lsn);
+        let mut model = std::collections::HashMap::new();
+        for (_, writes) in &committed {
+            for (key, value) in writes {
+                model.insert(*key, *value);
+            }
+        }
+        for key in 0u64..6 {
+            prop_assert_eq!(
+                engine.read(key).unwrap(),
+                model.get(&key).copied(),
+                "key {} diverged from the serial oracle", key
+            );
+        }
+        engine.shutdown().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
