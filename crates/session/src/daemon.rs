@@ -28,7 +28,7 @@ use crate::policy::{CommitPolicy, EngineOptions};
 use mmdb_recovery::wal::WalDevice;
 use mmdb_recovery::{LockManager, LogRecord, Lsn};
 use mmdb_types::{AuditViolation, Error, Result, TxnId};
-use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
@@ -75,14 +75,25 @@ pub(crate) struct Page {
 }
 
 /// Durability bookkeeping shared by writers and waiting committers.
+///
+/// Every field here is bounded by the number of *in-flight* pages and
+/// commits, not by engine lifetime: durability itself is one LSN
+/// (`durable_lsn`), and the per-commit entries are pruned the moment
+/// their page retires below the watermark.
 #[derive(Debug, Default)]
 pub(crate) struct DurableTable {
-    /// Transactions whose commit is durable (survives any crash).
-    pub durable: HashSet<TxnId>,
-    /// Which page each dispatched commit record rides on.
+    /// Every record with LSN ≤ `durable_lsn` is on disk, and recovery's
+    /// contiguous-prefix rule keeps it. A commit is durable exactly when
+    /// its ticket's LSN is at or below this — O(1) state instead of a
+    /// forever-growing set of transaction ids.
+    pub durable_lsn: u64,
+    /// Which page each dispatched, not-yet-durable commit record rides
+    /// on. Pruned when the page retires; a missing entry means the
+    /// commit is already durable (or predates this log generation).
     pub commit_page: HashMap<TxnId, u64>,
-    /// Pages written out of order, ahead of the watermark.
-    pub written: BTreeSet<u64>,
+    /// Pages written out of order, ahead of the watermark: seqno → last
+    /// LSN on the page. Drained as the watermark advances.
+    pub written: BTreeMap<u64, u64>,
     /// Every page with seqno < watermark is on disk.
     pub watermark: u64,
     /// Dispatched commits per page, waiting for the watermark.
@@ -269,7 +280,7 @@ impl Shared {
             .durable
             .lock()
             .map_err(|_| AuditViolation::new(C, "poison", "durable mutex poisoned".to_string()))?;
-        for seqno in &d.written {
+        for seqno in d.written.keys() {
             AuditViolation::ensure(*seqno >= d.watermark, C, "watermark", || {
                 format!(
                     "page {seqno} marked written below watermark {}",
@@ -278,6 +289,27 @@ impl Shared {
             })?;
         }
         let dispatched: usize = d.waiting.values().map(Vec::len).sum();
+        // Boundedness: commit tracking is pruned as pages retire, so the
+        // table only ever holds the dispatched, not-yet-durable commits.
+        AuditViolation::ensure(
+            d.commit_page.len() == dispatched,
+            C,
+            "commit-page-pruned",
+            || {
+                format!(
+                    "{} commit-page entries for {dispatched} in-flight commits",
+                    d.commit_page.len()
+                )
+            },
+        )?;
+        for (txn, seqno) in &d.commit_page {
+            AuditViolation::ensure(*seqno >= d.watermark, C, "commit-page-retired", || {
+                format!(
+                    "commit-page entry for {txn:?} on retired page {seqno} (watermark {})",
+                    d.watermark
+                )
+            })?;
+        }
         AuditViolation::ensure(
             d.outstanding == queued_commits + dispatched,
             C,
@@ -465,9 +497,10 @@ fn wait_for_dependencies(shared: &Shared, page: &Page) -> bool {
         }
         let ready = page.commits.iter().all(|c| {
             c.deps.iter().all(|dep| match d.commit_page.get(dep) {
-                Some(&s) => s == page.seqno || s < d.watermark || d.written.contains(&s),
-                // Unknown dependency: its commit predates this log
-                // generation, so it is already durable.
+                Some(&s) => s == page.seqno || s < d.watermark || d.written.contains_key(&s),
+                // Unknown dependency: its page already retired (the
+                // entry is pruned once durable) or its commit predates
+                // this log generation — durable either way.
                 None => true,
             })
         });
@@ -481,25 +514,30 @@ fn wait_for_dependencies(shared: &Shared, page: &Page) -> bool {
     }
 }
 
-/// Marks a page written, advances the durable watermark, reports every
-/// commit the watermark now covers, and finalizes their lock state.
+/// Marks a page written, advances the durable watermark (and with it
+/// `durable_lsn`), reports every commit the watermark now covers,
+/// prunes their tracking entries, and finalizes their lock state.
 fn complete_page(shared: &Shared, page: Page) -> bool {
     let newly = {
         let Ok(mut guard) = shared.durable.lock() else {
             return false;
         };
         let d = &mut *guard;
-        d.written.insert(page.seqno);
+        let last_lsn = page.records.last().map(|(l, _)| l.0).unwrap_or(0);
+        d.written.insert(page.seqno, last_lsn);
         d.pages_written += 1;
         let mut newly: Vec<PendingCommit> = Vec::new();
-        while d.written.remove(&d.watermark) {
+        while let Some(lsn) = d.written.remove(&d.watermark) {
+            // Pages are cut in LSN order, so retiring the next seqno
+            // extends the durable LSN prefix to that page's last record.
+            d.durable_lsn = d.durable_lsn.max(lsn);
             if let Some(cs) = d.waiting.remove(&d.watermark) {
                 newly.extend(cs);
             }
             d.watermark += 1;
         }
         for c in &newly {
-            d.durable.insert(c.txn);
+            d.commit_page.remove(&c.txn);
             d.outstanding = d.outstanding.saturating_sub(1);
         }
         shared.durable_cv.notify_all();

@@ -74,11 +74,15 @@ impl Engine {
                 options.log_dir.display()
             )));
         }
-        Engine::start_with(options, HashMap::new(), 1, 1)
+        let devices = open_devices(&options, 0)?;
+        Engine::start_with(options, HashMap::new(), 1, 1, devices)
     }
 
     /// Starts the threads around an initial image — shared by [`start`]
-    /// (empty image) and [`recover`] (replayed image).
+    /// (empty image) and [`recover`] (replayed image). The caller opens
+    /// the devices: `recover` writes its compaction snapshot to them
+    /// first and hands over the *same* handles, so nothing here may
+    /// reopen (and truncate) the files.
     ///
     /// [`start`]: Engine::start
     /// [`recover`]: Engine::recover
@@ -87,8 +91,8 @@ impl Engine {
         db: HashMap<u64, i64>,
         next_txn: u64,
         next_lsn: u64,
+        devices: Vec<WalDevice>,
     ) -> Result<Engine> {
-        let devices = open_devices(&options)?;
         let shared = Arc::new(Shared::new(options, db, next_txn, next_lsn));
         let mut threads = Vec::new();
         let mut senders: Vec<mpsc::Sender<Page>> = Vec::new();
@@ -136,10 +140,10 @@ impl Engine {
         Ok(self.shared.state_guard()?.db.get(&key).copied())
     }
 
-    /// True once `txn`'s commit record — and every log page before it —
-    /// is on disk.
-    pub fn is_durable(&self, txn: TxnId) -> Result<bool> {
-        Ok(self.shared.durable_guard()?.durable.contains(&txn))
+    /// True once the ticket's commit record — and every log record
+    /// before it — is on disk.
+    pub fn is_durable(&self, ticket: &CommitTicket) -> Result<bool> {
+        Ok(self.shared.durable_guard()?.durable_lsn >= ticket.lsn.0)
     }
 
     /// Forces a partial-page flush and blocks until every commit issued
@@ -343,10 +347,18 @@ impl Session {
         let sync = matches!(self.shared.options.policy, CommitPolicy::Synchronous);
         let lsn = {
             let mut state = self.shared.state_guard()?;
-            if state.undo.remove(&txn.0).is_none() {
+            let Some(undo) = state.undo.remove(&txn.0) else {
                 return Err(Error::InvalidTransaction(txn.0 .0));
-            }
-            let deps = state.locks.precommit(txn.0)?;
+            };
+            let deps = match state.locks.precommit(txn.0) {
+                Ok(deps) => deps,
+                Err(e) => {
+                    // A failed precommit leaves the locks held: restore
+                    // the undo entry so the caller can still abort.
+                    state.undo.insert(txn.0, undo);
+                    return Err(e);
+                }
+            };
             self.shared.append(
                 vec![(
                     LogRecord::Commit { txn: txn.0 },
@@ -376,7 +388,7 @@ impl Session {
     pub fn wait_durable(&self, ticket: &CommitTicket) -> Result<()> {
         let mut d = self.shared.durable_guard()?;
         loop {
-            if d.durable.contains(&ticket.txn) {
+            if d.durable_lsn >= ticket.lsn.0 {
                 return Ok(());
             }
             if let Some(e) = &d.failure {
@@ -393,15 +405,22 @@ impl Session {
         }
     }
 
-    /// True once `txn` is durable.
-    pub fn is_durable(&self, txn: TxnId) -> Result<bool> {
-        Ok(self.shared.durable_guard()?.durable.contains(&txn))
+    /// True once the ticket's transaction is durable.
+    pub fn is_durable(&self, ticket: &CommitTicket) -> Result<bool> {
+        Ok(self.shared.durable_guard()?.durable_lsn >= ticket.lsn.0)
     }
 
     /// Aborts `txn`: undoes its writes from the undo list (reverse
-    /// order), releases its locks, and queues an abort record.
+    /// order), releases its locks, and queues an abort record. Fails
+    /// with [`Error::InvalidTransaction`] if `txn` is not active — in
+    /// particular, aborting a stale copy of an already-committed handle
+    /// must not reach the lock manager, where it would strip the
+    /// pre-committed transaction out of the §5.2 dependency tracking.
     pub fn abort(&self, txn: Txn) -> Result<()> {
         let mut state = self.shared.state_guard()?;
+        if !state.undo.contains_key(&txn.0) {
+            return Err(Error::InvalidTransaction(txn.0 .0));
+        }
         rollback(&mut state, txn.0);
         let _ = self
             .shared
@@ -514,13 +533,25 @@ pub(crate) fn log_files(dir: &Path) -> Result<Vec<std::path::PathBuf>> {
     Ok(paths)
 }
 
-/// Opens one [`WalDevice`] per configured device, honoring per-device
-/// latency overrides.
-pub(crate) fn open_devices(options: &EngineOptions) -> Result<Vec<WalDevice>> {
+/// Device file name for log generation `generation`, device `index`.
+/// Generation 0 (a fresh start) uses the plain `wal-d{i}.log`; recovery
+/// compacts into successive generations (`wal-gen{g}-d{i}.log`) so the
+/// snapshot never overwrites the files it is recovering from.
+pub(crate) fn device_file_name(generation: u64, index: usize) -> String {
+    if generation == 0 {
+        format!("wal-d{index}.log")
+    } else {
+        format!("wal-gen{generation}-d{index}.log")
+    }
+}
+
+/// Creates one fresh [`WalDevice`] per configured device for the given
+/// log generation, honoring per-device latency overrides.
+pub(crate) fn open_devices(options: &EngineOptions, generation: u64) -> Result<Vec<WalDevice>> {
     let mut devices = Vec::new();
     for i in 0..options.policy.devices() {
         devices.push(WalDevice::create(
-            options.log_dir.join(format!("wal-d{i}.log")),
+            options.log_dir.join(device_file_name(generation, i)),
             options.page_bytes,
             options.device_latency(i),
         )?);

@@ -98,7 +98,7 @@ mod tests {
         s.write(&t, 7, 42).unwrap();
         let ticket = s.commit(t).unwrap();
         s.wait_durable(&ticket).unwrap();
-        assert!(engine.is_durable(ticket.txn).unwrap());
+        assert!(engine.is_durable(&ticket).unwrap());
         assert_eq!(engine.read(7).unwrap(), Some(42));
         engine.audit().unwrap();
         engine.shutdown().unwrap();
@@ -122,6 +122,27 @@ mod tests {
         s.abort(t).unwrap();
         assert_eq!(s.read(1).unwrap(), Some(10), "pre-image restored");
         assert_eq!(s.read(2).unwrap(), None, "insert undone");
+        engine.audit().unwrap();
+        engine.shutdown().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn abort_of_stale_txn_copy_after_commit_is_rejected() {
+        let opts = fast(CommitPolicy::Group, "stale-abort");
+        let dir = opts.log_dir.clone();
+        let engine = Engine::start(opts).unwrap();
+        let s = engine.session();
+        let t = s.begin().unwrap();
+        s.write(&t, 1, 1).unwrap();
+        let ticket = s.commit(t).unwrap();
+        // `Txn` is Copy: a stale copy of the committed handle must not
+        // reach the lock manager and strip the pre-committed state the
+        // §5.2 dependency tracking relies on.
+        assert!(matches!(s.abort(t), Err(Error::InvalidTransaction(_))));
+        s.wait_durable(&ticket).unwrap();
+        assert!(engine.is_durable(&ticket).unwrap());
+        assert_eq!(engine.read(1).unwrap(), Some(1), "commit unaffected");
         engine.audit().unwrap();
         engine.shutdown().unwrap();
         std::fs::remove_dir_all(&dir).ok();
@@ -248,7 +269,7 @@ mod tests {
         s.write(&t, 5, 5).unwrap();
         let ticket = s.commit(t).unwrap();
         assert!(
-            engine.is_durable(ticket.txn).unwrap(),
+            engine.is_durable(&ticket).unwrap(),
             "synchronous commit returns only after durability"
         );
         engine.shutdown().unwrap();

@@ -12,20 +12,26 @@
 //! the prefix are redone from their new values; everything else is a
 //! loser and vanishes with the volatile state.
 //!
-//! Recovery then *compacts*: the old device files are replaced by a
-//! fresh snapshot generation — one synthetic committed transaction
-//! (id 0) rewriting the recovered image — so the new engine's LSN
-//! sequence starts clean and stale post-gap records can never collide
-//! with it. This is the restart flavor of the §5.3 idea: bound future
-//! recovery work by checkpointing the recovered state.
+//! Recovery then *compacts*: the recovered image is written to a fresh
+//! **log generation** (`wal-gen{g}-d{i}.log`) as one synthetic committed
+//! transaction (id 0), and only once that snapshot is durably complete
+//! are the old generation's files deleted — so a real crash at any point
+//! inside recovery leaves either the old generation intact or both, and
+//! replay picks the newest generation whose snapshot finished. The new
+//! engine then appends to the *same* device files (they are handed over
+//! open, never reopened-and-truncated), so its LSN sequence continues
+//! the snapshot's and stale post-gap records can never collide with it.
+//! This is the restart flavor of the §5.3 idea: bound future recovery
+//! work by checkpointing the recovered state.
 
 use crate::daemon::Shared;
 use crate::engine::{log_files, open_devices, Engine};
 use crate::policy::EngineOptions;
-use mmdb_recovery::wal::{read_log_dir, WalDevice};
+use mmdb_recovery::wal::{read_log_file, WalDevice};
 use mmdb_recovery::{LogRecord, Lsn};
 use mmdb_types::{Error, Result, TxnId};
 use std::collections::{BTreeMap, BTreeSet};
+use std::path::{Path, PathBuf};
 
 /// What restart recovery found and did (§5.2).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -50,14 +56,40 @@ pub struct RecoveryInfo {
 pub(crate) struct RecoveredImage {
     pub db: BTreeMap<u64, i64>,
     pub next_txn: u64,
+    /// Highest log generation found on disk (0 when the directory is
+    /// empty); compaction writes generation `max_generation + 1`.
+    pub max_generation: u64,
     pub info: RecoveryInfo,
 }
 
-/// Replays every complete page under `dir` into an image, applying the
-/// contiguous-LSN-prefix rule.
-pub(crate) fn replay_dir(dir: &std::path::Path) -> Result<RecoveredImage> {
-    let records = read_log_dir(dir)?;
-    let records_scanned = records.len();
+/// Log generation a device file belongs to (the inverse of
+/// [`crate::engine::device_file_name`]); unrecognized names count as
+/// generation 0.
+fn generation_of(path: &Path) -> u64 {
+    path.file_stem()
+        .and_then(|s| s.to_str())
+        .and_then(|stem| stem.strip_prefix("wal-gen"))
+        .and_then(|rest| rest.split('-').next())
+        .and_then(|g| g.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Reads and merges one generation's device files by LSN, deduplicating
+/// records that reached more than one device — the restart-recovery view
+/// of a partitioned log (§5.2).
+fn read_generation(paths: &[PathBuf]) -> Result<Vec<(Lsn, LogRecord)>> {
+    let mut all = Vec::new();
+    for p in paths {
+        all.extend(read_log_file(p)?);
+    }
+    all.sort_by_key(|(lsn, _)| *lsn);
+    all.dedup_by_key(|(lsn, _)| *lsn);
+    Ok(all)
+}
+
+/// The contiguous-LSN prefix of `records` (counting from 1), and the
+/// first missing LSN if the rule truncated.
+fn contiguous_prefix(records: Vec<(Lsn, LogRecord)>) -> (Vec<LogRecord>, Option<Lsn>) {
     let mut prefix = Vec::with_capacity(records.len());
     let mut truncated_at = None;
     for (expect, (lsn, rec)) in (1u64..).zip(records) {
@@ -67,6 +99,47 @@ pub(crate) fn replay_dir(dir: &std::path::Path) -> Result<RecoveredImage> {
         }
         prefix.push(rec);
     }
+    (prefix, truncated_at)
+}
+
+/// True when the prefix carries a complete compaction snapshot: the
+/// synthetic transaction 0's commit record made it to disk.
+fn snapshot_complete(prefix: &[LogRecord]) -> bool {
+    prefix
+        .iter()
+        .any(|r| matches!(r, LogRecord::Commit { txn } if txn.0 == 0))
+}
+
+/// Replays the log files under `dir` into an image, applying the
+/// contiguous-LSN-prefix rule.
+///
+/// When more than one log generation is present — a crash interrupted a
+/// previous recovery's compaction — the newest generation whose snapshot
+/// completed wins. The oldest generation present is always usable: old
+/// files are only ever deleted *after* the next generation's snapshot is
+/// durably complete, so an incomplete (torn) snapshot generation always
+/// has its intact predecessor still on disk to fall back to.
+pub(crate) fn replay_dir(dir: &Path) -> Result<RecoveredImage> {
+    let mut generations: BTreeMap<u64, Vec<PathBuf>> = BTreeMap::new();
+    for path in log_files(dir)? {
+        generations
+            .entry(generation_of(&path))
+            .or_default()
+            .push(path);
+    }
+    let max_generation = generations.keys().next_back().copied().unwrap_or(0);
+    let oldest = generations.keys().next().copied();
+    let mut chosen: (Vec<LogRecord>, Option<Lsn>, usize) = (Vec::new(), None, 0);
+    for (&generation, paths) in generations.iter().rev() {
+        let records = read_generation(paths)?;
+        let records_scanned = records.len();
+        let (prefix, truncated_at) = contiguous_prefix(records);
+        if Some(generation) == oldest || snapshot_complete(&prefix) {
+            chosen = (prefix, truncated_at, records_scanned);
+            break;
+        }
+    }
+    let (prefix, truncated_at, records_scanned) = chosen;
     let mut seen = BTreeSet::new();
     let mut committed = BTreeSet::new();
     for rec in &prefix {
@@ -91,12 +164,20 @@ pub(crate) fn replay_dir(dir: &std::path::Path) -> Result<RecoveredImage> {
         }
     }
     let next_txn = seen.iter().map(|t| t.0).max().unwrap_or(0) + 1;
-    let losers: Vec<TxnId> = seen.difference(&committed).copied().collect();
+    // The synthetic snapshot transaction (id 0) is compaction plumbing,
+    // not a recovered user transaction: keep it out of the report.
+    let losers: Vec<TxnId> = seen
+        .difference(&committed)
+        .filter(|t| t.0 != 0)
+        .copied()
+        .collect();
+    let committed: Vec<TxnId> = committed.into_iter().filter(|t| t.0 != 0).collect();
     Ok(RecoveredImage {
         db,
         next_txn,
+        max_generation,
         info: RecoveryInfo {
-            committed: committed.into_iter().collect(),
+            committed,
             losers,
             records_scanned,
             records_replayed,
@@ -106,7 +187,10 @@ pub(crate) fn replay_dir(dir: &std::path::Path) -> Result<RecoveredImage> {
 }
 
 /// Writes the recovered image into `device` as one synthetic committed
-/// transaction (id 0), page by page, returning the next free LSN.
+/// transaction (id 0), page by page, returning the next free LSN. An
+/// empty image still writes its begin/commit pair: the commit record is
+/// what marks the generation's snapshot as complete (see
+/// [`snapshot_complete`]).
 fn write_snapshot(
     device: &mut WalDevice,
     image: &BTreeMap<u64, i64>,
@@ -147,27 +231,34 @@ fn write_snapshot(
 impl Engine {
     /// Recovers from the log files under `options.log_dir` and starts a
     /// fresh engine on the recovered image. The old files are compacted
-    /// into a snapshot generation (see the module docs), so recovery is
-    /// idempotent: crash, recover, crash again, recover again.
+    /// into a new snapshot generation (see the module docs), so recovery
+    /// is idempotent: crash, recover, crash again, recover again — and a
+    /// crash *during* recovery itself falls back to the generation it
+    /// was recovering from.
     pub fn recover(options: EngineOptions) -> Result<(Engine, RecoveryInfo)> {
         let image = replay_dir(&options.log_dir)?;
-        for path in log_files(&options.log_dir)? {
+        let old_files = log_files(&options.log_dir)?;
+        let mut devices = open_devices(&options, image.max_generation + 1)?;
+        // Snapshot before deleting anything: `append_page` syncs every
+        // page, so by the time the old generation goes away the new one
+        // is durably complete. A crash in between leaves both on disk
+        // and `replay_dir` picks the newest complete generation.
+        let first = devices
+            .first_mut()
+            .ok_or_else(|| Error::Io("no log devices configured".into()))?;
+        let next_lsn = write_snapshot(first, &image.db, options.page_bytes)?;
+        for path in old_files {
             std::fs::remove_file(&path)
                 .map_err(|e| Error::Io(format!("remove {}: {e}", path.display())))?;
         }
-        let mut devices = open_devices(&options)?;
-        let next_lsn = match devices.first_mut() {
-            Some(dev) if !image.db.is_empty() => {
-                write_snapshot(dev, &image.db, options.page_bytes)?
-            }
-            _ => 1,
-        };
-        drop(devices);
+        // Hand the open devices to the engine: reopening the files here
+        // would truncate the snapshot just written.
         let engine = Engine::start_with(
             options,
             image.db.into_iter().collect(),
             image.next_txn,
             next_lsn,
+            devices,
         )?;
         Ok((engine, image.info))
     }

@@ -3,10 +3,10 @@
 //! log devices, and a property test checking concurrent sessions against
 //! a single-threaded serial oracle.
 
-use mmdb_recovery::wal::read_log_file;
-use mmdb_recovery::LogRecord;
+use mmdb_recovery::wal::{read_log_file, WalDevice};
+use mmdb_recovery::{LogRecord, Lsn};
 use mmdb_session::{CommitPolicy, Engine, EngineOptions};
-use mmdb_types::Error;
+use mmdb_types::{Error, TxnId};
 use proptest::prelude::*;
 use std::path::PathBuf;
 use std::time::Duration;
@@ -39,8 +39,8 @@ fn crash_with_parked_daemon_recovers_durable_prefix_only() {
     s.write(&t2, 2, 20).unwrap();
     let ticket2 = s.commit(t2).unwrap();
     engine.flush().unwrap();
-    assert!(engine.is_durable(ticket1.txn).unwrap());
-    assert!(engine.is_durable(ticket2.txn).unwrap());
+    assert!(engine.is_durable(&ticket1).unwrap());
+    assert!(engine.is_durable(&ticket2).unwrap());
 
     // These commit records sit in the parked daemon's queue: the
     // sessions are pre-committed (locks gone) but not durable.
@@ -50,7 +50,7 @@ fn crash_with_parked_daemon_recovers_durable_prefix_only() {
     let ticket3 = s.commit(t3).unwrap();
     let t4 = s.begin().unwrap();
     s.write(&t4, 4, 40).unwrap();
-    assert!(!engine.is_durable(ticket3.txn).unwrap());
+    assert!(!engine.is_durable(&ticket3).unwrap());
     assert_eq!(
         engine.read(1).unwrap(),
         Some(111),
@@ -108,11 +108,11 @@ fn dependent_commit_is_never_written_before_its_dependency() {
     std::thread::sleep(Duration::from_millis(80));
 
     assert!(
-        !engine.is_durable(ticket_a.txn).unwrap(),
+        !engine.is_durable(&ticket_a).unwrap(),
         "A's page is still inside the slow device's write"
     );
     assert!(
-        !engine.is_durable(ticket_b.txn).unwrap(),
+        !engine.is_durable(&ticket_b).unwrap(),
         "B durable before A would break the dependency order"
     );
 
@@ -156,7 +156,7 @@ fn dependency_becomes_durable_no_later_than_dependent() {
     let ticket_b = s.commit(b).unwrap();
     s.wait_durable(&ticket_b).unwrap();
     assert!(
-        engine.is_durable(ticket_a.txn).unwrap(),
+        engine.is_durable(&ticket_a).unwrap(),
         "B durable implies A durable"
     );
     engine.shutdown().unwrap();
@@ -165,6 +165,103 @@ fn dependency_becomes_durable_no_later_than_dependent() {
     assert!(info.committed.contains(&ticket_a.txn));
     assert!(info.committed.contains(&ticket_b.txn));
     assert_eq!(engine.read(7).unwrap(), Some(2));
+    engine.shutdown().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Regression: the compaction snapshot must survive the engine restart
+/// that follows recovery. Recovery writes the snapshot and hands the
+/// *same* open devices to the new engine — an earlier version reopened
+/// (and truncated) the files, so the very next restart recovered an
+/// empty store.
+#[test]
+fn repeated_recovery_preserves_committed_state() {
+    let dir = tmp_dir("recover-twice");
+    let opts = EngineOptions::new(CommitPolicy::Group, &dir)
+        .with_page_write_latency(Duration::from_micros(200))
+        .with_flush_interval(Duration::from_micros(500));
+    let engine = Engine::start(opts.clone()).unwrap();
+    let s = engine.session();
+    let t = s.begin().unwrap();
+    s.write(&t, 1, 10).unwrap();
+    s.commit_durable(t).unwrap();
+    engine.shutdown().unwrap();
+
+    // First recovery compacts into a snapshot generation…
+    let (engine, info) = Engine::recover(opts.clone()).unwrap();
+    assert_eq!(info.committed.len(), 1);
+    assert_eq!(engine.read(1).unwrap(), Some(10));
+    // …and the recovered engine keeps committing on top of it.
+    let s = engine.session();
+    let t = s.begin().unwrap();
+    s.write(&t, 2, 20).unwrap();
+    s.commit_durable(t).unwrap();
+    engine.shutdown().unwrap();
+
+    // Crash/recover again: both the snapshotted and the post-recovery
+    // commits must still be there (the original bug lost everything).
+    let (engine, _) = Engine::recover(opts.clone()).unwrap();
+    assert_eq!(engine.read(1).unwrap(), Some(10), "snapshot survived");
+    assert_eq!(
+        engine.read(2).unwrap(),
+        Some(20),
+        "post-recovery commit survived"
+    );
+    engine.crash().unwrap();
+    let (engine, _) = Engine::recover(opts).unwrap();
+    assert_eq!(engine.read(1).unwrap(), Some(10));
+    assert_eq!(engine.read(2).unwrap(), Some(20));
+    engine.shutdown().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A crash *during* compaction — the new generation's snapshot never
+/// finished (no transaction-0 commit record) — must fall back to the
+/// intact previous generation instead of trusting the torn snapshot.
+#[test]
+fn torn_snapshot_generation_falls_back_to_previous() {
+    let dir = tmp_dir("torn-snapshot");
+    let opts = EngineOptions::new(CommitPolicy::Group, &dir)
+        .with_page_write_latency(Duration::from_micros(200))
+        .with_flush_interval(Duration::from_micros(500));
+    let engine = Engine::start(opts.clone()).unwrap();
+    let s = engine.session();
+    let t = s.begin().unwrap();
+    s.write(&t, 1, 10).unwrap();
+    s.commit_durable(t).unwrap();
+    engine.shutdown().unwrap();
+
+    // Hand-craft what a recovery that died mid-snapshot leaves behind:
+    // a generation-1 device file whose synthetic transaction 0 began
+    // rewriting the image but never committed.
+    let mut dev = WalDevice::create(dir.join("wal-gen1-d0.log"), 4096, Duration::ZERO).unwrap();
+    dev.append_page(&[
+        (Lsn(1), LogRecord::Begin { txn: TxnId(0) }),
+        (
+            Lsn(2),
+            LogRecord::Update {
+                txn: TxnId(0),
+                key: 1,
+                old: None,
+                new: 999, // a value the real image never held
+                padding: 0,
+            },
+        ),
+    ])
+    .unwrap();
+    drop(dev);
+
+    let (engine, info) = Engine::recover(opts.clone()).unwrap();
+    assert_eq!(
+        engine.read(1).unwrap(),
+        Some(10),
+        "recovery used the intact generation, not the torn snapshot"
+    );
+    assert_eq!(info.committed.len(), 1);
+    engine.shutdown().unwrap();
+    // The rewritten directory holds exactly one complete generation now.
+    let (engine, _) = Engine::recover(opts).unwrap();
+    assert_eq!(engine.read(1).unwrap(), Some(10));
     engine.shutdown().unwrap();
     std::fs::remove_dir_all(&dir).ok();
 }
