@@ -10,18 +10,31 @@
 //! while group commit amortizes it over the whole group, so grouped
 //! throughput should beat synchronous by roughly the group size.
 //!
+//! The full run also sweeps the sharded lock manager (group policy, 32
+//! clients) over shard counts with a modeled per-lock-op CPU cost
+//! (`--lock-op-us`), and re-runs every policy at smoke parameters so
+//! `cargo xtask bench-check` has a like-for-like baseline. The workload
+//! is driven by a seeded LCG (`--seed`), so two runs with the same seed
+//! issue the same transaction mix.
+//!
 //! Usage: `concurrent_commit [--policy sync|group|partitioned:K|all]
-//! [--clients N] [--duration-ms MS] [--page-write-us US] [--smoke]
-//! [--out PATH]`. Results also land as JSON (default
-//! `BENCH_concurrent_commit.json`).
+//! [--clients N] [--duration-ms MS] [--page-write-us US]
+//! [--lock-op-us US] [--shards N] [--seed S] [--smoke] [--out PATH]`.
+//! Results also land as JSON (default `BENCH_concurrent_commit.json`).
 
 use mmdb_bench::print_table;
 use mmdb_session::{CommitPolicy, Engine, EngineOptions};
 use std::time::{Duration, Instant};
 
+/// Shard counts the full run sweeps under the group policy.
+const SWEEP_SHARDS: [usize; 5] = [1, 2, 4, 8, 16];
+/// Clients for the shard sweep (the ROADMAP's 32-client scaling target).
+const SWEEP_CLIENTS: usize = 32;
+
 struct RunResult {
     policy: String,
     devices: usize,
+    shards: usize,
     committed: u64,
     aborted: u64,
     tps: f64,
@@ -30,13 +43,43 @@ struct RunResult {
     pages_written: usize,
 }
 
+/// Everything one engine run needs; the policy table, the shard sweep,
+/// and the smoke baseline all funnel through [`run_one`].
+#[derive(Clone)]
+struct RunParams {
+    policy: CommitPolicy,
+    clients: usize,
+    duration: Duration,
+    page_write: Duration,
+    /// `None` = the engine's default (available parallelism).
+    shards: Option<usize>,
+    /// Modeled per-lock-op CPU cost (zero = no modeling).
+    lock_op: Duration,
+    /// Group-commit flush interval; `None` = `page_write / 4`. The
+    /// shard sweep pins this to `page_write` so the flusher never cuts
+    /// pages faster than the device can retire them — otherwise the log
+    /// device saturates on partial pages and masks the lock manager.
+    flush: Option<Duration>,
+    seed: u64,
+}
+
 struct Config {
     policies: Vec<CommitPolicy>,
     clients: usize,
     duration: Duration,
     page_write: Duration,
+    lock_op: Duration,
+    shards: Option<usize>,
+    seed: u64,
+    smoke: bool,
     out: String,
 }
+
+/// Smoke-tier parameters, shared by `--smoke` and the full run's
+/// baseline section so `xtask bench-check` compares like with like.
+const SMOKE_CLIENTS: usize = 4;
+const SMOKE_DURATION_MS: u64 = 200;
+const SMOKE_PAGE_WRITE_US: u64 = 1000;
 
 fn parse_policy(s: &str) -> CommitPolicy {
     match s {
@@ -67,6 +110,10 @@ fn parse_args() -> Config {
         clients: 8,
         duration: Duration::from_millis(1000),
         page_write: Duration::from_micros(2000),
+        lock_op: Duration::from_micros(500),
+        shards: None,
+        seed: 42,
+        smoke: false,
         out: "BENCH_concurrent_commit.json".to_string(),
     };
     let mut args = std::env::args().skip(1);
@@ -94,10 +141,17 @@ fn parse_args() -> Config {
                         .expect("--page-write-us US"),
                 )
             }
+            "--lock-op-us" => {
+                cfg.lock_op =
+                    Duration::from_micros(value("--lock-op-us").parse().expect("--lock-op-us US"))
+            }
+            "--shards" => cfg.shards = Some(value("--shards").parse().expect("--shards N")),
+            "--seed" => cfg.seed = value("--seed").parse().expect("--seed S"),
             "--smoke" => {
-                cfg.clients = 4;
-                cfg.duration = Duration::from_millis(200);
-                cfg.page_write = Duration::from_micros(1000);
+                cfg.smoke = true;
+                cfg.clients = SMOKE_CLIENTS;
+                cfg.duration = Duration::from_millis(SMOKE_DURATION_MS);
+                cfg.page_write = Duration::from_micros(SMOKE_PAGE_WRITE_US);
             }
             "--out" => cfg.out = value("--out"),
             other => panic!("unknown argument {other:?}"),
@@ -114,22 +168,37 @@ fn percentile_ms(sorted_us: &[u64], p: f64) -> f64 {
     sorted_us[idx.min(sorted_us.len() - 1)] as f64 / 1000.0
 }
 
-fn run_policy(cfg: &Config, policy: CommitPolicy) -> RunResult {
+/// One step of a splitmix-style LCG: deterministic per seed, so the
+/// workload mix is reproducible across runs and machines.
+fn lcg_next(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+fn run_one(p: &RunParams) -> RunResult {
+    let shards_label = p.shards.map(|s| s.to_string()).unwrap_or_default();
     let dir = std::env::temp_dir().join(format!(
-        "mmdb-bench-cc-{}-{}-{}",
+        "mmdb-bench-cc-{}-{}-{}-{shards_label}",
         std::process::id(),
-        policy.name(),
-        policy.devices()
+        p.policy.name(),
+        p.policy.devices()
     ));
     std::fs::remove_dir_all(&dir).ok();
-    let opts = EngineOptions::new(policy, &dir)
-        .with_page_write_latency(cfg.page_write)
-        .with_flush_interval(cfg.page_write / 4)
-        .with_lock_wait_timeout(Duration::from_secs(2));
+    let mut opts = EngineOptions::new(p.policy, &dir)
+        .with_page_write_latency(p.page_write)
+        .with_flush_interval(p.flush.unwrap_or(p.page_write / 4))
+        .with_lock_wait_timeout(Duration::from_secs(2))
+        .with_lock_op_latency(p.lock_op);
+    if let Some(s) = p.shards {
+        opts = opts.with_shards(s);
+    }
+    let shards = opts.shard_count();
     let engine = Engine::start(opts).expect("engine start");
 
     // Seed two accounts per client with round sums.
-    let accounts = (cfg.clients as u64) * 2;
+    let accounts = (p.clients as u64) * 2;
     let seeder = engine.session();
     let t = seeder.begin().expect("seed begin");
     for k in 0..accounts {
@@ -137,28 +206,28 @@ fn run_policy(cfg: &Config, policy: CommitPolicy) -> RunResult {
     }
     seeder.commit_durable(t).expect("seed commit");
 
-    let deadline = Instant::now() + cfg.duration;
+    let deadline = Instant::now() + p.duration;
     let started = Instant::now();
     let mut handles = Vec::new();
-    for c in 0..cfg.clients as u64 {
+    for c in 0..p.clients as u64 {
         let session = engine.session();
+        let mut rng = p.seed ^ (c.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         handles.push(std::thread::spawn(move || {
             let mut committed = 0u64;
             let mut aborted = 0u64;
             let mut latencies_us: Vec<u64> = Vec::new();
-            let mut i = 0u64;
             while Instant::now() < deadline {
                 // Mostly transfer inside the client's own account pair;
-                // every 8th hop crosses into the neighbor's pair so the
-                // lock manager sees real conflicts and dependencies.
+                // roughly every 8th hop crosses into the neighbor's pair
+                // so the lock manager sees real conflicts and
+                // dependencies (and, sharded, real cross-shard traffic).
                 let from = c * 2;
-                let to = if i.is_multiple_of(8) {
+                let to = if lcg_next(&mut rng) % 8 == 0 {
                     (c * 2 + 2) % accounts
                 } else {
                     c * 2 + 1
                 };
                 if from == to {
-                    i += 1;
                     continue;
                 }
                 let txn_started = Instant::now();
@@ -170,7 +239,6 @@ fn run_policy(cfg: &Config, policy: CommitPolicy) -> RunResult {
                     }
                     Err(_) => aborted += 1,
                 }
-                i += 1;
             }
             (committed, aborted, latencies_us)
         }));
@@ -190,13 +258,14 @@ fn run_policy(cfg: &Config, policy: CommitPolicy) -> RunResult {
     std::fs::remove_dir_all(&dir).ok();
 
     latencies.sort_unstable();
-    let name = match policy {
+    let name = match p.policy {
         CommitPolicy::Partitioned { devices } => format!("partitioned:{devices}"),
         other => other.name().to_string(),
     };
     RunResult {
         policy: name,
-        devices: policy.devices(),
+        devices: p.policy.devices(),
+        shards,
         committed,
         aborted,
         tps: committed as f64 / elapsed,
@@ -206,23 +275,36 @@ fn run_policy(cfg: &Config, policy: CommitPolicy) -> RunResult {
     }
 }
 
-fn main() {
-    let cfg = parse_args();
-    println!("Experiment S1 — §5.2 commit policies on OS threads");
-    println!(
-        "closed loop: {} clients, {} ms, {} µs/page write, 400-byte typical txns",
-        cfg.clients,
-        cfg.duration.as_millis(),
-        cfg.page_write.as_micros()
-    );
+/// Best-of-N committed tps. The smoke tier feeds a ±30% regression
+/// gate from 200 ms runs on shared CI machines: a single sample's
+/// variance (scheduler noise, cold caches, a neighboring job) is wider
+/// than the gate, while the *best* of three is a stable estimate of
+/// what the code can do. Both the `--smoke` runs and the baseline's
+/// `smoke_runs` section use this, so the gate compares like with like.
+const SMOKE_TRIALS: usize = 3;
 
-    let results: Vec<RunResult> = cfg.policies.iter().map(|p| run_policy(&cfg, *p)).collect();
+fn best_of(trials: usize, p: &RunParams) -> RunResult {
+    let mut best: Option<RunResult> = None;
+    for _ in 0..trials {
+        let r = run_one(p);
+        if best.as_ref().map_or(true, |b| b.tps < r.tps) {
+            best = Some(r);
+        }
+    }
+    best.expect("at least one trial")
+}
 
-    let rows: Vec<Vec<String>> = results
+fn result_rows(results: &[RunResult], label_shards: bool) -> Vec<Vec<String>> {
+    results
         .iter()
         .map(|r| {
+            let first = if label_shards {
+                r.shards.to_string()
+            } else {
+                r.policy.clone()
+            };
             vec![
-                r.policy.clone(),
+                first,
                 r.devices.to_string(),
                 r.committed.to_string(),
                 r.aborted.to_string(),
@@ -232,7 +314,81 @@ fn main() {
                 r.pages_written.to_string(),
             ]
         })
+        .collect()
+}
+
+fn run_json(r: &RunResult) -> String {
+    format!(
+        "{{\"policy\": \"{}\", \"devices\": {}, \"shards\": {}, \"committed\": {}, \
+         \"aborted\": {}, \"tps\": {:.1}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \
+         \"pages_written\": {}}}",
+        r.policy,
+        r.devices,
+        r.shards,
+        r.committed,
+        r.aborted,
+        r.tps,
+        r.p50_ms,
+        r.p99_ms,
+        r.pages_written
+    )
+}
+
+fn speedup_of(results: &[RunResult]) -> f64 {
+    let sync_tps = results
+        .iter()
+        .find(|r| r.policy == "sync")
+        .map(|r| r.tps)
+        .unwrap_or(0.0);
+    let group_tps = results
+        .iter()
+        .find(|r| r.policy == "group")
+        .map(|r| r.tps)
+        .unwrap_or(0.0);
+    if sync_tps > 0.0 {
+        group_tps / sync_tps
+    } else {
+        0.0
+    }
+}
+
+fn main() {
+    let cfg = parse_args();
+    println!("Experiment S1 — §5.2 commit policies on OS threads");
+    println!(
+        "closed loop: {} clients, {} ms, {} µs/page write, seed {}, 400-byte typical txns",
+        cfg.clients,
+        cfg.duration.as_millis(),
+        cfg.page_write.as_micros(),
+        cfg.seed,
+    );
+
+    // Policy table at the configured (or smoke) parameters. Policy runs
+    // use the engine's real lock manager without modeled CPU cost —
+    // lock_op only matters for the shard sweep, where it is the point.
+    // Smoke runs feed the regression gate, so they take the best of
+    // several short trials instead of one noisy sample.
+    let trials = if cfg.smoke { SMOKE_TRIALS } else { 1 };
+    let results: Vec<RunResult> = cfg
+        .policies
+        .iter()
+        .map(|p| {
+            best_of(
+                trials,
+                &RunParams {
+                    policy: *p,
+                    clients: cfg.clients,
+                    duration: cfg.duration,
+                    page_write: cfg.page_write,
+                    shards: cfg.shards,
+                    lock_op: Duration::ZERO,
+                    flush: None,
+                    seed: cfg.seed,
+                },
+            )
+        })
         .collect();
+
     print_table(
         "committed throughput and durability latency",
         &[
@@ -245,51 +401,146 @@ fn main() {
             "p99 ms",
             "pages",
         ],
-        &rows,
+        &result_rows(&results, false),
     );
 
-    let sync_tps = results
-        .iter()
-        .find(|r| r.policy == "sync")
-        .map(|r| r.tps)
-        .unwrap_or(0.0);
-    let group_tps = results
-        .iter()
-        .find(|r| r.policy == "group")
-        .map(|r| r.tps)
-        .unwrap_or(0.0);
-    let speedup = if sync_tps > 0.0 {
-        group_tps / sync_tps
-    } else {
-        0.0
-    };
-    if sync_tps > 0.0 && group_tps > 0.0 {
+    let speedup = speedup_of(&results);
+    if speedup > 0.0 {
         println!("\n  group commit vs synchronous: {speedup:.1}x (§5.2 predicts ~group-size x)");
     }
 
-    let runs_json: Vec<String> =
-        results
-            .iter()
-            .map(|r| {
-                format!(
-                "    {{\"policy\": \"{}\", \"devices\": {}, \"committed\": {}, \"aborted\": {}, \
-                 \"tps\": {:.1}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"pages_written\": {}}}",
-                r.policy, r.devices, r.committed, r.aborted, r.tps, r.p50_ms, r.p99_ms,
-                r.pages_written
-            )
+    let runs_json: Vec<String> = results
+        .iter()
+        .map(|r| format!("    {}", run_json(r)))
+        .collect();
+
+    if cfg.smoke {
+        // Smoke mode: the policy table above is the whole output, tagged
+        // so `xtask bench-check` can compare it against the checked-in
+        // baseline's `smoke_runs` section.
+        let json = format!(
+            "{{\n  \"bench\": \"concurrent_commit\",\n  \"mode\": \"smoke\",\n  \"seed\": {},\n  \
+             \"clients\": {},\n  \"duration_ms\": {},\n  \"page_write_us\": {},\n  \
+             \"typical_txn_bytes\": 400,\n  \"runs\": [\n{}\n  ],\n  \
+             \"group_vs_sync_speedup\": {:.2}\n}}\n",
+            cfg.seed,
+            cfg.clients,
+            cfg.duration.as_millis(),
+            cfg.page_write.as_micros(),
+            runs_json.join(",\n"),
+            speedup
+        );
+        std::fs::write(&cfg.out, json).expect("write JSON");
+        println!("  wrote {}", cfg.out);
+        return;
+    }
+
+    // Shard sweep: group policy, 32 clients, modeled per-lock-op CPU
+    // cost. With a real service time inside each shard's critical
+    // section, one shard behaves like a single-server queue and N
+    // shards like N servers — so the sweep measures the architecture's
+    // blocking structure honestly even on a one-core host (the modeled
+    // cost plays the same role as the engine's modeled disk latency).
+    println!(
+        "\nshard sweep: group policy, {SWEEP_CLIENTS} clients, {} µs modeled lock-op cost",
+        cfg.lock_op.as_micros()
+    );
+    let sweep: Vec<RunResult> = SWEEP_SHARDS
+        .iter()
+        .map(|s| {
+            run_one(&RunParams {
+                policy: CommitPolicy::Group,
+                clients: SWEEP_CLIENTS,
+                duration: cfg.duration,
+                page_write: cfg.page_write,
+                shards: Some(*s),
+                lock_op: cfg.lock_op,
+                flush: Some(cfg.page_write),
+                seed: cfg.seed,
             })
-            .collect();
-    let json =
-        format!
-(
-        "{{\n  \"bench\": \"concurrent_commit\",\n  \"clients\": {},\n  \"duration_ms\": {},\n  \
-         \"page_write_us\": {},\n  \"typical_txn_bytes\": 400,\n  \"runs\": [\n{}\n  ],\n  \
-         \"group_vs_sync_speedup\": {:.2}\n}}\n",
+        })
+        .collect();
+    print_table(
+        "group-policy committed tps vs shard count",
+        &[
+            "shards",
+            "devices",
+            "committed",
+            "aborted",
+            "tps",
+            "p50 ms",
+            "p99 ms",
+            "pages",
+        ],
+        &result_rows(&sweep, true),
+    );
+    let base_tps = sweep.first().map(|r| r.tps).unwrap_or(0.0);
+    let best = sweep
+        .iter()
+        .max_by(|a, b| a.tps.total_cmp(&b.tps))
+        .expect("sweep non-empty");
+    let scaling = if base_tps > 0.0 {
+        best.tps / base_tps
+    } else {
+        0.0
+    };
+    println!(
+        "\n  sharded ({} shards) vs single shard: {scaling:.1}x committed tps",
+        best.shards
+    );
+
+    // Smoke-tier baseline for `cargo xtask bench-check`: every policy at
+    // the exact parameters (and best-of-trials statistic) `--smoke` uses.
+    let smoke_baseline: Vec<RunResult> = cfg
+        .policies
+        .iter()
+        .map(|p| {
+            best_of(
+                SMOKE_TRIALS,
+                &RunParams {
+                    policy: *p,
+                    clients: SMOKE_CLIENTS,
+                    duration: Duration::from_millis(SMOKE_DURATION_MS),
+                    page_write: Duration::from_micros(SMOKE_PAGE_WRITE_US),
+                    shards: cfg.shards,
+                    lock_op: Duration::ZERO,
+                    flush: None,
+                    seed: cfg.seed,
+                },
+            )
+        })
+        .collect();
+
+    let sweep_json: Vec<String> = sweep
+        .iter()
+        .map(|r| format!("      {}", run_json(r)))
+        .collect();
+    let smoke_json: Vec<String> = smoke_baseline
+        .iter()
+        .map(|r| format!("      {}", run_json(r)))
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"concurrent_commit\",\n  \"mode\": \"full\",\n  \"seed\": {},\n  \
+         \"clients\": {},\n  \"duration_ms\": {},\n  \"page_write_us\": {},\n  \
+         \"typical_txn_bytes\": 400,\n  \"runs\": [\n{}\n  ],\n  \
+         \"group_vs_sync_speedup\": {:.2},\n  \
+         \"shard_sweep\": {{\n    \"policy\": \"group\",\n    \"clients\": {SWEEP_CLIENTS},\n    \
+         \"duration_ms\": {},\n    \"lock_op_us\": {},\n    \
+         \"note\": \"lock_op_us is a modeled per-lock-op CPU cost spent inside the shard critical section (single-server queue per shard; see DESIGN.md); policy runs above use lock_op_us = 0\",\n    \
+         \"runs\": [\n{}\n    ],\n    \"scaling_best_vs_one\": {:.2}\n  }},\n  \
+         \"smoke_runs\": {{\n    \"clients\": {SMOKE_CLIENTS},\n    \"duration_ms\": {SMOKE_DURATION_MS},\n    \
+         \"page_write_us\": {SMOKE_PAGE_WRITE_US},\n    \"runs\": [\n{}\n    ]\n  }}\n}}\n",
+        cfg.seed,
         cfg.clients,
         cfg.duration.as_millis(),
         cfg.page_write.as_micros(),
         runs_json.join(",\n"),
-        speedup
+        speedup,
+        cfg.duration.as_millis(),
+        cfg.lock_op.as_micros(),
+        sweep_json.join(",\n"),
+        scaling,
+        smoke_json.join(",\n"),
     );
     std::fs::write(&cfg.out, json).expect("write JSON");
     println!("  wrote {}", cfg.out);

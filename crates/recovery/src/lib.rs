@@ -48,7 +48,7 @@ pub mod stable;
 pub mod wal;
 
 pub use device::LogDevice;
-pub use lock::{LockManager, LockMode};
+pub use lock::{detect_deadlocks_in, LockManager, LockMode};
 pub use log::{LogRecord, Lsn};
 pub use manager::{CommitMode, RecoveryManager, TxnHandle};
 pub use sim::{SimConfig, ThroughputSim};

@@ -203,78 +203,103 @@ impl LockManager {
             .unwrap_or_default()
     }
 
+    /// The current waits-for edges (waiter → every holder of the lock it
+    /// waits on). A sharded lock table (§5.2 scaled out) runs deadlock
+    /// detection globally: each partition contributes its edges and the
+    /// union goes through [`detect_deadlocks_in`] — a cycle spanning
+    /// partitions is invisible to any single one of them.
+    pub fn waits_for_edges(&self) -> Vec<(TxnId, TxnId)> {
+        let mut edges = Vec::new();
+        for lock in self.locks.values() {
+            for w in &lock.waiters {
+                for h in lock.holders.keys() {
+                    if w != h {
+                        edges.push((*w, *h));
+                    }
+                }
+            }
+        }
+        edges
+    }
+
     /// Detects a deadlock in the waits-for graph (waiter → every holder of
     /// the lock it waits on). Returns one transaction per cycle found —
     /// the victim a §5-style system would abort. Pre-committed
     /// transactions never appear: they hold no locks and never wait.
     pub fn detect_deadlocks(&self) -> Vec<TxnId> {
-        // Build waits-for edges.
-        let mut edges: HashMap<TxnId, Vec<TxnId>> = HashMap::new();
-        for lock in self.locks.values() {
-            for w in &lock.waiters {
-                for h in lock.holders.keys() {
-                    if w != h {
-                        edges.entry(*w).or_default().push(*h);
-                    }
-                }
-            }
-        }
-        // Iterative DFS cycle detection with three-color marking.
-        #[derive(Clone, Copy, PartialEq)]
-        enum Color {
-            White,
-            Grey,
-            Black,
-        }
-        let mut color: HashMap<TxnId, Color> = HashMap::new();
-        let mut victims = Vec::new();
-        let mut nodes: Vec<TxnId> = edges.keys().copied().collect();
-        nodes.sort();
-        for start in nodes {
-            if *color.get(&start).unwrap_or(&Color::White) != Color::White {
-                continue;
-            }
-            // Stack of (node, next child index).
-            let mut stack: Vec<(TxnId, usize)> = vec![(start, 0)];
-            color.insert(start, Color::Grey);
-            while let Some(&mut (node, ref mut idx)) = stack.last_mut() {
-                let children = edges.get(&node).map(|v| v.as_slice()).unwrap_or(&[]);
-                if *idx < children.len() {
-                    let child = children[*idx];
-                    *idx += 1;
-                    match color.get(&child).copied().unwrap_or(Color::White) {
-                        Color::White => {
-                            color.insert(child, Color::Grey);
-                            stack.push((child, 0));
-                        }
-                        Color::Grey => {
-                            // Cycle: the youngest participant is the victim.
-                            let cycle_start =
-                                stack.iter().position(|(n, _)| *n == child).unwrap_or(0);
-                            let victim = stack[cycle_start..]
-                                .iter()
-                                .map(|(n, _)| *n)
-                                .max()
-                                .expect("cycle non-empty");
-                            if !victims.contains(&victim) {
-                                victims.push(victim);
-                            }
-                        }
-                        Color::Black => {}
-                    }
-                } else {
-                    color.insert(node, Color::Black);
-                    stack.pop();
-                }
-            }
-        }
-        victims
+        detect_deadlocks_in(&self.waits_for_edges())
     }
 
     /// Live locks (test/diagnostic).
     pub fn lock_count(&self) -> usize {
         self.locks.len()
     }
+}
+
+/// Cycle detection over an explicit waits-for edge list — the §5-style
+/// deadlock detector, factored out so a sharded lock table can merge the
+/// edges of every partition ([`LockManager::waits_for_edges`]) and find
+/// cross-partition cycles. Returns one victim per cycle (the youngest
+/// participant). Edges may be a point-in-time merge of independently
+/// snapshotted partitions, so a reported cycle can be *phantom* (already
+/// broken by the time the caller acts); aborting a phantom victim costs
+/// a retry, never correctness.
+pub fn detect_deadlocks_in(edge_list: &[(TxnId, TxnId)]) -> Vec<TxnId> {
+    let mut edges: HashMap<TxnId, Vec<TxnId>> = HashMap::new();
+    for (w, h) in edge_list {
+        if w != h {
+            edges.entry(*w).or_default().push(*h);
+        }
+    }
+    // Iterative DFS cycle detection with three-color marking.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Grey,
+        Black,
+    }
+    let mut color: HashMap<TxnId, Color> = HashMap::new();
+    let mut victims = Vec::new();
+    let mut nodes: Vec<TxnId> = edges.keys().copied().collect();
+    nodes.sort();
+    for start in nodes {
+        if *color.get(&start).unwrap_or(&Color::White) != Color::White {
+            continue;
+        }
+        // Stack of (node, next child index).
+        let mut stack: Vec<(TxnId, usize)> = vec![(start, 0)];
+        color.insert(start, Color::Grey);
+        while let Some(&mut (node, ref mut idx)) = stack.last_mut() {
+            let children = edges.get(&node).map(|v| v.as_slice()).unwrap_or(&[]);
+            if *idx < children.len() {
+                let child = children[*idx];
+                *idx += 1;
+                match color.get(&child).copied().unwrap_or(Color::White) {
+                    Color::White => {
+                        color.insert(child, Color::Grey);
+                        stack.push((child, 0));
+                    }
+                    Color::Grey => {
+                        // Cycle: the youngest participant is the victim.
+                        let cycle_start = stack.iter().position(|(n, _)| *n == child).unwrap_or(0);
+                        let victim = stack[cycle_start..]
+                            .iter()
+                            .map(|(n, _)| *n)
+                            .max()
+                            .expect("cycle non-empty");
+                        if !victims.contains(&victim) {
+                            victims.push(victim);
+                        }
+                    }
+                    Color::Black => {}
+                }
+            } else {
+                color.insert(node, Color::Black);
+                stack.pop();
+            }
+        }
+    }
+    victims
 }
 
 impl Auditable for LockManager {

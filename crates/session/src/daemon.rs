@@ -12,23 +12,29 @@
 //! * **Dependency write ordering** — a commit record's page is not
 //!   written until every page carrying a dependency's commit record is on
 //!   disk (the paper's rule for partitioned logs). Commit records enter
-//!   the queue in precommit order (appends happen under the state lock),
-//!   so a dependency's page sequence number is never larger than its
-//!   dependent's and the wait can never cycle.
+//!   the queue in precommit order: a committer appends while still
+//!   holding every shard lock its transaction touched, and dependencies
+//!   only arise through shared keys — shared shards — so a dependency's
+//!   commit is queued before its dependent's and the wait can never
+//!   cycle.
 //! * **Durable watermark** — a transaction is *reported* durable only
 //!   once every page up to and including its own is on disk, matching
 //!   restart recovery's contiguous-LSN-prefix rule: nothing is promised
 //!   that a crash could take back.
 //!
-//! Lock order (a thread may only acquire downward): `state` → `queue` →
-//! `durable`. The writers take `durable` and `state` one at a time, never
-//! nested.
+//! Lock order (a thread may only acquire downward): shard state locks in
+//! ascending shard index → one txn-table slot → `queue` → `durable` (see
+//! [`crate::shard`] for the shard half of the discipline). The writers
+//! take `durable` and the shard locks one group at a time, never nested
+//! across groups.
 
 use crate::policy::{CommitPolicy, EngineOptions};
+use crate::shard::{shard_of, Shard, TxnTable};
 use mmdb_recovery::wal::WalDevice;
-use mmdb_recovery::{LockManager, LogRecord, Lsn};
-use mmdb_types::{AuditViolation, Error, Result, TxnId};
+use mmdb_recovery::{LogRecord, Lsn};
+use mmdb_types::{AuditViolation, Auditable, Error, Result, TxnId};
 use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
@@ -106,25 +112,20 @@ pub(crate) struct DurableTable {
     pub failure: Option<Error>,
 }
 
-/// The volatile database image and lock state sessions operate on.
-#[derive(Debug)]
-pub(crate) struct CoreState {
-    /// The §5 memory-resident store the log protects.
-    pub db: HashMap<u64, i64>,
-    pub locks: LockManager,
-    /// Per-transaction undo lists: `(key, pre-image)` in write order.
-    pub undo: HashMap<TxnId, Vec<(u64, Option<i64>)>>,
-    pub next_txn: u64,
-}
-
 /// Everything the engine, its sessions, the daemon, and the writers
-/// share. Lock order: `state` → `queue` → `durable`.
+/// share. Lock order: shards (ascending index) → one txn-table slot →
+/// `queue` → `durable`.
 #[derive(Debug)]
 pub(crate) struct Shared {
     pub options: EngineOptions,
-    pub state: Mutex<CoreState>,
-    /// Signalled when locks are released (precommit, abort, finalize).
-    pub lock_cv: Condvar,
+    /// The volatile image, lock table, and undo lists, split by key hash
+    /// (§5.2 sharded lock manager). Index with [`Shared::shard_of`].
+    pub shards: Vec<Shard>,
+    /// Per-transaction shard masks and lifecycle phases.
+    pub txns: TxnTable,
+    /// Transaction id allocator — atomic, so `begin` takes no global
+    /// lock (§5.2: nothing global sits on the transaction hot path).
+    pub next_txn: AtomicU64,
     pub queue: Mutex<LogQueue>,
     /// Signalled when the queue gains records or flags change.
     pub queue_cv: Condvar,
@@ -136,22 +137,28 @@ pub(crate) struct Shared {
 impl Shared {
     /// Fresh shared state around an initial image (§5 restart or cold
     /// start), with transaction and LSN counters continuing from the
-    /// given values.
+    /// given values. The image is distributed over the configured number
+    /// of shards by key hash.
     pub fn new(
         options: EngineOptions,
         db: HashMap<u64, i64>,
         next_txn: u64,
         next_lsn: u64,
     ) -> Self {
+        let n = options.shard_count();
+        let shards: Vec<Shard> = (0..n).map(|_| Shard::default()).collect();
+        for (key, value) in db {
+            if let Some(shard) = shards.get(shard_of(key, n)) {
+                if let Ok(mut s) = shard.state.lock() {
+                    s.db.insert(key, value);
+                }
+            }
+        }
         Shared {
             options,
-            state: Mutex::new(CoreState {
-                db,
-                locks: LockManager::new(),
-                undo: HashMap::new(),
-                next_txn: next_txn.max(1),
-            }),
-            lock_cv: Condvar::new(),
+            shards,
+            txns: TxnTable::new(),
+            next_txn: AtomicU64::new(next_txn.max(1)),
             queue: Mutex::new(LogQueue {
                 next_lsn: next_lsn.max(1),
                 ..LogQueue::default()
@@ -162,15 +169,50 @@ impl Shared {
         }
     }
 
-    /// Locks the volatile store and lock manager (top of the lock
-    /// order), mapping poison to an error.
-    pub fn state_guard(&self) -> Result<MutexGuard<'_, CoreState>> {
-        self.state
-            .lock()
-            .map_err(|_| Error::Poisoned("engine state".into()))
+    /// The shard index owning `key`.
+    pub fn shard_of(&self, key: u64) -> usize {
+        shard_of(key, self.shards.len())
     }
 
-    /// Locks the log queue (middle of the lock order).
+    /// The shard owning `key` (the hash is in range by construction).
+    pub fn shard(&self, key: u64) -> Result<&Shard> {
+        self.shards
+            .get(self.shard_of(key))
+            .ok_or_else(|| Error::Poisoned("shard table".into()))
+    }
+
+    /// Allocates the next transaction id (no lock taken).
+    pub fn alloc_txn(&self) -> TxnId {
+        TxnId(self.next_txn.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Wakes lock waiters on every shard in `mask` (call after releasing
+    /// the shard guards).
+    pub fn notify_shards(&self, mask: u64) {
+        for (i, shard) in self.shards.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                shard.lock_cv.notify_all();
+            }
+        }
+    }
+
+    /// Locks every shard in `mask` in ascending index order — the
+    /// multi-shard discipline that makes lock-order cycles impossible —
+    /// and returns the guards with their shard indexes.
+    pub fn lock_mask(
+        &self,
+        mask: u64,
+    ) -> Result<Vec<(usize, MutexGuard<'_, crate::shard::ShardState>)>> {
+        let mut guards = Vec::new();
+        for (i, shard) in self.shards.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                guards.push((i, shard.guard()?));
+            }
+        }
+        Ok(guards)
+    }
+
+    /// Locks the log queue (below the shard and txn-table locks).
     pub fn queue_guard(&self) -> Result<MutexGuard<'_, LogQueue>> {
         self.queue
             .lock()
@@ -184,11 +226,14 @@ impl Shared {
             .map_err(|_| Error::Poisoned("durable table".into()))
     }
 
-    /// Appends records to the log queue, assigning LSNs. MUST be called
-    /// while holding the state lock: that is what guarantees commit
-    /// records are queued in precommit order, which keeps every
-    /// dependency's commit LSN (and page) ahead of its dependent's.
-    /// `force` requests an immediate flush (synchronous commit).
+    /// Appends records to the log queue, assigning LSNs. Update records
+    /// MUST be appended while holding the owning shard's lock (per-key
+    /// LSN order); a commit record MUST be appended while holding *every*
+    /// shard lock its transaction touched — dependencies only arise
+    /// through shared keys, hence shared shards, so this queues commit
+    /// records in precommit order and keeps every dependency's commit
+    /// LSN (and page) ahead of its dependent's. `force` requests an
+    /// immediate flush (synchronous commit).
     pub fn append(&self, items: Vec<(LogRecord, Option<Vec<TxnId>>)>, force: bool) -> Result<Lsn> {
         let mut q = self.queue_guard()?;
         if q.shutdown || q.crashed {
@@ -239,6 +284,9 @@ impl Shared {
         }
         self.queue_cv.notify_all();
         self.durable_cv.notify_all();
+        for shard in &self.shards {
+            shard.lock_cv.notify_all();
+        }
     }
 
     /// True once a crash (simulated or device failure) was declared.
@@ -247,18 +295,76 @@ impl Shared {
     }
 
     /// Cross-structure invariant check, used by [`crate::Engine::audit`].
+    ///
+    /// Stop-the-world within the lock order: every shard lock is taken
+    /// in ascending index (freezing lock traffic), then the txn-table
+    /// slots, the queue, and the durable table. Shard invariants: every
+    /// key lives on the shard its hash names (no key owned by two shards
+    /// — ownership is a function of the hash), undo entries sit only on
+    /// the owning shard and only for transactions the shard's lock
+    /// manager still knows, each shard's [`mmdb_recovery::LockManager`]
+    /// passes its own audit, and a quiesced engine (no live
+    /// transactions) holds no locks anywhere.
     pub fn audit_now(&self) -> std::result::Result<(), AuditViolation> {
         const C: &str = "SessionShared";
-        let state = self
-            .state
-            .lock()
-            .map_err(|_| AuditViolation::new(C, "poison", "state mutex poisoned".to_string()))?;
-        for txn in state.undo.keys() {
-            AuditViolation::ensure(state.locks.is_active(*txn), C, "undo-active", || {
-                format!("undo list for inactive transaction {txn:?}")
-            })?;
+        let n = self.shards.len();
+        let mut guards = Vec::with_capacity(n);
+        for shard in &self.shards {
+            guards.push(shard.state.lock().map_err(|_| {
+                AuditViolation::new(C, "poison", "shard mutex poisoned".to_string())
+            })?);
         }
-        drop(state);
+        // Slot locks are leaves: taking them under the shard locks
+        // follows the order, and with every shard frozen the snapshot is
+        // consistent with the shard states.
+        let live = self
+            .txns
+            .snapshot()
+            .map_err(|_| AuditViolation::new(C, "poison", "txn table poisoned".to_string()))?;
+        let meta: HashMap<TxnId, crate::shard::TxnMeta> = live.into_iter().collect();
+        for (i, state) in guards.iter().enumerate() {
+            for key in state.db.keys() {
+                AuditViolation::ensure(shard_of(*key, n) == i, C, "key-owned-once", || {
+                    format!(
+                        "key {key} stored on shard {i} but hashes to shard {}",
+                        shard_of(*key, n)
+                    )
+                })?;
+            }
+            for (txn, list) in &state.undo {
+                AuditViolation::ensure(state.locks.is_active(*txn), C, "undo-active", || {
+                    format!("undo list for inactive transaction {txn:?} on shard {i}")
+                })?;
+                AuditViolation::ensure(
+                    meta.get(txn).is_some_and(|m| m.mask & (1 << i) != 0),
+                    C,
+                    "undo-owning-shard",
+                    || format!("undo for {txn:?} on shard {i} missing from its shard mask"),
+                )?;
+                for (key, _) in list {
+                    AuditViolation::ensure(shard_of(*key, n) == i, C, "undo-owned-key", || {
+                        format!(
+                            "undo entry for key {key} on shard {i} but it hashes to shard {}",
+                            shard_of(*key, n)
+                        )
+                    })?;
+                }
+            }
+            if meta.is_empty() {
+                // Table removal happens only after lock finalization (both
+                // under this shard's lock), so an empty table means every
+                // commit/abort fully released its locks: quiesced ⇒ empty
+                // lock tables.
+                AuditViolation::ensure(state.locks.lock_count() == 0, C, "quiesced-empty", || {
+                    format!(
+                        "no live transactions but shard {i} still holds {} locks",
+                        state.locks.lock_count()
+                    )
+                })?;
+            }
+            state.locks.audit()?;
+        }
+        drop(guards);
         let q = self
             .queue
             .lock()
@@ -546,14 +652,26 @@ fn complete_page(shared: &Shared, page: Page) -> bool {
     if newly.is_empty() {
         return true;
     }
-    let Ok(mut state) = shared.state_guard() else {
-        return false;
-    };
+    // Finalize each commit's pre-committed lock state on every shard its
+    // transaction touched (ascending order via `lock_mask`), then retire
+    // its txn-table entry. `finalize_commit` is a no-op on shards the
+    // mask overestimates.
     for c in &newly {
-        state.locks.finalize_commit(c.txn);
+        let Ok(Some(meta)) = shared.txns.get(c.txn) else {
+            continue; // already finalized, or the engine is tearing down
+        };
+        let Ok(mut guards) = shared.lock_mask(meta.mask) else {
+            return false;
+        };
+        for (_, state) in guards.iter_mut() {
+            state.locks.finalize_commit(c.txn);
+        }
+        drop(guards);
+        if shared.txns.remove(c.txn).is_err() {
+            return false;
+        }
+        shared.notify_shards(meta.mask);
     }
-    drop(state);
-    shared.lock_cv.notify_all();
     true
 }
 

@@ -1,30 +1,35 @@
 //! The engine front-end and its session handles (§5.2 made concurrent).
 //!
-//! An [`Engine`] owns the shared volatile state (a memory-resident
-//! key/value store guarded by the §5.2 [`mmdb_recovery::LockManager`]),
+//! An [`Engine`] owns the shared volatile state — the memory-resident
+//! key/value store, §5.2 [`mmdb_recovery::LockManager`] partitions, and
+//! undo lists, split by key hash over the [`crate::shard`] shards — plus
 //! the log queue, the group-commit daemon, and one writer thread per log
 //! device. [`Session`] is the per-client handle: any number may be
 //! created and moved to OS threads; all of them funnel commits through
 //! the daemon, which batches them per the configured [`CommitPolicy`].
 //!
-//! The commit path is the paper's pre-commit protocol: `commit` runs
-//! `precommit` on the lock manager — releasing the transaction's locks
-//! to its waiters and recording the resulting commit dependencies — then
-//! queues the commit record and returns. Durability arrives later, when
-//! the record's page (and every earlier page) is on disk;
+//! The commit path is the paper's pre-commit protocol: `commit` claims
+//! the transaction in the [`crate::shard::TxnTable`], locks every shard
+//! the transaction touched (ascending), runs `precommit` on each shard's
+//! lock manager — releasing the transaction's locks to its waiters and
+//! recording the resulting commit dependencies — and queues the commit
+//! record *while still holding those shard locks*, which is what keeps
+//! commit records in precommit order in the queue. Durability arrives
+//! later, when the record's page (and every earlier page) is on disk;
 //! [`Session::wait_durable`] blocks for it and a synchronous-policy
 //! commit does so before returning.
 
 use crate::daemon::{self, Page, Shared};
 use crate::policy::{CommitPolicy, EngineOptions};
+use crate::shard::{rollback_shard, ShardState, TxnPhase};
 use mmdb::SharedDatabase;
 use mmdb_recovery::wal::WalDevice;
-use mmdb_recovery::{LogRecord, Lsn};
+use mmdb_recovery::{detect_deadlocks_in, LogRecord, Lsn};
 use mmdb_types::{AuditViolation, Auditable, Error, Result, TxnId};
 use std::collections::HashMap;
 use std::path::Path;
 use std::sync::mpsc;
-use std::sync::Arc;
+use std::sync::{Arc, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -137,7 +142,7 @@ impl Engine {
 
     /// Reads a key's current (possibly not-yet-durable) value.
     pub fn read(&self, key: u64) -> Result<Option<i64>> {
-        Ok(self.shared.state_guard()?.db.get(&key).copied())
+        Ok(self.shared.shard(key)?.guard()?.db.get(&key).copied())
     }
 
     /// True once the ticket's commit record — and every log record
@@ -214,7 +219,9 @@ impl Engine {
         }
         self.shared.queue_cv.notify_all();
         self.shared.durable_cv.notify_all();
-        self.shared.lock_cv.notify_all();
+        for shard in &self.shared.shards {
+            shard.lock_cv.notify_all();
+        }
         for t in std::mem::take(&mut self.threads) {
             let _ = t.join();
         }
@@ -234,10 +241,14 @@ impl Drop for Engine {
 }
 
 impl Auditable for Engine {
-    /// Cross-checks the engine's shared bookkeeping: undo lists belong
-    /// to active transactions, queued LSNs are dense, queue byte
-    /// accounting matches, written pages sit at or above the watermark,
-    /// and outstanding-commit accounting balances.
+    /// Cross-checks the engine's shared bookkeeping: every key and undo
+    /// entry lives on the shard its hash names, undo lists belong to
+    /// transactions the owning shard's lock manager knows (and to live
+    /// txn-table entries that touched that shard), each shard's lock
+    /// manager passes its own audit, a quiesced engine holds no locks,
+    /// queued LSNs are dense, queue byte accounting matches, written
+    /// pages sit at or above the watermark, and outstanding-commit
+    /// accounting balances.
     fn audit(&self) -> std::result::Result<(), AuditViolation> {
         self.shared.audit_now()
     }
@@ -252,20 +263,19 @@ pub struct Session {
 }
 
 impl Session {
-    /// Begins a transaction: registers it with the lock manager and
-    /// queues its begin record.
+    /// Begins a transaction: allocates its id from the atomic counter,
+    /// registers it in the transaction table, and queues its begin
+    /// record — no shard lock is taken (§5.2: nothing global sits on the
+    /// transaction hot path). Per-shard lock-manager registration
+    /// happens lazily, on the first lock the transaction takes there.
     pub fn begin(&self) -> Result<Txn> {
-        let mut state = self.shared.state_guard()?;
-        let id = TxnId(state.next_txn);
-        state.next_txn += 1;
-        state.locks.begin(id);
-        state.undo.insert(id, Vec::new());
+        let id = self.shared.alloc_txn();
+        self.shared.txns.register(id)?;
         if let Err(e) = self
             .shared
             .append(vec![(LogRecord::Begin { txn: id }, None)], false)
         {
-            state.locks.abort(id);
-            state.undo.remove(&id);
+            let _ = self.shared.txns.remove(id);
             return Err(e);
         }
         Ok(Txn(id))
@@ -278,7 +288,7 @@ impl Session {
     /// [`read_shared`]: Session::read_shared
     /// [`read_for_update`]: Session::read_for_update
     pub fn read(&self, key: u64) -> Result<Option<i64>> {
-        Ok(self.shared.state_guard()?.db.get(&key).copied())
+        Ok(self.shared.shard(key)?.guard()?.db.get(&key).copied())
     }
 
     /// Reads a key under a shared lock. If the holder is pre-committed,
@@ -310,15 +320,14 @@ impl Session {
     }
 
     fn write_padded(&self, txn: &Txn, key: u64, value: i64, padding: u32) -> Result<()> {
+        // `lock_key` validated the transaction as active under this
+        // shard's lock, so the write cannot race an abort's rollback.
         let mut state = self.lock_key(txn.0, key, true)?;
-        if !state.undo.contains_key(&txn.0) {
-            return Err(Error::InvalidTransaction(txn.0 .0));
-        }
         let old = state.db.get(&key).copied();
-        if let Some(list) = state.undo.get_mut(&txn.0) {
-            list.push((key, old));
-        }
+        state.undo.entry(txn.0).or_default().push((key, old));
         state.db.insert(key, value);
+        // Appended while the owning shard is locked: updates of the same
+        // key reach the queue in the order their values were applied.
         self.shared.append(
             vec![(
                 LogRecord::Update {
@@ -345,31 +354,53 @@ impl Session {
     /// [`wait_durable`]: Session::wait_durable
     pub fn commit(&self, txn: Txn) -> Result<CommitTicket> {
         let sync = matches!(self.shared.options.policy, CommitPolicy::Synchronous);
-        let lsn = {
-            let mut state = self.shared.state_guard()?;
-            let Some(undo) = state.undo.remove(&txn.0) else {
-                return Err(Error::InvalidTransaction(txn.0 .0));
+        let id = txn.0;
+        // Claim the transaction (Active → Precommitted). The claim only
+        // succeeds against the mask we read, so lock traffic racing in
+        // through a stale Copy of the handle either lands before the
+        // claim (we retry with the grown mask) or fails its own
+        // validation after it.
+        let mask = loop {
+            let Some(meta) = self.shared.txns.get(id)? else {
+                return Err(Error::InvalidTransaction(id.0));
             };
-            let deps = match state.locks.precommit(txn.0) {
-                Ok(deps) => deps,
-                Err(e) => {
-                    // A failed precommit leaves the locks held: restore
-                    // the undo entry so the caller can still abort.
-                    state.undo.insert(txn.0, undo);
-                    return Err(e);
-                }
-            };
-            self.shared.append(
-                vec![(
-                    LogRecord::Commit { txn: txn.0 },
-                    Some(deps.into_iter().collect()),
-                )],
-                sync,
-            )?
+            if meta.phase != TxnPhase::Active {
+                return Err(Error::InvalidTransaction(id.0));
+            }
+            if self
+                .shared
+                .txns
+                .claim(id, meta.mask, TxnPhase::Precommitted)?
+            {
+                break meta.mask;
+            }
         };
+        // Lock every touched shard (ascending) and pre-commit on each:
+        // locks are released to waiters, who inherit §5.2 commit
+        // dependencies. The commit record is appended while the guards
+        // are still held — dependencies arise only through shared keys,
+        // hence shared shards, so this queues commit records in
+        // precommit order (see `Shared::append`).
+        let mut guards = self.shared.lock_mask(mask)?;
+        let mut deps: Vec<TxnId> = Vec::new();
+        for (_, state) in guards.iter_mut() {
+            // The mask may overestimate (a failed acquire still sets the
+            // bit); skip shards that never registered the transaction.
+            if state.locks.is_active(id) {
+                deps.extend(state.locks.precommit(id)?);
+            }
+            state.undo.remove(&id);
+            self.model_lock_op();
+        }
+        deps.sort_unstable_by_key(|t| t.0);
+        deps.dedup();
+        let lsn = self
+            .shared
+            .append(vec![(LogRecord::Commit { txn: id }, Some(deps))], sync)?;
+        drop(guards);
         // Pre-commit released this transaction's locks: wake waiters.
-        self.shared.lock_cv.notify_all();
-        let ticket = CommitTicket { txn: txn.0, lsn };
+        self.shared.notify_shards(mask);
+        let ticket = CommitTicket { txn: id, lsn };
         if sync {
             self.wait_durable(&ticket)?;
         }
@@ -417,16 +448,37 @@ impl Session {
     /// must not reach the lock manager, where it would strip the
     /// pre-committed transaction out of the §5.2 dependency tracking.
     pub fn abort(&self, txn: Txn) -> Result<()> {
-        let mut state = self.shared.state_guard()?;
-        if !state.undo.contains_key(&txn.0) {
-            return Err(Error::InvalidTransaction(txn.0 .0));
+        self.abort_by_id(txn.0)
+    }
+
+    /// The abort path shared by [`Session::abort`] and deadlock-victim
+    /// cleanup: claim the transaction (Active → Aborting), lock every
+    /// touched shard in ascending order, roll each back in reverse write
+    /// order, queue the abort record (under the guards, so it follows
+    /// every update the transaction logged), and retire the txn-table
+    /// entry.
+    fn abort_by_id(&self, txn: TxnId) -> Result<()> {
+        let mask = loop {
+            let Some(meta) = self.shared.txns.get(txn)? else {
+                return Err(Error::InvalidTransaction(txn.0));
+            };
+            if meta.phase != TxnPhase::Active {
+                return Err(Error::InvalidTransaction(txn.0));
+            }
+            if self.shared.txns.claim(txn, meta.mask, TxnPhase::Aborting)? {
+                break meta.mask;
+            }
+        };
+        let mut guards = self.shared.lock_mask(mask)?;
+        for (_, state) in guards.iter_mut() {
+            rollback_shard(state, txn);
         }
-        rollback(&mut state, txn.0);
         let _ = self
             .shared
-            .append(vec![(LogRecord::Abort { txn: txn.0 }, None)], false);
-        drop(state);
-        self.shared.lock_cv.notify_all();
+            .append(vec![(LogRecord::Abort { txn }, None)], false);
+        drop(guards);
+        let _ = self.shared.txns.remove(txn);
+        self.shared.notify_shards(mask);
         Ok(())
     }
 
@@ -454,34 +506,51 @@ impl Session {
         &self.catalog
     }
 
-    /// Acquires a lock on `key` for `txn`, waiting (bounded) on
-    /// conflicts and aborting `txn` if deadlock detection picks it as
-    /// the victim. Returns the state guard so callers read/write the
-    /// store under the same critical section.
+    /// Acquires a lock on `key` for `txn` on the owning shard, waiting
+    /// (bounded) on conflicts and aborting `txn` if global deadlock
+    /// detection picks it as the victim. Returns the shard guard so
+    /// callers read/write the store under the same critical section.
     fn lock_key(
         &self,
         txn: TxnId,
         key: u64,
         exclusive: bool,
-    ) -> Result<std::sync::MutexGuard<'_, daemon::CoreState>> {
+    ) -> Result<MutexGuard<'_, ShardState>> {
+        let si = self.shared.shard_of(key);
+        // Mark the shard touched *before* acquiring: a concurrent claim
+        // (commit or abort through a stale Copy of the handle) either
+        // sees the bit and visits this shard, or flips the phase first
+        // and the validation below rejects this operation.
+        self.shared.txns.touch(txn, si)?;
+        let shard = self.shared.shard(key)?;
         let deadline = Instant::now() + self.shared.options.lock_wait_timeout;
-        let mut state = self.shared.state_guard()?;
+        let mut state = shard.guard()?;
         loop {
+            // Re-validate under the shard lock on every iteration: an
+            // abort that claimed the transaction rolls this shard back
+            // under this same lock, so post-claim lock traffic must not
+            // slip in behind the rollback.
+            match self.shared.txns.get(txn)? {
+                Some(m) if m.phase == TxnPhase::Active => {}
+                _ => return Err(Error::InvalidTransaction(txn.0)),
+            }
+            state.locks.begin(txn);
             let attempt = if exclusive {
                 state.locks.acquire(txn, key)
             } else {
                 state.locks.acquire_shared(txn, key)
             };
+            self.model_lock_op();
             match attempt {
                 Ok(()) => return Ok(state),
                 Err(Error::LockConflict { .. }) => {
-                    if state.locks.detect_deadlocks().contains(&txn) {
-                        rollback(&mut state, txn);
-                        let _ = self
-                            .shared
-                            .append(vec![(LogRecord::Abort { txn }, None)], false);
-                        drop(state);
-                        self.shared.lock_cv.notify_all();
+                    // Deadlock detection is global: a cycle can span
+                    // shards, so the edges of every shard are merged
+                    // (shards locked one at a time — this one's guard is
+                    // dropped first, respecting the ascending order).
+                    drop(state);
+                    if self.global_victims()?.contains(&txn) {
+                        let _ = self.abort_by_id(txn);
                         return Err(Error::TransactionAborted(txn.0));
                     }
                     let now = Instant::now();
@@ -494,31 +563,41 @@ impl Session {
                     // Cap each wait so parked transactions re-run
                     // deadlock detection even if no one wakes them.
                     let wait = (deadline - now).min(Duration::from_millis(10));
-                    let (guard, _) = self
-                        .shared
+                    let (guard, _) = shard
                         .lock_cv
-                        .wait_timeout(state, wait)
-                        .map_err(|_| Error::Poisoned("engine state".into()))?;
+                        .wait_timeout(shard.guard()?, wait)
+                        .map_err(|_| Error::Poisoned("shard state".into()))?;
                     state = guard;
                 }
                 Err(e) => return Err(e),
             }
         }
     }
-}
 
-/// Undoes `txn`'s writes in reverse order and releases its locks. The
-/// caller holds the state lock and notifies `lock_cv` afterwards.
-fn rollback(state: &mut daemon::CoreState, txn: TxnId) {
-    if let Some(list) = state.undo.remove(&txn) {
-        for (key, old) in list.into_iter().rev() {
-            match old {
-                Some(v) => state.db.insert(key, v),
-                None => state.db.remove(&key),
-            };
+    /// Merges every shard's waits-for edges (shards locked one at a
+    /// time, ascending) and runs cycle detection over the union — a
+    /// cross-shard §5.2 deadlock is invisible to any single partition.
+    /// The merge is not one consistent snapshot, so a reported victim
+    /// can be phantom; aborting one costs a retry, never correctness.
+    fn global_victims(&self) -> Result<Vec<TxnId>> {
+        let mut edges = Vec::new();
+        for shard in &self.shared.shards {
+            edges.extend(shard.guard()?.locks.waits_for_edges());
+        }
+        Ok(detect_deadlocks_in(&edges))
+    }
+
+    /// Sleeps the configured per-lock-operation CPU cost while the
+    /// caller holds a shard lock — the modeled §5.1-style service time
+    /// that lets the shard-scaling benchmark behave like N single-server
+    /// queues even on one core (see [`EngineOptions::lock_op_latency`];
+    /// zero, and therefore a no-op, by default).
+    fn model_lock_op(&self) {
+        let d = self.shared.options.lock_op_latency;
+        if !d.is_zero() {
+            std::thread::sleep(d);
         }
     }
-    state.locks.abort(txn);
 }
 
 /// The `*.log` device files under `dir`, sorted by name.

@@ -63,6 +63,9 @@ mod engine;
 mod policy;
 /// §5.2 restart recovery under the contiguous-LSN-prefix rule.
 mod recover;
+/// §5.2 lock-table shards, the transaction table, and the lock-ordering
+/// discipline that keeps multi-shard operations cycle-free.
+mod shard;
 
 pub use engine::{CommitTicket, Engine, Session, Txn};
 pub use policy::{CommitPolicy, EngineOptions};

@@ -9,6 +9,7 @@
 //! wall-clock run can be cross-checked against its virtual-time twin via
 //! [`EngineOptions::sim_config`].
 
+use crate::shard::MAX_SHARDS;
 use mmdb_recovery::SimConfig;
 use std::path::PathBuf;
 use std::time::Duration;
@@ -75,6 +76,20 @@ pub struct EngineOptions {
     /// How long a writer waits on a lock before giving up with a
     /// conflict error (deadlock victims abort much sooner).
     pub lock_wait_timeout: Duration,
+    /// Number of lock-table shards the volatile state is split over by
+    /// key hash (§5.2 scaling: per-shard mutexes replace the global
+    /// state lock). Defaults to the machine's available parallelism;
+    /// clamped to `1..=64`.
+    pub shards: usize,
+    /// Modeled CPU cost of one lock-table operation, spent *inside* the
+    /// owning shard's critical section. Defaults to zero (no modeling).
+    /// The shard-scaling benchmark sets it to emulate the paper's
+    /// ~1-MIPS lock-manager cost the same way the engine's devices
+    /// emulate its 10 ms disks (§5.1): with real service times, a single
+    /// shard is a single-server queue and N shards are N servers, so the
+    /// benchmark measures the architecture's blocking structure even on
+    /// a one-core host.
+    pub lock_op_latency: Duration,
 }
 
 impl EngineOptions {
@@ -91,6 +106,8 @@ impl EngineOptions {
             log_dir: log_dir.into(),
             flush_interval: Duration::from_millis(1),
             lock_wait_timeout: Duration::from_secs(1),
+            shards: default_shards(),
+            lock_op_latency: Duration::ZERO,
         }
     }
 
@@ -118,6 +135,25 @@ impl EngineOptions {
         self
     }
 
+    /// Sets the lock-table shard count (clamped to `1..=64`).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Sets the modeled per-lock-operation CPU cost (see
+    /// [`EngineOptions::lock_op_latency`]).
+    pub fn with_lock_op_latency(mut self, latency: Duration) -> Self {
+        self.lock_op_latency = latency;
+        self
+    }
+
+    /// The effective shard count: the configured value clamped to the
+    /// `1..=64` range the shard bit mask supports.
+    pub fn shard_count(&self) -> usize {
+        self.shards.clamp(1, MAX_SHARDS)
+    }
+
     /// The latency of device `index`, honoring any override.
     pub fn device_latency(&self, index: usize) -> Duration {
         self.device_latencies
@@ -141,9 +177,29 @@ impl EngineOptions {
     }
 }
 
+/// Default shard count: the machine's available parallelism — the §5.2
+/// lock table should scale with the cores driving it — clamped to the
+/// supported range.
+fn default_shards() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .clamp(1, MAX_SHARDS)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn shard_count_is_clamped() {
+        let opts = EngineOptions::new(CommitPolicy::Group, "/tmp/x").with_shards(0);
+        assert_eq!(opts.shard_count(), 1);
+        let opts = EngineOptions::new(CommitPolicy::Group, "/tmp/x").with_shards(1000);
+        assert_eq!(opts.shard_count(), MAX_SHARDS);
+        let opts = EngineOptions::new(CommitPolicy::Group, "/tmp/x").with_shards(8);
+        assert_eq!(opts.shard_count(), 8);
+    }
 
     #[test]
     fn policy_device_counts() {

@@ -141,7 +141,7 @@ impl Arbitrary for f64 {
 
 impl<T: Arbitrary> Arbitrary for Option<T> {
     fn arbitrary(rng: &mut TestRng) -> Option<T> {
-        if rng.next_u64().is_multiple_of(4) {
+        if rng.next_u64() % 4 == 0 {
             None
         } else {
             Some(T::arbitrary(rng))

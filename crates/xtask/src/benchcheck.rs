@@ -1,0 +1,520 @@
+//! `cargo xtask bench-check` — the bench-regression gate.
+//!
+//! Compares a fresh `concurrent_commit --smoke` run against the
+//! checked-in `BENCH_concurrent_commit.json` baseline: every commit
+//! policy's committed-tps must stay within the tolerance (default
+//! −30%) of the baseline's `smoke_runs` section, and the baseline's
+//! recorded shard-sweep scaling must still clear the ROADMAP's 2.5×
+//! bar. Run with `--fresh PATH` to check an existing smoke JSON (the
+//! CI job does this so the artifact it uploads is exactly the file it
+//! gated on); without it, the tool runs the smoke bench itself.
+//!
+//! The workspace has no JSON dependency, so this module carries a
+//! minimal recursive-descent parser for the bench's output — objects,
+//! arrays, strings, numbers, booleans, null; enough for the schema the
+//! bench emits and nothing more.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Fraction of baseline tps a fresh run may lose before the gate fails.
+const DEFAULT_TOLERANCE: f64 = 0.30;
+
+/// Minimum group-policy committed-tps scaling (best shard count vs one
+/// shard) the checked-in baseline must record.
+const MIN_SHARD_SCALING: f64 = 2.5;
+
+// ---------------------------------------------------------------------
+// Minimal JSON value + parser
+// ---------------------------------------------------------------------
+
+/// A parsed JSON value. Numbers are f64 — the bench emits nothing that
+/// loses precision there.
+#[derive(Debug, Clone)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Field lookup on an object; `None` for other variants.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The bench schema has no booleans today; the parser keeps them so
+    /// a future field doesn't need a parser change.
+    #[allow(dead_code)]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a complete JSON document; trailing garbage is an error.
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let bytes: Vec<char> = text.chars().collect();
+    let mut pos = 0usize;
+    let value = parse_value(&bytes, &mut pos)?;
+    skip_ws(&bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing characters at offset {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(b: &[char], pos: &mut usize) {
+    while b.get(*pos).is_some_and(|c| c.is_whitespace()) {
+        *pos += 1;
+    }
+}
+
+fn expect_char(b: &[char], pos: &mut usize, want: char) -> Result<(), String> {
+    if b.get(*pos) == Some(&want) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected {want:?} at offset {pos}"))
+    }
+}
+
+fn parse_value(b: &[char], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some('{') => parse_obj(b, pos),
+        Some('[') => parse_arr(b, pos),
+        Some('"') => Ok(Json::Str(parse_string(b, pos)?)),
+        Some('t') => parse_lit(b, pos, "true", Json::Bool(true)),
+        Some('f') => parse_lit(b, pos, "false", Json::Bool(false)),
+        Some('n') => parse_lit(b, pos, "null", Json::Null),
+        Some(c) if *c == '-' || c.is_ascii_digit() => parse_num(b, pos),
+        other => Err(format!("unexpected {other:?} at offset {pos}")),
+    }
+}
+
+fn parse_lit(b: &[char], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    for want in lit.chars() {
+        expect_char(b, pos, want)?;
+    }
+    Ok(value)
+}
+
+fn parse_num(b: &[char], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&'-') {
+        *pos += 1;
+    }
+    while b.get(*pos).is_some_and(|c| {
+        c.is_ascii_digit() || *c == '.' || *c == 'e' || *c == 'E' || *c == '+' || *c == '-'
+    }) {
+        *pos += 1;
+    }
+    let text: String = b
+        .get(start..*pos)
+        .ok_or_else(|| "number slice out of range".to_string())?
+        .iter()
+        .collect();
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|e| format!("bad number {text:?}: {e}"))
+}
+
+fn parse_string(b: &[char], pos: &mut usize) -> Result<String, String> {
+    expect_char(b, pos, '"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            Some('"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some('\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('/') => out.push('/'),
+                    Some('n') => out.push('\n'),
+                    Some('t') => out.push('\t'),
+                    Some('r') => out.push('\r'),
+                    other => return Err(format!("unsupported escape {other:?} at offset {pos}")),
+                }
+                *pos += 1;
+            }
+            Some(c) => {
+                out.push(*c);
+                *pos += 1;
+            }
+            None => return Err("unterminated string".to_string()),
+        }
+    }
+}
+
+fn parse_arr(b: &[char], pos: &mut usize) -> Result<Json, String> {
+    expect_char(b, pos, '[')?;
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(',') => *pos += 1,
+            Some(']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            other => return Err(format!("expected ',' or ']' got {other:?} at offset {pos}")),
+        }
+    }
+}
+
+fn parse_obj(b: &[char], pos: &mut usize) -> Result<Json, String> {
+    expect_char(b, pos, '{')?;
+    let mut fields = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&'}') {
+        *pos += 1;
+        return Ok(Json::Obj(fields));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_string(b, pos)?;
+        skip_ws(b, pos);
+        expect_char(b, pos, ':')?;
+        fields.push((key, parse_value(b, pos)?));
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(',') => *pos += 1,
+            Some('}') => {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            other => {
+                return Err(format!(
+                    "expected ',' or '}}' got {other:?} at offset {pos}"
+                ))
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The gate itself
+// ---------------------------------------------------------------------
+
+/// One policy's committed tps pulled out of a runs array.
+fn tps_by_policy(runs: &[Json]) -> Vec<(String, f64)> {
+    runs.iter()
+        .filter_map(|r| {
+            let policy = r.get("policy")?.as_str()?.to_string();
+            let tps = r.get("tps")?.as_f64()?;
+            Some((policy, tps))
+        })
+        .collect()
+}
+
+/// Run `concurrent_commit --smoke` via cargo, writing `out`.
+fn run_smoke_bench(root: &Path, out: &Path) -> Result<(), String> {
+    println!("bench-check: running concurrent_commit --smoke ...");
+    let status = std::process::Command::new(env!("CARGO"))
+        .current_dir(root)
+        .args([
+            "run",
+            "--release",
+            "-p",
+            "mmdb-bench",
+            "--bin",
+            "concurrent_commit",
+            "--",
+            "--smoke",
+            "--out",
+        ])
+        .arg(out)
+        .status()
+        .map_err(|e| format!("failed to spawn cargo: {e}"))?;
+    if status.success() {
+        Ok(())
+    } else {
+        Err(format!("smoke bench exited with {status}"))
+    }
+}
+
+/// Entry point for `cargo xtask bench-check [--fresh PATH]
+/// [--baseline PATH] [--tolerance FRAC]`.
+pub fn bench_check(root: &Path, args: &[String]) -> ExitCode {
+    let mut fresh_path: Option<PathBuf> = None;
+    let mut baseline_path = root.join("BENCH_concurrent_commit.json");
+    let mut tolerance = DEFAULT_TOLERANCE;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        let parsed = match arg.as_str() {
+            "--fresh" => value("--fresh").map(|v| fresh_path = Some(PathBuf::from(v))),
+            "--baseline" => value("--baseline").map(|v| baseline_path = PathBuf::from(v)),
+            "--tolerance" => value("--tolerance").and_then(|v| {
+                v.parse::<f64>()
+                    .map(|f| tolerance = f)
+                    .map_err(|e| format!("--tolerance FRAC: {e}"))
+            }),
+            other => Err(format!("unknown bench-check argument {other:?}")),
+        };
+        if let Err(e) = parsed {
+            eprintln!("bench-check: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    match bench_check_inner(root, fresh_path.as_deref(), &baseline_path, tolerance) {
+        Ok(()) => {
+            println!("bench-check OK");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("bench-check FAILED: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn bench_check_inner(
+    root: &Path,
+    fresh: Option<&Path>,
+    baseline_path: &Path,
+    tolerance: f64,
+) -> Result<(), String> {
+    let baseline_text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("read {}: {e}", baseline_path.display()))?;
+    let baseline = parse_json(&baseline_text)
+        .map_err(|e| format!("parse {}: {e}", baseline_path.display()))?;
+    if baseline.get("mode").and_then(Json::as_str) != Some("full") {
+        return Err("baseline is not a full-mode bench JSON (regenerate with \
+                    `cargo run --release -p mmdb-bench --bin concurrent_commit`)"
+            .to_string());
+    }
+
+    // Gate 1: the checked-in shard sweep must still clear the ROADMAP's
+    // 2.5x 32-client scaling bar.
+    let scaling = baseline
+        .get("shard_sweep")
+        .and_then(|s| s.get("scaling_best_vs_one"))
+        .and_then(Json::as_f64)
+        .ok_or("baseline has no shard_sweep.scaling_best_vs_one")?;
+    if scaling < MIN_SHARD_SCALING {
+        return Err(format!(
+            "baseline shard sweep scaling {scaling:.2}x is below the {MIN_SHARD_SCALING}x bar"
+        ));
+    }
+    println!("  shard sweep scaling (baseline): {scaling:.2}x >= {MIN_SHARD_SCALING}x");
+
+    let baseline_smoke = baseline
+        .get("smoke_runs")
+        .and_then(|s| s.get("runs"))
+        .and_then(Json::as_arr)
+        .ok_or("baseline has no smoke_runs.runs")?;
+    let baseline_tps = tps_by_policy(baseline_smoke);
+    if baseline_tps.is_empty() {
+        return Err("baseline smoke_runs.runs is empty".to_string());
+    }
+
+    // Gate 2: a fresh smoke run must hold every policy's committed tps
+    // within tolerance of the baseline.
+    let fresh_file;
+    let fresh_path = match fresh {
+        Some(p) => p,
+        None => {
+            fresh_file = root.join("target").join("bench-smoke.json");
+            run_smoke_bench(root, &fresh_file)?;
+            &fresh_file
+        }
+    };
+    let fresh_text = std::fs::read_to_string(fresh_path)
+        .map_err(|e| format!("read {}: {e}", fresh_path.display()))?;
+    let fresh_json =
+        parse_json(&fresh_text).map_err(|e| format!("parse {}: {e}", fresh_path.display()))?;
+    if fresh_json.get("mode").and_then(Json::as_str) != Some("smoke") {
+        return Err(format!(
+            "{} is not a smoke-mode bench JSON",
+            fresh_path.display()
+        ));
+    }
+    let fresh_runs = fresh_json
+        .get("runs")
+        .and_then(Json::as_arr)
+        .ok_or("fresh JSON has no runs")?;
+    let fresh_tps = tps_by_policy(fresh_runs);
+
+    let mut regressions = Vec::new();
+    for (policy, base) in &baseline_tps {
+        let Some((_, now)) = fresh_tps.iter().find(|(p, _)| p == policy) else {
+            regressions.push(format!("policy {policy:?} missing from fresh run"));
+            continue;
+        };
+        let floor = base * (1.0 - tolerance);
+        let verdict = if *now >= floor { "ok" } else { "REGRESSED" };
+        println!(
+            "  {policy:>14}: baseline {base:8.1} tps, fresh {now:8.1} tps \
+             (floor {floor:8.1}) {verdict}"
+        );
+        if *now < floor {
+            regressions.push(format!(
+                "policy {policy:?} committed tps {now:.1} fell below {floor:.1} \
+                 ({:.0}% of baseline {base:.1})",
+                (1.0 - tolerance) * 100.0
+            ));
+        }
+    }
+    if regressions.is_empty() {
+        Ok(())
+    } else {
+        Err(regressions.join("; "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_bench_schema() {
+        let doc = r#"{"bench": "concurrent_commit", "mode": "smoke", "seed": 42,
+            "runs": [{"policy": "sync", "tps": 412.25, "aborted": 0},
+                     {"policy": "group", "tps": 2537.0, "ok": true}],
+            "speedup": -1.5e2, "note": "a \"quoted\" note", "none": null}"#;
+        let v = parse_json(doc).expect("parse");
+        assert_eq!(v.get("mode").and_then(Json::as_str), Some("smoke"));
+        let runs = v.get("runs").and_then(Json::as_arr).expect("runs");
+        let tps = tps_by_policy(runs);
+        assert_eq!(tps.len(), 2);
+        assert_eq!(tps[0].0, "sync");
+        assert!((tps[0].1 - 412.25).abs() < 1e-9);
+        assert_eq!(v.get("speedup").and_then(Json::as_f64), Some(-150.0));
+        assert_eq!(
+            v.get("note").and_then(Json::as_str),
+            Some("a \"quoted\" note")
+        );
+        assert!(matches!(v.get("none"), Some(Json::Null)));
+        assert_eq!(
+            runs.get(1)
+                .and_then(|r| r.get("ok"))
+                .and_then(Json::as_bool),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(parse_json("{").is_err());
+        assert!(parse_json("[1, 2,]").is_err());
+        assert!(parse_json("{\"a\": 1} trailing").is_err());
+        assert!(parse_json("{\"a\" 1}").is_err());
+    }
+
+    fn write_tmp(name: &str, text: &str) -> PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("mmdb-benchcheck-{}-{name}", std::process::id()));
+        std::fs::write(&path, text).expect("write tmp");
+        path
+    }
+
+    fn baseline_doc(scaling: f64, group_tps: f64) -> String {
+        format!(
+            r#"{{"bench": "concurrent_commit", "mode": "full",
+                "shard_sweep": {{"scaling_best_vs_one": {scaling}}},
+                "smoke_runs": {{"runs": [
+                    {{"policy": "group", "tps": {group_tps}}}]}}}}"#
+        )
+    }
+
+    fn smoke_doc(group_tps: f64) -> String {
+        format!(
+            r#"{{"bench": "concurrent_commit", "mode": "smoke",
+                "runs": [{{"policy": "group", "tps": {group_tps}}}]}}"#
+        )
+    }
+
+    #[test]
+    fn gate_passes_within_tolerance_and_fails_below() {
+        let root = std::env::temp_dir();
+        let baseline = write_tmp("base.json", &baseline_doc(3.2, 1000.0));
+        let ok = write_tmp("fresh-ok.json", &smoke_doc(750.0));
+        let bad = write_tmp("fresh-bad.json", &smoke_doc(500.0));
+        assert!(bench_check_inner(&root, Some(&ok), &baseline, 0.30).is_ok());
+        let err = bench_check_inner(&root, Some(&bad), &baseline, 0.30).unwrap_err();
+        assert!(err.contains("fell below"), "unexpected error: {err}");
+        for p in [&baseline, &ok, &bad] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn gate_fails_when_baseline_scaling_is_low() {
+        let root = std::env::temp_dir();
+        let baseline = write_tmp("base-lowscale.json", &baseline_doc(1.4, 1000.0));
+        let fresh = write_tmp("fresh-scale.json", &smoke_doc(1000.0));
+        let err = bench_check_inner(&root, Some(&fresh), &baseline, 0.30).unwrap_err();
+        assert!(
+            err.contains("below the 2.5x bar"),
+            "unexpected error: {err}"
+        );
+        for p in [&baseline, &fresh] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn gate_fails_when_a_policy_disappears() {
+        let root = std::env::temp_dir();
+        let baseline = write_tmp("base-missing.json", &baseline_doc(3.0, 1000.0));
+        let fresh = write_tmp(
+            "fresh-missing.json",
+            r#"{"bench": "concurrent_commit", "mode": "smoke",
+                "runs": [{"policy": "sync", "tps": 9999.0}]}"#,
+        );
+        let err = bench_check_inner(&root, Some(&fresh), &baseline, 0.30).unwrap_err();
+        assert!(
+            err.contains("missing from fresh run"),
+            "unexpected error: {err}"
+        );
+        for p in [&baseline, &fresh] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+}

@@ -19,8 +19,13 @@
 //! Findings are suppressed only through `crates/xtask/audit-allowlist.toml`,
 //! where every entry needs a one-line justification; stale entries are
 //! reported so suppressions cannot outlive the code they excused.
+//!
+//! `cargo xtask bench-check` is the bench-regression gate: it compares
+//! a fresh `concurrent_commit --smoke` run against the checked-in
+//! `BENCH_concurrent_commit.json` baseline (see [`benchcheck`]).
 
 mod allowlist;
+mod benchcheck;
 mod passes;
 mod scan;
 
@@ -43,8 +48,12 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("audit") => audit(args.iter().any(|a| a == "--verbose")),
+        Some("bench-check") => benchcheck::bench_check(&workspace_root(), &args[1..]),
         _ => {
-            eprintln!("usage: cargo xtask audit [--verbose]");
+            eprintln!(
+                "usage: cargo xtask audit [--verbose]\n       \
+                 cargo xtask bench-check [--fresh PATH] [--baseline PATH] [--tolerance FRAC]"
+            );
             ExitCode::FAILURE
         }
     }

@@ -10,11 +10,13 @@
 use mmdb::VersionedStore;
 use mmdb_index::{AvlTree, BPlusTree};
 use mmdb_recovery::{CommitMode, LockManager, RecoveryManager};
+use mmdb_session::{CommitPolicy, Engine, EngineOptions};
 use mmdb_storage::{BufferPool, CostMeter, HeapFile, IoKind, ReplacementPolicy, SimDisk};
 use mmdb_types::{Auditable, TxnId};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 use std::sync::Arc;
+use std::time::Duration;
 
 #[derive(Debug, Clone)]
 enum TreeOp {
@@ -323,5 +325,77 @@ proptest! {
                 return Err(TestCaseError::fail(format!("after op {i}: {v}")));
             }
         }
+    }
+
+    /// The sharded session engine under a random single-driver workload,
+    /// audited after every operation: no key owned by a foreign shard,
+    /// undo entries only for live transactions on shards they touched,
+    /// empty lock tables once the transaction table quiesces — plus the
+    /// queue/durability invariants the daemon always checked.
+    #[test]
+    fn sharded_engine_invariants_hold_under_random_workloads(
+        ops in proptest::collection::vec((0u8..5, 0u64..24, -500i64..500), 1..60),
+        shards in 1usize..9,
+        case in 0u64..u64::MAX,
+    ) {
+        let dir = std::env::temp_dir().join(
+            format!("mmdb-audit-shard-{}-{case}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let opts = EngineOptions::new(CommitPolicy::Group, &dir)
+            .with_page_write_latency(Duration::from_micros(100))
+            .with_flush_interval(Duration::from_micros(300))
+            .with_lock_wait_timeout(Duration::from_millis(50))
+            .with_shards(shards);
+        let engine = Engine::start(opts).unwrap();
+        let s = engine.session();
+        let mut open = Vec::new();
+        for (i, &(kind, key, value)) in ops.iter().enumerate() {
+            match kind {
+                0 => {
+                    if let Ok(t) = s.begin() {
+                        open.push(t);
+                    }
+                }
+                1 | 2 => {
+                    if let Some(t) = open.last() {
+                        // A conflict or induced abort is a legal outcome,
+                        // but the handle must not leak held locks.
+                        if s.write(t, key, value).is_err() {
+                            if let Some(t) = open.pop() {
+                                let _ = s.abort(t);
+                            }
+                        }
+                    }
+                }
+                3 => {
+                    if !open.is_empty() {
+                        let t = open.swap_remove(key as usize % open.len());
+                        let _ = s.commit(t);
+                    }
+                }
+                _ => {
+                    if !open.is_empty() {
+                        let t = open.swap_remove(key as usize % open.len());
+                        let _ = s.abort(t);
+                    }
+                }
+            }
+            if let Err(v) = engine.audit() {
+                return Err(TestCaseError::fail(format!(
+                    "after op {i} under {shards} shard(s): {v}")));
+            }
+        }
+        // Quiesce: finish every open transaction, then the audit's
+        // lock-table-empty-after-quiesce check must hold.
+        for t in open.drain(..) {
+            let _ = s.abort(t);
+        }
+        engine.flush().unwrap();
+        if let Err(v) = engine.audit() {
+            return Err(TestCaseError::fail(format!(
+                "after quiesce under {shards} shard(s): {v}")));
+        }
+        engine.shutdown().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
     }
 }
