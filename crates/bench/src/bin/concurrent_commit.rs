@@ -17,6 +17,12 @@
 //! is driven by a seeded LCG (`--seed`), so two runs with the same seed
 //! issue the same transaction mix.
 //!
+//! Every run also pulls the engine's own observability snapshot
+//! ([`mmdb_session::Engine::stats`]) and reports commit-latency
+//! p50/p95/p99 and commit-batch-size percentiles alongside the
+//! driver-side timings; `cargo xtask bench-check` requires those fields
+//! in both the baseline and fresh smoke JSON.
+//!
 //! Usage: `concurrent_commit [--policy sync|group|partitioned:K|all]
 //! [--clients N] [--duration-ms MS] [--page-write-us US]
 //! [--lock-op-us US] [--shards N] [--seed S] [--smoke] [--out PATH]`.
@@ -41,6 +47,19 @@ struct RunResult {
     p50_ms: f64,
     p99_ms: f64,
     pages_written: usize,
+    /// Begin-to-durable commit latency percentiles as the *engine*
+    /// measured them (`mmdb_session_commit_latency_us`), ms. The
+    /// driver-side `p50_ms`/`p99_ms` above time the same window from
+    /// the client thread; the two disagreeing by more than a log₂
+    /// bucket means the engine's own accounting drifted.
+    commit_p50_ms: f64,
+    commit_p95_ms: f64,
+    commit_p99_ms: f64,
+    /// Commit records per written log page (`mmdb_session_commit_batch_txns`)
+    /// percentiles — the §5.2 group-size the throughput claim rests on.
+    batch_p50_txns: u64,
+    batch_p95_txns: u64,
+    batch_p99_txns: u64,
 }
 
 /// Everything one engine run needs; the policy table, the shard sweep,
@@ -254,6 +273,17 @@ fn run_one(p: &RunParams) -> RunResult {
     }
     let elapsed = started.elapsed().as_secs_f64();
     let pages_written = engine.pages_written().expect("pages written");
+    // Engine-side percentiles from the obs registry, pulled before
+    // shutdown tears the registry down with the engine.
+    let stats = engine.stats();
+    let commit_hist = stats
+        .histogram("mmdb_session_commit_latency_us")
+        .cloned()
+        .unwrap_or_default();
+    let batch_hist = stats
+        .histogram("mmdb_session_commit_batch_txns")
+        .cloned()
+        .unwrap_or_default();
     engine.shutdown().expect("shutdown");
     std::fs::remove_dir_all(&dir).ok();
 
@@ -272,6 +302,12 @@ fn run_one(p: &RunParams) -> RunResult {
         p50_ms: percentile_ms(&latencies, 0.50),
         p99_ms: percentile_ms(&latencies, 0.99),
         pages_written,
+        commit_p50_ms: commit_hist.p50() as f64 / 1000.0,
+        commit_p95_ms: commit_hist.p95() as f64 / 1000.0,
+        commit_p99_ms: commit_hist.p99() as f64 / 1000.0,
+        batch_p50_txns: batch_hist.p50(),
+        batch_p95_txns: batch_hist.p95(),
+        batch_p99_txns: batch_hist.p99(),
     }
 }
 
@@ -312,6 +348,8 @@ fn result_rows(results: &[RunResult], label_shards: bool) -> Vec<Vec<String>> {
                 format!("{:.2}", r.p50_ms),
                 format!("{:.2}", r.p99_ms),
                 r.pages_written.to_string(),
+                format!("{:.2}", r.commit_p99_ms),
+                r.batch_p50_txns.to_string(),
             ]
         })
         .collect()
@@ -321,7 +359,9 @@ fn run_json(r: &RunResult) -> String {
     format!(
         "{{\"policy\": \"{}\", \"devices\": {}, \"shards\": {}, \"committed\": {}, \
          \"aborted\": {}, \"tps\": {:.1}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \
-         \"pages_written\": {}}}",
+         \"pages_written\": {}, \"commit_p50_ms\": {:.3}, \"commit_p95_ms\": {:.3}, \
+         \"commit_p99_ms\": {:.3}, \"batch_p50_txns\": {}, \"batch_p95_txns\": {}, \
+         \"batch_p99_txns\": {}}}",
         r.policy,
         r.devices,
         r.shards,
@@ -330,7 +370,13 @@ fn run_json(r: &RunResult) -> String {
         r.tps,
         r.p50_ms,
         r.p99_ms,
-        r.pages_written
+        r.pages_written,
+        r.commit_p50_ms,
+        r.commit_p95_ms,
+        r.commit_p99_ms,
+        r.batch_p50_txns,
+        r.batch_p95_txns,
+        r.batch_p99_txns
     )
 }
 
@@ -400,6 +446,8 @@ fn main() {
             "p50 ms",
             "p99 ms",
             "pages",
+            "eng p99 ms",
+            "batch p50",
         ],
         &result_rows(&results, false),
     );
@@ -471,6 +519,8 @@ fn main() {
             "p50 ms",
             "p99 ms",
             "pages",
+            "eng p99 ms",
+            "batch p50",
         ],
         &result_rows(&sweep, true),
     );

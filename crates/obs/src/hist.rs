@@ -1,0 +1,275 @@
+//! Log₂-bucketed histograms with lock-free recording.
+//!
+//! A [`Histogram`] holds [`BUCKETS`] atomic buckets: bucket 0 counts
+//! the value 0 and bucket `i` (1..=64) counts values with bit length
+//! `i`, i.e. the range `[2^(i-1), 2^i - 1]`. Recording is one
+//! `fetch_add` into the bucket plus count/sum updates — no locks, no
+//! allocation — so it can sit inside a lock manager's critical section
+//! or a log writer's fsync loop. Percentiles come out of a
+//! [`HistogramSnapshot`] as bucket *upper bounds*: a reported p99 of
+//! 4095 µs means "99% of samples were ≤ 4095 µs", with power-of-two
+//! resolution traded for a fixed footprint and zero coordination.
+//!
+//! Snapshots are **per-field monotone** under concurrent recording:
+//! every bucket, the count, and the sum only ever grow, so a later
+//! snapshot is ≥ an earlier one field by field. Cross-field consistency
+//! is *not* guaranteed (the count may briefly lag the bucket total);
+//! [`HistogramSnapshot::quantile`] tolerates that skew.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of histogram buckets: one for zero plus one per bit length.
+pub const BUCKETS: usize = 65;
+
+/// The bucket a value lands in: 0 for 0, else the value's bit length.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        (64 - value.leading_zeros()) as usize
+    }
+}
+
+/// Inclusive upper bound of bucket `index` (0 for bucket 0, `2^i - 1`
+/// for bucket `i`, saturating at `u64::MAX` for the last bucket).
+#[inline]
+pub fn bucket_upper_bound(index: usize) -> u64 {
+    if index == 0 {
+        0
+    } else if index >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << index) - 1
+    }
+}
+
+/// A lock-free log₂-bucketed histogram.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// A fresh histogram with every bucket empty.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample. Three relaxed `fetch_add`s; never blocks.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        if let Some(bucket) = self.buckets.get(bucket_index(value)) {
+            bucket.fetch_add(1, Ordering::Relaxed);
+        }
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the buckets, count, and sum. Per-field
+    /// monotone across successive snapshots (see the module docs).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A copied-out histogram: [`BUCKETS`] bucket counts plus the total
+/// sample count and sum. Part of the stable [`crate::StatsSnapshot`]
+/// surface.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts ([`bucket_upper_bound`] names the
+    /// inclusive upper bound of each).
+    pub buckets: Vec<u64>,
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all recorded values (wrapping on overflow).
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// The quantile `q` (in `0.0..=1.0`) as a bucket upper bound: the
+    /// smallest bucket bound covering at least `⌈q·count⌉` samples.
+    /// Returns 0 for an empty histogram. If concurrent recording left
+    /// the count ahead of the bucket total, the highest non-empty
+    /// bucket's bound is returned.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total: u64 = self.buckets.iter().sum();
+        let basis = self.count.min(total).max(if total > 0 { 1 } else { 0 });
+        if basis == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * basis as f64).ceil() as u64).clamp(1, basis);
+        let mut cum = 0u64;
+        let mut last_nonempty = 0usize;
+        for (i, b) in self.buckets.iter().enumerate() {
+            if *b > 0 {
+                last_nonempty = i;
+            }
+            cum = cum.saturating_add(*b);
+            if cum >= rank {
+                return bucket_upper_bound(i);
+            }
+        }
+        bucket_upper_bound(last_nonempty)
+    }
+
+    /// Median upper bound.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile upper bound.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile upper bound.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Mean of the recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Folds `other` into `self` bucket-wise — used to merge per-shard
+    /// histograms into one engine-wide distribution.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine = mine.saturating_add(*theirs);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.wrapping_add(other.sum);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_at_edges() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index((1 << 20) - 1), 20);
+        assert_eq!(bucket_index(1 << 20), 21);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_upper_bound(0), 0);
+        assert_eq!(bucket_upper_bound(1), 1);
+        assert_eq!(bucket_upper_bound(2), 3);
+        assert_eq!(bucket_upper_bound(20), (1 << 20) - 1);
+        assert_eq!(bucket_upper_bound(64), u64::MAX);
+    }
+
+    #[test]
+    fn percentiles_at_edge_values() {
+        let h = Histogram::new();
+        h.record(0);
+        assert_eq!(h.snapshot().quantile(1.0), 0, "all-zero samples");
+        let h = Histogram::new();
+        h.record(1);
+        assert_eq!(h.snapshot().p50(), 1);
+        assert_eq!(h.snapshot().p99(), 1);
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        assert_eq!(h.snapshot().p50(), u64::MAX);
+        assert_eq!(h.snapshot().quantile(0.0), u64::MAX, "q=0 is still rank 1");
+        let empty = Histogram::new().snapshot();
+        assert_eq!(empty.quantile(0.5), 0);
+        assert_eq!(empty.mean(), 0.0);
+    }
+
+    #[test]
+    fn percentiles_split_a_known_distribution() {
+        let h = Histogram::new();
+        // 90 fast samples (~100 µs, bucket 7: 64..=127) and 10 slow
+        // ones (~100 ms = 100_000 µs, bucket 17: 65536..=131071).
+        for _ in 0..90 {
+            h.record(100);
+        }
+        for _ in 0..10 {
+            h.record(100_000);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50(), 127, "median is in the fast bucket");
+        assert_eq!(s.quantile(0.90), 127, "p90 rank 90 is the last fast sample");
+        assert_eq!(s.p95(), 131_071, "p95 lands in the slow bucket");
+        assert_eq!(s.p99(), 131_071);
+        let mean = s.mean();
+        assert!((mean - 10_090.0).abs() < 1e-9, "mean {mean}");
+    }
+
+    #[test]
+    fn sum_and_count_track_records() {
+        let h = Histogram::new();
+        h.record(5);
+        h.record(7);
+        let s = h.snapshot();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.sum, 12);
+        assert_eq!(s.buckets.iter().sum::<u64>(), 2);
+        assert_eq!(s.buckets.len(), BUCKETS);
+    }
+
+    #[test]
+    fn merge_combines_distributions() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for _ in 0..50 {
+            a.record(10);
+        }
+        for _ in 0..50 {
+            b.record(1_000_000);
+        }
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.count, 100);
+        assert_eq!(m.p50(), 15, "median bound sits in the 8..=15 bucket");
+        assert!(m.p99() >= 1_000_000);
+    }
+
+    #[test]
+    fn quantile_tolerates_count_ahead_of_buckets() {
+        // Simulates a snapshot where a concurrent recorder bumped the
+        // count before its bucket store was visible.
+        let mut s = Histogram::new().snapshot();
+        s.count = 10;
+        if let Some(b) = s.buckets.get_mut(3) {
+            *b = 4;
+        }
+        assert_eq!(s.quantile(1.0), bucket_upper_bound(3));
+    }
+}

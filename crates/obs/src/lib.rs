@@ -1,0 +1,55 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! `mmdb-obs` — a dependency-free observability core for the mmdb
+//! engines: lock-free counters and gauges, log₂-bucketed latency
+//! histograms with percentile extraction, a fixed-size lock-free event
+//! ring for commit-pipeline traces, and a [`Registry`] that renders
+//! everything as a Prometheus-style text exposition or a stable
+//! [`StatsSnapshot`].
+//!
+//! The paper's §5 recovery design (group commit, pre-commit) trades
+//! response time for log bandwidth; reasoning about that trade needs
+//! latency *distributions*, not end-of-run averages. Every recording
+//! primitive here is a handful of relaxed atomic operations — safe to
+//! leave enabled on the hot path of a lock manager or a log writer:
+//!
+//! * [`Counter`] / [`Gauge`] — one atomic each.
+//! * [`Histogram`] — one `fetch_add` into a log₂ bucket plus count/sum;
+//!   [`HistogramSnapshot`] extracts p50/p95/p99 (as bucket upper
+//!   bounds) without ever locking recorders out.
+//! * [`TraceRing`] — a fixed-size ring of seqlock-style slots; writers
+//!   claim a sequence number with one `fetch_add` and never block, and
+//!   torn reads are detected and discarded, never returned.
+//! * [`Registry`] — registration takes a short mutex (cold path);
+//!   recording happens through shared [`std::sync::Arc`] handles and
+//!   touches no registry state at all.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use mmdb_obs::Registry;
+//!
+//! let registry = Registry::new();
+//! let commits = registry.counter("demo_commits_total", "Committed transactions");
+//! let latency = registry.histogram("demo_commit_latency_us", "Commit latency");
+//! commits.inc();
+//! latency.record(1_250);
+//! let snap = registry.snapshot();
+//! assert_eq!(snap.counter("demo_commits_total"), Some(1));
+//! assert!(registry.render_text().contains("demo_commits_total 1"));
+//! ```
+
+/// Atomic counters and gauges.
+mod counter;
+/// Log₂-bucketed latency histograms and their snapshots.
+mod hist;
+/// The registry, text exposition, and [`StatsSnapshot`].
+mod registry;
+/// The lock-free commit-pipeline trace ring.
+mod ring;
+
+pub use counter::{Counter, Gauge};
+pub use hist::{bucket_index, bucket_upper_bound, Histogram, HistogramSnapshot, BUCKETS};
+pub use registry::{Registry, StatsSnapshot};
+pub use ring::{TraceEvent, TraceRing, TraceStage};

@@ -1,0 +1,530 @@
+//! The metric registry, text exposition, and [`StatsSnapshot`].
+//!
+//! Registration is the cold path: it takes a short mutex, records the
+//! metric's name/help/label, and hands back an `Arc` handle. Recording
+//! goes through that handle and touches no registry state, so the hot
+//! path never contends with snapshotting or rendering.
+//!
+//! Two read-out formats share one source of truth:
+//! * [`Registry::render_text`] — Prometheus-style text exposition
+//!   (`# HELP`/`# TYPE` plus samples; histograms as cumulative
+//!   `_bucket{le="..."}` series with `_sum` and `_count`).
+//! * [`Registry::snapshot`] — a [`StatsSnapshot`] of plain values for
+//!   programmatic use (benches, audits, tests).
+//!
+//! Registering the same name+label twice with the same kind is
+//! idempotent and returns the existing handle (so per-shard code can
+//! re-register blindly). A kind mismatch is recorded as a hygiene
+//! violation and returns a detached handle rather than panicking.
+
+use crate::counter::{Counter, Gauge};
+use crate::hist::{bucket_upper_bound, Histogram, HistogramSnapshot};
+use std::collections::HashSet;
+use std::fmt;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+enum Metric {
+    Counter(Arc<Counter>),
+    CounterFn(Box<dyn Fn() -> u64 + Send + Sync>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) | Metric::CounterFn(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+struct Entry {
+    name: &'static str,
+    help: &'static str,
+    label: Option<(&'static str, String)>,
+    metric: Metric,
+}
+
+impl Entry {
+    /// The sample key: `name` or `name{key="value"}`.
+    fn sample_name(&self) -> String {
+        match &self.label {
+            None => self.name.to_string(),
+            Some((k, v)) => format!("{}{{{}=\"{}\"}}", self.name, k, v),
+        }
+    }
+
+    /// The sample key with an extra label appended (for `_bucket` series).
+    fn sample_name_with(&self, suffix: &str, extra_key: &str, extra_val: &str) -> String {
+        match &self.label {
+            None => format!("{}{}{{{}=\"{}\"}}", self.name, suffix, extra_key, extra_val),
+            Some((k, v)) => format!(
+                "{}{}{{{}=\"{}\",{}=\"{}\"}}",
+                self.name, suffix, k, v, extra_key, extra_val
+            ),
+        }
+    }
+
+    fn suffixed_name(&self, suffix: &str) -> String {
+        match &self.label {
+            None => format!("{}{}", self.name, suffix),
+            Some((k, v)) => format!("{}{}{{{}=\"{}\"}}", self.name, suffix, k, v),
+        }
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    entries: Vec<Entry>,
+    violations: Vec<String>,
+}
+
+/// A registry of named metrics with a Prometheus-style exposition.
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<Inner>,
+}
+
+impl fmt::Debug for Registry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.lock();
+        f.debug_struct("Registry")
+            .field("entries", &inner.entries.len())
+            .field("violations", &inner.violations.len())
+            .finish()
+    }
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // A poisoned registry mutex only means a panic elsewhere while
+        // registering; the metric list itself is always valid.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn register<T, F, G>(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        label: Option<(&'static str, String)>,
+        matches: F,
+        make: G,
+    ) -> Arc<T>
+    where
+        F: Fn(&Metric) -> Option<Arc<T>>,
+        G: Fn() -> (Arc<T>, Metric),
+    {
+        let mut inner = self.lock();
+        if let Some(existing) = inner
+            .entries
+            .iter()
+            .find(|e| e.name == name && e.label == label)
+        {
+            if let Some(handle) = matches(&existing.metric) {
+                return handle;
+            }
+            let msg = format!(
+                "metric `{}` re-registered as a different kind (was {})",
+                existing.sample_name(),
+                existing.metric.kind()
+            );
+            inner.violations.push(msg);
+            // Hand back a detached handle so the caller still works;
+            // only the original registration is rendered.
+            return make().0;
+        }
+        let (handle, metric) = make();
+        inner.entries.push(Entry {
+            name,
+            help,
+            label,
+            metric,
+        });
+        handle
+    }
+
+    /// Registers (or retrieves) an unlabeled counter.
+    pub fn counter(&self, name: &'static str, help: &'static str) -> Arc<Counter> {
+        self.counter_labeled(name, help, None)
+    }
+
+    /// Registers (or retrieves) a counter, optionally with one label
+    /// (e.g. `("shard", "3")`).
+    pub fn counter_labeled(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        label: Option<(&'static str, String)>,
+    ) -> Arc<Counter> {
+        self.register(
+            name,
+            help,
+            label,
+            |m| match m {
+                Metric::Counter(c) => Some(Arc::clone(c)),
+                _ => None,
+            },
+            || {
+                let c = Arc::new(Counter::new());
+                (Arc::clone(&c), Metric::Counter(c))
+            },
+        )
+    }
+
+    /// Registers a callback-backed counter: the closure is invoked at
+    /// snapshot/render time. Used to bridge externally owned atomics
+    /// (e.g. the storage `CostMeter`) into this registry without
+    /// copying state. Re-registering the same name replaces nothing
+    /// and records a violation (callbacks cannot be compared).
+    pub fn counter_fn(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        f: impl Fn() -> u64 + Send + Sync + 'static,
+    ) {
+        let mut inner = self.lock();
+        if inner
+            .entries
+            .iter()
+            .any(|e| e.name == name && e.label.is_none())
+        {
+            let msg = format!("metric `{name}` re-registered as a callback counter");
+            inner.violations.push(msg);
+            return;
+        }
+        inner.entries.push(Entry {
+            name,
+            help,
+            label: None,
+            metric: Metric::CounterFn(Box::new(f)),
+        });
+    }
+
+    /// Registers (or retrieves) an unlabeled gauge.
+    pub fn gauge(&self, name: &'static str, help: &'static str) -> Arc<Gauge> {
+        self.gauge_labeled(name, help, None)
+    }
+
+    /// Registers (or retrieves) a gauge, optionally with one label.
+    pub fn gauge_labeled(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        label: Option<(&'static str, String)>,
+    ) -> Arc<Gauge> {
+        self.register(
+            name,
+            help,
+            label,
+            |m| match m {
+                Metric::Gauge(g) => Some(Arc::clone(g)),
+                _ => None,
+            },
+            || {
+                let g = Arc::new(Gauge::new());
+                (Arc::clone(&g), Metric::Gauge(g))
+            },
+        )
+    }
+
+    /// Registers (or retrieves) an unlabeled histogram.
+    pub fn histogram(&self, name: &'static str, help: &'static str) -> Arc<Histogram> {
+        self.histogram_labeled(name, help, None)
+    }
+
+    /// Registers (or retrieves) a histogram, optionally with one label.
+    pub fn histogram_labeled(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        label: Option<(&'static str, String)>,
+    ) -> Arc<Histogram> {
+        self.register(
+            name,
+            help,
+            label,
+            |m| match m {
+                Metric::Histogram(h) => Some(Arc::clone(h)),
+                _ => None,
+            },
+            || {
+                let h = Arc::new(Histogram::new());
+                (Arc::clone(&h), Metric::Histogram(h))
+            },
+        )
+    }
+
+    /// Hygiene violations observed at registration time (kind
+    /// mismatches, callback re-registrations). Empty in a healthy
+    /// process; asserted empty by the exposition tests.
+    pub fn hygiene_violations(&self) -> Vec<String> {
+        self.lock().violations.clone()
+    }
+
+    /// Every registered sample name (labels rendered in), in
+    /// registration order.
+    pub fn metric_names(&self) -> Vec<String> {
+        self.lock()
+            .entries
+            .iter()
+            .map(|e| e.sample_name())
+            .collect()
+    }
+
+    /// A point-in-time copy of every metric's value.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let inner = self.lock();
+        let mut snap = StatsSnapshot::default();
+        for e in &inner.entries {
+            let key = e.sample_name();
+            match &e.metric {
+                Metric::Counter(c) => snap.counters.push((key, c.get())),
+                Metric::CounterFn(f) => snap.counters.push((key, f())),
+                Metric::Gauge(g) => snap.gauges.push((key, g.get())),
+                Metric::Histogram(h) => snap.histograms.push((key, h.snapshot())),
+            }
+        }
+        snap
+    }
+
+    /// Renders every metric as a Prometheus-style text exposition.
+    /// `# HELP`/`# TYPE` appear once per metric name; histograms emit
+    /// cumulative `_bucket{le="..."}` samples (non-empty buckets plus
+    /// `+Inf`), `_sum`, and `_count`.
+    pub fn render_text(&self) -> String {
+        let inner = self.lock();
+        let mut out = String::new();
+        let mut emitted: HashSet<&'static str> = HashSet::new();
+        for e in &inner.entries {
+            if !emitted.insert(e.name) {
+                continue;
+            }
+            let _ = writeln!(out, "# HELP {} {}", e.name, e.help);
+            let _ = writeln!(out, "# TYPE {} {}", e.name, e.metric.kind());
+            for sample in inner.entries.iter().filter(|s| s.name == e.name) {
+                match &sample.metric {
+                    Metric::Counter(c) => {
+                        let _ = writeln!(out, "{} {}", sample.sample_name(), c.get());
+                    }
+                    Metric::CounterFn(f) => {
+                        let _ = writeln!(out, "{} {}", sample.sample_name(), f());
+                    }
+                    Metric::Gauge(g) => {
+                        let _ = writeln!(out, "{} {}", sample.sample_name(), g.get());
+                    }
+                    Metric::Histogram(h) => {
+                        let s = h.snapshot();
+                        let mut cum = 0u64;
+                        for (i, b) in s.buckets.iter().enumerate() {
+                            if *b == 0 {
+                                continue;
+                            }
+                            cum = cum.saturating_add(*b);
+                            let le = bucket_upper_bound(i).to_string();
+                            let _ = writeln!(
+                                out,
+                                "{} {}",
+                                sample.sample_name_with("_bucket", "le", &le),
+                                cum
+                            );
+                        }
+                        let _ = writeln!(
+                            out,
+                            "{} {}",
+                            sample.sample_name_with("_bucket", "le", "+Inf"),
+                            s.count
+                        );
+                        let _ = writeln!(out, "{} {}", sample.suffixed_name("_sum"), s.sum);
+                        let _ = writeln!(out, "{} {}", sample.suffixed_name("_count"), s.count);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A stable, plain-data copy of every registered metric. Sample names
+/// include rendered labels (`mmdb_session_lock_wait_us{shard="0"}`);
+/// the `*_sum`/`*_merged` helpers aggregate a labeled family by its
+/// base name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StatsSnapshot {
+    /// `(sample_name, value)` for every counter, registration order.
+    pub counters: Vec<(String, u64)>,
+    /// `(sample_name, value)` for every gauge, registration order.
+    pub gauges: Vec<(String, i64)>,
+    /// `(sample_name, snapshot)` for every histogram, registration order.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+fn matches_base(sample: &str, base: &str) -> bool {
+    match sample.strip_prefix(base) {
+        Some("") => true,
+        Some(rest) => rest.starts_with('{'),
+        None => false,
+    }
+}
+
+impl StatsSnapshot {
+    /// The counter with this exact sample name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Sum of all counters in a labeled family (`base` plus every
+    /// `base{...}` sample).
+    pub fn counter_sum(&self, base: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(n, _)| matches_base(n, base))
+            .map(|(_, v)| *v)
+            .sum()
+    }
+
+    /// The gauge with this exact sample name.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// The histogram with this exact sample name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// All histograms in a labeled family merged into one distribution.
+    pub fn histogram_merged(&self, base: &str) -> HistogramSnapshot {
+        let mut merged = HistogramSnapshot::default();
+        for (_, h) in self
+            .histograms
+            .iter()
+            .filter(|(n, _)| matches_base(n, base))
+        {
+            merged.merge(h);
+        }
+        merged
+    }
+
+    /// Every sample name in the snapshot, registration order.
+    pub fn metric_names(&self) -> Vec<String> {
+        self.counters
+            .iter()
+            .map(|(n, _)| n.clone())
+            .chain(self.gauges.iter().map(|(n, _)| n.clone()))
+            .chain(self.histograms.iter().map(|(n, _)| n.clone()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registers_and_snapshots_each_kind() {
+        let r = Registry::new();
+        let c = r.counter("t_commits_total", "commits");
+        let g = r.gauge("t_lag_lsn", "lag");
+        let h = r.histogram("t_latency_us", "latency");
+        c.add(3);
+        g.set(-2);
+        h.record(100);
+        r.counter_fn("t_cb_total", "callback", || 7);
+        let s = r.snapshot();
+        assert_eq!(s.counter("t_commits_total"), Some(3));
+        assert_eq!(s.counter("t_cb_total"), Some(7));
+        assert_eq!(s.gauge("t_lag_lsn"), Some(-2));
+        assert_eq!(s.histogram("t_latency_us").map(|h| h.count), Some(1));
+        assert!(r.hygiene_violations().is_empty());
+    }
+
+    #[test]
+    fn duplicate_registration_returns_same_handle() {
+        let r = Registry::new();
+        let a = r.counter("t_dup_total", "dup");
+        let b = r.counter("t_dup_total", "dup");
+        a.inc();
+        b.inc();
+        assert_eq!(r.snapshot().counter("t_dup_total"), Some(2));
+        assert_eq!(r.metric_names().len(), 1);
+    }
+
+    #[test]
+    fn kind_mismatch_is_a_violation_not_a_panic() {
+        let r = Registry::new();
+        let _c = r.counter("t_kind_total", "as counter");
+        let g = r.gauge("t_kind_total", "as gauge");
+        g.set(9); // detached handle: records fine, renders nowhere
+        let v = r.hygiene_violations();
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("t_kind_total"));
+        assert_eq!(r.snapshot().gauge("t_kind_total"), None);
+    }
+
+    #[test]
+    fn labeled_family_sums_and_merges() {
+        let r = Registry::new();
+        for shard in 0..3u32 {
+            let c = r.counter_labeled(
+                "t_shard_aborts_total",
+                "per-shard aborts",
+                Some(("shard", shard.to_string())),
+            );
+            c.add(u64::from(shard) + 1);
+            let h = r.histogram_labeled(
+                "t_shard_wait_us",
+                "per-shard waits",
+                Some(("shard", shard.to_string())),
+            );
+            h.record(64);
+        }
+        let s = r.snapshot();
+        assert_eq!(s.counter_sum("t_shard_aborts_total"), 6);
+        assert_eq!(s.counter("t_shard_aborts_total{shard=\"1\"}"), Some(2));
+        let merged = s.histogram_merged("t_shard_wait_us");
+        assert_eq!(merged.count, 3);
+        // Base-name matching must not catch prefixes of longer names.
+        assert_eq!(s.counter_sum("t_shard"), 0);
+    }
+
+    #[test]
+    fn render_text_is_prometheus_shaped() {
+        let r = Registry::new();
+        r.counter("t_ops_total", "ops").add(5);
+        r.gauge("t_depth", "queue depth").set(2);
+        let h = r.histogram("t_lat_us", "latency");
+        h.record(0);
+        h.record(100);
+        h.record(u64::MAX);
+        let c = r.counter_labeled("t_lbl_total", "labeled", Some(("shard", "0".into())));
+        c.inc();
+        let text = r.render_text();
+        assert!(text.contains("# HELP t_ops_total ops"));
+        assert!(text.contains("# TYPE t_ops_total counter"));
+        assert!(text.contains("t_ops_total 5"));
+        assert!(text.contains("# TYPE t_depth gauge"));
+        assert!(text.contains("t_depth 2"));
+        assert!(text.contains("# TYPE t_lat_us histogram"));
+        assert!(text.contains("t_lat_us_bucket{le=\"0\"} 1"));
+        assert!(text.contains("t_lat_us_bucket{le=\"127\"} 2"));
+        assert!(text.contains("t_lat_us_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("t_lat_us_count 3"));
+        assert!(text.contains("t_lbl_total{shard=\"0\"} 1"));
+        // HELP/TYPE once per name even with multiple labeled samples.
+        assert_eq!(text.matches("# TYPE t_lbl_total").count(), 1);
+    }
+}

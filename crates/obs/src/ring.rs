@@ -1,0 +1,296 @@
+//! A fixed-size lock-free ring buffer for commit-pipeline trace events.
+//!
+//! Each transaction's path through the §5.2 pipeline — begin →
+//! precommit → queued → flushed → durable — is recorded as a
+//! [`TraceEvent`] carrying the transaction id, LSN, shard mask, and a
+//! microsecond timestamp. Writers never block and never allocate:
+//! recording claims a sequence number with one `fetch_add`, then
+//! publishes the slot seqlock-style (version goes *odd* while the
+//! fields are being stored, *even* when complete). A writer that finds
+//! its slot still mid-write by a laggard (the ring has wrapped a full
+//! lap while another thread was stalled inside its store sequence)
+//! drops the event and bumps a `dropped` counter rather than tearing
+//! the slot — a trace is a diagnostic aid, and losing an event under
+//! pathological contention is better than blocking a commit or
+//! publishing garbage.
+//!
+//! Readers ([`TraceRing::snapshot`]) validate each slot by re-reading
+//! the version around the field loads; torn reads are discarded, never
+//! returned. All of this is plain atomics — the crate forbids `unsafe`.
+
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+
+/// A stage in the commit pipeline (§5.2 pre-commit / group commit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TraceStage {
+    /// Transaction registered in the transaction table.
+    Begin,
+    /// Locks released early after the precommit log record (§5.2).
+    Precommit,
+    /// Commit record appended to the in-memory log queue.
+    Queued,
+    /// The page holding the commit record was written to the log device.
+    Flushed,
+    /// The commit became durable (contiguous-prefix watermark passed it).
+    Durable,
+}
+
+impl TraceStage {
+    /// Stable short name used in renderings and tests.
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceStage::Begin => "begin",
+            TraceStage::Precommit => "precommit",
+            TraceStage::Queued => "queued",
+            TraceStage::Flushed => "flushed",
+            TraceStage::Durable => "durable",
+        }
+    }
+
+    fn code(self) -> u64 {
+        match self {
+            TraceStage::Begin => 0,
+            TraceStage::Precommit => 1,
+            TraceStage::Queued => 2,
+            TraceStage::Flushed => 3,
+            TraceStage::Durable => 4,
+        }
+    }
+
+    fn from_code(code: u64) -> Option<TraceStage> {
+        match code {
+            0 => Some(TraceStage::Begin),
+            1 => Some(TraceStage::Precommit),
+            2 => Some(TraceStage::Queued),
+            3 => Some(TraceStage::Flushed),
+            4 => Some(TraceStage::Durable),
+            _ => None,
+        }
+    }
+}
+
+/// One observed pipeline event, copied out of the ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Global record order (monotone across the whole ring's lifetime).
+    pub seq: u64,
+    /// Pipeline stage.
+    pub stage: TraceStage,
+    /// Transaction id the event belongs to.
+    pub txn: u64,
+    /// Log sequence number, when the stage has one (0 otherwise).
+    pub lsn: u64,
+    /// Bitmask of lock-manager shards the transaction touched.
+    pub shard_mask: u64,
+    /// Microseconds since the owning engine's epoch.
+    pub at_us: u64,
+}
+
+/// One seqlock-style slot. `version` encodes both the claim state and
+/// the owning sequence number: `2*seq + 1` while writing (odd),
+/// `2*seq + 2` when complete (even), 0 for never-written.
+#[derive(Debug)]
+struct Slot {
+    version: AtomicU64,
+    stage: AtomicU64,
+    txn: AtomicU64,
+    lsn: AtomicU64,
+    shard_mask: AtomicU64,
+    at_us: AtomicU64,
+}
+
+impl Slot {
+    fn new() -> Self {
+        Slot {
+            version: AtomicU64::new(0),
+            stage: AtomicU64::new(0),
+            txn: AtomicU64::new(0),
+            lsn: AtomicU64::new(0),
+            shard_mask: AtomicU64::new(0),
+            at_us: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A fixed-capacity, lock-free, overwrite-oldest trace ring.
+#[derive(Debug)]
+pub struct TraceRing {
+    slots: Vec<Slot>,
+    head: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl TraceRing {
+    /// A ring holding the most recent `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        TraceRing {
+            slots: (0..capacity).map(|_| Slot::new()).collect(),
+            head: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total events recorded (including ones since overwritten).
+    pub fn recorded(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Events dropped because their slot was still mid-write when the
+    /// ring wrapped onto it (pathological contention only).
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Records one event. Never blocks: the slot is claimed by a CAS
+    /// from its last completed version; if a stalled writer still owns
+    /// it, the event is dropped instead of torn.
+    pub fn record(&self, stage: TraceStage, txn: u64, lsn: u64, shard_mask: u64, at_us: u64) {
+        let seq = self.head.fetch_add(1, Ordering::Relaxed);
+        let Some(slot) = self.slots.get(seq as usize % self.slots.len()) else {
+            return;
+        };
+        let odd = 2 * seq + 1;
+        let cur = slot.version.load(Ordering::Relaxed);
+        // The slot's last complete version for an earlier lap is even
+        // and < odd. Anything else means a slower writer from an
+        // earlier lap is still inside its store sequence; tearing its
+        // fields would let readers see a frankenstein event, so drop.
+        if cur % 2 != 0
+            || cur >= odd
+            || slot
+                .version
+                .compare_exchange(cur, odd, Ordering::Acquire, Ordering::Relaxed)
+                .is_err()
+        {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        slot.stage.store(stage.code(), Ordering::Relaxed);
+        slot.txn.store(txn, Ordering::Relaxed);
+        slot.lsn.store(lsn, Ordering::Relaxed);
+        slot.shard_mask.store(shard_mask, Ordering::Relaxed);
+        slot.at_us.store(at_us, Ordering::Relaxed);
+        slot.version.store(odd + 1, Ordering::Release);
+    }
+
+    /// Copies out every currently valid event, oldest first. Slots
+    /// caught mid-write are skipped, not blocked on.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        let mut events = Vec::with_capacity(self.slots.len());
+        for slot in &self.slots {
+            let v1 = slot.version.load(Ordering::Acquire);
+            if v1 == 0 || v1 % 2 != 0 {
+                continue; // never written, or a write is in flight
+            }
+            let stage = slot.stage.load(Ordering::Relaxed);
+            let txn = slot.txn.load(Ordering::Relaxed);
+            let lsn = slot.lsn.load(Ordering::Relaxed);
+            let shard_mask = slot.shard_mask.load(Ordering::Relaxed);
+            let at_us = slot.at_us.load(Ordering::Relaxed);
+            fence(Ordering::Acquire);
+            let v2 = slot.version.load(Ordering::Relaxed);
+            if v1 != v2 {
+                continue; // torn: a writer moved the slot mid-read
+            }
+            let Some(stage) = TraceStage::from_code(stage) else {
+                continue;
+            };
+            events.push(TraceEvent {
+                seq: (v1 - 2) / 2,
+                stage,
+                txn,
+                lsn,
+                shard_mask,
+                at_us,
+            });
+        }
+        events.sort_by_key(|e| e.seq);
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn records_and_snapshots_in_order() {
+        let ring = TraceRing::new(8);
+        ring.record(TraceStage::Begin, 1, 0, 0b1, 10);
+        ring.record(TraceStage::Queued, 1, 42, 0b1, 20);
+        ring.record(TraceStage::Durable, 1, 42, 0b1, 30);
+        let events = ring.snapshot();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].stage, TraceStage::Begin);
+        assert_eq!(events[2].stage, TraceStage::Durable);
+        assert_eq!(events[1].lsn, 42);
+        assert!(events.windows(2).all(|w| w[0].seq < w[1].seq));
+        assert!(events.windows(2).all(|w| w[0].at_us <= w[1].at_us));
+        assert_eq!(ring.recorded(), 3);
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn wraps_and_keeps_newest() {
+        let ring = TraceRing::new(4);
+        for i in 0..10u64 {
+            ring.record(TraceStage::Queued, i, i, 0, i);
+        }
+        let events = ring.snapshot();
+        assert_eq!(events.len(), 4);
+        // The four newest sequence numbers survive the wrap.
+        let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+        assert_eq!(ring.recorded(), 10);
+    }
+
+    #[test]
+    fn concurrent_writers_never_tear() {
+        let ring = Arc::new(TraceRing::new(16));
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                let ring = Arc::clone(&ring);
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        // txn/lsn/at_us all carry the same value, so a
+                        // torn slot would be visible as a mismatch.
+                        let v = t * 10_000 + i;
+                        ring.record(TraceStage::Flushed, v, v, 1 << t, v);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("writer thread");
+        }
+        for e in ring.snapshot() {
+            assert_eq!(e.txn, e.lsn, "torn event: {e:?}");
+            assert_eq!(e.txn, e.at_us, "torn event: {e:?}");
+        }
+        assert_eq!(ring.recorded(), 4000);
+    }
+
+    #[test]
+    fn capacity_is_clamped_to_one() {
+        let ring = TraceRing::new(0);
+        assert_eq!(ring.capacity(), 1);
+        ring.record(TraceStage::Begin, 7, 0, 0, 0);
+        assert_eq!(ring.snapshot().len(), 1);
+    }
+
+    #[test]
+    fn stage_names_are_stable() {
+        assert_eq!(TraceStage::Begin.name(), "begin");
+        assert_eq!(TraceStage::Precommit.name(), "precommit");
+        assert_eq!(TraceStage::Queued.name(), "queued");
+        assert_eq!(TraceStage::Flushed.name(), "flushed");
+        assert_eq!(TraceStage::Durable.name(), "durable");
+    }
+}

@@ -1,0 +1,90 @@
+//! Property tests for the observability core: histogram snapshots must
+//! be per-field monotone under concurrent recording, bucket math must
+//! bracket every value, and quantiles must be nondecreasing in `q`.
+
+use mmdb_obs::{bucket_index, bucket_upper_bound, Histogram, HistogramSnapshot};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Field-by-field `a ≤ b` for two snapshots of the same histogram.
+fn monotone(a: &HistogramSnapshot, b: &HistogramSnapshot) -> bool {
+    a.count <= b.count
+        && a.sum <= b.sum
+        && a.buckets.iter().zip(b.buckets.iter()).all(|(x, y)| x <= y)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn buckets_bracket_every_value(v in any::<u64>()) {
+        let i = bucket_index(v);
+        prop_assert!(v <= bucket_upper_bound(i));
+        if i > 0 {
+            prop_assert!(v > bucket_upper_bound(i - 1));
+        }
+    }
+
+    #[test]
+    fn quantiles_are_nondecreasing(
+        values in prop::collection::vec(0u64..1_000_000_000, 1..200),
+    ) {
+        let h = Histogram::new();
+        for v in &values {
+            h.record(*v);
+        }
+        let s = h.snapshot();
+        let qs = [0.0, 0.01, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0];
+        for w in qs.windows(2) {
+            prop_assert!(s.quantile(w[0]) <= s.quantile(w[1]));
+        }
+        // Every quantile bound covers at least the minimum sample and
+        // at most brackets the maximum one.
+        let max = values.iter().max().copied().unwrap_or(0);
+        prop_assert!(s.quantile(1.0) <= bucket_upper_bound(bucket_index(max)));
+    }
+
+    #[test]
+    fn snapshots_are_monotone_under_concurrent_recording(
+        values in prop::collection::vec(0u64..1_000_000, 32..200),
+        threads in 2usize..5,
+    ) {
+        let h = Arc::new(Histogram::new());
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let h = Arc::clone(&h);
+                let values = values.clone();
+                std::thread::spawn(move || {
+                    for v in values {
+                        h.record(v);
+                    }
+                })
+            })
+            .collect();
+
+        // Interleave snapshots with the recording threads: each
+        // successive snapshot must dominate the previous one in every
+        // bucket, the count, and the sum.
+        let mut prev = h.snapshot();
+        while handles.iter().any(|t| !t.is_finished()) {
+            let next = h.snapshot();
+            prop_assert!(monotone(&prev, &next), "snapshot regressed");
+            prev = next;
+        }
+        for t in handles {
+            t.join().expect("recorder thread");
+        }
+
+        let finished = h.snapshot();
+        prop_assert!(monotone(&prev, &finished));
+        let n = (values.len() * threads) as u64;
+        prop_assert_eq!(finished.count, n);
+        prop_assert_eq!(
+            finished.buckets.iter().sum::<u64>(),
+            n,
+            "every sample landed in exactly one bucket"
+        );
+        let expected_sum: u64 = values.iter().sum::<u64>() * threads as u64;
+        prop_assert_eq!(finished.sum, expected_sum);
+    }
+}

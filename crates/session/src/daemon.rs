@@ -28,8 +28,10 @@
 //! take `durable` and the shard locks one group at a time, never nested
 //! across groups.
 
+use crate::metrics::{us_since, SessionMetrics};
 use crate::policy::{CommitPolicy, EngineOptions};
 use crate::shard::{shard_of, Shard, TxnTable};
+use mmdb_obs::TraceStage;
 use mmdb_recovery::wal::WalDevice;
 use mmdb_recovery::{LogRecord, Lsn};
 use mmdb_types::{AuditViolation, Auditable, Error, Result, TxnId};
@@ -37,15 +39,32 @@ use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Instant;
 
-/// A commit record waiting to become durable: the transaction and the
-/// §5.2 dependency list its precommit produced.
+/// What a committer hands [`Shared::append`] alongside its commit
+/// record: the §5.2 dependency list its precommit produced and the
+/// shard mask its trace events carry.
+#[derive(Debug, Clone)]
+pub(crate) struct CommitInfo {
+    /// Transactions whose commit records must be durable first.
+    pub deps: Vec<TxnId>,
+    /// Lock-table shards the transaction touched (trace metadata).
+    pub mask: u64,
+}
+
+/// A commit record waiting to become durable: the transaction, the
+/// §5.2 dependency list its precommit produced, and the identity its
+/// trace events carry (commit LSN + shard mask).
 #[derive(Debug, Clone)]
 pub(crate) struct PendingCommit {
     /// The committing transaction.
     pub txn: TxnId,
     /// Transactions whose commit records must be durable first.
     pub deps: Vec<TxnId>,
+    /// LSN of the commit record itself.
+    pub lsn: Lsn,
+    /// Lock-table shards the transaction touched.
+    pub mask: u64,
 }
 
 /// One record in the shared log queue.
@@ -132,6 +151,9 @@ pub(crate) struct Shared {
     pub durable: Mutex<DurableTable>,
     /// Signalled on every durability transition (page written, crash).
     pub durable_cv: Condvar,
+    /// Metric handles and the commit-pipeline trace ring. Recording is
+    /// all relaxed atomics, so it is safe anywhere in the lock order.
+    pub metrics: SessionMetrics,
 }
 
 impl Shared {
@@ -154,6 +176,8 @@ impl Shared {
                 }
             }
         }
+        let metrics = SessionMetrics::new(n, options.trace_capacity);
+        metrics.note_appended_lsn(next_lsn.max(1).saturating_sub(1));
         Shared {
             options,
             shards,
@@ -166,6 +190,7 @@ impl Shared {
             queue_cv: Condvar::new(),
             durable: Mutex::new(DurableTable::default()),
             durable_cv: Condvar::new(),
+            metrics,
         }
     }
 
@@ -234,21 +259,28 @@ impl Shared {
     /// records in precommit order and keeps every dependency's commit
     /// LSN (and page) ahead of its dependent's. `force` requests an
     /// immediate flush (synchronous commit).
-    pub fn append(&self, items: Vec<(LogRecord, Option<Vec<TxnId>>)>, force: bool) -> Result<Lsn> {
+    pub fn append(&self, items: Vec<(LogRecord, Option<CommitInfo>)>, force: bool) -> Result<Lsn> {
         let mut q = self.queue_guard()?;
         if q.shutdown || q.crashed {
             return Err(Error::Shutdown);
         }
         let mut last = Lsn(q.next_lsn);
         let mut commits = 0usize;
-        for (record, deps) in items {
+        for (record, info) in items {
             let lsn = Lsn(q.next_lsn);
             q.next_lsn += 1;
             q.bytes += record.byte_size();
-            let commit = match (&record, deps) {
-                (LogRecord::Commit { txn }, Some(deps)) => {
+            let commit = match (&record, info) {
+                (LogRecord::Commit { txn }, Some(info)) => {
                     commits += 1;
-                    Some(PendingCommit { txn: *txn, deps })
+                    self.metrics
+                        .trace(TraceStage::Queued, *txn, lsn.0, info.mask);
+                    Some(PendingCommit {
+                        txn: *txn,
+                        deps: info.deps,
+                        lsn,
+                        mask: info.mask,
+                    })
                 }
                 _ => None,
             };
@@ -259,6 +291,7 @@ impl Shared {
             });
             last = lsn;
         }
+        self.metrics.note_appended_lsn(last.0);
         if force {
             q.force = true;
         }
@@ -426,7 +459,30 @@ impl Shared {
                     d.outstanding
                 )
             },
-        )
+        )?;
+        // The counter and the table field are incremented together under
+        // the durable lock this audit holds.
+        let pages_counter = self.metrics.pages_written.get();
+        AuditViolation::ensure(
+            pages_counter as usize == d.pages_written,
+            C,
+            "pages-counter",
+            || {
+                format!(
+                    "pages_written counter {pages_counter} != durable table {}",
+                    d.pages_written
+                )
+            },
+        )?;
+        drop(d);
+        // Every deadlock-victim abort rode the ordinary abort path, and
+        // its per-shard counter is bumped strictly after the abort
+        // counter — so the family sum can never exceed total aborts.
+        let deadlocks: u64 = self.metrics.deadlock_aborts.iter().map(|c| c.get()).sum();
+        let aborts = self.metrics.aborts.get();
+        AuditViolation::ensure(deadlocks <= aborts, C, "deadlock-abort-accounting", || {
+            format!("{deadlocks} deadlock-victim aborts but only {aborts} aborts total")
+        })
     }
 }
 
@@ -532,6 +588,11 @@ pub(crate) fn run_daemon(shared: Arc<Shared>, senders: Vec<Sender<Page>>) {
             (pages, q.shutdown && q.records.is_empty())
         };
         if !pages.is_empty() {
+            for page in &pages {
+                if !page.commits.is_empty() {
+                    shared.metrics.batch_txns.record(page.commits.len() as u64);
+                }
+            }
             // Register commit → page before dispatch so writers can
             // resolve dependency pages and waiters can be found.
             let Ok(mut d) = shared.durable.lock() else {
@@ -574,6 +635,11 @@ pub(crate) fn run_writer(shared: Arc<Shared>, rx: Receiver<Page>, mut device: Wa
         if !wait_for_dependencies(&shared, &page) {
             continue; // crashed: the page is abandoned, never written
         }
+        // The fsync histogram covers the page write itself — modeled
+        // device latency plus the real append-and-sync — but not the
+        // dependency wait above, which measures the §5.2 ordering rule
+        // rather than the device.
+        let write_started = Instant::now();
         let latency = device.write_latency();
         if !latency.is_zero() {
             std::thread::sleep(latency);
@@ -584,6 +650,12 @@ pub(crate) fn run_writer(shared: Arc<Shared>, rx: Receiver<Page>, mut device: Wa
         if let Err(e) = device.append_page(&page.records) {
             shared.fail(e);
             return;
+        }
+        shared.metrics.fsync_us.record(us_since(write_started));
+        for c in &page.commits {
+            shared
+                .metrics
+                .trace(TraceStage::Flushed, c.txn, c.lsn.0, c.mask);
         }
         if !complete_page(&shared, page) {
             return;
@@ -632,6 +704,9 @@ fn complete_page(shared: &Shared, page: Page) -> bool {
         let last_lsn = page.records.last().map(|(l, _)| l.0).unwrap_or(0);
         d.written.insert(page.seqno, last_lsn);
         d.pages_written += 1;
+        // Counter and table field move together under this lock; the
+        // audit's pages-counter invariant holds them equal.
+        shared.metrics.pages_written.inc();
         let mut newly: Vec<PendingCommit> = Vec::new();
         while let Some(lsn) = d.written.remove(&d.watermark) {
             // Pages are cut in LSN order, so retiring the next seqno
@@ -646,6 +721,7 @@ fn complete_page(shared: &Shared, page: Page) -> bool {
             d.commit_page.remove(&c.txn);
             d.outstanding = d.outstanding.saturating_sub(1);
         }
+        shared.metrics.update_durable_lag(d.durable_lsn);
         shared.durable_cv.notify_all();
         newly
     };
@@ -657,9 +733,16 @@ fn complete_page(shared: &Shared, page: Page) -> bool {
     // its txn-table entry. `finalize_commit` is a no-op on shards the
     // mask overestimates.
     for c in &newly {
+        shared
+            .metrics
+            .trace(TraceStage::Durable, c.txn, c.lsn.0, c.mask);
         let Ok(Some(meta)) = shared.txns.get(c.txn) else {
             continue; // already finalized, or the engine is tearing down
         };
+        shared
+            .metrics
+            .commit_latency_us
+            .record(us_since(meta.begun_at));
         let Ok(mut guards) = shared.lock_mask(meta.mask) else {
             return false;
         };
@@ -684,6 +767,8 @@ mod tests {
             LogRecord::Commit { txn } => Some(PendingCommit {
                 txn: *txn,
                 deps: Vec::new(),
+                lsn: Lsn(lsn),
+                mask: 0,
             }),
             _ => None,
         };

@@ -19,10 +19,12 @@
 //! [`Session::wait_durable`] blocks for it and a synchronous-policy
 //! commit does so before returning.
 
-use crate::daemon::{self, Page, Shared};
+use crate::daemon::{self, CommitInfo, Page, Shared};
+use crate::metrics::us_since;
 use crate::policy::{CommitPolicy, EngineOptions};
 use crate::shard::{rollback_shard, ShardState, TxnPhase};
 use mmdb::SharedDatabase;
+use mmdb_obs::{Registry, StatsSnapshot, TraceEvent, TraceStage};
 use mmdb_recovery::wal::WalDevice;
 use mmdb_recovery::{detect_deadlocks_in, LogRecord, Lsn};
 use mmdb_types::{AuditViolation, Auditable, Error, Result, TxnId};
@@ -186,6 +188,30 @@ impl Engine {
         Ok(self.shared.durable_guard()?.pages_written)
     }
 
+    /// A point-in-time [`StatsSnapshot`] of every engine metric:
+    /// counters, gauges, and latency histograms (percentiles via
+    /// [`mmdb_obs::HistogramSnapshot`]).
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.metrics.registry.snapshot()
+    }
+
+    /// The engine's metrics as a Prometheus-style text exposition.
+    pub fn render_metrics(&self) -> String {
+        self.shared.metrics.registry.render_text()
+    }
+
+    /// The commit-pipeline trace events currently held by the ring
+    /// (begin → precommit → queued → flushed → durable), oldest first.
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.shared.metrics.trace_events()
+    }
+
+    /// The engine's metric [`Registry`] — callers may register their
+    /// own metrics into the same exposition (recovery does).
+    pub fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.shared.metrics.registry)
+    }
+
     /// Stops the engine gracefully: drains and writes every queued
     /// record, joins the threads, and surfaces any device failure.
     pub fn shutdown(mut self) -> Result<()> {
@@ -271,14 +297,20 @@ impl Session {
     pub fn begin(&self) -> Result<Txn> {
         let id = self.shared.alloc_txn();
         self.shared.txns.register(id)?;
-        if let Err(e) = self
+        match self
             .shared
             .append(vec![(LogRecord::Begin { txn: id }, None)], false)
         {
-            let _ = self.shared.txns.remove(id);
-            return Err(e);
+            Ok(lsn) => {
+                self.shared.metrics.begins.inc();
+                self.shared.metrics.trace(TraceStage::Begin, id, lsn.0, 0);
+                Ok(Txn(id))
+            }
+            Err(e) => {
+                let _ = self.shared.txns.remove(id);
+                Err(e)
+            }
         }
-        Ok(Txn(id))
     }
 
     /// Reads a key's current value without locking — the latest image,
@@ -360,7 +392,7 @@ impl Session {
         // through a stale Copy of the handle either lands before the
         // claim (we retry with the grown mask) or fails its own
         // validation after it.
-        let mask = loop {
+        let meta = loop {
             let Some(meta) = self.shared.txns.get(id)? else {
                 return Err(Error::InvalidTransaction(id.0));
             };
@@ -372,9 +404,10 @@ impl Session {
                 .txns
                 .claim(id, meta.mask, TxnPhase::Precommitted)?
             {
-                break meta.mask;
+                break meta;
             }
         };
+        let mask = meta.mask;
         // Lock every touched shard (ascending) and pre-commit on each:
         // locks are released to waiters, who inherit §5.2 commit
         // dependencies. The commit record is appended while the guards
@@ -383,20 +416,34 @@ impl Session {
         // precommit order (see `Shared::append`).
         let mut guards = self.shared.lock_mask(mask)?;
         let mut deps: Vec<TxnId> = Vec::new();
-        for (_, state) in guards.iter_mut() {
+        let held_us = meta.locked_at.map(us_since);
+        for (i, state) in guards.iter_mut() {
             // The mask may overestimate (a failed acquire still sets the
             // bit); skip shards that never registered the transaction.
             if state.locks.is_active(id) {
                 deps.extend(state.locks.precommit(id)?);
+                // Pre-commit is the release point (§5.2): the hold
+                // histogram measures first-acquisition → here.
+                if let (Some(us), Some(h)) = (held_us, self.shared.metrics.lock_hold_us.get(*i)) {
+                    h.record(us);
+                }
             }
             state.undo.remove(&id);
             self.model_lock_op();
         }
         deps.sort_unstable_by_key(|t| t.0);
         deps.dedup();
-        let lsn = self
-            .shared
-            .append(vec![(LogRecord::Commit { txn: id }, Some(deps))], sync)?;
+        self.shared
+            .metrics
+            .trace(TraceStage::Precommit, id, 0, mask);
+        let lsn = self.shared.append(
+            vec![(
+                LogRecord::Commit { txn: id },
+                Some(CommitInfo { deps, mask }),
+            )],
+            sync,
+        )?;
+        self.shared.metrics.commits.inc();
         drop(guards);
         // Pre-commit released this transaction's locks: wake waiters.
         self.shared.notify_shards(mask);
@@ -478,6 +525,7 @@ impl Session {
             .append(vec![(LogRecord::Abort { txn }, None)], false);
         drop(guards);
         let _ = self.shared.txns.remove(txn);
+        self.shared.metrics.aborts.inc();
         self.shared.notify_shards(mask);
         Ok(())
     }
@@ -506,6 +554,27 @@ impl Session {
         &self.catalog
     }
 
+    /// A point-in-time [`StatsSnapshot`] of the engine's metrics (the
+    /// same registry [`Engine::stats`] reads).
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.metrics.registry.snapshot()
+    }
+
+    /// The engine's metrics as a Prometheus-style text exposition.
+    pub fn render_metrics(&self) -> String {
+        self.shared.metrics.registry.render_text()
+    }
+
+    /// The commit-pipeline trace events currently held by the ring.
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.shared.metrics.trace_events()
+    }
+
+    /// The engine's metric [`Registry`].
+    pub fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.shared.metrics.registry)
+    }
+
     /// Acquires a lock on `key` for `txn` on the owning shard, waiting
     /// (bounded) on conflicts and aborting `txn` if global deadlock
     /// detection picks it as the victim. Returns the shard guard so
@@ -524,6 +593,9 @@ impl Session {
         self.shared.txns.touch(txn, si)?;
         let shard = self.shared.shard(key)?;
         let deadline = Instant::now() + self.shared.options.lock_wait_timeout;
+        // Wait timing starts at the first conflict, so uncontended
+        // acquisitions don't flood the histogram's zero bucket.
+        let mut wait_started: Option<Instant> = None;
         let mut state = shard.guard()?;
         loop {
             // Re-validate under the shard lock on every iteration: an
@@ -542,15 +614,31 @@ impl Session {
             };
             self.model_lock_op();
             match attempt {
-                Ok(()) => return Ok(state),
+                Ok(()) => {
+                    if let (Some(started), Some(h)) =
+                        (wait_started, self.shared.metrics.lock_wait_us.get(si))
+                    {
+                        h.record(us_since(started));
+                    }
+                    return Ok(state);
+                }
                 Err(Error::LockConflict { .. }) => {
+                    wait_started.get_or_insert_with(Instant::now);
                     // Deadlock detection is global: a cycle can span
                     // shards, so the edges of every shard are merged
                     // (shards locked one at a time — this one's guard is
                     // dropped first, respecting the ascending order).
                     drop(state);
                     if self.global_victims()?.contains(&txn) {
-                        let _ = self.abort_by_id(txn);
+                        // The victim's abort rides the ordinary abort
+                        // path (bumping the abort counter first), then
+                        // the per-shard deadlock counter attributes it
+                        // to the shard it was waiting on.
+                        if self.abort_by_id(txn).is_ok() {
+                            if let Some(c) = self.shared.metrics.deadlock_aborts.get(si) {
+                                c.inc();
+                            }
+                        }
                         return Err(Error::TransactionAborted(txn.0));
                     }
                     let now = Instant::now();

@@ -59,6 +59,8 @@
 mod daemon;
 /// §5.2 the engine front-end, sessions, and the pre-commit protocol.
 mod engine;
+/// Metric handles and the commit-pipeline trace (obs wiring).
+mod metrics;
 /// §5.2 commit policies and engine options.
 mod policy;
 /// §5.2 restart recovery under the contiguous-LSN-prefix rule.
@@ -70,6 +72,11 @@ mod shard;
 pub use engine::{CommitTicket, Engine, Session, Txn};
 pub use policy::{CommitPolicy, EngineOptions};
 pub use recover::RecoveryInfo;
+
+// Re-export the observability surface engine callers consume through
+// [`Engine::stats`] / [`Engine::trace_events`], so depending on
+// `mmdb-obs` directly is optional.
+pub use mmdb_obs::{HistogramSnapshot, Registry, StatsSnapshot, TraceEvent, TraceStage};
 
 #[cfg(test)]
 mod tests {

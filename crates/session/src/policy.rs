@@ -90,6 +90,9 @@ pub struct EngineOptions {
     /// benchmark measures the architecture's blocking structure even on
     /// a one-core host.
     pub lock_op_latency: Duration,
+    /// Slots in the commit-pipeline trace ring (overwrite-oldest);
+    /// recording is lock-free regardless of size. Defaults to 1024.
+    pub trace_capacity: usize,
 }
 
 impl EngineOptions {
@@ -108,6 +111,7 @@ impl EngineOptions {
             lock_wait_timeout: Duration::from_secs(1),
             shards: default_shards(),
             lock_op_latency: Duration::ZERO,
+            trace_capacity: 1024,
         }
     }
 
@@ -145,6 +149,13 @@ impl EngineOptions {
     /// [`EngineOptions::lock_op_latency`]).
     pub fn with_lock_op_latency(mut self, latency: Duration) -> Self {
         self.lock_op_latency = latency;
+        self
+    }
+
+    /// Sets the commit-pipeline trace ring capacity (slots; clamped to
+    /// at least 1 by the ring itself).
+    pub fn with_trace_capacity(mut self, slots: usize) -> Self {
+        self.trace_capacity = slots;
         self
     }
 

@@ -236,7 +236,9 @@ impl Engine {
     /// crash *during* recovery itself falls back to the generation it
     /// was recovering from.
     pub fn recover(options: EngineOptions) -> Result<(Engine, RecoveryInfo)> {
+        let replay_started = std::time::Instant::now();
         let image = replay_dir(&options.log_dir)?;
+        let replay_us = u64::try_from(replay_started.elapsed().as_micros()).unwrap_or(u64::MAX);
         let old_files = log_files(&options.log_dir)?;
         let mut devices = open_devices(&options, image.max_generation + 1)?;
         // Snapshot before deleting anything: `append_page` syncs every
@@ -260,6 +262,22 @@ impl Engine {
             next_lsn,
             devices,
         )?;
+        // Restart-cost visibility (§5.2's recovery-time concern): how
+        // many transactions the log prefix carried and how long the
+        // replay scan took, exposed through the engine's own registry.
+        let registry = engine.registry();
+        registry
+            .gauge(
+                "mmdb_session_recovered_txns",
+                "Committed transactions restored by the last restart recovery",
+            )
+            .set(i64::try_from(image.info.committed.len()).unwrap_or(i64::MAX));
+        registry
+            .gauge(
+                "mmdb_session_recovery_replay_us",
+                "Wall time of the last restart recovery's log replay",
+            )
+            .set(i64::try_from(replay_us).unwrap_or(i64::MAX));
         Ok((engine, image.info))
     }
 }

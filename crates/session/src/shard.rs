@@ -31,6 +31,7 @@ use mmdb_recovery::LockManager;
 use mmdb_types::{Error, Result, TxnId};
 use std::collections::HashMap;
 use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::Instant;
 
 /// Hard ceiling on the shard count: shard membership is tracked as a bit
 /// mask in a `u64` (§5.2 scaling needs tens of shards, not thousands).
@@ -99,11 +100,17 @@ pub(crate) enum TxnPhase {
 /// Per-transaction bookkeeping: which shards it touched (bit `i` set =
 /// shard `i`) and its lifecycle phase. The mask may overestimate — a
 /// failed acquire still sets the bit — which only costs a no-op visit at
-/// precommit/abort/finalize time.
+/// precommit/abort/finalize time. The two instants feed the engine's
+/// latency histograms: `begun_at` → commit latency (begin to durable),
+/// `locked_at` → lock hold time (first acquisition to precommit).
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct TxnMeta {
     pub mask: u64,
     pub phase: TxnPhase,
+    /// When the transaction registered (its begin).
+    pub begun_at: Instant,
+    /// When it first touched any shard's lock table, if it has.
+    pub locked_at: Option<Instant>,
 }
 
 /// The transaction table: `TxnMeta` per live transaction, sharded by
@@ -131,13 +138,15 @@ impl TxnTable {
             .map_err(|_| Error::Poisoned("txn table slot".into()))
     }
 
-    /// Registers a freshly begun transaction.
+    /// Registers a freshly begun transaction, stamping its begin time.
     pub fn register(&self, txn: TxnId) -> Result<()> {
         self.slot(txn)?.insert(
             txn,
             TxnMeta {
                 mask: 0,
                 phase: TxnPhase::Active,
+                begun_at: Instant::now(),
+                locked_at: None,
             },
         );
         Ok(())
@@ -165,6 +174,9 @@ impl TxnTable {
         match slot.get_mut(&txn) {
             Some(meta) if meta.phase == TxnPhase::Active => {
                 meta.mask |= 1 << shard;
+                if meta.locked_at.is_none() {
+                    meta.locked_at = Some(Instant::now());
+                }
                 Ok(())
             }
             _ => Err(Error::InvalidTransaction(txn.0)),

@@ -8,6 +8,7 @@
 
 use mmdb_types::SystemParams;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Thread-safe counters for the six primitive operations of Table 2.
 #[derive(Debug, Default)]
@@ -143,6 +144,52 @@ impl CostMeter {
     pub fn seconds(&self, p: &SystemParams) -> f64 {
         self.snapshot().seconds(p)
     }
+
+    /// Bridges this meter's six Table 2 counters into an
+    /// [`mmdb_obs::Registry`] as live callback metrics, so virtual-clock
+    /// benches and the wall-clock session engine share one snapshot and
+    /// exposition format. The registry reads the meter's atomics at
+    /// snapshot/render time — nothing is copied, and `reset` shows
+    /// through (the exposition is a window onto the meter, not a log).
+    pub fn register_into(self: &Arc<CostMeter>, registry: &mmdb_obs::Registry) {
+        type Row = (&'static str, &'static str, fn(&CostSnapshot) -> u64);
+        let pairs: [Row; 6] = [
+            (
+                "mmdb_cost_comparisons_total",
+                "Key comparisons charged (Table 2 `comp`)",
+                |s| s.comparisons,
+            ),
+            (
+                "mmdb_cost_hashes_total",
+                "Key hashes charged (Table 2 `hash`)",
+                |s| s.hashes,
+            ),
+            (
+                "mmdb_cost_moves_total",
+                "Tuple moves charged (Table 2 `move`)",
+                |s| s.moves,
+            ),
+            (
+                "mmdb_cost_swaps_total",
+                "Tuple swaps charged (Table 2 `swap`)",
+                |s| s.swaps,
+            ),
+            (
+                "mmdb_cost_seq_ios_total",
+                "Sequential I/O operations charged (Table 2 `IOseq`)",
+                |s| s.seq_ios,
+            ),
+            (
+                "mmdb_cost_rand_ios_total",
+                "Random I/O operations charged (Table 2 `IOrand`)",
+                |s| s.rand_ios,
+            ),
+        ];
+        for (name, help, field) in pairs {
+            let meter = Arc::clone(self);
+            registry.counter_fn(name, help, move || field(&meter.snapshot()));
+        }
+    }
 }
 
 #[cfg(test)]
@@ -191,6 +238,36 @@ mod tests {
         assert_eq!(d.hashes, 6);
         assert_eq!(d.swaps, 2);
         assert_eq!(d.comparisons, 0);
+    }
+
+    #[test]
+    fn registers_live_callbacks_into_obs() {
+        use std::sync::Arc;
+        let m = Arc::new(CostMeter::new());
+        let registry = mmdb_obs::Registry::new();
+        m.register_into(&registry);
+        m.charge_comparisons(5);
+        m.charge_rand_ios(2);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("mmdb_cost_comparisons_total"), Some(5));
+        assert_eq!(snap.counter("mmdb_cost_rand_ios_total"), Some(2));
+        assert_eq!(snap.counter("mmdb_cost_swaps_total"), Some(0));
+        // Live view: later charges show in later snapshots, and reset
+        // shows through.
+        m.charge_comparisons(1);
+        assert_eq!(
+            registry.snapshot().counter("mmdb_cost_comparisons_total"),
+            Some(6)
+        );
+        m.reset();
+        assert_eq!(
+            registry.snapshot().counter("mmdb_cost_comparisons_total"),
+            Some(0)
+        );
+        assert!(registry.hygiene_violations().is_empty());
+        assert!(registry
+            .render_text()
+            .contains("# TYPE mmdb_cost_seq_ios_total counter"));
     }
 
     #[test]

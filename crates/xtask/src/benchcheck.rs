@@ -5,7 +5,11 @@
 //! policy's committed-tps must stay within the tolerance (default
 //! −30%) of the baseline's `smoke_runs` section, and the baseline's
 //! recorded shard-sweep scaling must still clear the ROADMAP's 2.5×
-//! bar. Run with `--fresh PATH` to check an existing smoke JSON (the
+//! bar, and every smoke-tier run (baseline and fresh) must carry the
+//! engine-side commit-latency and batch-size percentile fields the
+//! bench pulls from `Engine::stats()` — a run without them predates
+//! the observability schema. Run with `--fresh PATH` to check an
+//! existing smoke JSON (the
 //! CI job does this so the artifact it uploads is exactly the file it
 //! gated on); without it, the tool runs the smoke bench itself.
 //!
@@ -236,6 +240,43 @@ fn parse_obj(b: &[char], pos: &mut usize) -> Result<Json, String> {
 // The gate itself
 // ---------------------------------------------------------------------
 
+/// Engine-side percentile fields every smoke-tier run must carry (the
+/// bench pulls them from `Engine::stats()`); bench-check refuses
+/// baselines and fresh runs that predate the observability schema.
+const PERCENTILE_FIELDS: [&str; 6] = [
+    "commit_p50_ms",
+    "commit_p95_ms",
+    "commit_p99_ms",
+    "batch_p50_txns",
+    "batch_p95_txns",
+    "batch_p99_txns",
+];
+
+/// Gate 3: every run in `runs` carries all [`PERCENTILE_FIELDS`] as
+/// numbers. `what` names the document for the error message.
+fn require_percentiles(runs: &[Json], what: &str) -> Result<(), String> {
+    let mut missing = Vec::new();
+    for run in runs {
+        let policy = run
+            .get("policy")
+            .and_then(Json::as_str)
+            .unwrap_or("<unnamed>");
+        for field in PERCENTILE_FIELDS {
+            if run.get(field).and_then(Json::as_f64).is_none() {
+                missing.push(format!("{what} run {policy:?} lacks numeric {field:?}"));
+            }
+        }
+    }
+    if missing.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} (regenerate with `cargo run --release -p mmdb-bench --bin concurrent_commit`)",
+            missing.join("; ")
+        ))
+    }
+}
+
 /// One policy's committed tps pulled out of a runs array.
 fn tps_by_policy(runs: &[Json]) -> Vec<(String, f64)> {
     runs.iter()
@@ -353,6 +394,7 @@ fn bench_check_inner(
     if baseline_tps.is_empty() {
         return Err("baseline smoke_runs.runs is empty".to_string());
     }
+    require_percentiles(baseline_smoke, "baseline smoke")?;
 
     // Gate 2: a fresh smoke run must hold every policy's committed tps
     // within tolerance of the baseline.
@@ -379,6 +421,11 @@ fn bench_check_inner(
         .get("runs")
         .and_then(Json::as_arr)
         .ok_or("fresh JSON has no runs")?;
+    require_percentiles(fresh_runs, "fresh smoke")?;
+    println!(
+        "  percentile schema: all {} engine-side fields present in baseline and fresh runs",
+        PERCENTILE_FIELDS.len()
+    );
     let fresh_tps = tps_by_policy(fresh_runs);
 
     let mut regressions = Vec::new();
@@ -454,19 +501,28 @@ mod tests {
         path
     }
 
+    /// The six engine-side percentile fields Gate 3 requires, as a JSON
+    /// fragment ready to splice into a run object.
+    fn percentile_fields() -> &'static str {
+        r#""commit_p50_ms": 1.2, "commit_p95_ms": 3.4, "commit_p99_ms": 5.6,
+           "batch_p50_txns": 3, "batch_p95_txns": 7, "batch_p99_txns": 15"#
+    }
+
     fn baseline_doc(scaling: f64, group_tps: f64) -> String {
         format!(
             r#"{{"bench": "concurrent_commit", "mode": "full",
                 "shard_sweep": {{"scaling_best_vs_one": {scaling}}},
                 "smoke_runs": {{"runs": [
-                    {{"policy": "group", "tps": {group_tps}}}]}}}}"#
+                    {{"policy": "group", "tps": {group_tps}, {}}}]}}}}"#,
+            percentile_fields()
         )
     }
 
     fn smoke_doc(group_tps: f64) -> String {
         format!(
             r#"{{"bench": "concurrent_commit", "mode": "smoke",
-                "runs": [{{"policy": "group", "tps": {group_tps}}}]}}"#
+                "runs": [{{"policy": "group", "tps": {group_tps}, {}}}]}}"#,
+            percentile_fields()
         )
     }
 
@@ -505,8 +561,11 @@ mod tests {
         let baseline = write_tmp("base-missing.json", &baseline_doc(3.0, 1000.0));
         let fresh = write_tmp(
             "fresh-missing.json",
-            r#"{"bench": "concurrent_commit", "mode": "smoke",
-                "runs": [{"policy": "sync", "tps": 9999.0}]}"#,
+            &format!(
+                r#"{{"bench": "concurrent_commit", "mode": "smoke",
+                "runs": [{{"policy": "sync", "tps": 9999.0, {}}}]}}"#,
+                percentile_fields()
+            ),
         );
         let err = bench_check_inner(&root, Some(&fresh), &baseline, 0.30).unwrap_err();
         assert!(
@@ -514,6 +573,38 @@ mod tests {
             "unexpected error: {err}"
         );
         for p in [&baseline, &fresh] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn gate_fails_when_percentile_fields_are_absent() {
+        let root = std::env::temp_dir();
+        let baseline = write_tmp("base-pctl.json", &baseline_doc(3.0, 1000.0));
+        // A pre-observability smoke run: tps only, no engine percentiles.
+        let fresh = write_tmp(
+            "fresh-pctl.json",
+            r#"{"bench": "concurrent_commit", "mode": "smoke",
+                "runs": [{"policy": "group", "tps": 1000.0}]}"#,
+        );
+        let err = bench_check_inner(&root, Some(&fresh), &baseline, 0.30).unwrap_err();
+        assert!(
+            err.contains("lacks numeric \"commit_p50_ms\""),
+            "unexpected error: {err}"
+        );
+        // A baseline missing the schema fails too, before any fresh run.
+        let old_baseline = write_tmp(
+            "base-pctl-old.json",
+            r#"{"bench": "concurrent_commit", "mode": "full",
+                "shard_sweep": {"scaling_best_vs_one": 3.0},
+                "smoke_runs": {"runs": [{"policy": "group", "tps": 1000.0}]}}"#,
+        );
+        let err = bench_check_inner(&root, Some(&fresh), &old_baseline, 0.30).unwrap_err();
+        assert!(
+            err.contains("baseline smoke run \"group\" lacks"),
+            "unexpected error: {err}"
+        );
+        for p in [&baseline, &fresh, &old_baseline] {
             std::fs::remove_file(p).ok();
         }
     }

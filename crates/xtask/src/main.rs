@@ -22,10 +22,16 @@
 //!
 //! `cargo xtask bench-check` is the bench-regression gate: it compares
 //! a fresh `concurrent_commit --smoke` run against the checked-in
-//! `BENCH_concurrent_commit.json` baseline (see [`benchcheck`]).
+//! `BENCH_concurrent_commit.json` baseline and requires the engine-side
+//! commit-latency/batch-size percentile fields (see [`benchcheck`]).
+//!
+//! `cargo xtask metrics-lint` checks metric-name hygiene at every obs
+//! registration call site: snake_case, a unit suffix, and global
+//! uniqueness (see [`metricslint`]).
 
 mod allowlist;
 mod benchcheck;
+mod metricslint;
 mod passes;
 mod scan;
 
@@ -33,9 +39,11 @@ use passes::Finding;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-/// Engine crates covered by the audit, as `crates/<name>` directories.
-const ENGINE_CRATES: [&str; 9] = [
+/// Engine crates covered by the audit and the metrics lint, as
+/// `crates/<name>` directories.
+const ENGINE_CRATES: [&str; 10] = [
     "types", "storage", "index", "analytic", "exec", "planner", "recovery", "core", "session",
+    "obs",
 ];
 
 /// Crates whose cost-model code the lossy-cast pass applies to.
@@ -49,10 +57,12 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("audit") => audit(args.iter().any(|a| a == "--verbose")),
         Some("bench-check") => benchcheck::bench_check(&workspace_root(), &args[1..]),
+        Some("metrics-lint") => metricslint::metrics_lint(&workspace_root()),
         _ => {
             eprintln!(
                 "usage: cargo xtask audit [--verbose]\n       \
-                 cargo xtask bench-check [--fresh PATH] [--baseline PATH] [--tolerance FRAC]"
+                 cargo xtask bench-check [--fresh PATH] [--baseline PATH] [--tolerance FRAC]\n       \
+                 cargo xtask metrics-lint"
             );
             ExitCode::FAILURE
         }

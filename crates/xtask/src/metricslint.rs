@@ -1,0 +1,325 @@
+//! `cargo xtask metrics-lint` — metric-name hygiene for the obs
+//! registry's call sites.
+//!
+//! The `mmdb-obs` registry accepts any `&'static str` as a metric name;
+//! nothing at compile time stops a crate from registering `FooBar`,
+//! `commit_latency` (no unit), or the same name twice for two different
+//! things. This lint closes that gap statically: it scans the engine
+//! crates for registration calls whose first argument is a string
+//! literal — `.counter("…")`, `.counter_labeled("…")`, `.counter_fn("…")`,
+//! `.gauge("…")`, `.gauge_labeled("…")`, `.histogram("…")`,
+//! `.histogram_labeled("…")` — and checks each name for:
+//!
+//! * **snake_case** — starts with a lowercase ASCII letter, contains
+//!   only `[a-z0-9_]`, no doubled or trailing underscores;
+//! * **unit suffix** — ends in one of the recognized unit suffixes
+//!   (`_total`, `_us`, `_bytes`, `_txns`, `_lsn`, `_seconds`, `_ratio`,
+//!   `_ops`, `_count`), so a reading's dimension is always in its name;
+//! * **uniqueness** — no name is registered from two different call
+//!   sites (the registry would happily alias them; per-shard labeled
+//!   families registered in one loop are a single call site and fine).
+//!
+//! Like the audit passes, the lint works on [`crate::scan::clean`]'s
+//! view of each file: comments are blanked (doc-comment examples don't
+//! count), `#[cfg(test)]` regions are skipped, and string literals keep
+//! their quotes and column positions so the raw text can be read back
+//! for the name itself. Calls whose first argument is not a literal
+//! (e.g. a name forwarded through a helper) are out of the lint's
+//! reach and skipped.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+/// Registration methods whose first argument names a metric.
+const METHODS: [&str; 7] = [
+    ".counter_labeled(",
+    ".counter_fn(",
+    ".counter(",
+    ".gauge_labeled(",
+    ".gauge(",
+    ".histogram_labeled(",
+    ".histogram(",
+];
+
+/// Recognized unit suffixes; a metric name must end in one.
+const UNIT_SUFFIXES: [&str; 9] = [
+    "_total", "_us", "_bytes", "_txns", "_lsn", "_seconds", "_ratio", "_ops", "_count",
+];
+
+/// One metric-name registration found in source.
+#[derive(Debug, PartialEq)]
+struct Registration {
+    name: String,
+    /// `path:line` of the call site.
+    at: String,
+    /// Call-site line, for numeric ordering within a file.
+    line: usize,
+}
+
+/// One rule violation.
+#[derive(Debug, PartialEq)]
+struct Violation {
+    at: String,
+    what: String,
+}
+
+/// Extracts every literal-named registration from one file. `rel` is
+/// the path used in `at` strings; works on the cleaned view (comments
+/// blanked, tests marked) and reads names back from the raw text.
+fn registrations_in(rel: &str, text: &str) -> Vec<Registration> {
+    let clean_lines = crate::scan::clean(text);
+    let raw_lines: Vec<&str> = text.lines().collect();
+    // Flatten to char streams with a per-char line map, dropping
+    // `#[cfg(test)]` regions so test fixtures never trip the lint.
+    let mut cleaned: Vec<char> = Vec::new();
+    let mut raw: Vec<char> = Vec::new();
+    let mut line_of: Vec<usize> = Vec::new();
+    for cl in &clean_lines {
+        if cl.in_test {
+            continue;
+        }
+        let raw_line = raw_lines.get(cl.no - 1).copied().unwrap_or("");
+        // clean() preserves column structure, so the two sides stay in
+        // step; guard anyway in case a line's lengths ever diverge.
+        let code: Vec<char> = cl.code.chars().collect();
+        let orig: Vec<char> = raw_line.chars().collect();
+        let width = code.len().min(orig.len());
+        cleaned.extend(code.iter().take(width));
+        raw.extend(orig.iter().take(width));
+        line_of.extend(std::iter::repeat(cl.no).take(width));
+        cleaned.push('\n');
+        raw.push('\n');
+        line_of.push(cl.no);
+    }
+
+    let mut out = Vec::new();
+    for method in METHODS {
+        let pat: Vec<char> = method.chars().collect();
+        let mut i = 0usize;
+        while i + pat.len() <= cleaned.len() {
+            if cleaned.get(i..i + pat.len()) != Some(pat.as_slice()) {
+                i += 1;
+                continue;
+            }
+            let mut j = i + pat.len();
+            while cleaned.get(j).is_some_and(|c| c.is_whitespace()) {
+                j += 1;
+            }
+            // Only literal first arguments are lintable; `counter(name,`
+            // forwarded through a helper is skipped.
+            if cleaned.get(j) == Some(&'"') {
+                let open = j;
+                let mut close = open + 1;
+                while close < cleaned.len() && cleaned.get(close) != Some(&'"') {
+                    close += 1;
+                }
+                if close < cleaned.len() {
+                    let name: String = raw
+                        .get(open + 1..close)
+                        .unwrap_or_default()
+                        .iter()
+                        .collect();
+                    // The call site's line, not the literal's — multiline
+                    // calls report where the method is invoked.
+                    let line = line_of.get(i).copied().unwrap_or(0);
+                    out.push(Registration {
+                        name,
+                        at: format!("{rel}:{line}"),
+                        line,
+                    });
+                }
+            }
+            i += pat.len();
+        }
+    }
+    out.sort_by(|a, b| a.line.cmp(&b.line).then(a.name.cmp(&b.name)));
+    out
+}
+
+/// True when `name` is well-formed snake_case.
+fn is_snake_case(name: &str) -> bool {
+    let mut chars = name.chars();
+    let Some(first) = chars.next() else {
+        return false;
+    };
+    first.is_ascii_lowercase()
+        && name
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        && !name.contains("__")
+        && !name.ends_with('_')
+}
+
+/// Applies the three rules to a set of registrations.
+fn check(regs: &[Registration]) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    for r in regs {
+        if !is_snake_case(&r.name) {
+            violations.push(Violation {
+                at: r.at.clone(),
+                what: format!(
+                    "metric name {:?} is not snake_case \
+                     (lowercase start, [a-z0-9_], no '__', no trailing '_')",
+                    r.name
+                ),
+            });
+        }
+        if !UNIT_SUFFIXES.iter().any(|s| r.name.ends_with(s)) {
+            violations.push(Violation {
+                at: r.at.clone(),
+                what: format!(
+                    "metric name {:?} lacks a unit suffix (one of {})",
+                    r.name,
+                    UNIT_SUFFIXES.join(", ")
+                ),
+            });
+        }
+    }
+    // Uniqueness across call sites: the same literal registered from
+    // two places aliases two meanings onto one exposition row.
+    let mut first_site: Vec<(&str, &str)> = Vec::new();
+    for r in regs {
+        match first_site.iter().find(|(n, _)| *n == r.name.as_str()) {
+            None => first_site.push((&r.name, &r.at)),
+            Some((_, at)) if *at != r.at => violations.push(Violation {
+                at: r.at.clone(),
+                what: format!("metric name {:?} already registered at {at}", r.name),
+            }),
+            Some(_) => {}
+        }
+    }
+    violations.sort_by(|a, b| a.at.cmp(&b.at).then(a.what.cmp(&b.what)));
+    violations
+}
+
+/// Entry point for `cargo xtask metrics-lint`.
+pub fn metrics_lint(root: &Path) -> ExitCode {
+    let mut regs: Vec<Registration> = Vec::new();
+    let mut files_scanned = 0usize;
+    for krate in crate::ENGINE_CRATES {
+        let src = root.join("crates").join(krate).join("src");
+        for file in crate::rust_files(&src) {
+            let rel = file
+                .strip_prefix(root)
+                .unwrap_or(&file)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let Ok(text) = std::fs::read_to_string(&file) else {
+                eprintln!("metrics-lint: unreadable file {rel}");
+                return ExitCode::FAILURE;
+            };
+            files_scanned += 1;
+            regs.extend(registrations_in(&rel, &text));
+        }
+    }
+    let violations = check(&regs);
+    if violations.is_empty() {
+        println!(
+            "metrics-lint clean: {} metric name(s) across {files_scanned} files",
+            regs.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            println!("  {} [metrics-lint] {}", v.at, v.what);
+        }
+        println!("\nmetrics-lint FAILED: {} violation(s)", violations.len());
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_literal_registrations_including_multiline() {
+        let src = r#"
+fn wire(registry: &Registry) {
+    let c = registry.counter("mmdb_foo_total", "help");
+    let g = registry.gauge_labeled(
+        "mmdb_bar_lag_lsn",
+        "help",
+        Some(("shard", s)),
+    );
+    let h = registry.histogram(name_var, "help"); // not a literal
+}
+"#;
+        let regs = registrations_in("x.rs", src);
+        let names: Vec<&str> = regs.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, vec!["mmdb_foo_total", "mmdb_bar_lag_lsn"]);
+        assert_eq!(regs[0].at, "x.rs:3");
+        assert_eq!(regs[1].at, "x.rs:4", "multiline call reports the call site");
+        assert!(check(&regs).is_empty());
+    }
+
+    #[test]
+    fn skips_comments_and_test_regions() {
+        let src = r#"
+// registry.counter("commented_out", "help")
+fn live(r: &Registry) {
+    r.counter("mmdb_live_total", "help");
+}
+#[cfg(test)]
+mod tests {
+    fn t(r: &Registry) {
+        r.counter("TestOnly", "help");
+    }
+}
+"#;
+        let regs = registrations_in("y.rs", src);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].name, "mmdb_live_total");
+    }
+
+    #[test]
+    fn flags_case_suffix_and_duplicates() {
+        let reg = |name: &str, at: &str, line: usize| Registration {
+            name: name.into(),
+            at: at.into(),
+            line,
+        };
+        let regs = vec![
+            reg("MmdbBad_us", "a.rs:1", 1),
+            reg("mmdb_no_unit", "a.rs:2", 2),
+            reg("mmdb_dup_total", "a.rs:3", 3),
+            reg("mmdb_dup_total", "b.rs:9", 9),
+            reg("mmdb_trailing__us", "a.rs:4", 4),
+        ];
+        let violations = check(&regs);
+        let whats: Vec<&str> = violations.iter().map(|v| v.what.as_str()).collect();
+        assert!(whats.iter().any(|w| w.contains("not snake_case")));
+        assert!(whats
+            .iter()
+            .any(|w| w.contains("\"mmdb_no_unit\"") && w.contains("unit suffix")));
+        assert!(whats
+            .iter()
+            .any(|w| w.contains("already registered at a.rs:3")));
+        assert!(whats.iter().any(|w| w.contains("\"mmdb_trailing__us\"")));
+        assert_eq!(violations.len(), 4);
+    }
+
+    #[test]
+    fn snake_case_rules() {
+        assert!(is_snake_case("mmdb_commit_latency_us"));
+        assert!(is_snake_case("a1_total"));
+        assert!(!is_snake_case(""));
+        assert!(!is_snake_case("1abc_total"));
+        assert!(!is_snake_case("Mmdb_total"));
+        assert!(!is_snake_case("mmdb-dash_total"));
+        assert!(!is_snake_case("mmdb__double_total"));
+        assert!(!is_snake_case("mmdb_total_"));
+    }
+
+    #[test]
+    fn same_call_site_is_not_a_duplicate() {
+        // A labeled family registered in a loop hits the same call site
+        // once per shard; the lint sees one literal, not N.
+        let regs = vec![Registration {
+            name: "mmdb_family_total".into(),
+            at: "loop.rs:5".into(),
+            line: 5,
+        }];
+        assert!(check(&regs).is_empty());
+    }
+}

@@ -1,0 +1,210 @@
+//! Golden test of the observability exposition: the session engine's
+//! metric inventory is a stable surface. Every family the engine
+//! registers must appear in `render_text()` with the right Prometheus
+//! type, every sample line must parse, and the registry must be free of
+//! hygiene violations — a rename, a dropped metric, or a kind change
+//! fails here before any dashboard notices.
+
+use mmdb_session::{CommitPolicy, Engine, EngineOptions};
+use mmdb_storage::CostMeter;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mmdb-obs-expo-{}-{name}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn fast(policy: CommitPolicy, name: &str) -> EngineOptions {
+    EngineOptions::new(policy, tmp_dir(name))
+        .with_page_write_latency(Duration::from_micros(200))
+        .with_flush_interval(Duration::from_micros(500))
+}
+
+/// The engine's metric inventory, `(family, prometheus type)`. This
+/// list is the golden surface: adding a metric means adding a row here,
+/// and renaming or dropping one fails the test.
+const SESSION_FAMILIES: [(&str, &str); 11] = [
+    ("mmdb_session_begins_total", "counter"),
+    ("mmdb_session_commits_total", "counter"),
+    ("mmdb_session_aborts_total", "counter"),
+    ("mmdb_session_pages_written_total", "counter"),
+    ("mmdb_session_deadlock_aborts_total", "counter"),
+    ("mmdb_session_lock_wait_us", "histogram"),
+    ("mmdb_session_lock_hold_us", "histogram"),
+    ("mmdb_session_commit_latency_us", "histogram"),
+    ("mmdb_session_commit_batch_txns", "histogram"),
+    ("mmdb_session_fsync_us", "histogram"),
+    ("mmdb_session_durable_lag_lsn", "gauge"),
+];
+
+/// Every sample line must be `name[{labels}] value` with a numeric
+/// value; returns the parsed `(sample_name, value)` pairs.
+fn parse_exposition(text: &str) -> Vec<(String, f64)> {
+    let mut samples = Vec::new();
+    for line in text.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (name, value) = line
+            .rsplit_once(' ')
+            .unwrap_or_else(|| panic!("unparseable sample line {line:?}"));
+        let value: f64 = value
+            .parse()
+            .unwrap_or_else(|e| panic!("non-numeric value in {line:?}: {e}"));
+        assert!(
+            name.starts_with("mmdb_"),
+            "sample {name:?} escapes the mmdb_ namespace"
+        );
+        samples.push((name.to_string(), value));
+    }
+    samples
+}
+
+#[test]
+fn engine_exposition_is_complete_and_parseable() {
+    let opts = fast(CommitPolicy::Group, "golden");
+    let dir = opts.log_dir.clone();
+    let engine = Engine::start(opts).unwrap();
+    let s = engine.session();
+    // Enough traffic to populate every family: begins, commits, an
+    // abort, lock holds, batches, pages, fsyncs.
+    for k in 0..6 {
+        let t = s.begin().unwrap();
+        s.write(&t, k, k as i64).unwrap();
+        s.commit_durable(t).unwrap();
+    }
+    let t = s.begin().unwrap();
+    s.write(&t, 99, 1).unwrap();
+    s.abort(t).unwrap();
+
+    // Counters are recorded synchronously on the session threads, so
+    // they are exact here; histogram recordings in the writers'
+    // finalize loop are only ordered by shutdown (below).
+    let stats = engine.stats();
+    assert_eq!(stats.counter("mmdb_session_begins_total"), Some(7));
+    assert_eq!(stats.counter("mmdb_session_commits_total"), Some(6));
+    assert_eq!(stats.counter("mmdb_session_aborts_total"), Some(1));
+    assert!(
+        engine.registry().hygiene_violations().is_empty(),
+        "hygiene violations: {:?}",
+        engine.registry().hygiene_violations()
+    );
+    let metric_names = stats.metric_names();
+
+    // The registry outlives the engine; rendering after shutdown sees
+    // every recording the writer threads made.
+    let registry = engine.registry();
+    engine.shutdown().unwrap();
+    let render = registry.render_text();
+
+    // Golden inventory: each family present, right type, HELP+TYPE
+    // exactly once.
+    for (family, kind) in SESSION_FAMILIES {
+        let type_line = format!("# TYPE {family} {kind}");
+        assert_eq!(
+            render.matches(&type_line).count(),
+            1,
+            "expected exactly one {type_line:?}"
+        );
+        assert_eq!(
+            render.matches(&format!("# HELP {family} ")).count(),
+            1,
+            "expected exactly one HELP for {family}"
+        );
+    }
+    // No families beyond the golden list (a new metric must be added
+    // to SESSION_FAMILIES deliberately).
+    let type_lines = render.lines().filter(|l| l.starts_with("# TYPE ")).count();
+    assert_eq!(
+        type_lines,
+        SESSION_FAMILIES.len(),
+        "exposition grew a family the golden list does not know:\n{render}"
+    );
+
+    let samples = parse_exposition(&render);
+    assert!(!samples.is_empty());
+    // Every registered sample name appears in the rendered text.
+    for name in metric_names {
+        assert!(
+            samples
+                .iter()
+                .any(|(n, _)| n.starts_with(name.split('{').next().unwrap_or(&name))),
+            "registered metric {name:?} missing from exposition"
+        );
+    }
+    // Histogram conventions: a cumulative +Inf bucket, _sum and _count
+    // per histogram sample, and _count equal to the +Inf bucket. With
+    // the writers joined, all 6 durable commits have been recorded.
+    let inf = samples
+        .iter()
+        .find(|(n, _)| n.starts_with("mmdb_session_commit_latency_us_bucket") && n.contains("+Inf"))
+        .expect("+Inf bucket");
+    let count = samples
+        .iter()
+        .find(|(n, _)| n == "mmdb_session_commit_latency_us_count")
+        .expect("_count sample");
+    assert_eq!(inf.1, count.1, "+Inf bucket must equal _count");
+    assert_eq!(count.1, 6.0, "one sample per durable commit");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The storage cost meter bridges into the same registry and renders
+/// alongside the session families — one exposition for the virtual
+/// cost clock (Table 2) and the wall-clock engine.
+#[test]
+fn cost_meter_bridges_into_the_engine_registry() {
+    let opts = fast(CommitPolicy::Group, "meter-bridge");
+    let dir = opts.log_dir.clone();
+    let engine = Engine::start(opts).unwrap();
+    let meter = Arc::new(CostMeter::new());
+    meter.register_into(&engine.registry());
+    meter.charge_comparisons(17);
+    meter.charge_seq_ios(3);
+
+    let render = engine.render_metrics();
+    assert!(render.contains("# TYPE mmdb_cost_comparisons_total counter"));
+    let samples = parse_exposition(&render);
+    assert!(samples
+        .iter()
+        .any(|(n, v)| n == "mmdb_cost_comparisons_total" && *v == 17.0));
+    assert!(samples
+        .iter()
+        .any(|(n, v)| n == "mmdb_cost_seq_ios_total" && *v == 3.0));
+    assert!(engine.registry().hygiene_violations().is_empty());
+
+    engine.shutdown().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Recovery registers its own gauges on the recovered engine's fresh
+/// registry: how many transactions replayed and how long replay took.
+#[test]
+fn recovered_engine_exposes_recovery_gauges() {
+    let opts = fast(CommitPolicy::Group, "recover-gauges");
+    let dir = opts.log_dir.clone();
+    let engine = Engine::start(opts.clone()).unwrap();
+    let s = engine.session();
+    for k in 0..3 {
+        let t = s.begin().unwrap();
+        s.write(&t, k, 1).unwrap();
+        s.commit_durable(t).unwrap();
+    }
+    engine.shutdown().unwrap();
+
+    let (engine, info) = Engine::recover(opts).unwrap();
+    assert_eq!(info.committed.len(), 3);
+    let stats = engine.stats();
+    assert_eq!(stats.gauge("mmdb_session_recovered_txns"), Some(3));
+    assert!(
+        stats.gauge("mmdb_session_recovery_replay_us").is_some(),
+        "replay duration gauge missing"
+    );
+    let render = engine.render_metrics();
+    assert!(render.contains("# TYPE mmdb_session_recovered_txns gauge"));
+    engine.shutdown().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -319,8 +319,39 @@ fn cross_shard_transfers_from_16_threads_never_deadlock() {
         .map(|k| engine.read(k).unwrap().unwrap_or(0))
         .sum();
     assert_eq!(total, (KEYS as i64) * 1_000, "transfers conserve money");
+
+    // The obs counters must agree with what the hammer saw: the seed
+    // commit plus every successful transfer, and deadlock-victim aborts
+    // (summed over the per-shard family) never exceeding total aborts.
+    let stats = engine.stats();
+    assert_eq!(
+        stats.counter("mmdb_session_commits_total"),
+        Some(committed + 1),
+        "commit counter diverged from the driver's count"
+    );
+    let aborts = stats.counter("mmdb_session_aborts_total").unwrap();
+    let deadlock_aborts = stats.counter_sum("mmdb_session_deadlock_aborts_total");
+    assert!(
+        deadlock_aborts <= aborts,
+        "deadlock victims ({deadlock_aborts}) exceed total aborts ({aborts})"
+    );
     engine.audit().unwrap();
+    // Latency recording happens in the writers' finalize loop *after*
+    // the durable watermark advances, so flush() alone doesn't order a
+    // snapshot after the last batch's recordings — shutdown (which
+    // joins the writer threads) does. The registry outlives the engine.
+    let registry = engine.registry();
     engine.shutdown().unwrap();
+    let stats = registry.snapshot();
+    let latency = stats
+        .histogram("mmdb_session_commit_latency_us")
+        .expect("commit latency histogram");
+    assert_eq!(
+        latency.count,
+        committed + 1,
+        "every durable commit records exactly one begin-to-durable sample"
+    );
+    assert_eq!(stats.gauge("mmdb_session_durable_lag_lsn"), Some(0));
     std::fs::remove_dir_all(&dir).ok();
 }
 
