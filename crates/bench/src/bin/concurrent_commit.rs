@@ -466,10 +466,14 @@ fn main() {
         // Smoke mode: the policy table above is the whole output, tagged
         // so `xtask bench-check` can compare it against the checked-in
         // baseline's `smoke_runs` section.
+        // `fault_injection` attests that the fault-injection layer is
+        // compiled in but no plan is installed — `xtask bench-check`
+        // refuses a smoke run without it, so a faulted (or fault-free
+        // via a side build) run can never silently become the gate.
         let json = format!(
             "{{\n  \"bench\": \"concurrent_commit\",\n  \"mode\": \"smoke\",\n  \"seed\": {},\n  \
              \"clients\": {},\n  \"duration_ms\": {},\n  \"page_write_us\": {},\n  \
-             \"typical_txn_bytes\": 400,\n  \"runs\": [\n{}\n  ],\n  \
+             \"typical_txn_bytes\": 400,\n  \"fault_injection\": \"disabled\",\n  \"runs\": [\n{}\n  ],\n  \
              \"group_vs_sync_speedup\": {:.2}\n}}\n",
             cfg.seed,
             cfg.clients,
@@ -572,7 +576,7 @@ fn main() {
     let json = format!(
         "{{\n  \"bench\": \"concurrent_commit\",\n  \"mode\": \"full\",\n  \"seed\": {},\n  \
          \"clients\": {},\n  \"duration_ms\": {},\n  \"page_write_us\": {},\n  \
-         \"typical_txn_bytes\": 400,\n  \"runs\": [\n{}\n  ],\n  \
+         \"typical_txn_bytes\": 400,\n  \"fault_injection\": \"disabled\",\n  \"runs\": [\n{}\n  ],\n  \
          \"group_vs_sync_speedup\": {:.2},\n  \
          \"shard_sweep\": {{\n    \"policy\": \"group\",\n    \"clients\": {SWEEP_CLIENTS},\n    \
          \"duration_ms\": {},\n    \"lock_op_us\": {},\n    \

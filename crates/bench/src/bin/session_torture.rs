@@ -1,0 +1,113 @@
+//! Standalone crash-torture runner (§5) — the binary behind
+//! `cargo xtask torture`.
+//!
+//! Sweeps seeds through [`mmdb_session::torture::run_seed`]: each seed
+//! derives a commit policy, a concurrent transfer workload, and a
+//! deterministic fault schedule (or a plain crash, or a fault inside
+//! recovery's compaction), then crashes, recovers, and verifies the
+//! recovered image against the serial oracle. A watchdog thread turns
+//! any hang — the one failure a test harness cannot otherwise report —
+//! into exit code 124, and a failing seed leaves its log directory
+//! under the artifact dir for postmortem.
+//!
+//! Usage: `session_torture [--seeds N] [--first S] [--artifacts DIR]
+//! [--watchdog-secs T]`.
+
+use mmdb_session::torture;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+struct Config {
+    seeds: u64,
+    first: u64,
+    artifacts: PathBuf,
+    watchdog: Duration,
+}
+
+fn parse_args() -> Config {
+    let mut cfg = Config {
+        seeds: 100,
+        first: 0,
+        artifacts: PathBuf::from("target/torture-artifacts"),
+        watchdog: Duration::from_secs(600),
+    };
+    let mut args = std::env::args().skip(1);
+    let value = |name: &str, args: &mut dyn Iterator<Item = String>| {
+        args.next()
+            .unwrap_or_else(|| panic!("{name} needs a value"))
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seeds" => cfg.seeds = value("--seeds", &mut args).parse().expect("--seeds N"),
+            "--first" => cfg.first = value("--first", &mut args).parse().expect("--first S"),
+            "--artifacts" => cfg.artifacts = PathBuf::from(value("--artifacts", &mut args)),
+            "--watchdog-secs" => {
+                cfg.watchdog = Duration::from_secs(
+                    value("--watchdog-secs", &mut args)
+                        .parse()
+                        .expect("--watchdog-secs T"),
+                )
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    cfg
+}
+
+fn main() {
+    let cfg = parse_args();
+    // The watchdog is the last line of the no-hang guarantee: if any
+    // seed wedges a thread, the whole process dies loudly instead of
+    // idling until CI's own timeout obscures which seed hung.
+    let deadline = cfg.watchdog;
+    std::thread::spawn(move || {
+        std::thread::sleep(deadline);
+        eprintln!("torture: watchdog fired after {deadline:?} — a seed hung");
+        std::process::exit(124);
+    });
+
+    let started = Instant::now();
+    let mut by_scenario: BTreeMap<String, u64> = BTreeMap::new();
+    let mut by_policy: BTreeMap<String, u64> = BTreeMap::new();
+    let mut degraded_runs = 0u64;
+    let mut corrupt_pages = 0usize;
+    for seed in cfg.first..cfg.first.saturating_add(cfg.seeds) {
+        let dir = torture::seed_dir(&cfg.artifacts, seed);
+        match torture::run_seed(seed, &dir) {
+            Ok(report) => {
+                *by_scenario.entry(report.scenario).or_insert(0) += 1;
+                *by_policy.entry(report.policy).or_insert(0) += 1;
+                degraded_runs += u64::from(report.degraded);
+                corrupt_pages += report.corrupt_pages_dropped;
+                std::fs::remove_dir_all(&dir).ok();
+            }
+            Err(e) => {
+                eprintln!("torture: FAILED: {e}");
+                eprintln!("torture: log directory kept at {}", dir.display());
+                std::process::exit(1);
+            }
+        }
+        let done = seed - cfg.first + 1;
+        if done % 50 == 0 || done == cfg.seeds {
+            println!(
+                "torture: {done}/{} seeds ok ({:.1}s)",
+                cfg.seeds,
+                started.elapsed().as_secs_f64()
+            );
+        }
+    }
+    println!(
+        "torture: {} seeds passed in {:.1}s ({} degraded runs, {} corrupt pages dropped)",
+        cfg.seeds,
+        started.elapsed().as_secs_f64(),
+        degraded_runs,
+        corrupt_pages
+    );
+    for (scenario, count) in &by_scenario {
+        println!("torture:   scenario {scenario}: {count}");
+    }
+    for (policy, count) in &by_policy {
+        println!("torture:   policy {policy}: {count}");
+    }
+}

@@ -33,6 +33,10 @@ pub enum TraceStage {
     Flushed,
     /// The commit became durable (contiguous-prefix watermark passed it).
     Durable,
+    /// A log device failed permanently and the engine entered its
+    /// fail-stop degraded state; the event's shard-mask field carries
+    /// the failed device's bit.
+    Degraded,
 }
 
 impl TraceStage {
@@ -44,6 +48,7 @@ impl TraceStage {
             TraceStage::Queued => "queued",
             TraceStage::Flushed => "flushed",
             TraceStage::Durable => "durable",
+            TraceStage::Degraded => "degraded",
         }
     }
 
@@ -54,6 +59,7 @@ impl TraceStage {
             TraceStage::Queued => 2,
             TraceStage::Flushed => 3,
             TraceStage::Durable => 4,
+            TraceStage::Degraded => 5,
         }
     }
 
@@ -64,6 +70,7 @@ impl TraceStage {
             2 => Some(TraceStage::Queued),
             3 => Some(TraceStage::Flushed),
             4 => Some(TraceStage::Durable),
+            5 => Some(TraceStage::Degraded),
             _ => None,
         }
     }
@@ -292,5 +299,6 @@ mod tests {
         assert_eq!(TraceStage::Queued.name(), "queued");
         assert_eq!(TraceStage::Flushed.name(), "flushed");
         assert_eq!(TraceStage::Durable.name(), "durable");
+        assert_eq!(TraceStage::Degraded.name(), "degraded");
     }
 }

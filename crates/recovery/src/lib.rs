@@ -29,6 +29,9 @@
 //!   numbers (100 tps synchronous, ~1000 tps with group commit, ~k× with
 //!   k log devices).
 
+/// §5 log storage backends: real files plus deterministic fault
+/// injection (torn writes, bit flips, failed syncs) for torture tests.
+pub mod backend;
 /// §5.3 fuzzy checkpointing against the live database.
 pub mod checkpoint;
 /// §5.2 simulated log devices (one 4096-byte page per 10 ms).
@@ -47,10 +50,11 @@ pub mod stable;
 /// per-page fsync, for the real-thread session layer.
 pub mod wal;
 
+pub use backend::{Fault, FaultKind, FaultPlan, FaultyBackend, FileBackend, LogBackend};
 pub use device::LogDevice;
 pub use lock::{detect_deadlocks_in, LockManager, LockMode};
 pub use log::{LogRecord, Lsn};
 pub use manager::{CommitMode, RecoveryManager, TxnHandle};
 pub use sim::{SimConfig, ThroughputSim};
 pub use stable::StableMemory;
-pub use wal::WalDevice;
+pub use wal::{LogFileReport, WalDevice};

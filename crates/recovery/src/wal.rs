@@ -12,29 +12,82 @@
 //! before each page write, which is also where a crash can lose a
 //! submitted-but-unwritten page.
 //!
-//! On-disk format, per page: a 12-byte header (magic, record count,
-//! payload bytes) followed by `count` records, each an 8-byte LSN and the
-//! [`LogRecord`] encoding from [`crate::log`]. Reading tolerates a torn
-//! final page — a crash mid-write loses that page, never an earlier one.
+//! The device writes through the [`crate::backend::LogBackend`] trait, so
+//! tests and the torture harness can swap the real file for a
+//! [`crate::backend::FaultyBackend`] executing a deterministic fault
+//! plan. A failed append rewinds the file to the last good frame before
+//! returning, so a retried page never lands after torn garbage.
+//!
+//! On-disk format, per page (v2): a 16-byte header — magic `"MMW2"`,
+//! record count, payload bytes, and a CRC32 over count‖len‖payload —
+//! followed by `count` records, each an 8-byte LSN and the [`LogRecord`]
+//! encoding from [`crate::log`]. v1 frames (12-byte header, no checksum,
+//! magic `"MMWL"`) remain readable. Reading applies the §5.2
+//! contiguous-prefix rule uniformly: the first page that is torn,
+//! checksum-bad, or malformed truncates the log *at that page* — earlier
+//! pages survive, the rest is dropped and reported, and recovery never
+//! fails because one page went bad.
 
+use crate::backend::{FileBackend, LogBackend};
 use crate::log::{LogRecord, Lsn};
 use mmdb_types::{Error, Result};
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Write};
+use std::fs::File;
+use std::io::Read;
 use std::path::{Path, PathBuf};
 use std::time::Duration;
 
-/// Magic number opening every page frame ("MMWL").
-const PAGE_MAGIC: u32 = 0x4D4D_574C;
+/// Magic number opening every v1 page frame ("MMWL"); no checksum.
+const PAGE_MAGIC_V1: u32 = 0x4D4D_574C;
 
-/// Size of the page-frame header in bytes.
-const HEADER_BYTES: usize = 12;
+/// Magic number opening every v2 page frame ("MMW2"); CRC32-guarded.
+const PAGE_MAGIC_V2: u32 = 0x4D4D_5732;
+
+/// Size of the v1 page-frame header in bytes (magic, count, len).
+const HEADER_BYTES_V1: usize = 12;
+
+/// Size of the v2 page-frame header in bytes (magic, count, len, crc).
+const HEADER_BYTES_V2: usize = 16;
+
+/// CRC32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) lookup table,
+/// built at compile time so the checksum needs no runtime init and no
+/// external crate.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC32 (IEEE) of `bytes` — the per-page checksum guarding v2 frames
+/// against the silent corruption a bare magic number cannot catch.
+/// Public so tests and the torture harness can craft or verify frames.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for b in bytes {
+        let idx = ((crc ^ *b as u32) & 0xFF) as usize;
+        crc = (crc >> 8) ^ CRC32_TABLE.get(idx).copied().unwrap_or(0);
+    }
+    !crc
+}
 
 /// A wall-clock log device: an append-only file written one page frame at
 /// a time, synced after every page (§5.2's unit of durability).
 #[derive(Debug)]
 pub struct WalDevice {
-    file: File,
+    backend: Box<dyn LogBackend>,
     path: PathBuf,
     page_bytes: usize,
     write_latency: Duration,
@@ -43,30 +96,43 @@ pub struct WalDevice {
 }
 
 impl WalDevice {
-    /// Creates (truncating) a device file at `path`. `page_bytes` is the
-    /// capacity callers should pack per page (the device itself accepts
-    /// any batch); `write_latency` is the modeled per-page write time the
-    /// daemon sleeps before each write (zero for raw hardware speed).
+    /// Creates (truncating) a device file at `path` over the real
+    /// [`FileBackend`]. `page_bytes` is the capacity callers should pack
+    /// per page (the device itself accepts any batch); `write_latency` is
+    /// the modeled per-page write time the daemon sleeps before each
+    /// write (zero for raw hardware speed).
     pub fn create(
         path: impl Into<PathBuf>,
         page_bytes: usize,
         write_latency: Duration,
     ) -> Result<WalDevice> {
         let path = path.into();
-        let file = OpenOptions::new()
-            .create(true)
-            .write(true)
-            .truncate(true)
-            .open(&path)
-            .map_err(|e| Error::Io(format!("create {}: {e}", path.display())))?;
-        Ok(WalDevice {
-            file,
+        let backend = FileBackend::create(&path)?;
+        Ok(WalDevice::with_backend(
+            Box::new(backend),
             path,
+            page_bytes,
+            write_latency,
+        ))
+    }
+
+    /// Wraps an already-open backend (real or fault-injecting) as a
+    /// device. `path` is carried for reporting only; the backend owns the
+    /// actual storage.
+    pub fn with_backend(
+        backend: Box<dyn LogBackend>,
+        path: impl Into<PathBuf>,
+        page_bytes: usize,
+        write_latency: Duration,
+    ) -> WalDevice {
+        WalDevice {
+            backend,
+            path: path.into(),
             page_bytes: page_bytes.max(1),
             write_latency,
             pages_written: 0,
             bytes_written: 0,
-        })
+        }
     }
 
     /// Page capacity in bytes callers should honor when batching.
@@ -86,32 +152,31 @@ impl WalDevice {
         &self.path
     }
 
-    /// Appends one page frame of records and syncs it to disk. After this
-    /// returns, the records are durable — they survive a crash (§5.2).
+    /// Appends one v2 page frame of records and syncs it to disk. After
+    /// this returns `Ok`, the records are durable — they survive a crash
+    /// (§5.2). On *any* failure the device rewinds the file to the end of
+    /// the last good frame (best effort) so a retried append starts from
+    /// a clean boundary instead of landing after a torn partial frame.
     pub fn append_page(&mut self, records: &[(Lsn, LogRecord)]) -> Result<()> {
-        let mut payload = Vec::with_capacity(self.page_bytes);
-        for (lsn, rec) in records {
-            payload.extend_from_slice(&lsn.0.to_le_bytes());
-            rec.encode(&mut payload);
-        }
-        // Page frames are a few KiB; u32 header fields never saturate in
-        // practice, and the saturating helpers keep the cast checked.
-        let count = mmdb_types::cast::u32_from_usize(records.len());
-        let bytes = mmdb_types::cast::u32_from_usize(payload.len());
-        let mut frame = Vec::with_capacity(HEADER_BYTES + payload.len());
-        frame.extend_from_slice(&PAGE_MAGIC.to_le_bytes());
-        frame.extend_from_slice(&count.to_le_bytes());
-        frame.extend_from_slice(&bytes.to_le_bytes());
-        frame.extend_from_slice(&payload);
-        self.file
+        let frame = encode_frame(records, self.page_bytes);
+        let result = self
+            .backend
             .write_all(&frame)
-            .map_err(|e| Error::Io(format!("write {}: {e}", self.path.display())))?;
-        self.file
-            .sync_data()
-            .map_err(|e| Error::Io(format!("sync {}: {e}", self.path.display())))?;
-        self.pages_written += 1;
-        self.bytes_written += frame.len() as u64;
-        Ok(())
+            .and_then(|()| self.backend.sync());
+        match result {
+            Ok(()) => {
+                self.pages_written += 1;
+                self.bytes_written += frame.len() as u64;
+                Ok(())
+            }
+            Err(e) => {
+                // Discard whatever partial frame may have landed; if the
+                // rewind itself fails the recovery-time prefix rule still
+                // drops the torn page, so the original error wins.
+                let _ = self.backend.truncate(self.bytes_written);
+                Err(e)
+            }
+        }
     }
 
     /// Pages durably written so far.
@@ -125,47 +190,160 @@ impl WalDevice {
     }
 }
 
-/// Reads every complete page frame from a device file, in append order.
-/// A torn final frame — header or payload cut short by a crash — is
-/// dropped silently, exactly as a half-written log page is lost in §5.2;
-/// corruption *before* the tail is an error.
-pub fn read_log_file(path: &Path) -> Result<Vec<(Lsn, LogRecord)>> {
+/// Builds the v2 on-disk frame for one page of records.
+fn encode_frame(records: &[(Lsn, LogRecord)], page_bytes: usize) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(page_bytes);
+    for (lsn, rec) in records {
+        payload.extend_from_slice(&lsn.0.to_le_bytes());
+        rec.encode(&mut payload);
+    }
+    // Page frames are a few KiB; u32 header fields never saturate in
+    // practice, and the saturating helpers keep the cast checked.
+    let count = mmdb_types::cast::u32_from_usize(records.len());
+    let bytes = mmdb_types::cast::u32_from_usize(payload.len());
+    let mut frame = Vec::with_capacity(HEADER_BYTES_V2 + payload.len());
+    frame.extend_from_slice(&PAGE_MAGIC_V2.to_le_bytes());
+    frame.extend_from_slice(&count.to_le_bytes());
+    frame.extend_from_slice(&bytes.to_le_bytes());
+    let mut crc = crc32(&count.to_le_bytes());
+    crc = crc32_continue(crc, &bytes.to_le_bytes());
+    crc = crc32_continue(crc, &payload);
+    frame.extend_from_slice(&crc.to_le_bytes());
+    frame.extend_from_slice(&payload);
+    frame
+}
+
+/// Continues a CRC32 over more bytes (`crc` is a finished [`crc32`]
+/// value; the pre/post inversion is undone and redone around the update).
+fn crc32_continue(crc: u32, bytes: &[u8]) -> u32 {
+    let mut crc = !crc;
+    for b in bytes {
+        let idx = ((crc ^ *b as u32) & 0xFF) as usize;
+        crc = (crc >> 8) ^ CRC32_TABLE.get(idx).copied().unwrap_or(0);
+    }
+    !crc
+}
+
+/// What [`read_log_file_report`] found in one device file: the records of
+/// the good contiguous prefix, plus how much was cut off and why.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LogFileReport {
+    /// Records of every page before the first bad/torn page, in order.
+    pub records: Vec<(Lsn, LogRecord)>,
+    /// 1 if the scan stopped at a *corrupt* page (bad magic, checksum
+    /// mismatch, malformed record) rather than clean EOF or a torn tail.
+    /// Per-file this is 0 or 1 — everything after the first bad page is
+    /// dropped unexamined — and recovery sums it across files.
+    pub corrupt_pages_dropped: usize,
+    /// Bytes from the truncation point to end of file (0 on clean EOF).
+    pub bytes_dropped: u64,
+}
+
+/// Why a page frame failed to parse — all folded into the same
+/// truncate-at-this-page outcome, but distinguished for reporting.
+enum PageFailure {
+    /// The file ends mid-frame: a crash tore the final write (§5.2's
+    /// half-written page). Expected after any crash; not corruption.
+    Torn,
+    /// The frame is structurally bad: wrong magic, checksum mismatch, or
+    /// a record that does not decode. Media damage or a software bug.
+    Corrupt,
+}
+
+/// Reads every complete page frame from a device file, in append order,
+/// applying the §5.2 contiguous-prefix rule uniformly: the first page
+/// that is torn, checksum-bad, or otherwise malformed truncates the log
+/// at that page. Earlier pages survive, the remainder is dropped and
+/// reported — never an error. Both v1 (unchecksummed) and v2 frames are
+/// accepted, so logs written before the CRC upgrade still replay. Only a
+/// genuine I/O failure (file unreadable) returns `Err`.
+pub fn read_log_file_report(path: &Path) -> Result<LogFileReport> {
     let mut file =
         File::open(path).map_err(|e| Error::Io(format!("open {}: {e}", path.display())))?;
     let mut bytes = Vec::new();
     file.read_to_end(&mut bytes)
         .map_err(|e| Error::Io(format!("read {}: {e}", path.display())))?;
-    let mut out = Vec::new();
+    let mut report = LogFileReport::default();
     let mut at = 0usize;
     while at < bytes.len() {
-        let Some(header) = bytes.get(at..at + HEADER_BYTES) else {
-            break; // torn header: the page never finished writing
-        };
-        let magic = u32::from_le_bytes(take4(header, 0)?);
-        if magic != PAGE_MAGIC {
-            return Err(Error::CorruptLog(format!(
-                "bad page magic {magic:#x} at byte {at} of {}",
-                path.display()
-            )));
+        match parse_frame(&bytes, at) {
+            Ok((records, frame_len)) => {
+                report.records.extend(records);
+                at += frame_len;
+            }
+            Err(failure) => {
+                if matches!(failure, PageFailure::Corrupt) {
+                    report.corrupt_pages_dropped = 1;
+                }
+                report.bytes_dropped = (bytes.len() - at) as u64;
+                break;
+            }
         }
-        let count = u32::from_le_bytes(take4(header, 4)?);
-        let len = u32::from_le_bytes(take4(header, 8)?) as usize;
-        let Some(mut payload) = bytes.get(at + HEADER_BYTES..at + HEADER_BYTES + len) else {
-            break; // torn payload
-        };
-        for _ in 0..count {
-            let Some(lsn_bytes) = payload.get(..8) else {
-                return Err(Error::CorruptLog("record LSN cut short".into()));
-            };
-            let mut lsn8 = [0u8; 8];
-            lsn8.copy_from_slice(lsn_bytes);
-            payload = payload.get(8..).unwrap_or(&[]);
-            let rec = LogRecord::decode(&mut payload)?;
-            out.push((Lsn(u64::from_le_bytes(lsn8)), rec));
-        }
-        at += HEADER_BYTES + len;
     }
-    Ok(out)
+    Ok(report)
+}
+
+/// Parses one frame starting at `at`, returning its records and total
+/// encoded length, or the reason the prefix ends here.
+fn parse_frame(
+    bytes: &[u8],
+    at: usize,
+) -> std::result::Result<(Vec<(Lsn, LogRecord)>, usize), PageFailure> {
+    let magic_bytes = bytes.get(at..at + 4).ok_or(PageFailure::Torn)?;
+    let magic = u32::from_le_bytes(four(magic_bytes));
+    let header_bytes = match magic {
+        PAGE_MAGIC_V1 => HEADER_BYTES_V1,
+        PAGE_MAGIC_V2 => HEADER_BYTES_V2,
+        _ => return Err(PageFailure::Corrupt),
+    };
+    let header = bytes.get(at..at + header_bytes).ok_or(PageFailure::Torn)?;
+    let count_bytes = header.get(4..8).ok_or(PageFailure::Torn)?;
+    let len_bytes = header.get(8..12).ok_or(PageFailure::Torn)?;
+    let count = u32::from_le_bytes(four(count_bytes));
+    let len = u32::from_le_bytes(four(len_bytes)) as usize;
+    let payload = bytes
+        .get(at + header_bytes..at + header_bytes + len)
+        .ok_or(PageFailure::Torn)?;
+    if magic == PAGE_MAGIC_V2 {
+        let stored = u32::from_le_bytes(four(header.get(12..16).ok_or(PageFailure::Torn)?));
+        let mut crc = crc32(count_bytes);
+        crc = crc32_continue(crc, len_bytes);
+        crc = crc32_continue(crc, payload);
+        if crc != stored {
+            return Err(PageFailure::Corrupt);
+        }
+    }
+    let mut rest = payload;
+    let mut records = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        // A record cut short *inside* a complete frame is corruption (the
+        // header promised `count` records), folded into the same
+        // truncate-here outcome as a bad checksum.
+        let lsn_bytes = rest.get(..8).ok_or(PageFailure::Corrupt)?;
+        let mut lsn8 = [0u8; 8];
+        lsn8.copy_from_slice(lsn_bytes);
+        rest = rest.get(8..).unwrap_or(&[]);
+        let rec = LogRecord::decode(&mut rest).map_err(|_| PageFailure::Corrupt)?;
+        records.push((Lsn(u64::from_le_bytes(lsn8)), rec));
+    }
+    Ok((records, header_bytes + len))
+}
+
+/// Copies four bytes out of a slice known to hold at least four (callers
+/// bound-check first; short input yields zeros rather than a panic).
+fn four(slice: &[u8]) -> [u8; 4] {
+    let mut out = [0u8; 4];
+    if let Some(src) = slice.get(..4) {
+        out.copy_from_slice(src);
+    }
+    out
+}
+
+/// Reads the good contiguous prefix of a device file — the records of
+/// [`read_log_file_report`] without the damage accounting, for callers
+/// that only need the data.
+pub fn read_log_file(path: &Path) -> Result<Vec<(Lsn, LogRecord)>> {
+    Ok(read_log_file_report(path)?.records)
 }
 
 /// Reads and merges every `*.log` device file in `dir` by LSN,
@@ -189,21 +367,12 @@ pub fn read_log_dir(dir: &Path) -> Result<Vec<(Lsn, LogRecord)>> {
     Ok(all)
 }
 
-/// Copies four bytes out of `slice` at `offset` (frame headers are fixed
-/// width, so a miss is log corruption, not a torn tail).
-fn take4(slice: &[u8], offset: usize) -> Result<[u8; 4]> {
-    let mut out = [0u8; 4];
-    let src = slice
-        .get(offset..offset + 4)
-        .ok_or_else(|| Error::CorruptLog("page header cut short".into()))?;
-    out.copy_from_slice(src);
-    Ok(out)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::{FaultPlan, FaultyBackend};
     use mmdb_types::TxnId;
+    use std::fs::OpenOptions;
 
     fn tmp(name: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("mmdb-wal-test-{}", std::process::id()));
@@ -220,6 +389,17 @@ mod tests {
     }
 
     #[test]
+    fn crc32_known_vectors() {
+        // Standard IEEE CRC32 check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        // Incremental == one-shot.
+        let whole = crc32(b"hello world");
+        let part = crc32_continue(crc32(b"hello "), b"world");
+        assert_eq!(whole, part);
+    }
+
+    #[test]
     fn roundtrip_pages() {
         let path = tmp("roundtrip.log");
         let mut dev = WalDevice::create(&path, 4096, Duration::ZERO).unwrap();
@@ -228,6 +408,36 @@ mod tests {
         dev.append_page(&p1).unwrap();
         dev.append_page(&p2).unwrap();
         assert_eq!(dev.pages_written(), 2);
+        let report = read_log_file_report(&path).unwrap();
+        let want: Vec<_> = p1.into_iter().chain(p2).collect();
+        assert_eq!(report.records, want);
+        assert_eq!(report.corrupt_pages_dropped, 0);
+        assert_eq!(report.bytes_dropped, 0);
+    }
+
+    #[test]
+    fn v1_frames_still_readable() {
+        // Hand-encode a v1 (unchecksummed, 12-byte header) frame and mix
+        // it with a v2 frame: both must replay.
+        let path = tmp("v1compat.log");
+        let p1 = typical(1, 7);
+        let mut payload = Vec::new();
+        for (lsn, rec) in &p1 {
+            payload.extend_from_slice(&lsn.0.to_le_bytes());
+            rec.encode(&mut payload);
+        }
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&PAGE_MAGIC_V1.to_le_bytes());
+        frame.extend_from_slice(&(p1.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        std::fs::write(&path, &frame).unwrap();
+        // Append a v2 frame after the v1 one.
+        let p2 = typical(2, 8);
+        let mut file = OpenOptions::new().append(true).open(&path).unwrap();
+        use std::io::Write;
+        file.write_all(&encode_frame(&p2, 4096)).unwrap();
+        drop(file);
         let read = read_log_file(&path).unwrap();
         let want: Vec<_> = p1.into_iter().chain(p2).collect();
         assert_eq!(read, want);
@@ -244,8 +454,16 @@ mod tests {
         let full = std::fs::metadata(&path).unwrap().len();
         let file = OpenOptions::new().write(true).open(&path).unwrap();
         file.set_len(full - 10).unwrap();
-        let read = read_log_file(&path).unwrap();
-        assert_eq!(read, p1, "only the complete first page survives");
+        let report = read_log_file_report(&path).unwrap();
+        assert_eq!(report.records, p1, "only the complete first page survives");
+        assert_eq!(
+            report.corrupt_pages_dropped, 0,
+            "a torn tail is not corruption"
+        );
+        // Everything from the start of the torn frame to EOF is dropped.
+        let truncated = std::fs::metadata(&path).unwrap().len();
+        let first_frame = encode_frame(&p1, 4096).len() as u64;
+        assert_eq!(report.bytes_dropped, truncated - first_frame);
     }
 
     #[test]
@@ -265,9 +483,99 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_magic_is_an_error() {
+    fn corrupt_magic_truncates_instead_of_erroring() {
+        // A good page followed by garbage: the prefix survives, the
+        // garbage is reported as one dropped corrupt page — not an error.
         let path = tmp("corrupt.log");
-        std::fs::write(&path, [0u8; 64]).unwrap();
-        assert!(matches!(read_log_file(&path), Err(Error::CorruptLog(_))));
+        let mut dev = WalDevice::create(&path, 4096, Duration::ZERO).unwrap();
+        let p1 = typical(1, 7);
+        dev.append_page(&p1).unwrap();
+        let mut file = OpenOptions::new().append(true).open(&path).unwrap();
+        use std::io::Write;
+        file.write_all(&[0u8; 64]).unwrap();
+        drop(file);
+        let report = read_log_file_report(&path).unwrap();
+        assert_eq!(report.records, p1);
+        assert_eq!(report.corrupt_pages_dropped, 1);
+        assert_eq!(report.bytes_dropped, 64);
+        // All-garbage file: empty prefix, still not an error.
+        let path2 = tmp("corrupt2.log");
+        std::fs::write(&path2, [0xAAu8; 64]).unwrap();
+        let report2 = read_log_file_report(&path2).unwrap();
+        assert!(report2.records.is_empty());
+        assert_eq!(report2.corrupt_pages_dropped, 1);
+    }
+
+    #[test]
+    fn bit_flip_in_payload_fails_checksum_and_truncates() {
+        let path = tmp("flip.log");
+        let plan = FaultPlan::none().bit_flip(1, 40);
+        let backend = FaultyBackend::create(&path, plan).unwrap();
+        let mut dev = WalDevice::with_backend(Box::new(backend), &path, 4096, Duration::ZERO);
+        let p1 = typical(1, 7);
+        let p2 = typical(2, 8);
+        let p3 = typical(3, 9);
+        dev.append_page(&p1).unwrap();
+        dev.append_page(&p2).unwrap(); // silently corrupted by the flip
+        dev.append_page(&p3).unwrap();
+        let report = read_log_file_report(&path).unwrap();
+        assert_eq!(
+            report.records, p1,
+            "the flipped page and everything after it are dropped"
+        );
+        assert_eq!(report.corrupt_pages_dropped, 1);
+        assert!(report.bytes_dropped > 0);
+    }
+
+    #[test]
+    fn lsn_cut_short_inside_complete_frame_truncates() {
+        // Forge a v2 frame whose header promises more records than the
+        // payload holds (checksum valid, so only record parsing trips):
+        // the old code returned Err(CorruptLog), the prefix rule drops it.
+        let path = tmp("cutshort.log");
+        let p1 = typical(1, 7);
+        let mut dev = WalDevice::create(&path, 4096, Duration::ZERO).unwrap();
+        dev.append_page(&p1).unwrap();
+        let payload = [1u8, 2, 3]; // 3 bytes: not even one 8-byte LSN
+        let count = 5u32;
+        let len = payload.len() as u32;
+        let mut crc = crc32(&count.to_le_bytes());
+        crc = crc32_continue(crc, &len.to_le_bytes());
+        crc = crc32_continue(crc, &payload);
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&PAGE_MAGIC_V2.to_le_bytes());
+        frame.extend_from_slice(&count.to_le_bytes());
+        frame.extend_from_slice(&len.to_le_bytes());
+        frame.extend_from_slice(&crc.to_le_bytes());
+        frame.extend_from_slice(&payload);
+        let mut file = OpenOptions::new().append(true).open(&path).unwrap();
+        use std::io::Write;
+        file.write_all(&frame).unwrap();
+        drop(file);
+        let report = read_log_file_report(&path).unwrap();
+        assert_eq!(report.records, p1);
+        assert_eq!(report.corrupt_pages_dropped, 1);
+    }
+
+    #[test]
+    fn failed_append_rewinds_so_retry_lands_clean() {
+        // A torn write leaves a partial frame; the device truncates it
+        // away, so the retried page starts at a clean boundary and the
+        // whole log replays.
+        let path = tmp("rewind.log");
+        let plan = FaultPlan::none().torn_write(1, 7);
+        let backend = FaultyBackend::create(&path, plan).unwrap();
+        let mut dev = WalDevice::with_backend(Box::new(backend), &path, 4096, Duration::ZERO);
+        let p1 = typical(1, 7);
+        let p2 = typical(2, 8);
+        dev.append_page(&p1).unwrap();
+        assert!(dev.append_page(&p2).is_err(), "torn write surfaces");
+        dev.append_page(&p2).unwrap();
+        let report = read_log_file_report(&path).unwrap();
+        let want: Vec<_> = p1.into_iter().chain(p2).collect();
+        assert_eq!(report.records, want);
+        assert_eq!(report.corrupt_pages_dropped, 0);
+        assert_eq!(report.bytes_dropped, 0);
+        assert_eq!(dev.pages_written(), 2, "only successful appends count");
     }
 }

@@ -88,6 +88,10 @@ pub(crate) struct LogQueue {
     pub shutdown: bool,
     /// Simulated crash: drop everything volatile on the floor.
     pub crashed: bool,
+    /// A log device exhausted its retries: the engine is in its
+    /// fail-stop degraded state and appends are refused with
+    /// [`Error::LogDeviceFailed`] instead of the generic shutdown error.
+    pub failed: bool,
 }
 
 /// A cut page travelling from the daemon to one writer.
@@ -261,6 +265,15 @@ impl Shared {
     /// immediate flush (synchronous commit).
     pub fn append(&self, items: Vec<(LogRecord, Option<CommitInfo>)>, force: bool) -> Result<Lsn> {
         let mut q = self.queue_guard()?;
+        if q.failed {
+            // Degraded: surface the device failure, not a bland
+            // shutdown — callers can tell "operator stopped us" from
+            // "the log device died under us" (§5.2 fail-stop).
+            let failure = self.durable_guard()?.failure.clone();
+            return Err(
+                failure.unwrap_or_else(|| Error::LogDeviceFailed("log device failed".into()))
+            );
+        }
         if q.shutdown || q.crashed {
             return Err(Error::Shutdown);
         }
@@ -303,16 +316,34 @@ impl Shared {
         Ok(last)
     }
 
-    /// Records a fatal device failure and wakes every waiter. Locks are
-    /// taken one at a time (never nested) so no ordering applies.
-    pub fn fail(&self, err: Error) {
+    /// True once a crash (simulated or device failure) was declared.
+    pub fn is_crashed(&self) -> bool {
+        self.durable.lock().map(|d| d.crashed).unwrap_or(true)
+    }
+
+    /// Enters the fail-stop degraded state after device `device`
+    /// exhausted its retry budget on `err` (§5.2 failure semantics):
+    /// every in-flight commit's waiter and every future append gets a
+    /// distinct [`Error::LogDeviceFailed`] instead of a hang, the
+    /// degraded gauge rises, and the trace ring records the transition
+    /// (shard-mask field carries the failed device's bit).
+    pub fn degrade(&self, device: usize, err: &Error) {
+        let failure = Error::LogDeviceFailed(format!("device {device}: {err}"));
+        self.metrics.degraded.add(1);
+        self.metrics.trace(
+            TraceStage::Degraded,
+            TxnId(0),
+            0,
+            1u64.checked_shl(device as u32).unwrap_or(0),
+        );
         if let Ok(mut q) = self.queue.lock() {
-            q.crashed = true;
+            q.failed = true;
+            q.crashed = true; // the daemon and sibling writers stand down
         }
         if let Ok(mut d) = self.durable.lock() {
             d.crashed = true;
             if d.failure.is_none() {
-                d.failure = Some(err);
+                d.failure = Some(failure);
             }
         }
         self.queue_cv.notify_all();
@@ -320,11 +351,6 @@ impl Shared {
         for shard in &self.shards {
             shard.lock_cv.notify_all();
         }
-    }
-
-    /// True once a crash (simulated or device failure) was declared.
-    pub fn is_crashed(&self) -> bool {
-        self.durable.lock().map(|d| d.crashed).unwrap_or(true)
     }
 
     /// Cross-structure invariant check, used by [`crate::Engine::audit`].
@@ -629,8 +655,16 @@ pub(crate) fn run_daemon(shared: Arc<Shared>, senders: Vec<Sender<Page>>) {
 /// One log-writer thread: sleeps the device's modeled latency, writes
 /// and syncs the page, then advances durability. A crash flag set during
 /// the modeled write loses the page — exactly the §5.2 failure the
-/// recovery test exercises.
-pub(crate) fn run_writer(shared: Arc<Shared>, rx: Receiver<Page>, mut device: WalDevice) {
+/// recovery test exercises. A failed append is retried within the
+/// configured budget (the device rewinds to the last good frame before
+/// each retry); exhausting it degrades the whole engine fail-stop
+/// rather than leaving committers hung on a page that will never land.
+pub(crate) fn run_writer(
+    shared: Arc<Shared>,
+    rx: Receiver<Page>,
+    mut device: WalDevice,
+    index: usize,
+) {
     while let Ok(page) = rx.recv() {
         if !wait_for_dependencies(&shared, &page) {
             continue; // crashed: the page is abandoned, never written
@@ -647,8 +681,8 @@ pub(crate) fn run_writer(shared: Arc<Shared>, rx: Receiver<Page>, mut device: Wa
         if shared.is_crashed() {
             continue; // crash mid-write: the page is lost
         }
-        if let Err(e) = device.append_page(&page.records) {
-            shared.fail(e);
+        if let Err(e) = append_with_retry(&shared, &mut device, &page) {
+            shared.degrade(index, &e);
             return;
         }
         shared.metrics.fsync_us.record(us_since(write_started));
@@ -659,6 +693,39 @@ pub(crate) fn run_writer(shared: Arc<Shared>, rx: Receiver<Page>, mut device: Wa
         }
         if !complete_page(&shared, page) {
             return;
+        }
+    }
+}
+
+/// Appends one page, retrying transient failures within the configured
+/// budget with doubling backoff. Every failed attempt bumps the I/O
+/// error counter; every retry bumps the retry counter. The device
+/// rewound itself to the last good frame on each failure, so a retry
+/// rewrites the full page at a clean boundary. Returns the last error
+/// once the budget is spent (the caller degrades the engine), or early
+/// if a crash was declared while backing off (no point hammering a
+/// device whose engine is already down).
+fn append_with_retry(shared: &Shared, device: &mut WalDevice, page: &Page) -> Result<()> {
+    let mut backoff = shared.options.io_retry_backoff;
+    let mut attempts = 0u32;
+    loop {
+        match device.append_page(&page.records) {
+            Ok(()) => return Ok(()),
+            Err(e) => {
+                shared.metrics.io_errors.inc();
+                if attempts >= shared.options.io_retries {
+                    return Err(e);
+                }
+                attempts += 1;
+                shared.metrics.io_retries.inc();
+                if !backoff.is_zero() {
+                    std::thread::sleep(backoff);
+                }
+                backoff = backoff.saturating_mul(2);
+                if shared.is_crashed() {
+                    return Err(e);
+                }
+            }
         }
     }
 }

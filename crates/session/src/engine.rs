@@ -109,7 +109,7 @@ impl Engine {
             let shared_w = Arc::clone(&shared);
             let handle = std::thread::Builder::new()
                 .name(format!("mmdb-log-writer-{i}"))
-                .spawn(move || daemon::run_writer(shared_w, rx, device))
+                .spawn(move || daemon::run_writer(shared_w, rx, device, i))
                 .map_err(|e| Error::Io(format!("spawn writer {i}: {e}")))?;
             threads.push(handle);
         }
@@ -158,6 +158,14 @@ impl Engine {
     pub fn flush(&self) -> Result<()> {
         {
             let mut q = self.shared.queue_guard()?;
+            if q.failed {
+                // Degraded fail-stop (§5.2): surface the device failure
+                // rather than blocking or reporting a bland shutdown.
+                let failure = self.shared.durable_guard()?.failure.clone();
+                return Err(
+                    failure.unwrap_or_else(|| Error::LogDeviceFailed("log device failed".into()))
+                );
+            }
             if q.crashed {
                 return Err(Error::Shutdown);
             }
@@ -713,15 +721,28 @@ pub(crate) fn device_file_name(generation: u64, index: usize) -> String {
 }
 
 /// Creates one fresh [`WalDevice`] per configured device for the given
-/// log generation, honoring per-device latency overrides.
+/// log generation, honoring per-device latency overrides. A device with
+/// a configured [`mmdb_recovery::FaultPlan`] writes through a
+/// fault-injecting backend (testing and the torture harness); the plan
+/// applies to whichever generation is opened next, which is how the
+/// harness faults the compaction write *inside* [`Engine::recover`].
 pub(crate) fn open_devices(options: &EngineOptions, generation: u64) -> Result<Vec<WalDevice>> {
     let mut devices = Vec::new();
     for i in 0..options.policy.devices() {
-        devices.push(WalDevice::create(
-            options.log_dir.join(device_file_name(generation, i)),
-            options.page_bytes,
-            options.device_latency(i),
-        )?);
+        let path = options.log_dir.join(device_file_name(generation, i));
+        let plan = options.fault_plan(i);
+        let device = if plan.is_empty() {
+            WalDevice::create(&path, options.page_bytes, options.device_latency(i))?
+        } else {
+            let backend = mmdb_recovery::FaultyBackend::create(&path, plan)?;
+            WalDevice::with_backend(
+                Box::new(backend),
+                &path,
+                options.page_bytes,
+                options.device_latency(i),
+            )
+        };
+        devices.push(device);
     }
     Ok(devices)
 }

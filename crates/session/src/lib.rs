@@ -68,10 +68,14 @@ mod recover;
 /// §5.2 lock-table shards, the transaction table, and the lock-ordering
 /// discipline that keeps multi-shard operations cycle-free.
 mod shard;
+/// §5 seeded crash-torture harness: fault-injected runs, crash,
+/// recover, verify against the serial oracle.
+pub mod torture;
 
 pub use engine::{CommitTicket, Engine, Session, Txn};
 pub use policy::{CommitPolicy, EngineOptions};
 pub use recover::RecoveryInfo;
+pub use torture::TortureReport;
 
 // Re-export the observability surface engine callers consume through
 // [`Engine::stats`] / [`Engine::trace_events`], so depending on

@@ -56,6 +56,15 @@ pub(crate) struct SessionMetrics {
     /// Wall time of one page write (dependency wait excluded): modeled
     /// device latency + real append-and-sync, µs.
     pub fsync_us: Arc<Histogram>,
+    /// Log-device write/sync failures observed by the writer threads
+    /// (each failed attempt counts, whether or not a retry saved it).
+    pub io_errors: Arc<Counter>,
+    /// Retries the writer threads issued after transient I/O errors
+    /// (bounded by `EngineOptions::io_retries` per page).
+    pub io_retries: Arc<Counter>,
+    /// Log devices that exhausted their retries and forced the engine
+    /// into its fail-stop degraded state (0 on a healthy engine).
+    pub degraded: Arc<Gauge>,
     /// Durability lag: highest assigned LSN minus the durable
     /// watermark (§5.2 pre-commit hides exactly this window).
     pub durable_lag: Arc<Gauge>,
@@ -114,6 +123,18 @@ impl SessionMetrics {
             "mmdb_session_fsync_us",
             "Page write wall time (modeled latency + append-and-sync)",
         );
+        let io_errors = registry.counter(
+            "mmdb_session_io_errors_total",
+            "Log-device write/sync failures observed by the writer threads",
+        );
+        let io_retries = registry.counter(
+            "mmdb_session_io_retries_total",
+            "Writer-thread retries after transient log-device errors",
+        );
+        let degraded = registry.gauge(
+            "mmdb_session_degraded_count",
+            "Log devices that failed permanently (fail-stop degraded state)",
+        );
         let durable_lag = registry.gauge(
             "mmdb_session_durable_lag_lsn",
             "Highest assigned LSN minus the durable watermark",
@@ -132,6 +153,9 @@ impl SessionMetrics {
             commit_latency_us,
             batch_txns,
             fsync_us,
+            io_errors,
+            io_retries,
+            degraded,
             durable_lag,
             appended_lsn: AtomicU64::new(0),
         }

@@ -10,7 +10,7 @@
 //! [`EngineOptions::sim_config`].
 
 use crate::shard::MAX_SHARDS;
-use mmdb_recovery::SimConfig;
+use mmdb_recovery::{FaultPlan, SimConfig};
 use std::path::PathBuf;
 use std::time::Duration;
 
@@ -93,6 +93,18 @@ pub struct EngineOptions {
     /// Slots in the commit-pipeline trace ring (overwrite-oldest);
     /// recording is lock-free regardless of size. Defaults to 1024.
     pub trace_capacity: usize,
+    /// Deterministic fault plans, one per log device (device `i` takes
+    /// entry `i`; missing or empty entries mean the real, un-faulted
+    /// backend). Empty by default — production engines never inject.
+    pub fault_plans: Vec<FaultPlan>,
+    /// How many times a writer thread retries a failed page append
+    /// before declaring the device dead and degrading the engine
+    /// (§5.2 fail-stop). Defaults to 3.
+    pub io_retries: u32,
+    /// Backoff before the first retry; doubles per attempt. Defaults
+    /// to 1 ms — long enough to ride out a transient EIO, short enough
+    /// that tests and the torture harness stay fast.
+    pub io_retry_backoff: Duration,
 }
 
 impl EngineOptions {
@@ -112,7 +124,34 @@ impl EngineOptions {
             shards: default_shards(),
             lock_op_latency: Duration::ZERO,
             trace_capacity: 1024,
+            fault_plans: Vec::new(),
+            io_retries: 3,
+            io_retry_backoff: Duration::from_millis(1),
         }
+    }
+
+    /// Installs deterministic per-device fault plans (testing and the
+    /// torture harness only; see [`EngineOptions::fault_plans`]).
+    pub fn with_fault_plans(mut self, plans: Vec<FaultPlan>) -> Self {
+        self.fault_plans = plans;
+        self
+    }
+
+    /// Sets the bounded per-page retry budget for writer threads.
+    pub fn with_io_retries(mut self, retries: u32) -> Self {
+        self.io_retries = retries;
+        self
+    }
+
+    /// Sets the initial retry backoff (doubles per attempt).
+    pub fn with_io_retry_backoff(mut self, backoff: Duration) -> Self {
+        self.io_retry_backoff = backoff;
+        self
+    }
+
+    /// The fault plan for device `index` (empty when none configured).
+    pub fn fault_plan(&self, index: usize) -> FaultPlan {
+        self.fault_plans.get(index).cloned().unwrap_or_default()
     }
 
     /// Sets the modeled page-write latency.

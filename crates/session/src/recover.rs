@@ -27,7 +27,7 @@
 use crate::daemon::Shared;
 use crate::engine::{log_files, open_devices, Engine};
 use crate::policy::EngineOptions;
-use mmdb_recovery::wal::{read_log_file, WalDevice};
+use mmdb_recovery::wal::{read_log_file_report, WalDevice};
 use mmdb_recovery::{LogRecord, Lsn};
 use mmdb_types::{Error, Result, TxnId};
 use std::collections::{BTreeMap, BTreeSet};
@@ -49,6 +49,16 @@ pub struct RecoveryInfo {
     /// First missing LSN, when the prefix rule truncated the log —
     /// `None` means every scanned record counted.
     pub truncated_at: Option<Lsn>,
+    /// Pages dropped from the replayed generation because they were
+    /// corrupt — bad magic, checksum mismatch, malformed record — each
+    /// truncating its file at that page per the §5.2 prefix rule
+    /// (replay keeps going; corruption is reported, never fatal).
+    pub corrupt_pages_dropped: usize,
+    /// `*.log` files in the log directory whose names match no known
+    /// device-file pattern. They are neither replayed nor deleted —
+    /// a stray file must not be merged into the image (it was never
+    /// part of the LSN sequence) nor destroyed by compaction.
+    pub skipped_files: Vec<String>,
 }
 
 /// The outcome of replaying a log directory, before compaction.
@@ -62,29 +72,40 @@ pub(crate) struct RecoveredImage {
     pub info: RecoveryInfo,
 }
 
-/// Log generation a device file belongs to (the inverse of
-/// [`crate::engine::device_file_name`]); unrecognized names count as
-/// generation 0.
-fn generation_of(path: &Path) -> u64 {
-    path.file_stem()
-        .and_then(|s| s.to_str())
-        .and_then(|stem| stem.strip_prefix("wal-gen"))
-        .and_then(|rest| rest.split('-').next())
-        .and_then(|g| g.parse().ok())
-        .unwrap_or(0)
+/// Log generation a device file belongs to — the exact inverse of
+/// [`crate::engine::device_file_name`]: `wal-d{i}.log` is generation 0,
+/// `wal-gen{g}-d{i}.log` is generation `g`. Any other name returns
+/// `None`: a stray `*.log` file must not be silently merged into replay
+/// as generation 0 (its records were never part of the LSN sequence).
+pub(crate) fn generation_of(path: &Path) -> Option<u64> {
+    let stem = path.file_stem()?.to_str()?;
+    let rest = stem.strip_prefix("wal-")?;
+    if let Some(device) = rest.strip_prefix('d') {
+        device.parse::<u64>().ok()?;
+        return Some(0);
+    }
+    let rest = rest.strip_prefix("gen")?;
+    let (generation, device) = rest.split_once("-d")?;
+    let g = generation.parse::<u64>().ok()?;
+    device.parse::<u64>().ok()?;
+    Some(g)
 }
 
 /// Reads and merges one generation's device files by LSN, deduplicating
 /// records that reached more than one device — the restart-recovery view
-/// of a partitioned log (§5.2).
-fn read_generation(paths: &[PathBuf]) -> Result<Vec<(Lsn, LogRecord)>> {
+/// of a partitioned log (§5.2). Also returns how many corrupt pages the
+/// per-file prefix rule dropped across the generation's files.
+fn read_generation(paths: &[PathBuf]) -> Result<(Vec<(Lsn, LogRecord)>, usize)> {
     let mut all = Vec::new();
+    let mut corrupt = 0usize;
     for p in paths {
-        all.extend(read_log_file(p)?);
+        let report = read_log_file_report(p)?;
+        corrupt += report.corrupt_pages_dropped;
+        all.extend(report.records);
     }
     all.sort_by_key(|(lsn, _)| *lsn);
     all.dedup_by_key(|(lsn, _)| *lsn);
-    Ok(all)
+    Ok((all, corrupt))
 }
 
 /// The contiguous-LSN prefix of `records` (counting from 1), and the
@@ -121,25 +142,32 @@ fn snapshot_complete(prefix: &[LogRecord]) -> bool {
 /// has its intact predecessor still on disk to fall back to.
 pub(crate) fn replay_dir(dir: &Path) -> Result<RecoveredImage> {
     let mut generations: BTreeMap<u64, Vec<PathBuf>> = BTreeMap::new();
+    let mut skipped_files: Vec<String> = Vec::new();
     for path in log_files(dir)? {
-        generations
-            .entry(generation_of(&path))
-            .or_default()
-            .push(path);
+        match generation_of(&path) {
+            Some(g) => generations.entry(g).or_default().push(path),
+            // A stray *.log file: report it, replay nothing from it.
+            None => skipped_files.push(
+                path.file_name()
+                    .map(|n| n.to_string_lossy().into_owned())
+                    .unwrap_or_else(|| path.display().to_string()),
+            ),
+        }
     }
+    skipped_files.sort();
     let max_generation = generations.keys().next_back().copied().unwrap_or(0);
     let oldest = generations.keys().next().copied();
-    let mut chosen: (Vec<LogRecord>, Option<Lsn>, usize) = (Vec::new(), None, 0);
+    let mut chosen: (Vec<LogRecord>, Option<Lsn>, usize, usize) = (Vec::new(), None, 0, 0);
     for (&generation, paths) in generations.iter().rev() {
-        let records = read_generation(paths)?;
+        let (records, corrupt_pages) = read_generation(paths)?;
         let records_scanned = records.len();
         let (prefix, truncated_at) = contiguous_prefix(records);
         if Some(generation) == oldest || snapshot_complete(&prefix) {
-            chosen = (prefix, truncated_at, records_scanned);
+            chosen = (prefix, truncated_at, records_scanned, corrupt_pages);
             break;
         }
     }
-    let (prefix, truncated_at, records_scanned) = chosen;
+    let (prefix, truncated_at, records_scanned, corrupt_pages_dropped) = chosen;
     let mut seen = BTreeSet::new();
     let mut committed = BTreeSet::new();
     for rec in &prefix {
@@ -182,6 +210,8 @@ pub(crate) fn replay_dir(dir: &Path) -> Result<RecoveredImage> {
             records_scanned,
             records_replayed,
             truncated_at,
+            corrupt_pages_dropped,
+            skipped_files,
         },
     })
 }
@@ -239,7 +269,13 @@ impl Engine {
         let replay_started = std::time::Instant::now();
         let image = replay_dir(&options.log_dir)?;
         let replay_us = u64::try_from(replay_started.elapsed().as_micros()).unwrap_or(u64::MAX);
-        let old_files = log_files(&options.log_dir)?;
+        // Only recognized generation files are compacted away; a stray
+        // *.log was never replayed, so deleting it would destroy data
+        // recovery does not understand.
+        let old_files: Vec<PathBuf> = log_files(&options.log_dir)?
+            .into_iter()
+            .filter(|p| generation_of(p).is_some())
+            .collect();
         let mut devices = open_devices(&options, image.max_generation + 1)?;
         // Snapshot before deleting anything: `append_page` syncs every
         // page, so by the time the old generation goes away the new one
@@ -381,6 +417,107 @@ mod tests {
         assert_eq!(image.db.get(&1), Some(&11));
         assert_eq!(image.db.get(&2), None, "loser's update discarded");
         assert_eq!(image.next_txn, 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn generation_parsing_is_strict() {
+        assert_eq!(generation_of(Path::new("/x/wal-d0.log")), Some(0));
+        assert_eq!(generation_of(Path::new("/x/wal-d17.log")), Some(0));
+        assert_eq!(generation_of(Path::new("/x/wal-gen3-d1.log")), Some(3));
+        assert_eq!(generation_of(Path::new("/x/wal-gen12-d0.log")), Some(12));
+        // Strays that the old parser silently counted as generation 0.
+        assert_eq!(generation_of(Path::new("/x/debug.log")), None);
+        assert_eq!(generation_of(Path::new("/x/wal-backup.log")), None);
+        assert_eq!(generation_of(Path::new("/x/wal-genX-d0.log")), None);
+        assert_eq!(generation_of(Path::new("/x/wal-gen3-dx.log")), None);
+        assert_eq!(generation_of(Path::new("/x/wal-dx.log")), None);
+        assert_eq!(generation_of(Path::new("/x/wal-gen3.log")), None);
+    }
+
+    #[test]
+    fn stray_log_file_is_skipped_and_reported_not_replayed() {
+        let dir = tmp_dir("stray");
+        let mut dev = WalDevice::create(dir.join("wal-d0.log"), 4096, Duration::ZERO).unwrap();
+        dev.append_page(&[
+            (Lsn(1), LogRecord::Begin { txn: TxnId(1) }),
+            (Lsn(2), LogRecord::Commit { txn: TxnId(1) }),
+        ])
+        .unwrap();
+        // A stray file whose records would wreck the image if merged:
+        // same LSNs, different content.
+        let mut stray = WalDevice::create(dir.join("app-debug.log"), 4096, Duration::ZERO).unwrap();
+        stray
+            .append_page(&[
+                (Lsn(1), LogRecord::Begin { txn: TxnId(9) }),
+                (
+                    Lsn(2),
+                    LogRecord::Update {
+                        txn: TxnId(9),
+                        key: 5,
+                        old: None,
+                        new: 55,
+                        padding: 0,
+                    },
+                ),
+            ])
+            .unwrap();
+        let image = replay_dir(&dir).unwrap();
+        assert_eq!(image.info.skipped_files, vec!["app-debug.log".to_string()]);
+        assert_eq!(image.info.committed, vec![TxnId(1)]);
+        assert!(image.db.is_empty(), "stray records were not merged");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_page_truncates_and_is_reported() {
+        let dir = tmp_dir("corruptpage");
+        let mut dev = WalDevice::create(dir.join("wal-d0.log"), 4096, Duration::ZERO).unwrap();
+        dev.append_page(&[
+            (Lsn(1), LogRecord::Begin { txn: TxnId(1) }),
+            (Lsn(2), LogRecord::Commit { txn: TxnId(1) }),
+        ])
+        .unwrap();
+        dev.append_page(&[
+            (Lsn(3), LogRecord::Begin { txn: TxnId(2) }),
+            (Lsn(4), LogRecord::Commit { txn: TxnId(2) }),
+        ])
+        .unwrap();
+        // Flip one payload byte of the second page on disk: its CRC now
+        // fails, the page is dropped, replay keeps txn 1 and reports.
+        let path = dir.join("wal-d0.log");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let image = replay_dir(&dir).unwrap();
+        assert_eq!(image.info.committed, vec![TxnId(1)]);
+        assert_eq!(image.info.corrupt_pages_dropped, 1);
+        assert!(image.info.skipped_files.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recover_preserves_stray_files() {
+        let dir = tmp_dir("stray-preserved");
+        let opts = crate::EngineOptions::new(crate::CommitPolicy::Group, &dir)
+            .with_flush_interval(Duration::from_millis(1))
+            .with_page_write_latency(Duration::ZERO);
+        let engine = Engine::start(opts.clone()).unwrap();
+        let s = engine.session();
+        let t = s.begin().unwrap();
+        s.write(&t, 1, 10).unwrap();
+        s.commit_durable(t).unwrap();
+        engine.crash().unwrap();
+        std::fs::write(dir.join("operator-notes.log"), b"do not delete").unwrap();
+        let (engine, info) = Engine::recover(opts).unwrap();
+        assert_eq!(info.skipped_files, vec!["operator-notes.log".to_string()]);
+        assert_eq!(engine.read(1).unwrap(), Some(10));
+        engine.shutdown().unwrap();
+        assert!(
+            dir.join("operator-notes.log").exists(),
+            "compaction must not delete files it did not replay"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

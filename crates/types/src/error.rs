@@ -51,6 +51,11 @@ pub enum Error {
     Planning(String),
     /// A wall-clock log device failed (disk full, unwritable path, ...).
     Io(String),
+    /// A wall-clock log device failed permanently and the engine entered
+    /// its fail-stop degraded state (§5.2 failure semantics): every
+    /// in-flight and future commit is refused with this error instead of
+    /// hanging on a page write that will never complete.
+    LogDeviceFailed(String),
     /// A shared-state lock was poisoned: another session thread panicked
     /// while holding it, so the protected invariants are suspect.
     Poisoned(String),
@@ -84,6 +89,9 @@ impl fmt::Display for Error {
             Error::CorruptLog(msg) => write!(f, "corrupt log: {msg}"),
             Error::Planning(msg) => write!(f, "planning error: {msg}"),
             Error::Io(msg) => write!(f, "log I/O failed: {msg}"),
+            Error::LogDeviceFailed(msg) => {
+                write!(f, "log device failed (engine degraded): {msg}")
+            }
             Error::Poisoned(what) => write!(f, "poisoned lock: {what}"),
             Error::Shutdown => write!(f, "engine is shut down"),
             Error::Internal(msg) => write!(f, "internal invariant violated: {msg}"),
@@ -124,6 +132,10 @@ mod tests {
             "poisoned lock: engine state"
         );
         assert_eq!(Error::Shutdown.to_string(), "engine is shut down");
+        assert_eq!(
+            Error::LogDeviceFailed("device 0 gave up".into()).to_string(),
+            "log device failed (engine degraded): device 0 gave up"
+        );
     }
 
     #[test]

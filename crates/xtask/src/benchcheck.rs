@@ -8,7 +8,11 @@
 //! bar, and every smoke-tier run (baseline and fresh) must carry the
 //! engine-side commit-latency and batch-size percentile fields the
 //! bench pulls from `Engine::stats()` — a run without them predates
-//! the observability schema. Run with `--fresh PATH` to check an
+//! the observability schema. The fresh run must also attest
+//! `"fault_injection": "disabled"`: the fault-injection layer is
+//! compiled into the engine, and the gate certifies that carrying it
+//! *disabled* costs nothing, so a faulted or pre-fault-layer run can
+//! never stand in for the perf baseline. Run with `--fresh PATH` to check an
 //! existing smoke JSON (the
 //! CI job does this so the artifact it uploads is exactly the file it
 //! gated on); without it, the tool runs the smoke bench itself.
@@ -417,6 +421,28 @@ fn bench_check_inner(
             fresh_path.display()
         ));
     }
+    // Gate: the fresh run must attest that the fault-injection layer is
+    // compiled in but disabled — the tps floor below is only meaningful
+    // for that configuration. A run predating the fault layer (no
+    // field) or one with plans installed is refused outright.
+    match fresh_json.get("fault_injection").and_then(Json::as_str) {
+        Some("disabled") => {
+            println!("  fault injection: compiled in, disabled for the gate run");
+        }
+        Some(other) => {
+            return Err(format!(
+                "fresh smoke run reports fault_injection = {other:?}; the perf gate only \
+                 accepts runs with the fault layer disabled"
+            ));
+        }
+        None => {
+            return Err(format!(
+                "{} lacks the fault_injection field (regenerate with the current \
+                 concurrent_commit build)",
+                fresh_path.display()
+            ));
+        }
+    }
     let fresh_runs = fresh_json
         .get("runs")
         .and_then(Json::as_arr)
@@ -521,6 +547,7 @@ mod tests {
     fn smoke_doc(group_tps: f64) -> String {
         format!(
             r#"{{"bench": "concurrent_commit", "mode": "smoke",
+                "fault_injection": "disabled",
                 "runs": [{{"policy": "group", "tps": {group_tps}, {}}}]}}"#,
             percentile_fields()
         )
@@ -563,6 +590,7 @@ mod tests {
             "fresh-missing.json",
             &format!(
                 r#"{{"bench": "concurrent_commit", "mode": "smoke",
+                "fault_injection": "disabled",
                 "runs": [{{"policy": "sync", "tps": 9999.0, {}}}]}}"#,
                 percentile_fields()
             ),
@@ -585,6 +613,7 @@ mod tests {
         let fresh = write_tmp(
             "fresh-pctl.json",
             r#"{"bench": "concurrent_commit", "mode": "smoke",
+                "fault_injection": "disabled",
                 "runs": [{"policy": "group", "tps": 1000.0}]}"#,
         );
         let err = bench_check_inner(&root, Some(&fresh), &baseline, 0.30).unwrap_err();
@@ -605,6 +634,44 @@ mod tests {
             "unexpected error: {err}"
         );
         for p in [&baseline, &fresh, &old_baseline] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn gate_fails_without_fault_injection_attestation() {
+        let root = std::env::temp_dir();
+        let baseline = write_tmp("base-fi.json", &baseline_doc(3.0, 1000.0));
+        // No fault_injection field at all: refused.
+        let missing = write_tmp(
+            "fresh-fi-missing.json",
+            &format!(
+                r#"{{"bench": "concurrent_commit", "mode": "smoke",
+                "runs": [{{"policy": "group", "tps": 1000.0, {}}}]}}"#,
+                percentile_fields()
+            ),
+        );
+        let err = bench_check_inner(&root, Some(&missing), &baseline, 0.30).unwrap_err();
+        assert!(
+            err.contains("lacks the fault_injection field"),
+            "unexpected error: {err}"
+        );
+        // A run with faults enabled: refused even with healthy tps.
+        let enabled = write_tmp(
+            "fresh-fi-enabled.json",
+            &format!(
+                r#"{{"bench": "concurrent_commit", "mode": "smoke",
+                "fault_injection": "enabled",
+                "runs": [{{"policy": "group", "tps": 1000.0, {}}}]}}"#,
+                percentile_fields()
+            ),
+        );
+        let err = bench_check_inner(&root, Some(&enabled), &baseline, 0.30).unwrap_err();
+        assert!(
+            err.contains("fault_injection = \"enabled\""),
+            "unexpected error: {err}"
+        );
+        for p in [&baseline, &missing, &enabled] {
             std::fs::remove_file(p).ok();
         }
     }

@@ -28,12 +28,18 @@
 //! `cargo xtask metrics-lint` checks metric-name hygiene at every obs
 //! registration call site: snake_case, a unit suffix, and global
 //! uniqueness (see [`metricslint`]).
+//!
+//! `cargo xtask torture` is the crash-torture gate: seeded
+//! fault-injection sweeps of the wall-clock engine — crash, recover,
+//! verify against the serial oracle — with a watchdog so hangs fail
+//! loudly (see [`torture`]).
 
 mod allowlist;
 mod benchcheck;
 mod metricslint;
 mod passes;
 mod scan;
+mod torture;
 
 use passes::Finding;
 use std::path::{Path, PathBuf};
@@ -58,11 +64,13 @@ fn main() -> ExitCode {
         Some("audit") => audit(args.iter().any(|a| a == "--verbose")),
         Some("bench-check") => benchcheck::bench_check(&workspace_root(), &args[1..]),
         Some("metrics-lint") => metricslint::metrics_lint(&workspace_root()),
+        Some("torture") => torture::torture(&workspace_root(), &args[1..]),
         _ => {
             eprintln!(
                 "usage: cargo xtask audit [--verbose]\n       \
                  cargo xtask bench-check [--fresh PATH] [--baseline PATH] [--tolerance FRAC]\n       \
-                 cargo xtask metrics-lint"
+                 cargo xtask metrics-lint\n       \
+                 cargo xtask torture [--seeds N] [--first S] [--artifacts DIR] [--watchdog-secs T]"
             );
             ExitCode::FAILURE
         }

@@ -26,12 +26,15 @@ fn fast(policy: CommitPolicy, name: &str) -> EngineOptions {
 /// The engine's metric inventory, `(family, prometheus type)`. This
 /// list is the golden surface: adding a metric means adding a row here,
 /// and renaming or dropping one fails the test.
-const SESSION_FAMILIES: [(&str, &str); 11] = [
+const SESSION_FAMILIES: [(&str, &str); 14] = [
     ("mmdb_session_begins_total", "counter"),
     ("mmdb_session_commits_total", "counter"),
     ("mmdb_session_aborts_total", "counter"),
     ("mmdb_session_pages_written_total", "counter"),
     ("mmdb_session_deadlock_aborts_total", "counter"),
+    ("mmdb_session_io_errors_total", "counter"),
+    ("mmdb_session_io_retries_total", "counter"),
+    ("mmdb_session_degraded_count", "gauge"),
     ("mmdb_session_lock_wait_us", "histogram"),
     ("mmdb_session_lock_hold_us", "histogram"),
     ("mmdb_session_commit_latency_us", "histogram"),
