@@ -28,11 +28,14 @@ impl Counter {
     /// Adds `n`.
     #[inline]
     pub fn add(&self, n: u64) {
+        // ordering: an independent monotonic tally; exposition tolerates
+        // observing increments out of order across counters.
         self.value.fetch_add(n, Ordering::Relaxed);
     }
 
     /// The current count.
     pub fn get(&self) -> u64 {
+        // ordering: reporting read; no other memory depends on it.
         self.value.load(Ordering::Relaxed)
     }
 }
@@ -53,17 +56,21 @@ impl Gauge {
     /// Replaces the value.
     #[inline]
     pub fn set(&self, v: i64) {
+        // ordering: a single-word instantaneous reading; readers accept
+        // any recent value.
         self.value.store(v, Ordering::Relaxed);
     }
 
     /// Adds `d` (may be negative).
     #[inline]
     pub fn add(&self, d: i64) {
+        // ordering: independent adjustment of a reading, as with `set`.
         self.value.fetch_add(d, Ordering::Relaxed);
     }
 
     /// The current value.
     pub fn get(&self) -> i64 {
+        // ordering: reporting read; no other memory depends on it.
         self.value.load(Ordering::Relaxed)
     }
 }

@@ -72,8 +72,13 @@ impl Histogram {
     #[inline]
     pub fn record(&self, value: u64) {
         if let Some(bucket) = self.buckets.get(bucket_index(value)) {
+            // ordering: independent monotone tallies; a snapshot racing
+            // this record may see the bucket without count/sum (or vice
+            // versa), which the per-field-monotone contract allows.
             bucket.fetch_add(1, Ordering::Relaxed);
         }
+        // ordering: same contract — count/sum lag or lead the buckets by
+        // at most the in-flight samples.
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(value, Ordering::Relaxed);
     }
@@ -85,8 +90,11 @@ impl Histogram {
             buckets: self
                 .buckets
                 .iter()
+                // ordering: each bucket is read independently; the copy
+                // is only per-field monotone, not cross-field atomic.
                 .map(|b| b.load(Ordering::Relaxed))
                 .collect(),
+            // ordering: count/sum follow the same per-field contract.
             count: self.count.load(Ordering::Relaxed),
             sum: self.sum.load(Ordering::Relaxed),
         }

@@ -145,12 +145,15 @@ impl TraceRing {
 
     /// Total events recorded (including ones since overwritten).
     pub fn recorded(&self) -> u64 {
+        // ordering: monotonic tally read for reporting; no other memory
+        // depends on its value.
         self.head.load(Ordering::Relaxed)
     }
 
     /// Events dropped because their slot was still mid-write when the
     /// ring wrapped onto it (pathological contention only).
     pub fn dropped(&self) -> u64 {
+        // ordering: monotonic tally read for reporting only.
         self.dropped.load(Ordering::Relaxed)
     }
 
@@ -158,31 +161,51 @@ impl TraceRing {
     /// from its last completed version; if a stalled writer still owns
     /// it, the event is dropped instead of torn.
     pub fn record(&self, stage: TraceStage, txn: u64, lsn: u64, shard_mask: u64, at_us: u64) {
+        // ordering: the ticket only has to be unique; slot ownership is
+        // decided by the version CAS below, not by this counter.
         let seq = self.head.fetch_add(1, Ordering::Relaxed);
         let Some(slot) = self.slots.get(seq as usize % self.slots.len()) else {
             return;
         };
         let odd = 2 * seq + 1;
+        // ordering: optimistic peek; the CAS re-validates it, so a stale
+        // read only costs a dropped event.
         let cur = slot.version.load(Ordering::Relaxed);
         // The slot's last complete version for an earlier lap is even
         // and < odd. Anything else means a slower writer from an
         // earlier lap is still inside its store sequence; tearing its
         // fields would let readers see a frankenstein event, so drop.
+        // ordering: the CAS acquires so this writer's field stores
+        // cannot start before the previous writer's publish is visible;
+        // the relaxed failure load feeds no data.
         if cur % 2 != 0
             || cur >= odd
             || slot
                 .version
+                // ordering: the relaxed failure load feeds no data.
                 .compare_exchange(cur, odd, Ordering::Acquire, Ordering::Relaxed)
                 .is_err()
         {
+            // ordering: monotonic tally, reported only.
             self.dropped.fetch_add(1, Ordering::Relaxed);
             return;
         }
+        // Order the odd (mid-write) version before the field stores: the
+        // CAS success above has only relaxed *store* semantics, so
+        // without this fence a field store could become visible while
+        // the version still reads as the old even value, and a reader's
+        // v1 == v2 check would accept a torn event.
+        fence(Ordering::Release);
+        // ordering: the field stores race only with readers, which
+        // discard the read unless the version is identical (and even)
+        // on both sides of their acquire fence.
         slot.stage.store(stage.code(), Ordering::Relaxed);
         slot.txn.store(txn, Ordering::Relaxed);
         slot.lsn.store(lsn, Ordering::Relaxed);
         slot.shard_mask.store(shard_mask, Ordering::Relaxed);
         slot.at_us.store(at_us, Ordering::Relaxed);
+        // The publish: Release orders every field store above before the
+        // even version becomes visible, pairing with readers' v1 load.
         slot.version.store(odd + 1, Ordering::Release);
     }
 
@@ -191,16 +214,28 @@ impl TraceRing {
     pub fn snapshot(&self) -> Vec<TraceEvent> {
         let mut events = Vec::with_capacity(self.slots.len());
         for slot in &self.slots {
+            // Acquire pairs with the writer's Release publish: if v1 is
+            // the even "complete" value, the field stores it covers are
+            // visible to the loads below.
             let v1 = slot.version.load(Ordering::Acquire);
             if v1 == 0 || v1 % 2 != 0 {
                 continue; // never written, or a write is in flight
             }
+            // ordering: the field loads may race a new writer; the
+            // validating re-read below discards the event if any store
+            // sequence overlapped this window.
             let stage = slot.stage.load(Ordering::Relaxed);
             let txn = slot.txn.load(Ordering::Relaxed);
             let lsn = slot.lsn.load(Ordering::Relaxed);
             let shard_mask = slot.shard_mask.load(Ordering::Relaxed);
             let at_us = slot.at_us.load(Ordering::Relaxed);
+            // The fence orders the field loads above before the re-read:
+            // it pairs with the writer's release fence after the claim
+            // CAS, so any writer whose stores our loads observed must
+            // have its odd version visible to v2.
             fence(Ordering::Acquire);
+            // ordering: the acquire fence above already orders this
+            // re-read after the field loads.
             let v2 = slot.version.load(Ordering::Relaxed);
             if v1 != v2 {
                 continue; // torn: a writer moved the slot mid-read
@@ -260,12 +295,16 @@ mod tests {
 
     #[test]
     fn concurrent_writers_never_tear() {
+        // Miri explores interleavings exhaustively enough that a small
+        // iteration count both finishes in reasonable time and still
+        // exercises the seqlock protocol.
+        let iters: u64 = if cfg!(miri) { 40 } else { 1000 };
         let ring = Arc::new(TraceRing::new(16));
         let handles: Vec<_> = (0..4u64)
             .map(|t| {
                 let ring = Arc::clone(&ring);
                 std::thread::spawn(move || {
-                    for i in 0..1000u64 {
+                    for i in 0..iters {
                         // txn/lsn/at_us all carry the same value, so a
                         // torn slot would be visible as a mismatch.
                         let v = t * 10_000 + i;
@@ -281,7 +320,7 @@ mod tests {
             assert_eq!(e.txn, e.lsn, "torn event: {e:?}");
             assert_eq!(e.txn, e.at_us, "torn event: {e:?}");
         }
-        assert_eq!(ring.recorded(), 4000);
+        assert_eq!(ring.recorded(), 4 * iters);
     }
 
     #[test]

@@ -172,14 +172,16 @@ impl Shared {
         next_lsn: u64,
     ) -> Self {
         let n = options.shard_count();
-        let shards: Vec<Shard> = (0..n).map(|_| Shard::default()).collect();
+        // Partition the image before any mutex exists: constructing each
+        // shard around its slice avoids taking (and possibly swallowing
+        // a poisoned) state lock during startup.
+        let mut images: Vec<HashMap<u64, i64>> = (0..n).map(|_| HashMap::new()).collect();
         for (key, value) in db {
-            if let Some(shard) = shards.get(shard_of(key, n)) {
-                if let Ok(mut s) = shard.state.lock() {
-                    s.db.insert(key, value);
-                }
+            if let Some(image) = images.get_mut(shard_of(key, n)) {
+                image.insert(key, value);
             }
         }
+        let shards: Vec<Shard> = images.into_iter().map(Shard::with_db).collect();
         let metrics = SessionMetrics::new(n, options.trace_capacity);
         metrics.note_appended_lsn(next_lsn.max(1).saturating_sub(1));
         Shared {
@@ -212,6 +214,8 @@ impl Shared {
 
     /// Allocates the next transaction id (no lock taken).
     pub fn alloc_txn(&self) -> TxnId {
+        // ordering: ids only need to be unique; every structure they
+        // index is guarded by its own lock.
         TxnId(self.next_txn.fetch_add(1, Ordering::Relaxed))
     }
 
@@ -317,8 +321,22 @@ impl Shared {
     }
 
     /// True once a crash (simulated or device failure) was declared.
+    /// A poisoned durable table is itself a crash: some thread died
+    /// mid-update, so the engine escalates to fail-stop rather than
+    /// guessing at the table's state.
     pub fn is_crashed(&self) -> bool {
-        self.durable.lock().map(|d| d.crashed).unwrap_or(true)
+        match self.durable.lock() {
+            Ok(d) => d.crashed,
+            Err(poisoned) => {
+                // Release the recovered guard before fail_stop re-locks
+                // the tables in order (holding it would self-deadlock).
+                drop(poisoned);
+                self.fail_stop(Error::LogDeviceFailed(
+                    "durable table poisoned mid-update".into(),
+                ));
+                true
+            }
+        }
     }
 
     /// Enters the fail-stop degraded state after device `device`
@@ -328,19 +346,38 @@ impl Shared {
     /// degraded gauge rises, and the trace ring records the transition
     /// (shard-mask field carries the failed device's bit).
     pub fn degrade(&self, device: usize, err: &Error) {
-        let failure = Error::LogDeviceFailed(format!("device {device}: {err}"));
-        self.metrics.degraded.add(1);
         self.metrics.trace(
             TraceStage::Degraded,
             TxnId(0),
             0,
             1u64.checked_shl(device as u32).unwrap_or(0),
         );
-        if let Ok(mut q) = self.queue.lock() {
+        self.fail_stop(Error::LogDeviceFailed(format!("device {device}: {err}")));
+    }
+
+    /// Escalates a poisoned lock on a commit-critical path to the same
+    /// fail-stop state as a dead log device: the panicking thread may
+    /// have left `what` half-updated, so no further commit may trust it.
+    pub fn poison_fail_stop(&self, what: &str) {
+        self.metrics.trace(TraceStage::Degraded, TxnId(0), 0, 0);
+        self.fail_stop(Error::LogDeviceFailed(format!(
+            "{what} mutex poisoned mid-update"
+        )));
+    }
+
+    /// Marks the engine failed and wakes every waiter. Poisoning here
+    /// must not stop the degradation itself — a half-degraded engine
+    /// would strand committers in their condvar loops — so the state
+    /// flags are written through `PoisonError::into_inner`.
+    fn fail_stop(&self, failure: Error) {
+        self.metrics.degraded.add(1);
+        {
+            let mut q = self.queue.lock().unwrap_or_else(|p| p.into_inner());
             q.failed = true;
             q.crashed = true; // the daemon and sibling writers stand down
         }
-        if let Ok(mut d) = self.durable.lock() {
+        {
+            let mut d = self.durable.lock().unwrap_or_else(|p| p.into_inner());
             d.crashed = true;
             if d.failure.is_none() {
                 d.failure = Some(failure);
@@ -577,6 +614,10 @@ pub(crate) fn run_daemon(shared: Arc<Shared>, senders: Vec<Sender<Page>>) {
     loop {
         let (pages, finished) = {
             let Ok(mut q) = shared.queue.lock() else {
+                // A writer panicked holding the queue: nothing can be
+                // flushed any more, so fail the engine before standing
+                // down (waiters would otherwise hang on a live condvar).
+                shared.poison_fail_stop("log queue");
                 return;
             };
             let mut flush_partial;
@@ -595,6 +636,7 @@ pub(crate) fn run_daemon(shared: Arc<Shared>, senders: Vec<Sender<Page>>) {
                     .queue_cv
                     .wait_timeout(q, shared.options.flush_interval)
                 else {
+                    shared.poison_fail_stop("log queue");
                     return;
                 };
                 q = guard;
@@ -622,6 +664,7 @@ pub(crate) fn run_daemon(shared: Arc<Shared>, senders: Vec<Sender<Page>>) {
             // Register commit → page before dispatch so writers can
             // resolve dependency pages and waiters can be found.
             let Ok(mut d) = shared.durable.lock() else {
+                shared.poison_fail_stop("durable table");
                 return;
             };
             if d.crashed {
@@ -734,6 +777,7 @@ fn append_with_retry(shared: &Shared, device: &mut WalDevice, page: &Page) -> Re
 /// record is on disk (or rides this very page). Returns `false` on crash.
 fn wait_for_dependencies(shared: &Shared, page: &Page) -> bool {
     let Ok(mut d) = shared.durable.lock() else {
+        shared.poison_fail_stop("durable table");
         return false;
     };
     loop {
@@ -753,6 +797,7 @@ fn wait_for_dependencies(shared: &Shared, page: &Page) -> bool {
             return true;
         }
         let Ok(guard) = shared.durable_cv.wait(d) else {
+            shared.poison_fail_stop("durable table");
             return false;
         };
         d = guard;
@@ -765,6 +810,7 @@ fn wait_for_dependencies(shared: &Shared, page: &Page) -> bool {
 fn complete_page(shared: &Shared, page: Page) -> bool {
     let newly = {
         let Ok(mut guard) = shared.durable.lock() else {
+            shared.poison_fail_stop("durable table");
             return false;
         };
         let d = &mut *guard;
@@ -803,14 +849,20 @@ fn complete_page(shared: &Shared, page: Page) -> bool {
         shared
             .metrics
             .trace(TraceStage::Durable, c.txn, c.lsn.0, c.mask);
-        let Ok(Some(meta)) = shared.txns.get(c.txn) else {
-            continue; // already finalized, or the engine is tearing down
+        let meta = match shared.txns.get(c.txn) {
+            Ok(Some(meta)) => meta,
+            Ok(None) => continue, // already finalized, or tearing down
+            Err(_) => {
+                shared.poison_fail_stop("txn table");
+                return false;
+            }
         };
         shared
             .metrics
             .commit_latency_us
             .record(us_since(meta.begun_at));
         let Ok(mut guards) = shared.lock_mask(meta.mask) else {
+            shared.poison_fail_stop("shard state");
             return false;
         };
         for (_, state) in guards.iter_mut() {
@@ -818,6 +870,7 @@ fn complete_page(shared: &Shared, page: Page) -> bool {
         }
         drop(guards);
         if shared.txns.remove(c.txn).is_err() {
+            shared.poison_fail_stop("txn table");
             return false;
         }
         shared.notify_shards(meta.mask);

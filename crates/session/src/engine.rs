@@ -239,7 +239,13 @@ impl Engine {
             return Ok(());
         }
         self.finished = true;
-        if let Ok(mut q) = self.shared.queue.lock() {
+        // The stop flags must land even if a daemon panicked holding a
+        // table — otherwise the join below waits on threads that will
+        // never see the shutdown — so poisoning is recovered, not
+        // swallowed: the flags are whole-word writes that cannot be
+        // half-updated.
+        {
+            let mut q = self.shared.queue.lock().unwrap_or_else(|p| p.into_inner());
             if crash {
                 q.crashed = true;
             } else {
@@ -247,9 +253,12 @@ impl Engine {
             }
         }
         if crash {
-            if let Ok(mut d) = self.shared.durable.lock() {
-                d.crashed = true;
-            }
+            let mut d = self
+                .shared
+                .durable
+                .lock()
+                .unwrap_or_else(|p| p.into_inner());
+            d.crashed = true;
         }
         self.shared.queue_cv.notify_all();
         self.shared.durable_cv.notify_all();
@@ -259,10 +268,13 @@ impl Engine {
         for t in std::mem::take(&mut self.threads) {
             let _ = t.join();
         }
-        if let Ok(d) = self.shared.durable.lock() {
-            if let Some(e) = &d.failure {
-                return Err(e.clone());
-            }
+        let d = self
+            .shared
+            .durable
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
+        if let Some(e) = &d.failure {
+            return Err(e.clone());
         }
         Ok(())
     }

@@ -179,11 +179,15 @@ impl SessionMetrics {
 
     /// Raises the highest-assigned-LSN watermark used by the lag gauge.
     pub fn note_appended_lsn(&self, lsn: u64) {
+        // ordering: monotonic watermark feeding a gauge; LSN assignment
+        // itself is serialized by the queue lock, not this atomic.
         self.appended_lsn.fetch_max(lsn, Ordering::Relaxed);
     }
 
     /// Recomputes the durable-lag gauge against a new durable LSN.
     pub fn update_durable_lag(&self, durable_lsn: u64) {
+        // ordering: a slightly stale watermark only skews the lag gauge
+        // by an in-flight append; nothing branches on it.
         let appended = self.appended_lsn.load(Ordering::Relaxed);
         let lag = appended.saturating_sub(durable_lsn);
         self.durable_lag.set(i64::try_from(lag).unwrap_or(i64::MAX));

@@ -77,6 +77,18 @@ pub(crate) struct Shard {
 }
 
 impl Shard {
+    /// A shard born around its slice of the restart image, so startup
+    /// never has to take (or recover) a state lock.
+    pub fn with_db(db: HashMap<u64, i64>) -> Self {
+        Shard {
+            state: Mutex::new(ShardState {
+                db,
+                ..ShardState::default()
+            }),
+            lock_cv: Condvar::new(),
+        }
+    }
+
     /// Locks this shard's state, mapping poison to an error.
     pub fn guard(&self) -> Result<MutexGuard<'_, ShardState>> {
         self.state

@@ -85,42 +85,51 @@ impl CostMeter {
     /// Charges `n` key comparisons.
     #[inline]
     pub fn charge_comparisons(&self, n: u64) {
+        // ordering: model-cost tallies are independent monotone counters
+        // read only by `snapshot`; no cross-counter consistency needed.
         self.comparisons.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Charges `n` key hashes.
     #[inline]
     pub fn charge_hashes(&self, n: u64) {
+        // ordering: independent cost tally (see `charge_comparisons`).
         self.hashes.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Charges `n` tuple moves.
     #[inline]
     pub fn charge_moves(&self, n: u64) {
+        // ordering: independent cost tally (see `charge_comparisons`).
         self.moves.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Charges `n` tuple swaps.
     #[inline]
     pub fn charge_swaps(&self, n: u64) {
+        // ordering: independent cost tally (see `charge_comparisons`).
         self.swaps.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Charges `n` sequential I/O operations.
     #[inline]
     pub fn charge_seq_ios(&self, n: u64) {
+        // ordering: independent cost tally (see `charge_comparisons`).
         self.seq_ios.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Charges `n` random I/O operations.
     #[inline]
     pub fn charge_rand_ios(&self, n: u64) {
+        // ordering: independent cost tally (see `charge_comparisons`).
         self.rand_ios.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Copies out the counters.
     pub fn snapshot(&self) -> CostSnapshot {
         CostSnapshot {
+            // ordering: the copy is advisory — charges racing a snapshot
+            // land in the next one; fields need not be mutually atomic.
             comparisons: self.comparisons.load(Ordering::Relaxed),
             hashes: self.hashes.load(Ordering::Relaxed),
             moves: self.moves.load(Ordering::Relaxed),
@@ -132,6 +141,8 @@ impl CostMeter {
 
     /// Zeroes every counter.
     pub fn reset(&self) {
+        // ordering: reset races an in-flight charge only in tests that
+        // reuse a meter; losing such a charge is acceptable there.
         self.comparisons.store(0, Ordering::Relaxed);
         self.hashes.store(0, Ordering::Relaxed);
         self.moves.store(0, Ordering::Relaxed);

@@ -15,6 +15,22 @@
 //!   `#![forbid(unsafe_code)]` + `#![warn(missing_docs)]`, and public
 //!   items in `recovery` and `core` carry doc comments with the
 //!   workspace's `§5.2`-style paper citations.
+//! * **lock-order** — builds the static lock graph of the concurrency
+//!   crates (`session`, `recovery`, `obs`) from acquisitions made while
+//!   another guard is live, fails on cycles or edges contradicting the
+//!   documented global order (shard → txn_slot → queue → durable), and
+//!   writes the graph to `target/audit/lock-graph.dot` (see
+//!   [`concurrency`]).
+//! * **atomic-ordering** — every `Ordering::Relaxed` in non-test engine
+//!   code needs an `// ordering:` justification comment, and files with
+//!   a seqlock version word must follow the full odd/even protocol
+//!   (Release publishes, a Release fence after the claim CAS, Acquire +
+//!   fence around validated reads).
+//! * **condvar-discipline** — `Condvar` waits sit in predicate re-check
+//!   loops, and no `lock()` result is silently discarded with
+//!   `if let Ok(..)`/`unwrap_or`/`.ok()` — poisoning must reach the
+//!   fail-stop degrade path (recovering via `into_inner()` is the
+//!   sanctioned idiom).
 //!
 //! Findings are suppressed only through `crates/xtask/audit-allowlist.toml`,
 //! where every entry needs a one-line justification; stale entries are
@@ -36,6 +52,7 @@
 
 mod allowlist;
 mod benchcheck;
+mod concurrency;
 mod metricslint;
 mod passes;
 mod scan;
@@ -57,6 +74,10 @@ const CAST_CRATES: [&str; 2] = ["analytic", "planner"];
 
 /// Crates whose public items must carry §-cited doc comments.
 const CITED_CRATES: [&str; 3] = ["recovery", "core", "session"];
+
+/// Crates the lock-order and condvar-discipline passes cover: the ones
+/// holding the engine's `Mutex`/`Condvar` machinery.
+const CONCURRENCY_CRATES: [&str; 3] = ["recovery", "session", "obs"];
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -90,6 +111,8 @@ fn workspace_root() -> PathBuf {
 fn audit(verbose: bool) -> ExitCode {
     let root = workspace_root();
     let mut findings: Vec<Finding> = Vec::new();
+    let mut edges: Vec<concurrency::LockEdge> = Vec::new();
+    let lock_cfg = concurrency::engine_lock_config();
     let mut files_scanned = 0usize;
 
     for krate in ENGINE_CRATES {
@@ -124,7 +147,31 @@ fn audit(verbose: bool) -> ExitCode {
             if CITED_CRATES.contains(&krate) {
                 findings.extend(passes::doc_citations(&rel, &lines, &raw));
             }
+            findings.extend(concurrency::atomic_ordering(&rel, &lines, &raw));
+            findings.extend(concurrency::seqlock(&rel, &lines, &raw));
+            if CONCURRENCY_CRATES.contains(&krate) {
+                let (lock_findings, file_edges) =
+                    concurrency::lock_order(&rel, &lines, &raw, &lock_cfg);
+                findings.extend(lock_findings);
+                edges.extend(file_edges);
+                findings.extend(concurrency::condvar_discipline(&rel, &lines, &raw));
+            }
         }
+    }
+
+    findings.extend(concurrency::cycle_findings(&edges));
+    let dot = concurrency::render_dot(&concurrency::ENGINE_LOCK_ORDER, &edges);
+    let dot_dir = root.join("target/audit");
+    let dot_path = dot_dir.join("lock-graph.dot");
+    if let Err(e) = std::fs::create_dir_all(&dot_dir).and_then(|()| std::fs::write(&dot_path, &dot))
+    {
+        eprintln!("warning: could not write {}: {e}", dot_path.display());
+    } else if verbose {
+        println!(
+            "lock-order: {} edge site(s) -> {}",
+            edges.len(),
+            dot_path.display()
+        );
     }
 
     let allow_path = root.join("crates/xtask/audit-allowlist.toml");
@@ -161,7 +208,14 @@ fn audit(verbose: bool) -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    for pass in ["panic-freedom", "lossy-cast", "hygiene"] {
+    for pass in [
+        "panic-freedom",
+        "lossy-cast",
+        "hygiene",
+        "lock-order",
+        "atomic-ordering",
+        "condvar-discipline",
+    ] {
         let of_pass: Vec<&Finding> = kept.iter().filter(|f| f.pass == pass).collect();
         if of_pass.is_empty() {
             continue;

@@ -178,7 +178,9 @@ fn is_documented(raw: &[&str], item_line: usize) -> bool {
     false
 }
 
-fn snippet(raw: &[&str], line_no: usize) -> String {
+/// The raw source line behind a finding, trimmed and clipped for the
+/// report (shared with the concurrency passes).
+pub(crate) fn snippet(raw: &[&str], line_no: usize) -> String {
     raw.get(line_no - 1).map_or(String::new(), |l| {
         let t = l.trim();
         if t.len() <= 96 {

@@ -191,6 +191,84 @@ fn raw_string_closes(chars: &[char], i: usize, hashes: u32) -> bool {
     (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
 }
 
+/// A joined logical statement, for passes that need to see a multi-line
+/// expression (a lock chain, a `compare_exchange` call) as one string
+/// and to scope `let` bindings by brace depth.
+pub struct Statement {
+    /// 1-based line number of the statement's first line.
+    pub line: usize,
+    /// The joined cleaned text. Continuation lines opening with `.`,
+    /// `?`, `)`, `]`, or `,` are glued without a space so method chains
+    /// split across lines (`self.queue\n.lock()`) still match substring
+    /// patterns like `.queue.lock(`.
+    pub text: String,
+    /// Brace depth where the statement starts.
+    pub depth_start: i32,
+    /// Lowest depth reached while the statement ran (`} else {` dips
+    /// below its start depth; bindings scoped deeper than this are dead).
+    pub depth_min: i32,
+    /// Brace depth after the statement.
+    pub depth_end: i32,
+    /// True when the statement starts inside a `#[cfg(test)]` item.
+    pub in_test: bool,
+}
+
+/// Joins cleaned lines into [`Statement`]s. A statement is complete when
+/// its parentheses/brackets are balanced and its text ends with `;`,
+/// `{`, or `}` — enough to reunite multi-line calls and `let … else`
+/// headers without a real parser.
+pub fn statements(lines: &[CleanLine]) -> Vec<Statement> {
+    let mut out: Vec<Statement> = Vec::new();
+    let mut depth: i32 = 0;
+    let mut paren: i32 = 0;
+    let mut cur: Option<Statement> = None;
+    for l in lines {
+        let trimmed = l.code.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let st = cur.get_or_insert_with(|| Statement {
+            line: l.no,
+            text: String::new(),
+            depth_start: depth,
+            depth_min: depth,
+            depth_end: depth,
+            in_test: l.in_test,
+        });
+        if !st.text.is_empty()
+            && !trimmed.starts_with(['.', '?', ')', ']', ','])
+            && !st.text.ends_with(['.', '('])
+        {
+            st.text.push(' ');
+        }
+        st.text.push_str(trimmed);
+        for c in trimmed.chars() {
+            match c {
+                '(' | '[' => paren += 1,
+                ')' | ']' => paren -= 1,
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    st.depth_min = st.depth_min.min(depth);
+                }
+                _ => {}
+            }
+        }
+        if paren <= 0 && trimmed.ends_with([';', '{', '}']) {
+            st.depth_end = depth;
+            if let Some(done) = cur.take() {
+                out.push(done);
+            }
+            paren = 0;
+        }
+    }
+    if let Some(mut tail) = cur.take() {
+        tail.depth_end = depth;
+        out.push(tail);
+    }
+    out
+}
+
 /// Pass 2: brace-tracking to flag `#[cfg(test)]` items.
 fn mark_test_regions(cleaned: &[String]) -> Vec<CleanLine> {
     let mut out = Vec::new();
@@ -279,6 +357,38 @@ mod tests {
         let src = "#[cfg(test)]\nuse std::fmt;\nfn lib() {}\n";
         let lines = clean(src);
         assert!(!lines[2].in_test);
+    }
+
+    #[test]
+    fn statements_join_method_chains_without_spaces() {
+        let src = "fn f(&self) {\n    let q = self\n        .queue\n        .lock()\n        .map_err(|_| Error::Poisoned)?;\n}\n";
+        let sts = statements(&clean(src));
+        assert_eq!(sts.len(), 3, "fn header, let chain, closing brace");
+        assert!(sts[1].text.contains(".queue.lock()"), "{}", sts[1].text);
+        assert_eq!(sts[1].line, 2);
+        assert_eq!((sts[1].depth_start, sts[1].depth_end), (1, 1));
+    }
+
+    #[test]
+    fn statements_track_depth_through_let_else_and_blocks() {
+        let src = "fn f() {\n    let Ok(q) = m.lock() else {\n        return;\n    };\n    if let Ok(d) = n.lock() {\n        d.x();\n    }\n}\n";
+        let sts = statements(&clean(src));
+        let let_else = sts.iter().find(|s| s.text.contains("else {")).unwrap();
+        assert_eq!((let_else.depth_start, let_else.depth_end), (1, 2));
+        let if_let = sts.iter().find(|s| s.text.starts_with("if let")).unwrap();
+        assert_eq!((if_let.depth_start, if_let.depth_end), (1, 2));
+        // `};` closes the else block back to depth 1.
+        let close = sts.iter().find(|s| s.text == "};").unwrap();
+        assert_eq!(close.depth_end, 1);
+    }
+
+    #[test]
+    fn statements_record_depth_dips() {
+        let src = "fn f() {\n    if a {\n        b();\n    } else {\n        c();\n    }\n}\n";
+        let sts = statements(&clean(src));
+        let else_st = sts.iter().find(|s| s.text.contains("else")).unwrap();
+        assert_eq!(else_st.depth_min, 1, "the `}} else {{` dips to 1");
+        assert_eq!(else_st.depth_end, 2);
     }
 
     #[test]
