@@ -23,13 +23,25 @@
 //! driver-side timings; `cargo xtask bench-check` requires those fields
 //! in both the baseline and fresh smoke JSON.
 //!
+//! Every run also measures the SQL wire front end: a closed-loop
+//! remote driver (`--remote N` to pick the connection count) runs the
+//! same transfer workload as SQL over TCP — `BEGIN`, two `UPDATE`s,
+//! `COMMIT`, four round trips per transaction — against an in-process
+//! `mmdb-server`, then re-runs the identical statements through
+//! `mmdb-sql` directly so the JSON's `remote` section quantifies what
+//! the parser, planner, and wire protocol cost on top of the engine
+//! (`overhead_ratio` = in-process tps / remote tps).
+//!
 //! Usage: `concurrent_commit [--policy sync|group|partitioned:K|all]
 //! [--clients N] [--duration-ms MS] [--page-write-us US]
-//! [--lock-op-us US] [--shards N] [--seed S] [--smoke] [--out PATH]`.
+//! [--lock-op-us US] [--shards N] [--seed S] [--remote N] [--smoke]
+//! [--out PATH]`.
 //! Results also land as JSON (default `BENCH_concurrent_commit.json`).
 
 use mmdb_bench::print_table;
+use mmdb_server::{Client, Server, ServerConfig};
 use mmdb_session::{CommitPolicy, Engine, EngineOptions};
+use mmdb_sql::{SqlDb, SqlSession};
 use std::time::{Duration, Instant};
 
 /// Shard counts the full run sweeps under the group policy.
@@ -91,6 +103,10 @@ struct Config {
     shards: Option<usize>,
     seed: u64,
     smoke: bool,
+    /// Remote-driver connection count; `None` = the mode's default
+    /// ([`REMOTE_SMOKE_CONNS`] under `--smoke`, [`REMOTE_FULL_CONNS`]
+    /// for the full run).
+    remote: Option<usize>,
     out: String,
 }
 
@@ -99,6 +115,12 @@ struct Config {
 const SMOKE_CLIENTS: usize = 4;
 const SMOKE_DURATION_MS: u64 = 200;
 const SMOKE_PAGE_WRITE_US: u64 = 1000;
+
+/// Remote-driver connections for `--smoke` (schema check, not a perf
+/// claim) and the full run (the acceptance bar: the front end must
+/// hold up at 128 concurrent connections).
+const REMOTE_SMOKE_CONNS: usize = 8;
+const REMOTE_FULL_CONNS: usize = 128;
 
 fn parse_policy(s: &str) -> CommitPolicy {
     match s {
@@ -133,6 +155,7 @@ fn parse_args() -> Config {
         shards: None,
         seed: 42,
         smoke: false,
+        remote: None,
         out: "BENCH_concurrent_commit.json".to_string(),
     };
     let mut args = std::env::args().skip(1);
@@ -166,6 +189,7 @@ fn parse_args() -> Config {
             }
             "--shards" => cfg.shards = Some(value("--shards").parse().expect("--shards N")),
             "--seed" => cfg.seed = value("--seed").parse().expect("--seed S"),
+            "--remote" => cfg.remote = Some(value("--remote").parse().expect("--remote N")),
             "--smoke" => {
                 cfg.smoke = true;
                 cfg.clients = SMOKE_CLIENTS;
@@ -330,6 +354,273 @@ fn best_of(trials: usize, p: &RunParams) -> RunResult {
     best.expect("at least one trial")
 }
 
+/// What the remote driver measured, next to the in-process control.
+struct RemoteResult {
+    connections: usize,
+    duration_ms: u64,
+    committed: u64,
+    aborted: u64,
+    /// Committed SQL transactions per second over TCP.
+    remote_tps: f64,
+    /// Per-statement round-trip latency (one wire request) percentiles.
+    request_p50_ms: f64,
+    request_p95_ms: f64,
+    request_p99_ms: f64,
+    /// Begin-to-commit-acknowledged latency (4 round trips) percentiles.
+    txn_p50_ms: f64,
+    txn_p95_ms: f64,
+    txn_p99_ms: f64,
+    /// The same SQL statements executed through `mmdb-sql` directly,
+    /// no socket: the parser+planner+engine cost without the wire.
+    in_process_tps: f64,
+    /// in_process_tps / remote_tps — how much the wire protocol costs.
+    overhead_ratio: f64,
+}
+
+/// Minimal statement executor both the TCP client and the in-process
+/// SQL session satisfy, so the remote and in-process phases run the
+/// exact same closed loop.
+trait SqlExec {
+    fn exec(&mut self, sql: &str) -> Result<(), String>;
+}
+
+impl SqlExec for Client {
+    fn exec(&mut self, sql: &str) -> Result<(), String> {
+        self.execute(sql).map(|_| ()).map_err(|e| e.to_string())
+    }
+}
+
+impl SqlExec for SqlSession {
+    fn exec(&mut self, sql: &str) -> Result<(), String> {
+        self.execute(sql).map(|_| ()).map_err(|e| e.to_string())
+    }
+}
+
+/// Creates the `acct` table and seeds two accounts per connection with
+/// round sums, in 64-row INSERT batches.
+fn seed_accounts<E: SqlExec>(exec: &mut E, accounts: u64) {
+    exec.exec("CREATE TABLE acct (id INT, bal INT)")
+        .expect("create acct");
+    let ids: Vec<u64> = (0..accounts).collect();
+    for chunk in ids.chunks(64) {
+        let values: Vec<String> = chunk.iter().map(|k| format!("({k}, 1000000)")).collect();
+        exec.exec(&format!("INSERT INTO acct VALUES {}", values.join(", ")))
+            .expect("seed insert");
+    }
+}
+
+/// One closed-loop SQL client: transfers inside its own account pair,
+/// crossing into the neighbor's pair roughly every 8th hop (the same
+/// seeded mix as the raw-engine driver). Returns committed, aborted,
+/// per-request latencies, and per-transaction latencies (µs).
+fn sql_transfer_loop<E: SqlExec>(
+    exec: &mut E,
+    c: u64,
+    accounts: u64,
+    seed: u64,
+    deadline: Instant,
+) -> (u64, u64, Vec<u64>, Vec<u64>) {
+    let mut rng = seed ^ (c.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut committed = 0u64;
+    let mut aborted = 0u64;
+    let mut request_us: Vec<u64> = Vec::new();
+    let mut txn_us: Vec<u64> = Vec::new();
+    while Instant::now() < deadline {
+        let from = c * 2;
+        let to = if lcg_next(&mut rng) % 8 == 0 {
+            (c * 2 + 2) % accounts
+        } else {
+            c * 2 + 1
+        };
+        if from == to {
+            continue;
+        }
+        let stmts = [
+            "BEGIN".to_string(),
+            format!("UPDATE acct SET bal = bal - 1 WHERE id = {from}"),
+            format!("UPDATE acct SET bal = bal + 1 WHERE id = {to}"),
+            "COMMIT".to_string(),
+        ];
+        let txn_started = Instant::now();
+        let mut failed = false;
+        for sql in &stmts {
+            let req_started = Instant::now();
+            let outcome = exec.exec(sql);
+            request_us.push(req_started.elapsed().as_micros() as u64);
+            if outcome.is_err() {
+                failed = true;
+                break;
+            }
+        }
+        if failed {
+            // A failed statement already aborted the transaction on the
+            // session side; this ABORT is a no-op safety net and its
+            // "outside a transaction" error is expected.
+            let _ = exec.exec("ABORT");
+            aborted += 1;
+        } else {
+            txn_us.push(txn_started.elapsed().as_micros() as u64);
+            committed += 1;
+        }
+    }
+    (committed, aborted, request_us, txn_us)
+}
+
+/// The remote experiment: the transfer workload as SQL over TCP against
+/// an in-process server (group policy), then the identical statements
+/// through `mmdb-sql` directly as the no-wire control.
+fn run_remote(
+    connections: usize,
+    duration: Duration,
+    page_write: Duration,
+    seed: u64,
+) -> RemoteResult {
+    let accounts = connections as u64 * 2;
+    let opts_for = |dir: &std::path::Path| {
+        EngineOptions::new(CommitPolicy::Group, dir)
+            .with_page_write_latency(page_write)
+            .with_flush_interval(page_write / 4)
+            .with_lock_wait_timeout(Duration::from_secs(2))
+    };
+
+    // Phase 1: over the wire.
+    let dir = std::env::temp_dir().join(format!("mmdb-bench-remote-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let engine = Engine::start(opts_for(&dir)).expect("engine start");
+    let config = ServerConfig {
+        max_connections: connections + 8,
+        ..ServerConfig::default()
+    };
+    let handle = Server::start(&engine, config).expect("server start");
+    let addr = handle.addr();
+    {
+        let mut seeder = Client::connect(addr).expect("seed connect");
+        seed_accounts(&mut seeder, accounts);
+    }
+    let deadline = Instant::now() + duration;
+    let started = Instant::now();
+    let workers: Vec<_> = (0..connections as u64)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("client connect");
+                sql_transfer_loop(&mut client, c, accounts, seed, deadline)
+            })
+        })
+        .collect();
+    let mut committed = 0u64;
+    let mut aborted = 0u64;
+    let mut request_us: Vec<u64> = Vec::new();
+    let mut txn_us: Vec<u64> = Vec::new();
+    for w in workers {
+        let (c, a, reqs, txns) = w.join().expect("remote client thread");
+        committed += c;
+        aborted += a;
+        request_us.extend(reqs);
+        txn_us.extend(txns);
+    }
+    let remote_elapsed = started.elapsed().as_secs_f64();
+    handle.shutdown().expect("server shutdown");
+    engine.shutdown().expect("engine shutdown");
+    std::fs::remove_dir_all(&dir).ok();
+
+    // Phase 2: the in-process control — same statements, no socket.
+    let dir = std::env::temp_dir().join(format!("mmdb-bench-inproc-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let engine = Engine::start(opts_for(&dir)).expect("engine start");
+    let db = SqlDb::open(&engine).expect("sql open");
+    {
+        let mut session = db.session();
+        seed_accounts(&mut session, accounts);
+    }
+    let deadline = Instant::now() + duration;
+    let started = Instant::now();
+    let workers: Vec<_> = (0..connections as u64)
+        .map(|c| {
+            let db = db.clone();
+            std::thread::spawn(move || {
+                let mut session = db.session();
+                sql_transfer_loop(&mut session, c, accounts, seed, deadline)
+            })
+        })
+        .collect();
+    let mut in_committed = 0u64;
+    for w in workers {
+        let (c, _, _, _) = w.join().expect("in-process client thread");
+        in_committed += c;
+    }
+    let in_elapsed = started.elapsed().as_secs_f64();
+    drop(db);
+    engine.shutdown().expect("engine shutdown");
+    std::fs::remove_dir_all(&dir).ok();
+
+    request_us.sort_unstable();
+    txn_us.sort_unstable();
+    let remote_tps = committed as f64 / remote_elapsed;
+    let in_process_tps = in_committed as f64 / in_elapsed;
+    RemoteResult {
+        connections,
+        duration_ms: duration.as_millis() as u64,
+        committed,
+        aborted,
+        remote_tps,
+        request_p50_ms: percentile_ms(&request_us, 0.50),
+        request_p95_ms: percentile_ms(&request_us, 0.95),
+        request_p99_ms: percentile_ms(&request_us, 0.99),
+        txn_p50_ms: percentile_ms(&txn_us, 0.50),
+        txn_p95_ms: percentile_ms(&txn_us, 0.95),
+        txn_p99_ms: percentile_ms(&txn_us, 0.99),
+        in_process_tps,
+        overhead_ratio: if remote_tps > 0.0 {
+            in_process_tps / remote_tps
+        } else {
+            0.0
+        },
+    }
+}
+
+/// The JSON `remote` section, formatted for a top-level key (inner
+/// fields at 4 spaces, closing brace at 2).
+fn remote_json(r: &RemoteResult) -> String {
+    let indent = "    ";
+    format!(
+        "{{\n{indent}\"connections\": {},\n{indent}\"duration_ms\": {},\n{indent}\"policy\": \"group\",\n\
+         {indent}\"committed\": {},\n{indent}\"aborted\": {},\n{indent}\"remote_tps\": {:.1},\n\
+         {indent}\"request_p50_ms\": {:.3},\n{indent}\"request_p95_ms\": {:.3},\n\
+         {indent}\"request_p99_ms\": {:.3},\n{indent}\"txn_p50_ms\": {:.3},\n\
+         {indent}\"txn_p95_ms\": {:.3},\n{indent}\"txn_p99_ms\": {:.3},\n\
+         {indent}\"in_process_tps\": {:.1},\n{indent}\"overhead_ratio\": {:.2},\n\
+         {indent}\"note\": \"closed-loop SQL transfers (BEGIN, UPDATE x2, COMMIT; 4 round trips per txn) over TCP vs the identical statements run through mmdb-sql in-process; overhead_ratio = in_process_tps / remote_tps\"\n  }}",
+        r.connections,
+        r.duration_ms,
+        r.committed,
+        r.aborted,
+        r.remote_tps,
+        r.request_p50_ms,
+        r.request_p95_ms,
+        r.request_p99_ms,
+        r.txn_p50_ms,
+        r.txn_p95_ms,
+        r.txn_p99_ms,
+        r.in_process_tps,
+        r.overhead_ratio,
+    )
+}
+
+fn print_remote(r: &RemoteResult) {
+    println!(
+        "\nremote SQL front end: {} connections, {} ms — {:.0} tps over TCP \
+         (req p50 {:.2} ms, txn p99 {:.2} ms) vs {:.0} tps in-process \
+         ({:.1}x front-end overhead)",
+        r.connections,
+        r.duration_ms,
+        r.remote_tps,
+        r.request_p50_ms,
+        r.txn_p99_ms,
+        r.in_process_tps,
+        r.overhead_ratio,
+    );
+}
+
 fn result_rows(results: &[RunResult], label_shards: bool) -> Vec<Vec<String>> {
     results
         .iter()
@@ -463,24 +754,33 @@ fn main() {
         .collect();
 
     if cfg.smoke {
-        // Smoke mode: the policy table above is the whole output, tagged
-        // so `xtask bench-check` can compare it against the checked-in
-        // baseline's `smoke_runs` section.
+        // Smoke mode: the policy table above plus a small remote-driver
+        // run, tagged so `xtask bench-check` can compare it against the
+        // checked-in baseline's `smoke_runs` section and verify the
+        // remote schema is present.
         // `fault_injection` attests that the fault-injection layer is
         // compiled in but no plan is installed — `xtask bench-check`
         // refuses a smoke run without it, so a faulted (or fault-free
         // via a side build) run can never silently become the gate.
+        let remote = run_remote(
+            cfg.remote.unwrap_or(REMOTE_SMOKE_CONNS),
+            cfg.duration,
+            cfg.page_write,
+            cfg.seed,
+        );
+        print_remote(&remote);
         let json = format!(
             "{{\n  \"bench\": \"concurrent_commit\",\n  \"mode\": \"smoke\",\n  \"seed\": {},\n  \
              \"clients\": {},\n  \"duration_ms\": {},\n  \"page_write_us\": {},\n  \
              \"typical_txn_bytes\": 400,\n  \"fault_injection\": \"disabled\",\n  \"runs\": [\n{}\n  ],\n  \
-             \"group_vs_sync_speedup\": {:.2}\n}}\n",
+             \"group_vs_sync_speedup\": {:.2},\n  \"remote\": {}\n}}\n",
             cfg.seed,
             cfg.clients,
             cfg.duration.as_millis(),
             cfg.page_write.as_micros(),
             runs_json.join(",\n"),
-            speedup
+            speedup,
+            remote_json(&remote)
         );
         std::fs::write(&cfg.out, json).expect("write JSON");
         println!("  wrote {}", cfg.out);
@@ -543,6 +843,17 @@ fn main() {
         best.shards
     );
 
+    // Remote front end at the acceptance bar: ≥128 concurrent TCP
+    // connections driving SQL transfers, with the in-process control
+    // quantifying what the wire + parser + planner cost.
+    let remote = run_remote(
+        cfg.remote.unwrap_or(REMOTE_FULL_CONNS),
+        cfg.duration,
+        cfg.page_write,
+        cfg.seed,
+    );
+    print_remote(&remote);
+
     // Smoke-tier baseline for `cargo xtask bench-check`: every policy at
     // the exact parameters (and best-of-trials statistic) `--smoke` uses.
     let smoke_baseline: Vec<RunResult> = cfg
@@ -582,6 +893,7 @@ fn main() {
          \"duration_ms\": {},\n    \"lock_op_us\": {},\n    \
          \"note\": \"lock_op_us is a modeled per-lock-op CPU cost spent inside the shard critical section (single-server queue per shard; see DESIGN.md); policy runs above use lock_op_us = 0\",\n    \
          \"runs\": [\n{}\n    ],\n    \"scaling_best_vs_one\": {:.2}\n  }},\n  \
+         \"remote\": {},\n  \
          \"smoke_runs\": {{\n    \"clients\": {SMOKE_CLIENTS},\n    \"duration_ms\": {SMOKE_DURATION_MS},\n    \
          \"page_write_us\": {SMOKE_PAGE_WRITE_US},\n    \"runs\": [\n{}\n    ]\n  }}\n}}\n",
         cfg.seed,
@@ -594,6 +906,7 @@ fn main() {
         cfg.lock_op.as_micros(),
         sweep_json.join(",\n"),
         scaling,
+        remote_json(&remote),
         smoke_json.join(",\n"),
     );
     std::fs::write(&cfg.out, json).expect("write JSON");

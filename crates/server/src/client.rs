@@ -1,0 +1,74 @@
+//! The client driver: connect, send SQL, decode results.
+
+use crate::proto::{self, FrameRead};
+use mmdb_sql::QueryResult;
+use mmdb_types::value::Value;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Anything a client call can fail with.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (connect, send, receive).
+    Io(String),
+    /// The server answered with an error response.
+    Server(String),
+    /// The server's bytes did not decode as the protocol.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(m) => write!(f, "io error: {m}"),
+            ClientError::Server(m) => write!(f, "server error: {m}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// A blocking connection to an [`crate::Server`]. One request is in
+/// flight at a time: [`execute`](Client::execute) writes a frame and
+/// waits for the response frame.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a server.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr).map_err(|e| ClientError::Io(e.to_string()))?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client { stream })
+    }
+
+    /// Runs one statement and returns its full result.
+    pub fn execute(&mut self, sql: &str) -> Result<QueryResult, ClientError> {
+        proto::write_frame(&mut self.stream, sql.as_bytes())
+            .map_err(|e| ClientError::Io(e.to_string()))?;
+        loop {
+            match proto::read_frame(&mut self.stream) {
+                // No read timeout is set, so Idle can only mean a
+                // transient wakeup; keep waiting.
+                Ok(FrameRead::Idle) => {}
+                Ok(FrameRead::Eof) => {
+                    return Err(ClientError::Io("server closed the connection".to_string()))
+                }
+                Ok(FrameRead::Frame(payload)) => {
+                    return match proto::decode_response(&payload) {
+                        Ok(Ok(result)) => Ok(result),
+                        Ok(Err(msg)) => Err(ClientError::Server(msg)),
+                        Err(e) => Err(ClientError::Protocol(e.to_string())),
+                    }
+                }
+                Err(e) => return Err(ClientError::Io(e.to_string())),
+            }
+        }
+    }
+
+    /// Runs one statement and returns just its rows.
+    pub fn query(&mut self, sql: &str) -> Result<Vec<Vec<Value>>, ClientError> {
+        Ok(self.execute(sql)?.rows)
+    }
+}

@@ -1,0 +1,18 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+//! Wire front end for the session engine (§5.2 made multi-user).
+//!
+//! [`Server`] listens on a TCP socket and runs one [`mmdb_sql`]
+//! session per connection; [`client::Client`] is the matching driver.
+//! The protocol is deliberately small — length-prefixed frames
+//! carrying UTF-8 SQL one way and a tagged result encoding the other
+//! (see [`proto`]) — because the engine underneath already does the
+//! hard parts: group commit batches the log writes of concurrent
+//! connections, and per-shard locks serialize their conflicts.
+
+pub mod client;
+pub mod proto;
+pub mod server;
+
+pub use client::{Client, ClientError};
+pub use server::{Server, ServerConfig, ServerHandle};

@@ -1,0 +1,314 @@
+//! The wire protocol: length-prefixed frames and result encoding.
+//!
+//! Every message is one frame: a `u32` little-endian payload length
+//! followed by the payload, capped at [`MAX_FRAME_BYTES`]. A request
+//! payload is UTF-8 SQL text. A response payload starts with one
+//! status byte:
+//!
+//! ```text
+//! 0x00  OK     u16 ncols, per column u16 name-len + name bytes,
+//!              u32 nrows, per row ncols tagged values
+//!              (see mmdb_sql::codec), u64 affected
+//! 0x01  ERROR  UTF-8 message to end of frame
+//! ```
+//!
+//! Reads distinguish three outcomes so the server can poll: a full
+//! [`FrameRead::Frame`], a clean [`FrameRead::Eof`] before any byte of
+//! a frame, or [`FrameRead::Idle`] when a read timeout expired before
+//! any byte arrived (keep-alive poll; the caller rechecks shutdown). A
+//! timeout or EOF *inside* a frame is a hard protocol error.
+
+use mmdb_sql::codec;
+use mmdb_sql::QueryResult;
+use mmdb_types::error::{Error, Result};
+use std::io::{self, Read, Write};
+
+/// Largest frame either side will send or accept (16 MiB).
+pub const MAX_FRAME_BYTES: usize = 16 * 1024 * 1024;
+
+/// Outcome of one framed read.
+#[derive(Debug)]
+pub enum FrameRead {
+    /// A complete frame payload.
+    Frame(Vec<u8>),
+    /// The peer closed the connection between frames.
+    Eof,
+    /// A read timeout expired before any byte of a frame arrived.
+    Idle,
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Fills `buf` completely. `got` bytes are already present; a timeout
+/// is only tolerated (as `Ok(false)`) while nothing has been read and
+/// `allow_idle` holds; EOF or a mid-buffer timeout is an error.
+fn fill(r: &mut impl Read, buf: &mut [u8], mut got: usize, allow_idle: bool) -> io::Result<bool> {
+    while got < buf.len() {
+        let dst = buf.get_mut(got..).ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "fill cursor out of range")
+        })?;
+        match r.read(dst) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame",
+                ))
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) if is_timeout(&e) && got == 0 && allow_idle => return Ok(false),
+            Err(e) if is_timeout(&e) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "timed out mid-frame",
+                ))
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+/// Reads one frame (see [`FrameRead`] for the non-frame outcomes).
+pub fn read_frame(r: &mut impl Read) -> io::Result<FrameRead> {
+    let mut len_buf = [0u8; 4];
+    // The first byte decides between Eof/Idle and a real frame.
+    let first = loop {
+        let mut one = [0u8; 1];
+        match r.read(&mut one) {
+            Ok(0) => return Ok(FrameRead::Eof),
+            Ok(_) => break one,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) if is_timeout(&e) => return Ok(FrameRead::Idle),
+            Err(e) => return Err(e),
+        }
+    };
+    if let Some(slot) = len_buf.first_mut() {
+        *slot = match first.first() {
+            Some(b) => *b,
+            None => 0,
+        };
+    }
+    fill(r, &mut len_buf, 1, false)?;
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME_BYTES} byte cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    fill(r, &mut payload, 0, false)?;
+    Ok(FrameRead::Frame(payload))
+}
+
+/// Writes one frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame of {} bytes exceeds the cap", payload.len()),
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Encodes a successful result.
+pub fn encode_ok(result: &QueryResult) -> Result<Vec<u8>> {
+    let mut out = vec![0u8];
+    if result.columns.len() > u16::MAX as usize {
+        return Err(Error::TupleTooLarge(result.columns.len()));
+    }
+    out.extend_from_slice(&(result.columns.len() as u16).to_le_bytes());
+    for name in &result.columns {
+        if name.len() > u16::MAX as usize {
+            return Err(Error::TupleTooLarge(name.len()));
+        }
+        out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+        out.extend_from_slice(name.as_bytes());
+    }
+    if result.rows.len() > u32::MAX as usize {
+        return Err(Error::TupleTooLarge(result.rows.len()));
+    }
+    out.extend_from_slice(&(result.rows.len() as u32).to_le_bytes());
+    for row in &result.rows {
+        if row.len() != result.columns.len() {
+            return Err(Error::Internal("result row arity mismatch".to_string()));
+        }
+        for v in row {
+            codec::encode_value_into(&mut out, v)?;
+        }
+    }
+    out.extend_from_slice(&result.affected.to_le_bytes());
+    Ok(out)
+}
+
+/// Encodes an error response carrying `msg`.
+pub fn encode_err(msg: &str) -> Vec<u8> {
+    let mut out = vec![1u8];
+    out.extend_from_slice(msg.as_bytes());
+    out
+}
+
+fn take<'a>(frame: &'a [u8], pos: &mut usize, n: usize) -> Result<&'a [u8]> {
+    let end = pos
+        .checked_add(n)
+        .ok_or_else(|| Error::Io("response length overflow".to_string()))?;
+    let s = frame
+        .get(*pos..end)
+        .ok_or_else(|| Error::Io("truncated response frame".to_string()))?;
+    *pos = end;
+    Ok(s)
+}
+
+fn take_u16(frame: &[u8], pos: &mut usize) -> Result<u16> {
+    let s = take(frame, pos, 2)?;
+    let mut b = [0u8; 2];
+    for (dst, src) in b.iter_mut().zip(s) {
+        *dst = *src;
+    }
+    Ok(u16::from_le_bytes(b))
+}
+
+fn take_u32(frame: &[u8], pos: &mut usize) -> Result<u32> {
+    let s = take(frame, pos, 4)?;
+    let mut b = [0u8; 4];
+    for (dst, src) in b.iter_mut().zip(s) {
+        *dst = *src;
+    }
+    Ok(u32::from_le_bytes(b))
+}
+
+fn take_u64(frame: &[u8], pos: &mut usize) -> Result<u64> {
+    let s = take(frame, pos, 8)?;
+    let mut b = [0u8; 8];
+    for (dst, src) in b.iter_mut().zip(s) {
+        *dst = *src;
+    }
+    Ok(u64::from_le_bytes(b))
+}
+
+/// Decodes a response frame. The outer `Result` is a protocol failure
+/// (malformed frame); the inner one is the server's answer — either a
+/// [`QueryResult`] or the server's error message.
+pub fn decode_response(frame: &[u8]) -> Result<std::result::Result<QueryResult, String>> {
+    let mut pos = 0usize;
+    let status = *take(frame, &mut pos, 1)?
+        .first()
+        .ok_or_else(|| Error::Io("empty response frame".to_string()))?;
+    match status {
+        1 => {
+            let msg = frame.get(pos..).unwrap_or_default();
+            let msg = String::from_utf8_lossy(msg).into_owned();
+            Ok(Err(msg))
+        }
+        0 => {
+            let ncols = take_u16(frame, &mut pos)? as usize;
+            let mut columns = Vec::with_capacity(ncols);
+            for _ in 0..ncols {
+                let len = take_u16(frame, &mut pos)? as usize;
+                let name = take(frame, &mut pos, len)?;
+                columns.push(String::from_utf8_lossy(name).into_owned());
+            }
+            let nrows = take_u32(frame, &mut pos)? as usize;
+            let mut rows = Vec::with_capacity(nrows.min(1 << 20));
+            for _ in 0..nrows {
+                rows.push(codec::decode_values_at(frame, &mut pos, ncols)?);
+            }
+            let affected = take_u64(frame, &mut pos)?;
+            if pos != frame.len() {
+                return Err(Error::Io("trailing bytes in response frame".to_string()));
+            }
+            Ok(Ok(QueryResult {
+                columns,
+                rows,
+                affected,
+            }))
+        }
+        other => Err(Error::Io(format!("unknown response status byte {other}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmdb_types::value::Value;
+
+    #[test]
+    fn frame_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"SELECT 1").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = io::Cursor::new(buf);
+        match read_frame(&mut r).unwrap() {
+            FrameRead::Frame(p) => assert_eq!(p, b"SELECT 1"),
+            other => panic!("{other:?}"),
+        }
+        match read_frame(&mut r).unwrap() {
+            FrameRead::Frame(p) => assert!(p.is_empty()),
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(read_frame(&mut r).unwrap(), FrameRead::Eof));
+    }
+
+    #[test]
+    fn truncated_frame_is_an_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        buf.truncate(buf.len() - 2);
+        let mut r = io::Cursor::new(buf);
+        assert!(read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn oversized_length_is_rejected() {
+        let mut buf = (u32::MAX).to_le_bytes().to_vec();
+        buf.extend_from_slice(&[0; 8]);
+        let mut r = io::Cursor::new(buf);
+        assert!(read_frame(&mut r).is_err());
+        let big = vec![0u8; MAX_FRAME_BYTES + 1];
+        assert!(write_frame(&mut Vec::new(), &big).is_err());
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let result = QueryResult {
+            columns: vec!["id".to_string(), "name".to_string()],
+            rows: vec![
+                vec![Value::Int(1), Value::Str("ann".to_string())],
+                vec![Value::Int(2), Value::Null],
+            ],
+            affected: 0,
+        };
+        let frame = encode_ok(&result).unwrap();
+        assert_eq!(decode_response(&frame).unwrap().unwrap(), result);
+
+        let frame = encode_err("no such table");
+        assert_eq!(
+            decode_response(&frame).unwrap().unwrap_err(),
+            "no such table"
+        );
+    }
+
+    #[test]
+    fn corrupt_responses_error_cleanly() {
+        let result = QueryResult {
+            columns: vec!["id".to_string()],
+            rows: vec![vec![Value::Int(1)]],
+            affected: 0,
+        };
+        let frame = encode_ok(&result).unwrap();
+        for cut in 1..frame.len() {
+            assert!(decode_response(&frame[..cut]).is_err(), "cut {cut}");
+        }
+        assert!(decode_response(&[9, 0, 0]).is_err());
+        assert!(decode_response(&[]).is_err());
+    }
+}

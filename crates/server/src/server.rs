@@ -1,0 +1,332 @@
+//! The TCP server: bounded accept loop, one SQL session per
+//! connection, graceful drain on shutdown.
+//!
+//! Concurrency is thread-per-connection — the same model the engine's
+//! own sessions use (§5.2 assumes a process per terminal; OS threads
+//! are the modern spelling). The server itself holds *no* locks: the
+//! accept thread owns the connection handles, shutdown is one shared
+//! atomic flag, and everything else (catalog, store, metrics) is
+//! synchronized by the layers that own it. Connections poll their
+//! socket with a short read timeout so a shutdown request is noticed
+//! within [`POLL_INTERVAL`] even on an idle connection, while a
+//! request already in flight always runs to completion and gets its
+//! response — that is the drain.
+
+use crate::proto::{self, FrameRead};
+use mmdb_obs::{Counter, Gauge, Histogram, Registry};
+use mmdb_session::Engine;
+use mmdb_sql::ast::STATEMENT_KINDS;
+use mmdb_sql::parser::parse;
+use mmdb_sql::{SqlDb, SqlError, StatementKind};
+use mmdb_types::error::{Error, Result};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How often blocked reads wake up to recheck the shutdown flag.
+pub const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// Tunables for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free port (see
+    /// [`ServerHandle::addr`] for the result).
+    pub addr: String,
+    /// Connections beyond this are refused with an error response.
+    pub max_connections: usize,
+    /// A connection idle longer than this is closed.
+    pub idle_timeout: Duration,
+    /// Socket write timeout for responses.
+    pub write_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            max_connections: 256,
+            idle_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Server-side metric handles, all registered on the engine's registry
+/// so `render_metrics()` exposes engine and server families together.
+struct Metrics {
+    active: Arc<Gauge>,
+    connections: Arc<Counter>,
+    requests: Arc<Counter>,
+    parse_errors: Arc<Counter>,
+    protocol_errors: Arc<Counter>,
+    latency: Vec<(StatementKind, Arc<Histogram>)>,
+}
+
+impl Metrics {
+    fn register(registry: &Registry) -> Metrics {
+        let mut latency = Vec::with_capacity(STATEMENT_KINDS.len());
+        for kind in STATEMENT_KINDS {
+            latency.push((
+                kind,
+                registry.histogram_labeled(
+                    "mmdb_server_request_latency_us",
+                    "Wall time from request frame decoded to response encoded",
+                    Some(("stmt", kind.to_string())),
+                ),
+            ));
+        }
+        Metrics {
+            active: registry.gauge(
+                "mmdb_server_active_connections_count",
+                "Connections currently open",
+            ),
+            connections: registry.counter(
+                "mmdb_server_connections_total",
+                "Connections ever accepted (including refused-at-capacity)",
+            ),
+            requests: registry.counter("mmdb_server_requests_total", "Request frames received"),
+            parse_errors: registry.counter(
+                "mmdb_server_parse_errors_total",
+                "Requests rejected by the SQL parser",
+            ),
+            protocol_errors: registry.counter(
+                "mmdb_server_protocol_errors_total",
+                "Connections dropped for framing or transport errors",
+            ),
+            latency,
+        }
+    }
+
+    fn latency_for(&self, kind: StatementKind) -> Option<&Arc<Histogram>> {
+        self.latency
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, h)| h)
+    }
+}
+
+/// The SQL-over-TCP server. Construct with [`Server::start`]; the
+/// returned [`ServerHandle`] owns the listener thread.
+pub struct Server;
+
+impl Server {
+    /// Opens the SQL layer over `engine` and starts accepting
+    /// connections per `config`.
+    pub fn start(engine: &Engine, config: ServerConfig) -> Result<ServerHandle> {
+        let db = SqlDb::open(engine)?;
+        let metrics = Arc::new(Metrics::register(&engine.registry()));
+        let listener =
+            TcpListener::bind(&config.addr).map_err(|e| Error::Io(format!("bind: {e}")))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| Error::Io(format!("local_addr: {e}")))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| Error::Io(format!("set_nonblocking: {e}")))?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let accept = std::thread::Builder::new()
+            .name("mmdb-server-accept".to_string())
+            .spawn(move || accept_loop(listener, db, metrics, flag, config))
+            .map_err(|e| Error::Io(format!("spawn accept thread: {e}")))?;
+        Ok(ServerHandle {
+            addr,
+            shutdown,
+            accept: Some(accept),
+        })
+    }
+}
+
+/// Handle to a running server: its bound address and the shutdown
+/// switch. Dropping the handle also shuts the server down.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, lets in-flight requests finish, joins every
+    /// connection thread, and returns once the listener thread exits.
+    pub fn shutdown(mut self) -> Result<()> {
+        self.stop()
+    }
+
+    fn stop(&mut self) -> Result<()> {
+        // ordering: the flag is a pure on/off signal; every observer
+        // re-polls it, so relaxed visibility latency only delays (never
+        // loses) the shutdown.
+        self.shutdown.store(true, Ordering::Relaxed);
+        match self.accept.take() {
+            Some(handle) => handle
+                .join()
+                .map_err(|_| Error::Internal("server accept thread panicked".to_string())),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        let _ = self.stop();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    db: SqlDb,
+    metrics: Arc<Metrics>,
+    shutdown: Arc<AtomicBool>,
+    config: ServerConfig,
+) {
+    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    loop {
+        // ordering: shutdown flag, see ServerHandle::stop.
+        if shutdown.load(Ordering::Relaxed) {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                metrics.connections.inc();
+                // The accepted socket inherits no non-blocking mode on
+                // all platforms we care about, but be explicit.
+                if stream.set_nonblocking(false).is_err() {
+                    metrics.protocol_errors.inc();
+                    continue;
+                }
+                if metrics.active.get() >= config.max_connections as i64 {
+                    refuse(stream);
+                    continue;
+                }
+                metrics.active.add(1);
+                let session = db.session();
+                let m = Arc::clone(&metrics);
+                let flag = Arc::clone(&shutdown);
+                let cfg = config.clone();
+                let spawned = std::thread::Builder::new()
+                    .name("mmdb-server-conn".to_string())
+                    .spawn(move || {
+                        serve_connection(stream, session, &m, &flag, &cfg);
+                        m.active.add(-1);
+                    });
+                match spawned {
+                    Ok(handle) => conns.push(handle),
+                    Err(_) => metrics.active.add(-1),
+                }
+                conns.retain(|h| !h.is_finished());
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                conns.retain(|h| !h.is_finished());
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                metrics.protocol_errors.inc();
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+    }
+    // Drain: connection threads notice the flag at their next poll and
+    // exit after finishing whatever request is in flight.
+    for handle in conns {
+        let _ = handle.join();
+    }
+}
+
+/// Tells an over-capacity client why it is being dropped.
+fn refuse(mut stream: TcpStream) {
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let _ = proto::write_frame(&mut stream, &proto::encode_err("server at capacity"));
+}
+
+fn serve_connection(
+    mut stream: TcpStream,
+    mut session: mmdb_sql::SqlSession,
+    metrics: &Metrics,
+    shutdown: &AtomicBool,
+    config: &ServerConfig,
+) {
+    if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err()
+        || stream
+            .set_write_timeout(Some(config.write_timeout))
+            .is_err()
+    {
+        metrics.protocol_errors.inc();
+        return;
+    }
+    let _ = stream.set_nodelay(true);
+    let mut idle_since = Instant::now();
+    loop {
+        match proto::read_frame(&mut stream) {
+            Ok(FrameRead::Idle) => {
+                // ordering: shutdown flag, see ServerHandle::stop.
+                if shutdown.load(Ordering::Relaxed) {
+                    break;
+                }
+                if idle_since.elapsed() >= config.idle_timeout {
+                    break;
+                }
+            }
+            Ok(FrameRead::Eof) => break,
+            Ok(FrameRead::Frame(payload)) => {
+                idle_since = Instant::now();
+                metrics.requests.inc();
+                let response = handle_request(&payload, &mut session, metrics);
+                if proto::write_frame(&mut stream, &response).is_err() {
+                    metrics.protocol_errors.inc();
+                    break;
+                }
+            }
+            Err(_) => {
+                metrics.protocol_errors.inc();
+                break;
+            }
+        }
+    }
+    // SqlSession::drop aborts any transaction the client left open.
+}
+
+fn handle_request(
+    payload: &[u8],
+    session: &mut mmdb_sql::SqlSession,
+    metrics: &Metrics,
+) -> Vec<u8> {
+    let sql = match std::str::from_utf8(payload) {
+        Ok(s) => s,
+        Err(_) => {
+            metrics.protocol_errors.inc();
+            return proto::encode_err("request is not UTF-8");
+        }
+    };
+    let stmt = match parse(sql) {
+        Ok(stmt) => stmt,
+        Err(e) => {
+            metrics.parse_errors.inc();
+            return proto::encode_err(&e.to_string());
+        }
+    };
+    let kind = stmt.kind();
+    let started = Instant::now();
+    let outcome = session.run(&stmt);
+    if let Some(hist) = metrics.latency_for(kind) {
+        hist.record(started.elapsed().as_micros() as u64);
+    }
+    match outcome {
+        Ok(result) => match proto::encode_ok(&result) {
+            Ok(frame) => frame,
+            Err(e) => proto::encode_err(&e.to_string()),
+        },
+        Err(SqlError::Parse(e)) => {
+            metrics.parse_errors.inc();
+            proto::encode_err(&e.to_string())
+        }
+        Err(e) => proto::encode_err(&e.to_string()),
+    }
+}

@@ -574,6 +574,22 @@ impl Session {
         &self.catalog
     }
 
+    /// A point-in-time copy of every key/value pair in the store,
+    /// merged across shards (each shard locked one at a time, so the
+    /// copy is per-shard consistent, not globally so). The SQL front
+    /// end uses this after [`Engine::recover`] to rebuild its volatile
+    /// catalog from the durable image (§5.2: post-crash state is
+    /// exactly the committed log replayed into memory).
+    ///
+    /// [`Engine::recover`]: crate::recover::recover
+    pub fn snapshot_kv(&self) -> Result<Vec<(u64, i64)>> {
+        let mut out = Vec::new();
+        for shard in &self.shared.shards {
+            out.extend(shard.guard()?.db.iter().map(|(k, v)| (*k, *v)));
+        }
+        Ok(out)
+    }
+
     /// A point-in-time [`StatsSnapshot`] of the engine's metrics (the
     /// same registry [`Engine::stats`] reads).
     pub fn stats(&self) -> StatsSnapshot {

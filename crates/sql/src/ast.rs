@@ -1,0 +1,187 @@
+//! Abstract syntax for the minimal SQL surface.
+
+use mmdb_types::schema::DataType;
+use mmdb_types::value::Value;
+
+/// A possibly table-qualified column reference (`bal` or `acct.bal`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColRef {
+    /// Qualifying table name, if written.
+    pub table: Option<String>,
+    /// Column name.
+    pub column: String,
+}
+
+impl std::fmt::Display for ColRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.table {
+            Some(t) => write!(f, "{t}.{}", self.column),
+            None => write!(f, "{}", self.column),
+        }
+    }
+}
+
+/// A literal constant in the SQL text.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    /// Integer literal (optionally negated).
+    Int(i64),
+    /// Float literal (optionally negated).
+    Float(f64),
+    /// String literal.
+    Str(String),
+    /// `NULL`.
+    Null,
+}
+
+impl Literal {
+    /// Converts to the engine's [`Value`] model.
+    pub fn to_value(&self) -> Value {
+        match self {
+            Literal::Int(i) => Value::Int(*i),
+            Literal::Float(x) => Value::Float(*x),
+            Literal::Str(s) => Value::Str(s.clone()),
+            Literal::Null => Value::Null,
+        }
+    }
+}
+
+/// One conjunct of a `WHERE` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Condition {
+    /// `col <op> literal` (or `literal <op> col`, normalized).
+    Compare {
+        /// Column operand.
+        col: ColRef,
+        /// Comparison operator.
+        op: mmdb_types::expr::CmpOp,
+        /// Constant operand.
+        lit: Literal,
+    },
+    /// `left = right` between two columns — an equi-join edge when the
+    /// columns come from different tables.
+    ColEqCol {
+        /// Left column.
+        left: ColRef,
+        /// Right column.
+        right: ColRef,
+    },
+}
+
+/// Projection list of a `SELECT`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Projection {
+    /// `SELECT *`.
+    Star,
+    /// Explicit column list.
+    Columns(Vec<ColRef>),
+}
+
+/// A parsed `SELECT`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    /// What to project.
+    pub projection: Projection,
+    /// Base tables, in `FROM` order (joined tables included).
+    pub tables: Vec<String>,
+    /// `WHERE` conjuncts plus any `JOIN ... ON` equalities.
+    pub conditions: Vec<Condition>,
+}
+
+/// Right-hand side of an `UPDATE ... SET col = <expr>` assignment.
+/// The expression language is deliberately tiny: a literal, a column,
+/// or `col ± literal` (enough for read-modify-write workloads like
+/// `SET bal = bal - 100`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SetExpr {
+    /// Assign a constant.
+    Lit(Literal),
+    /// Copy another column of the same row.
+    Col(String),
+    /// `col + literal` or `col - literal` over the same row.
+    BinOp {
+        /// Source column.
+        col: String,
+        /// `true` for `+`, `false` for `-`.
+        plus: bool,
+        /// Constant operand.
+        lit: Literal,
+    },
+}
+
+/// A parsed SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `CREATE TABLE name (col TYPE, ...)`.
+    CreateTable {
+        /// Table name.
+        name: String,
+        /// Column names and types, in order.
+        columns: Vec<(String, DataType)>,
+    },
+    /// `INSERT INTO t [(cols)] VALUES (...), (...)`.
+    Insert {
+        /// Target table.
+        table: String,
+        /// Explicit column list, if written.
+        columns: Option<Vec<String>>,
+        /// One literal list per row.
+        rows: Vec<Vec<Literal>>,
+    },
+    /// `SELECT ... FROM ... [WHERE ...]`.
+    Select(SelectStmt),
+    /// `UPDATE t SET col = expr [, ...] [WHERE ...]`.
+    Update {
+        /// Target table.
+        table: String,
+        /// Assignments, in order.
+        sets: Vec<(String, SetExpr)>,
+        /// `WHERE` conjuncts (all single-table).
+        conditions: Vec<Condition>,
+    },
+    /// `DELETE FROM t [WHERE ...]`.
+    Delete {
+        /// Target table.
+        table: String,
+        /// `WHERE` conjuncts (all single-table).
+        conditions: Vec<Condition>,
+    },
+    /// `BEGIN`.
+    Begin,
+    /// `COMMIT`.
+    Commit,
+    /// `ABORT` (or `ROLLBACK`).
+    Abort,
+}
+
+/// Statement kind label used for metrics and protocol accounting.
+pub type StatementKind = &'static str;
+
+/// Every label [`Statement::kind`] can produce, for pre-registering
+/// labeled metric families.
+pub const STATEMENT_KINDS: [StatementKind; 8] = [
+    "create_table",
+    "insert",
+    "select",
+    "update",
+    "delete",
+    "begin",
+    "commit",
+    "abort",
+];
+
+impl Statement {
+    /// A stable snake_case label for this statement's kind.
+    pub fn kind(&self) -> StatementKind {
+        match self {
+            Statement::CreateTable { .. } => "create_table",
+            Statement::Insert { .. } => "insert",
+            Statement::Select(_) => "select",
+            Statement::Update { .. } => "update",
+            Statement::Delete { .. } => "delete",
+            Statement::Begin => "begin",
+            Statement::Commit => "commit",
+            Statement::Abort => "abort",
+        }
+    }
+}

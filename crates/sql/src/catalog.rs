@@ -1,0 +1,181 @@
+//! The volatile catalog: an in-memory mirror of the durable SQL image.
+//!
+//! The durable truth lives in the session engine's store (see
+//! [`crate::codec`] for the key layout); this module holds the decoded
+//! mirror — table schemas plus rows — that statements bind and scan
+//! against. The mirror is rebuilt from a store snapshot after
+//! crash/recover, and mutated in lockstep with engine writes by
+//! [`crate::session`].
+//!
+//! Lock discipline: the catalog sits behind one `RwLock` accessed only
+//! through the short closure helpers on [`SharedCatalog`]
+//! (`with_catalog_read` / `with_catalog_write`). The catalog lock is
+//! the *outermost* class in the engine's documented lock order — no
+//! engine lock may be taken while it is held, which the helpers make
+//! structural: closures receive the catalog by reference and nothing
+//! else, so an engine call inside one would need the session handle
+//! smuggled in, and the audit's lock-order pass watches these helper
+//! names for exactly that.
+
+use mmdb_types::error::{Error, Result};
+use mmdb_types::schema::Schema;
+use mmdb_types::tuple::Tuple;
+use std::collections::BTreeMap;
+use std::sync::{Arc, RwLock};
+
+/// One table's volatile state.
+#[derive(Debug, Clone)]
+pub struct TableEntry {
+    /// Stable id used in store keys.
+    pub id: u32,
+    /// The table's schema.
+    pub schema: Schema,
+    /// Decoded rows by row id.
+    pub rows: BTreeMap<u32, Tuple>,
+    /// Next row id to allocate.
+    pub next_rid: u32,
+}
+
+/// The catalog proper: tables by (case-insensitive) name.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    tables: BTreeMap<String, TableEntry>,
+    next_table_id: u32,
+}
+
+impl Catalog {
+    /// Looks up a table; the error names the missing relation.
+    pub fn table(&self, name: &str) -> Result<&TableEntry> {
+        self.tables
+            .get(&name.to_ascii_lowercase())
+            .ok_or_else(|| Error::RelationNotFound(name.to_string()))
+    }
+
+    /// Mutable lookup.
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut TableEntry> {
+        self.tables
+            .get_mut(&name.to_ascii_lowercase())
+            .ok_or_else(|| Error::RelationNotFound(name.to_string()))
+    }
+
+    /// True when `name` exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.tables.contains_key(&name.to_ascii_lowercase())
+    }
+
+    /// Allocates the next table id (bounded by the key layout).
+    pub fn alloc_table_id(&mut self) -> Result<u32> {
+        if self.next_table_id > crate::codec::MAX_TABLE_ID {
+            return Err(Error::OutOfMemory {
+                needed: self.next_table_id as usize + 1,
+                available: crate::codec::MAX_TABLE_ID as usize + 1,
+            });
+        }
+        let id = self.next_table_id;
+        self.next_table_id += 1;
+        Ok(id)
+    }
+
+    /// Installs a table entry under `name` (lowercased).
+    pub fn install(&mut self, name: &str, entry: TableEntry) {
+        self.next_table_id = self.next_table_id.max(entry.id.saturating_add(1));
+        self.tables.insert(name.to_ascii_lowercase(), entry);
+    }
+
+    /// Removes a table (the `CREATE TABLE` undo path).
+    pub fn remove(&mut self, name: &str) {
+        self.tables.remove(&name.to_ascii_lowercase());
+    }
+
+    /// Iterates tables as `(name, entry)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &TableEntry)> {
+        self.tables.iter()
+    }
+
+    /// Number of tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// True when no tables exist.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+}
+
+/// The catalog behind its lock, shared by every session of one
+/// database.
+#[derive(Debug, Clone, Default)]
+pub struct SharedCatalog {
+    inner: Arc<RwLock<Catalog>>,
+}
+
+impl SharedCatalog {
+    /// Runs `f` with shared (read) access to the catalog. The guard
+    /// lives only for the closure — the catalog lock is the outermost
+    /// lock class, so no engine call may happen inside `f`.
+    pub fn with_catalog_read<T>(&self, f: impl FnOnce(&Catalog) -> Result<T>) -> Result<T> {
+        let guard = self
+            .inner
+            .read()
+            .map_err(|_| Error::Poisoned("sql catalog".to_string()))?;
+        f(&guard)
+    }
+
+    /// Runs `f` with exclusive (write) access to the catalog. Same
+    /// scoping rule as [`with_catalog_read`](Self::with_catalog_read).
+    pub fn with_catalog_write<T>(&self, f: impl FnOnce(&mut Catalog) -> Result<T>) -> Result<T> {
+        let mut guard = self
+            .inner
+            .write()
+            .map_err(|_| Error::Poisoned("sql catalog".to_string()))?;
+        f(&mut guard)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmdb_types::schema::DataType;
+
+    fn entry(id: u32) -> TableEntry {
+        TableEntry {
+            id,
+            schema: Schema::of(&[("id", DataType::Int)]),
+            rows: BTreeMap::new(),
+            next_rid: 0,
+        }
+    }
+
+    #[test]
+    fn names_are_case_insensitive() {
+        let mut c = Catalog::default();
+        c.install("Emp", entry(0));
+        assert!(c.contains("EMP"));
+        assert!(c.table("emp").is_ok());
+        c.remove("eMp");
+        assert!(c.table("emp").is_err());
+    }
+
+    #[test]
+    fn table_ids_allocate_past_installed() {
+        let mut c = Catalog::default();
+        c.install("a", entry(5));
+        assert_eq!(c.alloc_table_id().unwrap(), 6);
+        assert_eq!(c.len(), 1);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn shared_catalog_closures() {
+        let shared = SharedCatalog::default();
+        shared
+            .with_catalog_write(|c| {
+                c.install("t", entry(0));
+                Ok(())
+            })
+            .unwrap();
+        let n = shared.with_catalog_read(|c| Ok(c.len())).unwrap();
+        assert_eq!(n, 1);
+    }
+}

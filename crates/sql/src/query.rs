@@ -1,0 +1,753 @@
+//! The binder/planner bridge and plan executor.
+//!
+//! `SELECT` statements are bound against the volatile catalog, turned
+//! into the §4 optimizer's [`QuerySpec`] (per-table predicate
+//! conjunctions plus equi-join edges), planned with exact statistics
+//! computed from the resident rows, and executed with the §3
+//! `mmdb-exec` operators. `INSERT`/`UPDATE`/`DELETE` binding helpers
+//! (row coercion, single-table predicates, `SET` expressions) also
+//! live here so [`crate::session`] stays focused on transaction
+//! mechanics.
+
+use crate::ast::{ColRef, Condition, Literal, Projection, SelectStmt, SetExpr};
+use crate::catalog::Catalog;
+use mmdb_exec::join::{run_join, Algo};
+use mmdb_exec::{select, ExecContext, JoinSpec};
+use mmdb_planner::optimizer::PlanEnv;
+use mmdb_planner::{
+    optimize, AccessPath, ColumnStats, JoinEdge, JoinMethod, PhysicalPlan, QuerySpec, TableRef,
+    TableStats,
+};
+use mmdb_storage::MemRelation;
+use mmdb_types::error::{Error, Result};
+use mmdb_types::expr::Predicate;
+use mmdb_types::schema::{DataType, Schema};
+use mmdb_types::tuple::Tuple;
+use mmdb_types::value::Value;
+use std::collections::HashSet;
+
+/// Page geometry for planning and execution: rows of the volatile
+/// catalog are grouped this many to a "page" for the cost model.
+const TUPLES_PER_PAGE: usize = 40;
+
+/// The result of one statement.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct QueryResult {
+    /// Output column names (empty for non-`SELECT` statements).
+    pub columns: Vec<String>,
+    /// Output rows (empty for non-`SELECT` statements).
+    pub rows: Vec<Vec<Value>>,
+    /// Rows inserted/updated/deleted (0 for `SELECT` and controls).
+    pub affected: u64,
+}
+
+impl QueryResult {
+    /// An acknowledgement with no rows and no affected count.
+    pub fn ack() -> Self {
+        QueryResult::default()
+    }
+
+    /// A mutation result.
+    pub fn affected(n: u64) -> Self {
+        QueryResult {
+            affected: n,
+            ..QueryResult::default()
+        }
+    }
+}
+
+/// One table's snapshot used during planning and execution.
+struct BoundTable {
+    /// Lowercased canonical name (what the planner sees).
+    name: String,
+    schema: Schema,
+    tuples: Vec<Tuple>,
+}
+
+/// Coerces a bound value toward a column type: integers widen to
+/// floats for `FLOAT` columns; everything else passes through (the
+/// schema check rejects real mismatches).
+pub fn coerce(value: Value, ty: DataType) -> Value {
+    match (value, ty) {
+        (Value::Int(i), DataType::Float) => Value::Float(i as f64),
+        (v, _) => v,
+    }
+}
+
+/// Binds one `VALUES` row of an `INSERT` to a schema-checked tuple.
+pub fn bind_insert_row(
+    schema: &Schema,
+    columns: &Option<Vec<String>>,
+    row: &[Literal],
+) -> Result<Tuple> {
+    let values = match columns {
+        None => {
+            if row.len() != schema.arity() {
+                return Err(Error::SchemaMismatch {
+                    expected: format!("{} values", schema.arity()),
+                    found: format!("{} values", row.len()),
+                });
+            }
+            let mut out = Vec::with_capacity(row.len());
+            for (lit, col) in row.iter().zip(schema.columns()) {
+                out.push(coerce(lit.to_value(), col.ty));
+            }
+            out
+        }
+        Some(cols) => {
+            if row.len() != cols.len() {
+                return Err(Error::SchemaMismatch {
+                    expected: format!("{} values (one per named column)", cols.len()),
+                    found: format!("{} values", row.len()),
+                });
+            }
+            let mut out = vec![Value::Null; schema.arity()];
+            let mut seen: HashSet<usize> = HashSet::new();
+            for (name, lit) in cols.iter().zip(row) {
+                let idx = schema.index_of(name)?;
+                if !seen.insert(idx) {
+                    return Err(Error::Planning(format!(
+                        "column '{name}' named twice in INSERT"
+                    )));
+                }
+                let ty = schema
+                    .column(idx)
+                    .map(|c| c.ty)
+                    .ok_or_else(|| Error::ColumnNotFound(name.clone()))?;
+                if let Some(slot) = out.get_mut(idx) {
+                    *slot = coerce(lit.to_value(), ty);
+                }
+            }
+            out
+        }
+    };
+    let tuple = Tuple::new(values);
+    schema.check(&tuple)?;
+    Ok(tuple)
+}
+
+/// A bound `SET` expression (column names resolved to indices).
+#[derive(Debug, Clone)]
+pub enum BoundSetExpr {
+    /// Assign a constant.
+    Lit(Value),
+    /// Copy a column.
+    Col(usize),
+    /// `col ± constant`.
+    BinOp {
+        /// Source column index.
+        col: usize,
+        /// `true` for `+`.
+        plus: bool,
+        /// Constant operand.
+        val: Value,
+    },
+}
+
+/// Binds `UPDATE` assignments against a schema.
+pub fn bind_sets(
+    schema: &Schema,
+    sets: &[(String, SetExpr)],
+) -> Result<Vec<(usize, BoundSetExpr)>> {
+    let mut out = Vec::with_capacity(sets.len());
+    let mut seen: HashSet<usize> = HashSet::new();
+    for (target, expr) in sets {
+        let idx = schema.index_of(target)?;
+        if !seen.insert(idx) {
+            return Err(Error::Planning(format!(
+                "column '{target}' assigned twice in UPDATE"
+            )));
+        }
+        let bound = match expr {
+            SetExpr::Lit(lit) => BoundSetExpr::Lit(lit.to_value()),
+            SetExpr::Col(c) => BoundSetExpr::Col(schema.index_of(c)?),
+            SetExpr::BinOp { col, plus, lit } => BoundSetExpr::BinOp {
+                col: schema.index_of(col)?,
+                plus: *plus,
+                val: lit.to_value(),
+            },
+        };
+        out.push((idx, bound));
+    }
+    Ok(out)
+}
+
+/// Evaluates arithmetic for a bound `SET`: nulls propagate, integer
+/// overflow is an error, floats follow IEEE.
+fn eval_binop(lhs: &Value, plus: bool, rhs: &Value) -> Result<Value> {
+    match (lhs, rhs) {
+        (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+        (Value::Int(a), Value::Int(b)) => {
+            let r = if plus {
+                a.checked_add(*b)
+            } else {
+                a.checked_sub(*b)
+            };
+            r.map(Value::Int)
+                .ok_or_else(|| Error::Planning("integer overflow in UPDATE arithmetic".to_string()))
+        }
+        (a, b) => match (a.numeric(), b.numeric()) {
+            (Some(x), Some(y)) => Ok(Value::Float(if plus { x + y } else { x - y })),
+            _ => Err(Error::Planning(
+                "arithmetic over non-numeric column in UPDATE".to_string(),
+            )),
+        },
+    }
+}
+
+/// Applies bound `SET` expressions to a row, producing the new
+/// schema-checked tuple. All source columns read the *old* row, as SQL
+/// requires.
+pub fn apply_sets(schema: &Schema, old: &Tuple, sets: &[(usize, BoundSetExpr)]) -> Result<Tuple> {
+    let mut values: Vec<Value> = old.values().to_vec();
+    for (target, expr) in sets {
+        let ty = schema
+            .column(*target)
+            .map(|c| c.ty)
+            .ok_or_else(|| Error::ColumnNotFound(format!("#{target}")))?;
+        let read = |idx: usize| -> Result<&Value> {
+            old.values()
+                .get(idx)
+                .ok_or_else(|| Error::ColumnNotFound(format!("#{idx}")))
+        };
+        let new = match expr {
+            BoundSetExpr::Lit(v) => v.clone(),
+            BoundSetExpr::Col(c) => read(*c)?.clone(),
+            BoundSetExpr::BinOp { col, plus, val } => eval_binop(read(*col)?, *plus, val)?,
+        };
+        if let Some(slot) = values.get_mut(*target) {
+            *slot = coerce(new, ty);
+        }
+    }
+    let tuple = Tuple::new(values);
+    schema.check(&tuple)?;
+    Ok(tuple)
+}
+
+/// Binds the `WHERE` conjuncts of an `UPDATE`/`DELETE` (single-table:
+/// every condition must compare a column of `table` with a literal).
+pub fn bind_table_predicate(
+    table: &str,
+    schema: &Schema,
+    conditions: &[Condition],
+) -> Result<Predicate> {
+    let mut pred = Predicate::True;
+    for cond in conditions {
+        match cond {
+            Condition::Compare { col, op, lit } => {
+                if let Some(q) = &col.table {
+                    if !q.eq_ignore_ascii_case(table) {
+                        return Err(Error::Planning(format!(
+                            "column '{col}' does not belong to table '{table}'"
+                        )));
+                    }
+                }
+                let idx = schema.index_of(&col.column)?;
+                let ty = schema
+                    .column(idx)
+                    .map(|c| c.ty)
+                    .ok_or_else(|| Error::ColumnNotFound(col.column.clone()))?;
+                let value = coerce(lit.to_value(), ty);
+                let leaf = Predicate::cmp(idx, *op, value);
+                pred = conjoin(pred, leaf);
+            }
+            Condition::ColEqCol { left, right } => {
+                return Err(Error::Planning(format!(
+                    "'{left} = {right}': UPDATE/DELETE conditions must compare a column to a literal"
+                )));
+            }
+        }
+    }
+    Ok(pred)
+}
+
+fn conjoin(acc: Predicate, leaf: Predicate) -> Predicate {
+    if acc == Predicate::True {
+        leaf
+    } else {
+        acc.and(leaf)
+    }
+}
+
+/// Resolves a column reference against the `FROM` tables; returns
+/// `(table index, column index)`.
+fn resolve(col: &ColRef, tables: &[BoundTable]) -> Result<(usize, usize)> {
+    match &col.table {
+        Some(q) => {
+            let q = q.to_ascii_lowercase();
+            let (ti, t) = tables
+                .iter()
+                .enumerate()
+                .find(|(_, t)| t.name == q)
+                .ok_or_else(|| Error::Planning(format!("table '{q}' is not listed in FROM")))?;
+            Ok((ti, t.schema.index_of(&col.column)?))
+        }
+        None => {
+            let mut hit: Option<(usize, usize)> = None;
+            for (ti, t) in tables.iter().enumerate() {
+                if let Ok(ci) = t.schema.index_of(&col.column) {
+                    if hit.is_some() {
+                        return Err(Error::Planning(format!(
+                            "column '{}' is ambiguous; qualify it with a table name",
+                            col.column
+                        )));
+                    }
+                    hit = Some((ti, ci));
+                }
+            }
+            hit.ok_or_else(|| Error::ColumnNotFound(col.column.clone()))
+        }
+    }
+}
+
+/// Computes exact [`TableStats`] from resident rows (distinct counts
+/// and min/max per column — affordable because everything is already
+/// in memory, exactly the paper's argument for cheap statistics).
+fn compute_stats(t: &BoundTable) -> TableStats {
+    struct Acc<'a> {
+        distinct: HashSet<&'a Value>,
+        min: Option<&'a Value>,
+        max: Option<&'a Value>,
+    }
+    let arity = t.schema.arity();
+    let mut accs: Vec<Acc<'_>> = (0..arity)
+        .map(|_| Acc {
+            distinct: HashSet::new(),
+            min: None,
+            max: None,
+        })
+        .collect();
+    for tuple in &t.tuples {
+        for (acc, v) in accs.iter_mut().zip(tuple.values()) {
+            acc.distinct.insert(v);
+            if acc.min.map_or(true, |m| v < m) {
+                acc.min = Some(v);
+            }
+            if acc.max.map_or(true, |m| v > m) {
+                acc.max = Some(v);
+            }
+        }
+    }
+    TableStats {
+        name: t.name.clone(),
+        tuples: t.tuples.len() as u64,
+        pages: (t.tuples.len() as u64).div_ceil(TUPLES_PER_PAGE as u64),
+        tuples_per_page: TUPLES_PER_PAGE as u64,
+        columns: accs
+            .iter()
+            .map(|a| ColumnStats {
+                distinct: a.distinct.len().max(1) as u64,
+                min: a.min.cloned(),
+                max: a.max.cloned(),
+            })
+            .collect(),
+        indexed_columns: Vec::new(),
+        ordered_indexed_columns: Vec::new(),
+    }
+}
+
+fn to_relation(t: &BoundTable) -> Result<MemRelation> {
+    MemRelation::from_tuples(t.schema.clone(), TUPLES_PER_PAGE, t.tuples.clone())
+}
+
+fn exec_ctx(env: &PlanEnv) -> ExecContext {
+    ExecContext::new(env.mem_pages, 1.2)
+}
+
+fn execute_plan(
+    plan: &PhysicalPlan,
+    tables: &[BoundTable],
+    ctx: &ExecContext,
+) -> Result<MemRelation> {
+    let table_by_name = |name: &str| -> Result<&BoundTable> {
+        tables
+            .iter()
+            .find(|t| t.name == name)
+            .ok_or_else(|| Error::RelationNotFound(name.to_string()))
+    };
+    match plan {
+        PhysicalPlan::Access(AccessPath::SeqScan { table, predicate }) => {
+            let rel = to_relation(table_by_name(table)?)?;
+            select::select(&rel, predicate, ctx)
+        }
+        // SQL tables carry no indexes today, so the planner cannot pick
+        // these — but execute them faithfully as filtered scans if a
+        // future catalog grows index metadata.
+        PhysicalPlan::Access(AccessPath::IndexLookup {
+            table,
+            column,
+            value,
+            residual,
+        }) => {
+            let rel = to_relation(table_by_name(table)?)?;
+            let pred = conjoin(Predicate::eq(*column, value.clone()), residual.clone());
+            select::select(&rel, &pred, ctx)
+        }
+        PhysicalPlan::Access(AccessPath::IndexRange {
+            table,
+            column,
+            lo,
+            hi,
+            residual,
+        }) => {
+            let rel = to_relation(table_by_name(table)?)?;
+            let pred = conjoin(
+                Predicate::Between {
+                    column: *column,
+                    lo: lo.clone(),
+                    hi: hi.clone(),
+                },
+                residual.clone(),
+            );
+            select::select(&rel, &pred, ctx)
+        }
+        PhysicalPlan::Join {
+            left,
+            right,
+            left_key,
+            right_key,
+            method,
+            ..
+        } => {
+            let l = execute_plan(left, tables, ctx)?;
+            let r = execute_plan(right, tables, ctx)?;
+            let algo = match method {
+                JoinMethod::HybridHash => Algo::HybridHash,
+                JoinMethod::SimpleHash => Algo::SimpleHash,
+                JoinMethod::GraceHash => Algo::GraceHash,
+                JoinMethod::SortMerge => Algo::SortMerge,
+            };
+            run_join(algo, &l, &r, JoinSpec::new(*left_key, *right_key), ctx)
+        }
+    }
+}
+
+/// Plans and executes a bound `SELECT` against the catalog.
+pub fn run_select(stmt: &SelectStmt, catalog: &Catalog) -> Result<QueryResult> {
+    // Snapshot the referenced tables.
+    let mut tables: Vec<BoundTable> = Vec::with_capacity(stmt.tables.len());
+    for name in &stmt.tables {
+        let lower = name.to_ascii_lowercase();
+        if tables.iter().any(|t| t.name == lower) {
+            return Err(Error::Planning(format!(
+                "table '{lower}' appears twice in FROM; self-joins are not supported"
+            )));
+        }
+        let entry = catalog.table(name)?;
+        tables.push(BoundTable {
+            name: lower,
+            schema: entry.schema.clone(),
+            tuples: entry.rows.values().cloned().collect(),
+        });
+    }
+
+    // Split conditions into per-table predicates and join edges.
+    let mut preds: Vec<Predicate> = tables.iter().map(|_| Predicate::True).collect();
+    let mut joins: Vec<JoinEdge> = Vec::new();
+    for cond in &stmt.conditions {
+        match cond {
+            Condition::Compare { col, op, lit } => {
+                let (ti, ci) = resolve(col, &tables)?;
+                let ty = tables
+                    .get(ti)
+                    .and_then(|t| t.schema.column(ci))
+                    .map(|c| c.ty)
+                    .ok_or_else(|| Error::ColumnNotFound(col.column.clone()))?;
+                let leaf = Predicate::cmp(ci, *op, coerce(lit.to_value(), ty));
+                if let Some(slot) = preds.get_mut(ti) {
+                    let acc = std::mem::replace(slot, Predicate::True);
+                    *slot = conjoin(acc, leaf);
+                }
+            }
+            Condition::ColEqCol { left, right } => {
+                let (lt, lc) = resolve(left, &tables)?;
+                let (rt, rc) = resolve(right, &tables)?;
+                if lt == rt {
+                    return Err(Error::Planning(format!(
+                        "'{left} = {right}' compares columns of the same table; join conditions must span two tables"
+                    )));
+                }
+                joins.push(JoinEdge {
+                    left_table: lt,
+                    left_column: lc,
+                    right_table: rt,
+                    right_column: rc,
+                });
+            }
+        }
+    }
+
+    // Feed the §4 optimizer.
+    let spec = QuerySpec {
+        tables: tables
+            .iter()
+            .zip(preds)
+            .map(|(t, p)| TableRef::filtered(t.name.clone(), p))
+            .collect(),
+        joins,
+    };
+    let stats: Vec<TableStats> = tables.iter().map(compute_stats).collect();
+    let env = PlanEnv::default();
+    let planned = optimize(&spec, &stats, &env)?;
+
+    // Execute the chosen physical plan with the §3 operators.
+    let ctx = exec_ctx(&env);
+    let rel = execute_plan(&planned.plan, &tables, &ctx)?;
+
+    // Output offsets follow the plan's base-table order, which the
+    // optimizer may have permuted relative to FROM.
+    let plan_order = planned.plan.tables();
+    let mut offsets: Vec<(usize, usize)> = Vec::with_capacity(plan_order.len());
+    let mut off = 0usize;
+    for name in &plan_order {
+        let ti = tables
+            .iter()
+            .position(|t| &t.name == name)
+            .ok_or_else(|| Error::RelationNotFound((*name).to_string()))?;
+        offsets.push((ti, off));
+        off += tables.get(ti).map(|t| t.schema.arity()).unwrap_or_default();
+    }
+    let offset_of = |ti: usize| -> Result<usize> {
+        offsets
+            .iter()
+            .find(|(t, _)| *t == ti)
+            .map(|(_, o)| *o)
+            .ok_or_else(|| Error::Internal("table missing from plan order".to_string()))
+    };
+
+    let (names, indices): (Vec<String>, Vec<usize>) = match &stmt.projection {
+        Projection::Star => {
+            let mut names = Vec::new();
+            let mut idx = Vec::new();
+            for (ti, off) in &offsets {
+                if let Some(t) = tables.get(*ti) {
+                    for (ci, c) in t.schema.columns().iter().enumerate() {
+                        names.push(if tables.len() > 1 {
+                            format!("{}.{}", t.name, c.name)
+                        } else {
+                            c.name.clone()
+                        });
+                        idx.push(off + ci);
+                    }
+                }
+            }
+            (names, idx)
+        }
+        Projection::Columns(cols) => {
+            let mut names = Vec::new();
+            let mut idx = Vec::new();
+            for col in cols {
+                let (ti, ci) = resolve(col, &tables)?;
+                names.push(col.to_string());
+                idx.push(offset_of(ti)? + ci);
+            }
+            (names, idx)
+        }
+    };
+
+    let arity = rel.schema().arity();
+    if indices.iter().any(|&i| i >= arity) {
+        return Err(Error::Internal(
+            "projection index out of plan output range".to_string(),
+        ));
+    }
+    let rows: Vec<Vec<Value>> = rel
+        .tuples()
+        .iter()
+        .map(|t| indices.iter().map(|&i| t.get(i).clone()).collect())
+        .collect();
+    Ok(QueryResult {
+        columns: names,
+        rows,
+        affected: 0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::TableEntry;
+    use crate::parser::parse;
+    use crate::Statement;
+    use std::collections::BTreeMap;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::default();
+        let emp_schema = Schema::of(&[
+            ("id", DataType::Int),
+            ("name", DataType::Str),
+            ("dept_id", DataType::Int),
+        ]);
+        let dept_schema = Schema::of(&[("id", DataType::Int), ("title", DataType::Str)]);
+        let mut emp_rows = BTreeMap::new();
+        for (i, (name, dept)) in [("ann", 1), ("bob", 2), ("cat", 1)].iter().enumerate() {
+            emp_rows.insert(
+                i as u32,
+                Tuple::new(vec![
+                    Value::Int(i as i64),
+                    Value::Str((*name).to_string()),
+                    Value::Int(*dept),
+                ]),
+            );
+        }
+        let mut dept_rows = BTreeMap::new();
+        dept_rows.insert(0, Tuple::new(vec![Value::Int(1), "eng".into()]));
+        dept_rows.insert(1, Tuple::new(vec![Value::Int(2), "ops".into()]));
+        c.install(
+            "emp",
+            TableEntry {
+                id: 0,
+                schema: emp_schema,
+                rows: emp_rows,
+                next_rid: 3,
+            },
+        );
+        c.install(
+            "dept",
+            TableEntry {
+                id: 1,
+                schema: dept_schema,
+                rows: dept_rows,
+                next_rid: 2,
+            },
+        );
+        c
+    }
+
+    fn select(cat: &Catalog, sql: &str) -> QueryResult {
+        match parse(sql).unwrap() {
+            Statement::Select(s) => run_select(&s, cat).unwrap(),
+            other => panic!("not a select: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_table_filter_and_projection() {
+        let cat = catalog();
+        let r = select(&cat, "SELECT name FROM emp WHERE dept_id = 1");
+        assert_eq!(r.columns, vec!["name"]);
+        assert_eq!(
+            r.rows,
+            vec![
+                vec![Value::Str("ann".into())],
+                vec![Value::Str("cat".into())]
+            ]
+        );
+    }
+
+    #[test]
+    fn star_on_single_table_uses_plain_names() {
+        let cat = catalog();
+        let r = select(&cat, "SELECT * FROM dept WHERE id >= 2");
+        assert_eq!(r.columns, vec!["id", "title"]);
+        assert_eq!(r.rows.len(), 1);
+    }
+
+    #[test]
+    fn equi_join_projects_across_tables() {
+        let cat = catalog();
+        let r = select(
+            &cat,
+            "SELECT emp.name, dept.title FROM emp JOIN dept ON emp.dept_id = dept.id \
+             WHERE dept.title = 'eng'",
+        );
+        assert_eq!(r.columns, vec!["emp.name", "dept.title"]);
+        let mut names: Vec<String> = r
+            .rows
+            .iter()
+            .map(|row| row[0].as_str().unwrap().to_string())
+            .collect();
+        names.sort();
+        assert_eq!(names, vec!["ann", "cat"]);
+    }
+
+    #[test]
+    fn disconnected_join_is_an_error() {
+        let cat = catalog();
+        let s = match parse("SELECT * FROM emp, dept").unwrap() {
+            Statement::Select(s) => s,
+            _ => unreachable!(),
+        };
+        assert!(run_select(&s, &cat).is_err());
+    }
+
+    #[test]
+    fn ambiguous_and_unknown_columns_error() {
+        let cat = catalog();
+        let s = match parse("SELECT id FROM emp JOIN dept ON emp.dept_id = dept.id").unwrap() {
+            Statement::Select(s) => s,
+            _ => unreachable!(),
+        };
+        let e = run_select(&s, &cat).unwrap_err();
+        assert!(e.to_string().contains("ambiguous"), "{e}");
+        let s = match parse("SELECT nope FROM emp").unwrap() {
+            Statement::Select(s) => s,
+            _ => unreachable!(),
+        };
+        assert!(run_select(&s, &cat).is_err());
+    }
+
+    #[test]
+    fn insert_row_binding_coerces_and_checks() {
+        let schema = Schema::of(&[("a", DataType::Int), ("b", DataType::Float)]);
+        let t = bind_insert_row(&schema, &None, &[Literal::Int(1), Literal::Int(2)]).unwrap();
+        assert_eq!(t.values(), &[Value::Int(1), Value::Float(2.0)]);
+        let t = bind_insert_row(
+            &schema,
+            &Some(vec!["b".to_string()]),
+            &[Literal::Float(0.5)],
+        )
+        .unwrap();
+        assert_eq!(t.values(), &[Value::Null, Value::Float(0.5)]);
+        assert!(bind_insert_row(&schema, &None, &[Literal::Int(1)]).is_err());
+        assert!(bind_insert_row(
+            &schema,
+            &Some(vec!["a".to_string(), "a".to_string()]),
+            &[Literal::Int(1), Literal::Int(2)]
+        )
+        .is_err());
+        assert!(
+            bind_insert_row(&schema, &None, &[Literal::Str("x".into()), Literal::Null]).is_err()
+        );
+    }
+
+    #[test]
+    fn set_expressions_apply() {
+        let schema = Schema::of(&[("id", DataType::Int), ("bal", DataType::Int)]);
+        let sets = bind_sets(
+            &schema,
+            &[(
+                "bal".to_string(),
+                SetExpr::BinOp {
+                    col: "bal".to_string(),
+                    plus: false,
+                    lit: Literal::Int(25),
+                },
+            )],
+        )
+        .unwrap();
+        let old = Tuple::new(vec![Value::Int(1), Value::Int(100)]);
+        let new = apply_sets(&schema, &old, &sets).unwrap();
+        assert_eq!(new.values(), &[Value::Int(1), Value::Int(75)]);
+        // Overflow is an error, not a wrap.
+        let old = Tuple::new(vec![Value::Int(1), Value::Int(i64::MIN)]);
+        assert!(apply_sets(&schema, &old, &sets).is_err());
+    }
+
+    #[test]
+    fn table_predicate_binding() {
+        let schema = Schema::of(&[("id", DataType::Int)]);
+        let conds = match parse("DELETE FROM t WHERE id > 5 AND t.id < 9").unwrap() {
+            Statement::Delete { conditions, .. } => conditions,
+            _ => unreachable!(),
+        };
+        let p = bind_table_predicate("t", &schema, &conds).unwrap();
+        assert!(p.eval(&Tuple::new(vec![Value::Int(7)])));
+        assert!(!p.eval(&Tuple::new(vec![Value::Int(4)])));
+        let conds = match parse("DELETE FROM t WHERE other.id = 5").unwrap() {
+            Statement::Delete { conditions, .. } => conditions,
+            _ => unreachable!(),
+        };
+        assert!(bind_table_predicate("t", &schema, &conds).is_err());
+    }
+}

@@ -1,0 +1,215 @@
+//! Golden parse and error-message tests: one success case per
+//! statement kind pinning the exact AST, and one failure case per kind
+//! pinning the exact rendered error. These strings are the front
+//! end's user interface — change them deliberately.
+
+use mmdb_sql::ast::{ColRef, Condition, Literal, Projection, SelectStmt, SetExpr, Statement};
+use mmdb_sql::parse;
+use mmdb_types::expr::CmpOp;
+use mmdb_types::schema::DataType;
+
+fn col(name: &str) -> ColRef {
+    ColRef {
+        table: None,
+        column: name.to_string(),
+    }
+}
+
+fn qcol(table: &str, name: &str) -> ColRef {
+    ColRef {
+        table: Some(table.to_string()),
+        column: name.to_string(),
+    }
+}
+
+#[test]
+fn golden_create_table() {
+    assert_eq!(
+        parse("CREATE TABLE Emp (id INT, name TEXT, salary FLOAT);").unwrap(),
+        Statement::CreateTable {
+            name: "emp".to_string(),
+            columns: vec![
+                ("id".to_string(), DataType::Int),
+                ("name".to_string(), DataType::Str),
+                ("salary".to_string(), DataType::Float),
+            ],
+        }
+    );
+}
+
+#[test]
+fn golden_insert() {
+    assert_eq!(
+        parse("INSERT INTO emp (id, name) VALUES (1, 'ann'), (2, NULL)").unwrap(),
+        Statement::Insert {
+            table: "emp".to_string(),
+            columns: Some(vec!["id".to_string(), "name".to_string()]),
+            rows: vec![
+                vec![Literal::Int(1), Literal::Str("ann".to_string())],
+                vec![Literal::Int(2), Literal::Null],
+            ],
+        }
+    );
+}
+
+#[test]
+fn golden_select() {
+    assert_eq!(
+        parse(
+            "SELECT e.name, d.title FROM e JOIN d ON e.dept = d.id \
+             WHERE e.salary >= 10.5 AND d.title <> 'temp'"
+        )
+        .unwrap(),
+        Statement::Select(SelectStmt {
+            projection: Projection::Columns(vec![qcol("e", "name"), qcol("d", "title")]),
+            tables: vec!["e".to_string(), "d".to_string()],
+            conditions: vec![
+                Condition::ColEqCol {
+                    left: qcol("e", "dept"),
+                    right: qcol("d", "id"),
+                },
+                Condition::Compare {
+                    col: qcol("e", "salary"),
+                    op: CmpOp::Ge,
+                    lit: Literal::Float(10.5),
+                },
+                Condition::Compare {
+                    col: qcol("d", "title"),
+                    op: CmpOp::Ne,
+                    lit: Literal::Str("temp".to_string()),
+                },
+            ],
+        })
+    );
+}
+
+#[test]
+fn golden_select_mirrors_literal_first_comparisons() {
+    assert_eq!(
+        parse("SELECT * FROM t WHERE 5 < x").unwrap(),
+        Statement::Select(SelectStmt {
+            projection: Projection::Star,
+            tables: vec!["t".to_string()],
+            conditions: vec![Condition::Compare {
+                col: col("x"),
+                op: CmpOp::Gt,
+                lit: Literal::Int(5),
+            }],
+        })
+    );
+}
+
+#[test]
+fn golden_update() {
+    assert_eq!(
+        parse("UPDATE acct SET bal = bal - 100, touched = 1 WHERE id = 7").unwrap(),
+        Statement::Update {
+            table: "acct".to_string(),
+            sets: vec![
+                (
+                    "bal".to_string(),
+                    SetExpr::BinOp {
+                        col: "bal".to_string(),
+                        plus: false,
+                        lit: Literal::Int(100),
+                    },
+                ),
+                ("touched".to_string(), SetExpr::Lit(Literal::Int(1))),
+            ],
+            conditions: vec![Condition::Compare {
+                col: col("id"),
+                op: CmpOp::Eq,
+                lit: Literal::Int(7),
+            }],
+        }
+    );
+}
+
+#[test]
+fn golden_delete() {
+    assert_eq!(
+        parse("DELETE FROM acct WHERE bal <= -1").unwrap(),
+        Statement::Delete {
+            table: "acct".to_string(),
+            conditions: vec![Condition::Compare {
+                col: col("bal"),
+                op: CmpOp::Le,
+                lit: Literal::Int(-1),
+            }],
+        }
+    );
+}
+
+#[test]
+fn golden_txn_controls() {
+    assert_eq!(parse("BEGIN").unwrap(), Statement::Begin);
+    assert_eq!(parse("COMMIT").unwrap(), Statement::Commit);
+    assert_eq!(parse("ABORT").unwrap(), Statement::Abort);
+    assert_eq!(parse("ROLLBACK;").unwrap(), Statement::Abort);
+}
+
+#[test]
+fn golden_statement_kinds() {
+    for (sql, kind) in [
+        ("CREATE TABLE t (a INT)", "create_table"),
+        ("INSERT INTO t VALUES (1)", "insert"),
+        ("SELECT * FROM t", "select"),
+        ("UPDATE t SET a = 1", "update"),
+        ("DELETE FROM t", "delete"),
+        ("BEGIN", "begin"),
+        ("COMMIT", "commit"),
+        ("ABORT", "abort"),
+    ] {
+        assert_eq!(parse(sql).unwrap().kind(), kind, "{sql}");
+    }
+}
+
+/// Exact error text per statement kind (and the lexer).
+#[test]
+fn golden_error_messages() {
+    for (sql, want) in [
+        (
+            "FLY TO t",
+            "parse error at byte 0: unknown statement 'FLY' (expected CREATE, INSERT, \
+             SELECT, UPDATE, DELETE, BEGIN, COMMIT, or ABORT)",
+        ),
+        (
+            "CREATE TABLE t (a BLOB)",
+            "parse error at byte 18: unknown column type 'BLOB' (expected INT, FLOAT, or TEXT)",
+        ),
+        (
+            "SELECT FROM t",
+            "parse error at byte 7: expected a column reference, found 'FROM'",
+        ),
+        (
+            "SELECT * FROM t WHERE a < b",
+            "parse error at byte 26: column-to-column comparison supports only '='",
+        ),
+        (
+            "SELECT * FROM t extra",
+            "parse error at byte 16: unexpected 'extra' after statement",
+        ),
+        (
+            "INSERT INTO t VALUES (1",
+            "parse error at byte 23: expected ',' or ')' in a VALUES row, found end of input",
+        ),
+        (
+            "UPDATE t SET = 5",
+            "parse error at byte 13: expected an assignment target column, found '='",
+        ),
+        (
+            "DELETE t",
+            "parse error at byte 7: expected keyword FROM, found 't'",
+        ),
+        (
+            "SELECT * FROM t WHERE a = 'unterminated",
+            "parse error at byte 26: unterminated string literal",
+        ),
+        (
+            "SELECT * FROM t WHERE a = 99999999999999999999",
+            "parse error at byte 26: integer literal '99999999999999999999' out of range",
+        ),
+    ] {
+        assert_eq!(parse(sql).unwrap_err().to_string(), want, "{sql}");
+    }
+}

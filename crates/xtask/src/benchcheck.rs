@@ -32,6 +32,20 @@ const DEFAULT_TOLERANCE: f64 = 0.30;
 /// shard) the checked-in baseline must record.
 const MIN_SHARD_SCALING: f64 = 2.5;
 
+/// Connections the checked-in baseline's remote-driver section must
+/// have been measured at — the SQL front end's acceptance bar.
+const MIN_REMOTE_CONNECTIONS: f64 = 128.0;
+
+/// Fields the `remote` section must carry as numbers in both the
+/// baseline and a fresh smoke run; a document without them predates
+/// the SQL wire front end.
+const REMOTE_FIELDS: [&str; 4] = [
+    "connections",
+    "remote_tps",
+    "in_process_tps",
+    "overhead_ratio",
+];
+
 // ---------------------------------------------------------------------
 // Minimal JSON value + parser
 // ---------------------------------------------------------------------
@@ -281,6 +295,36 @@ fn require_percentiles(runs: &[Json], what: &str) -> Result<(), String> {
     }
 }
 
+/// Gate: the document carries a `remote` section with every
+/// [`REMOTE_FIELDS`] entry numeric; `min_connections` additionally
+/// bounds `remote.connections` (the baseline must record the ≥128-
+/// connection acceptance run, a fresh smoke run may be smaller).
+fn require_remote(doc: &Json, what: &str, min_connections: Option<f64>) -> Result<(), String> {
+    let remote = doc.get("remote").ok_or_else(|| {
+        format!(
+            "{what} has no remote section (regenerate with the current concurrent_commit build)"
+        )
+    })?;
+    for field in REMOTE_FIELDS {
+        if remote.get(field).and_then(Json::as_f64).is_none() {
+            return Err(format!("{what} remote section lacks numeric {field:?}"));
+        }
+    }
+    if let Some(min) = min_connections {
+        let conns = remote
+            .get("connections")
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0);
+        if conns < min {
+            return Err(format!(
+                "{what} remote section was measured at {conns:.0} connections, \
+                 below the {min:.0}-connection bar"
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// One policy's committed tps pulled out of a runs array.
 fn tps_by_policy(runs: &[Json]) -> Vec<(String, f64)> {
     runs.iter()
@@ -399,6 +443,18 @@ fn bench_check_inner(
         return Err("baseline smoke_runs.runs is empty".to_string());
     }
     require_percentiles(baseline_smoke, "baseline smoke")?;
+    // Gate: the baseline must record the remote front end at the
+    // acceptance connection count with the overhead numbers present.
+    require_remote(&baseline, "baseline", Some(MIN_REMOTE_CONNECTIONS))?;
+    let overhead = baseline
+        .get("remote")
+        .and_then(|r| r.get("overhead_ratio"))
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0);
+    println!(
+        "  remote front end (baseline): >= {MIN_REMOTE_CONNECTIONS:.0} connections, \
+         {overhead:.2}x overhead vs in-process"
+    );
 
     // Gate 2: a fresh smoke run must hold every policy's committed tps
     // within tolerance of the baseline.
@@ -448,9 +504,14 @@ fn bench_check_inner(
         .and_then(Json::as_arr)
         .ok_or("fresh JSON has no runs")?;
     require_percentiles(fresh_runs, "fresh smoke")?;
+    require_remote(&fresh_json, "fresh smoke", None)?;
     println!(
         "  percentile schema: all {} engine-side fields present in baseline and fresh runs",
         PERCENTILE_FIELDS.len()
+    );
+    println!(
+        "  remote schema: all {} remote-driver fields present in baseline and fresh runs",
+        REMOTE_FIELDS.len()
     );
     let fresh_tps = tps_by_policy(fresh_runs);
 
@@ -534,12 +595,22 @@ mod tests {
            "batch_p50_txns": 3, "batch_p95_txns": 7, "batch_p99_txns": 15"#
     }
 
+    /// A well-formed `remote` section at the given connection count.
+    fn remote_section(connections: u64) -> String {
+        format!(
+            r#""remote": {{"connections": {connections}, "remote_tps": 900.0,
+                "in_process_tps": 1800.0, "overhead_ratio": 2.0}}"#
+        )
+    }
+
     fn baseline_doc(scaling: f64, group_tps: f64) -> String {
         format!(
             r#"{{"bench": "concurrent_commit", "mode": "full",
                 "shard_sweep": {{"scaling_best_vs_one": {scaling}}},
+                {},
                 "smoke_runs": {{"runs": [
                     {{"policy": "group", "tps": {group_tps}, {}}}]}}}}"#,
+            remote_section(128),
             percentile_fields()
         )
     }
@@ -548,7 +619,9 @@ mod tests {
         format!(
             r#"{{"bench": "concurrent_commit", "mode": "smoke",
                 "fault_injection": "disabled",
+                {},
                 "runs": [{{"policy": "group", "tps": {group_tps}, {}}}]}}"#,
+            remote_section(8),
             percentile_fields()
         )
     }
@@ -591,7 +664,9 @@ mod tests {
             &format!(
                 r#"{{"bench": "concurrent_commit", "mode": "smoke",
                 "fault_injection": "disabled",
+                {},
                 "runs": [{{"policy": "sync", "tps": 9999.0, {}}}]}}"#,
+                remote_section(8),
                 percentile_fields()
             ),
         );
@@ -634,6 +709,49 @@ mod tests {
             "unexpected error: {err}"
         );
         for p in [&baseline, &fresh, &old_baseline] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn gate_fails_without_remote_section() {
+        let root = std::env::temp_dir();
+        let baseline = write_tmp("base-remote.json", &baseline_doc(3.0, 1000.0));
+        // A fresh run predating the SQL front end: no remote section.
+        let fresh = write_tmp(
+            "fresh-remote-missing.json",
+            &format!(
+                r#"{{"bench": "concurrent_commit", "mode": "smoke",
+                "fault_injection": "disabled",
+                "runs": [{{"policy": "group", "tps": 1000.0, {}}}]}}"#,
+                percentile_fields()
+            ),
+        );
+        let err = bench_check_inner(&root, Some(&fresh), &baseline, 0.30).unwrap_err();
+        assert!(
+            err.contains("has no remote section"),
+            "unexpected error: {err}"
+        );
+        // A baseline measured below the 128-connection bar: refused.
+        let low_baseline = write_tmp(
+            "base-remote-low.json",
+            &format!(
+                r#"{{"bench": "concurrent_commit", "mode": "full",
+                "shard_sweep": {{"scaling_best_vs_one": 3.0}},
+                {},
+                "smoke_runs": {{"runs": [
+                    {{"policy": "group", "tps": 1000.0, {}}}]}}}}"#,
+                remote_section(16),
+                percentile_fields()
+            ),
+        );
+        let ok_fresh = write_tmp("fresh-remote-ok.json", &smoke_doc(1000.0));
+        let err = bench_check_inner(&root, Some(&ok_fresh), &low_baseline, 0.30).unwrap_err();
+        assert!(
+            err.contains("below the 128-connection bar"),
+            "unexpected error: {err}"
+        );
+        for p in [&baseline, &fresh, &low_baseline, &ok_fresh] {
             std::fs::remove_file(p).ok();
         }
     }

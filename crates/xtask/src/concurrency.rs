@@ -58,9 +58,14 @@ pub(crate) struct LockConfig {
 }
 
 /// The engine's documented lock order (see `crates/session/src/shard.rs`
-/// and `daemon.rs` module docs): shard state locks in ascending shard
-/// index → one txn-table slot → the log queue → the durable table.
-pub(crate) const ENGINE_LOCK_ORDER: [&str; 4] = ["shard", "txn_slot", "queue", "durable"];
+/// and `daemon.rs` module docs), with the SQL catalog lock prepended as
+/// the outermost class: the catalog mirror lock
+/// (`crates/sql/src/catalog.rs`) may never be held across any engine
+/// lock — its closure helpers make that structural — then shard state
+/// locks in ascending shard index → one txn-table slot → the log
+/// queue → the durable table.
+pub(crate) const ENGINE_LOCK_ORDER: [&str; 5] =
+    ["catalog", "shard", "txn_slot", "queue", "durable"];
 
 const G: bool = true; // returns a guard
 const T: bool = false; // transient: acquires and releases internally
@@ -69,7 +74,17 @@ const T: bool = false; // transient: acquires and releases internally
 /// and guard-returning helpers are `G`; helpers that take and drop locks
 /// inside their own body are `T` (their bodies are analyzed where they
 /// are defined — this entry only records what a *call* acquires).
-const ENGINE_LOCK_PATTERNS: [LockPattern; 17] = [
+const ENGINE_LOCK_PATTERNS: [LockPattern; 19] = [
+    LockPattern {
+        pat: "with_catalog_read(",
+        classes: &["catalog"],
+        returns_guard: T,
+    },
+    LockPattern {
+        pat: "with_catalog_write(",
+        classes: &["catalog"],
+        returns_guard: T,
+    },
     LockPattern {
         pat: ".state.lock(",
         classes: &["shard"],

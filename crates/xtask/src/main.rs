@@ -64,9 +64,9 @@ use std::process::ExitCode;
 
 /// Engine crates covered by the audit and the metrics lint, as
 /// `crates/<name>` directories.
-const ENGINE_CRATES: [&str; 10] = [
+const ENGINE_CRATES: [&str; 12] = [
     "types", "storage", "index", "analytic", "exec", "planner", "recovery", "core", "session",
-    "obs",
+    "obs", "sql", "server",
 ];
 
 /// Crates whose cost-model code the lossy-cast pass applies to.
@@ -77,7 +77,7 @@ const CITED_CRATES: [&str; 3] = ["recovery", "core", "session"];
 
 /// Crates the lock-order and condvar-discipline passes cover: the ones
 /// holding the engine's `Mutex`/`Condvar` machinery.
-const CONCURRENCY_CRATES: [&str; 3] = ["recovery", "session", "obs"];
+const CONCURRENCY_CRATES: [&str; 5] = ["recovery", "session", "obs", "sql", "server"];
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();

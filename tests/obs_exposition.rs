@@ -183,6 +183,88 @@ fn cost_meter_bridges_into_the_engine_registry() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// The server's metric inventory, `(family, prometheus type)` — the
+/// wire front end registers these on the engine's registry, so one
+/// exposition covers both layers. Same golden rules as
+/// [`SESSION_FAMILIES`].
+const SERVER_FAMILIES: [(&str, &str); 6] = [
+    ("mmdb_server_active_connections_count", "gauge"),
+    ("mmdb_server_connections_total", "counter"),
+    ("mmdb_server_requests_total", "counter"),
+    ("mmdb_server_request_latency_us", "histogram"),
+    ("mmdb_server_parse_errors_total", "counter"),
+    ("mmdb_server_protocol_errors_total", "counter"),
+];
+
+/// Starting a server adds exactly the [`SERVER_FAMILIES`] to the
+/// engine's exposition, labeled latency samples parse, and traffic
+/// moves the counters the way the protocol says it should.
+#[test]
+fn server_families_join_the_engine_exposition() {
+    use mmdb_server::{Client, Server, ServerConfig};
+
+    let opts = fast(CommitPolicy::Group, "server-golden");
+    let dir = opts.log_dir.clone();
+    let engine = Engine::start(opts).unwrap();
+    let handle = Server::start(&engine, ServerConfig::default()).unwrap();
+    let mut c = Client::connect(handle.addr()).unwrap();
+    c.execute("CREATE TABLE t (a INT)").unwrap();
+    c.execute("INSERT INTO t VALUES (1), (2)").unwrap();
+    c.execute("SELECT * FROM t").unwrap();
+    assert!(c.execute("NOT SQL AT ALL").is_err());
+
+    let stats = engine.stats();
+    assert_eq!(stats.counter("mmdb_server_requests_total"), Some(4));
+    assert_eq!(stats.counter("mmdb_server_parse_errors_total"), Some(1));
+    assert_eq!(stats.counter("mmdb_server_connections_total"), Some(1));
+    assert_eq!(stats.gauge("mmdb_server_active_connections_count"), Some(1));
+
+    let render = engine.render_metrics();
+    for (family, kind) in SERVER_FAMILIES {
+        let type_line = format!("# TYPE {family} {kind}");
+        assert_eq!(
+            render.matches(&type_line).count(),
+            1,
+            "expected exactly one {type_line:?}"
+        );
+        assert_eq!(
+            render.matches(&format!("# HELP {family} ")).count(),
+            1,
+            "expected exactly one HELP for {family}"
+        );
+    }
+    // Every statement kind's latency family is pre-registered, labeled.
+    for kind in mmdb_sql::ast::STATEMENT_KINDS {
+        assert!(
+            render.contains(&format!("stmt=\"{kind}\"")),
+            "missing latency series for statement kind {kind}"
+        );
+    }
+    // Exactly session + server families, nothing unlisted.
+    let type_lines = render.lines().filter(|l| l.starts_with("# TYPE ")).count();
+    assert_eq!(
+        type_lines,
+        SESSION_FAMILIES.len() + SERVER_FAMILIES.len(),
+        "exposition grew a family the golden lists do not know:\n{render}"
+    );
+    let samples = parse_exposition(&render);
+    let latency_count: f64 = samples
+        .iter()
+        .filter(|(n, _)| n.starts_with("mmdb_server_request_latency_us_count"))
+        .map(|(_, v)| v)
+        .sum();
+    assert_eq!(
+        latency_count, 3.0,
+        "one latency sample per parsed statement"
+    );
+    assert!(engine.registry().hygiene_violations().is_empty());
+
+    drop(c);
+    handle.shutdown().unwrap();
+    engine.shutdown().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// Recovery registers its own gauges on the recovered engine's fresh
 /// registry: how many transactions replayed and how long replay took.
 #[test]
