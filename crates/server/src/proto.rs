@@ -15,16 +15,26 @@
 //! Reads distinguish three outcomes so the server can poll: a full
 //! [`FrameRead::Frame`], a clean [`FrameRead::Eof`] before any byte of
 //! a frame, or [`FrameRead::Idle`] when a read timeout expired before
-//! any byte arrived (keep-alive poll; the caller rechecks shutdown). A
-//! timeout or EOF *inside* a frame is a hard protocol error.
+//! any byte arrived (keep-alive poll; the caller rechecks shutdown).
+//! *Inside* a frame, per-read socket timeouts are retried until
+//! [`MID_FRAME_TIMEOUT`] — the server polls its socket every 50 ms for
+//! shutdown, and one slow TCP segment must not kill the connection —
+//! after which (or on EOF) the frame is a hard protocol error.
 
 use mmdb_sql::codec;
 use mmdb_sql::QueryResult;
 use mmdb_types::error::{Error, Result};
 use std::io::{self, Read, Write};
+use std::time::{Duration, Instant};
 
 /// Largest frame either side will send or accept (16 MiB).
 pub const MAX_FRAME_BYTES: usize = 16 * 1024 * 1024;
+
+/// How long a started frame may take to arrive in full. Per-read
+/// timeouts inside a frame (the short shutdown-poll interval on the
+/// server) are retried until this much wall time has passed since the
+/// frame's first byte.
+pub const MID_FRAME_TIMEOUT: Duration = Duration::from_secs(5);
 
 /// Outcome of one framed read.
 #[derive(Debug)]
@@ -44,10 +54,11 @@ fn is_timeout(e: &io::Error) -> bool {
     )
 }
 
-/// Fills `buf` completely. `got` bytes are already present; a timeout
-/// is only tolerated (as `Ok(false)`) while nothing has been read and
-/// `allow_idle` holds; EOF or a mid-buffer timeout is an error.
-fn fill(r: &mut impl Read, buf: &mut [u8], mut got: usize, allow_idle: bool) -> io::Result<bool> {
+/// Fills `buf` completely. `got` bytes are already present. A read
+/// timeout is retried — the caller's socket may be using a short
+/// shutdown-poll timeout — until `deadline`, after which it becomes a
+/// hard error; EOF mid-buffer is always an error.
+fn fill(r: &mut impl Read, buf: &mut [u8], mut got: usize, deadline: Instant) -> io::Result<()> {
     while got < buf.len() {
         let dst = buf.get_mut(got..).ok_or_else(|| {
             io::Error::new(io::ErrorKind::InvalidInput, "fill cursor out of range")
@@ -61,21 +72,30 @@ fn fill(r: &mut impl Read, buf: &mut [u8], mut got: usize, allow_idle: bool) -> 
             }
             Ok(n) => got += n,
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(e) if is_timeout(&e) && got == 0 && allow_idle => return Ok(false),
             Err(e) if is_timeout(&e) => {
-                return Err(io::Error::new(
-                    io::ErrorKind::TimedOut,
-                    "timed out mid-frame",
-                ))
+                if Instant::now() >= deadline {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "timed out mid-frame",
+                    ));
+                }
             }
             Err(e) => return Err(e),
         }
     }
-    Ok(true)
+    Ok(())
 }
 
-/// Reads one frame (see [`FrameRead`] for the non-frame outcomes).
+/// Reads one frame (see [`FrameRead`] for the non-frame outcomes),
+/// allowing [`MID_FRAME_TIMEOUT`] for a started frame to finish.
 pub fn read_frame(r: &mut impl Read) -> io::Result<FrameRead> {
+    read_frame_within(r, MID_FRAME_TIMEOUT)
+}
+
+/// [`read_frame`] with an explicit mid-frame budget, measured from the
+/// frame's first byte (tests shrink it; timeouts *before* the first
+/// byte still surface as [`FrameRead::Idle`]).
+pub fn read_frame_within(r: &mut impl Read, mid_frame: Duration) -> io::Result<FrameRead> {
     let mut len_buf = [0u8; 4];
     // The first byte decides between Eof/Idle and a real frame.
     let first = loop {
@@ -94,7 +114,8 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<FrameRead> {
             None => 0,
         };
     }
-    fill(r, &mut len_buf, 1, false)?;
+    let deadline = Instant::now() + mid_frame;
+    fill(r, &mut len_buf, 1, deadline)?;
     let len = u32::from_le_bytes(len_buf) as usize;
     if len > MAX_FRAME_BYTES {
         return Err(io::Error::new(
@@ -103,7 +124,7 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<FrameRead> {
         ));
     }
     let mut payload = vec![0u8; len];
-    fill(r, &mut payload, 0, false)?;
+    fill(r, &mut payload, 0, deadline)?;
     Ok(FrameRead::Frame(payload))
 }
 
@@ -256,6 +277,72 @@ mod tests {
             other => panic!("{other:?}"),
         }
         assert!(matches!(read_frame(&mut r).unwrap(), FrameRead::Eof));
+    }
+
+    /// A reader that replays a script of timeouts and data chunks,
+    /// then EOF — a socket with stalls between TCP segments.
+    struct Stutter {
+        events: std::collections::VecDeque<Option<u8>>,
+    }
+
+    impl Stutter {
+        fn new(bytes: &[u8], timeouts_between: usize) -> Self {
+            let mut events = std::collections::VecDeque::new();
+            for b in bytes {
+                events.push_back(Some(*b));
+                for _ in 0..timeouts_between {
+                    events.push_back(None);
+                }
+            }
+            Stutter { events }
+        }
+    }
+
+    impl Read for Stutter {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            match self.events.pop_front() {
+                None => Ok(0),
+                Some(None) => Err(io::Error::new(io::ErrorKind::WouldBlock, "stall")),
+                Some(Some(b)) => match buf.first_mut() {
+                    Some(slot) => {
+                        *slot = b;
+                        Ok(1)
+                    }
+                    None => Ok(0),
+                },
+            }
+        }
+    }
+
+    #[test]
+    fn mid_frame_stalls_are_retried_to_the_deadline() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"SELECT 1").unwrap();
+        // Stalls between every byte — inside the length prefix and the
+        // payload — must not fail the read while the deadline holds.
+        let mut r = Stutter::new(&wire, 3);
+        match read_frame(&mut r).unwrap() {
+            FrameRead::Frame(p) => assert_eq!(p, b"SELECT 1"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn mid_frame_deadline_expiry_is_an_error() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"SELECT 1").unwrap();
+        let mut r = Stutter::new(&wire, 1);
+        // A zero budget expires at the first stall after the first byte.
+        let e = read_frame_within(&mut r, Duration::ZERO).unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::TimedOut);
+        // A stall before any byte is still just Idle, not an error.
+        let mut idle = Stutter {
+            events: [None].into_iter().collect(),
+        };
+        assert!(matches!(
+            read_frame_within(&mut idle, Duration::ZERO).unwrap(),
+            FrameRead::Idle
+        ));
     }
 
     #[test]

@@ -320,7 +320,7 @@ fn handle_request(
     }
     match outcome {
         Ok(result) => match proto::encode_ok(&result) {
-            Ok(frame) => frame,
+            Ok(frame) => cap_frame(frame),
             Err(e) => proto::encode_err(&e.to_string()),
         },
         Err(SqlError::Parse(e)) => {
@@ -328,5 +328,39 @@ fn handle_request(
             proto::encode_err(&e.to_string())
         }
         Err(e) => proto::encode_err(&e.to_string()),
+    }
+}
+
+/// Substitutes an in-band error for a response too large to frame, so
+/// an oversized `SELECT` gets an error answer instead of a write-side
+/// failure that drops the connection (and with it the client's open
+/// transaction). Only genuine socket errors should break the serve
+/// loop.
+fn cap_frame(frame: Vec<u8>) -> Vec<u8> {
+    if frame.len() > proto::MAX_FRAME_BYTES {
+        proto::encode_err(&format!(
+            "result too large: {} bytes exceeds the {} byte frame cap; narrow the query",
+            frame.len(),
+            proto::MAX_FRAME_BYTES
+        ))
+    } else {
+        frame
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oversized_frames_become_error_responses() {
+        let small = vec![0u8; 16];
+        assert_eq!(cap_frame(small.clone()), small);
+        let capped = cap_frame(vec![0u8; proto::MAX_FRAME_BYTES + 1]);
+        assert!(capped.len() <= proto::MAX_FRAME_BYTES);
+        match proto::decode_response(&capped).unwrap() {
+            Err(msg) => assert!(msg.contains("result too large"), "{msg}"),
+            Ok(r) => panic!("expected an error response, got {r:?}"),
+        }
     }
 }

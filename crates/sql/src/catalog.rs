@@ -18,6 +18,7 @@
 //! names for exactly that.
 
 use mmdb_types::error::{Error, Result};
+use mmdb_types::ids::TxnId;
 use mmdb_types::schema::Schema;
 use mmdb_types::tuple::Tuple;
 use std::collections::BTreeMap;
@@ -34,6 +35,24 @@ pub struct TableEntry {
     pub rows: BTreeMap<u32, Tuple>,
     /// Next row id to allocate.
     pub next_rid: u32,
+    /// When `Some`, the table was created by this still-open
+    /// transaction: only that transaction may see or touch it until
+    /// commit publishes it (abort removes it). Keeping uncommitted DDL
+    /// private stops another session from durably committing rows into
+    /// a table whose catalog entry may never commit — which would
+    /// orphan those rows in the log.
+    pub pending_owner: Option<TxnId>,
+}
+
+impl TableEntry {
+    /// True when `viewer` may see this table: committed tables are
+    /// visible to everyone, a pending table only to its creator.
+    pub fn visible_to(&self, viewer: Option<TxnId>) -> bool {
+        match self.pending_owner {
+            None => true,
+            Some(owner) => viewer == Some(owner),
+        }
+    }
 }
 
 /// The catalog proper: tables by (case-insensitive) name.
@@ -44,21 +63,45 @@ pub struct Catalog {
 }
 
 impl Catalog {
-    /// Looks up a table; the error names the missing relation.
-    pub fn table(&self, name: &str) -> Result<&TableEntry> {
+    /// Looks up a table as seen by `viewer`; a table another
+    /// transaction created but has not committed yet reads as missing,
+    /// and the error names the relation either way.
+    pub fn table(&self, name: &str, viewer: Option<TxnId>) -> Result<&TableEntry> {
         self.tables
             .get(&name.to_ascii_lowercase())
+            .filter(|e| e.visible_to(viewer))
             .ok_or_else(|| Error::RelationNotFound(name.to_string()))
     }
 
-    /// Mutable lookup.
-    pub fn table_mut(&mut self, name: &str) -> Result<&mut TableEntry> {
+    /// Mutable lookup with the same visibility rule as
+    /// [`table`](Self::table).
+    pub fn table_mut(&mut self, name: &str, viewer: Option<TxnId>) -> Result<&mut TableEntry> {
+        self.tables
+            .get_mut(&name.to_ascii_lowercase())
+            .filter(|e| e.visible_to(viewer))
+            .ok_or_else(|| Error::RelationNotFound(name.to_string()))
+    }
+
+    /// Mutable lookup ignoring visibility. Only for the undo path,
+    /// whose records always describe state the undoing transaction
+    /// itself produced.
+    pub fn table_mut_any(&mut self, name: &str) -> Result<&mut TableEntry> {
         self.tables
             .get_mut(&name.to_ascii_lowercase())
             .ok_or_else(|| Error::RelationNotFound(name.to_string()))
     }
 
-    /// True when `name` exists.
+    /// Clears a pending marker: the creating transaction committed, so
+    /// `name` is now visible to every session. No-op for unknown names.
+    pub fn publish(&mut self, name: &str) {
+        if let Some(entry) = self.tables.get_mut(&name.to_ascii_lowercase()) {
+            entry.pending_owner = None;
+        }
+    }
+
+    /// True when `name` exists — pending entries included, so a second
+    /// `CREATE TABLE` of the same name conflicts instead of colliding
+    /// on a table id (if the creator aborts, a retry succeeds).
     pub fn contains(&self, name: &str) -> bool {
         self.tables.contains_key(&name.to_ascii_lowercase())
     }
@@ -144,6 +187,7 @@ mod tests {
             schema: Schema::of(&[("id", DataType::Int)]),
             rows: BTreeMap::new(),
             next_rid: 0,
+            pending_owner: None,
         }
     }
 
@@ -152,9 +196,28 @@ mod tests {
         let mut c = Catalog::default();
         c.install("Emp", entry(0));
         assert!(c.contains("EMP"));
-        assert!(c.table("emp").is_ok());
+        assert!(c.table("emp", None).is_ok());
         c.remove("eMp");
-        assert!(c.table("emp").is_err());
+        assert!(c.table("emp", None).is_err());
+    }
+
+    #[test]
+    fn pending_tables_are_private_until_published() {
+        let mut c = Catalog::default();
+        let mut e = entry(0);
+        e.pending_owner = Some(TxnId(7));
+        c.install("t", e);
+        // Only the owning transaction sees it; the name still conflicts.
+        assert!(c.table("t", None).is_err());
+        assert!(c.table("t", Some(TxnId(8))).is_err());
+        assert!(c.table("t", Some(TxnId(7))).is_ok());
+        assert!(c.table_mut("t", None).is_err());
+        assert!(c.table_mut("t", Some(TxnId(7))).is_ok());
+        assert!(c.table_mut_any("t").is_ok());
+        assert!(c.contains("t"));
+        c.publish("t");
+        assert!(c.table("t", None).is_ok());
+        assert!(c.table("t", Some(TxnId(8))).is_ok());
     }
 
     #[test]

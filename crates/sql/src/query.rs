@@ -21,6 +21,7 @@ use mmdb_planner::{
 use mmdb_storage::MemRelation;
 use mmdb_types::error::{Error, Result};
 use mmdb_types::expr::Predicate;
+use mmdb_types::ids::TxnId;
 use mmdb_types::schema::{DataType, Schema};
 use mmdb_types::tuple::Tuple;
 use mmdb_types::value::Value;
@@ -56,8 +57,10 @@ impl QueryResult {
     }
 }
 
-/// One table's snapshot used during planning and execution.
-struct BoundTable {
+/// One table's snapshot used during planning and execution. Built
+/// under the catalog read lock by [`snapshot_tables`], then planned
+/// and executed lock-free by [`run_select_on`].
+pub struct BoundTable {
     /// Lowercased canonical name (what the planner sees).
     name: String,
     schema: Schema,
@@ -422,9 +425,17 @@ fn execute_plan(
     }
 }
 
-/// Plans and executes a bound `SELECT` against the catalog.
-pub fn run_select(stmt: &SelectStmt, catalog: &Catalog) -> Result<QueryResult> {
-    // Snapshot the referenced tables.
+/// Snapshots the tables a `SELECT` references — schemas plus cloned
+/// resident rows, resolved with `viewer` visibility. This is the only
+/// part of `SELECT` that touches the catalog; callers run it under the
+/// catalog read lock, release the lock, and hand the snapshots to
+/// [`run_select_on`] so planning and join execution never stall
+/// writers.
+pub fn snapshot_tables(
+    stmt: &SelectStmt,
+    catalog: &Catalog,
+    viewer: Option<TxnId>,
+) -> Result<Vec<BoundTable>> {
     let mut tables: Vec<BoundTable> = Vec::with_capacity(stmt.tables.len());
     for name in &stmt.tables {
         let lower = name.to_ascii_lowercase();
@@ -433,14 +444,19 @@ pub fn run_select(stmt: &SelectStmt, catalog: &Catalog) -> Result<QueryResult> {
                 "table '{lower}' appears twice in FROM; self-joins are not supported"
             )));
         }
-        let entry = catalog.table(name)?;
+        let entry = catalog.table(name, viewer)?;
         tables.push(BoundTable {
             name: lower,
             schema: entry.schema.clone(),
             tuples: entry.rows.values().cloned().collect(),
         });
     }
+    Ok(tables)
+}
 
+/// Plans and executes a bound `SELECT` over pre-snapshotted tables.
+/// No catalog access happens here, so no lock need be held.
+pub fn run_select_on(stmt: &SelectStmt, tables: Vec<BoundTable>) -> Result<QueryResult> {
     // Split conditions into per-table predicates and join edges.
     let mut preds: Vec<Predicate> = tables.iter().map(|_| Predicate::True).collect();
     let mut joins: Vec<JoinEdge> = Vec::new();
@@ -563,6 +579,17 @@ pub fn run_select(stmt: &SelectStmt, catalog: &Catalog) -> Result<QueryResult> {
     })
 }
 
+/// Snapshot + plan + execute in one call. The session splits the two
+/// phases to scope the catalog lock; this composition serves callers
+/// (and tests) that already hold the catalog.
+pub fn run_select(
+    stmt: &SelectStmt,
+    catalog: &Catalog,
+    viewer: Option<TxnId>,
+) -> Result<QueryResult> {
+    run_select_on(stmt, snapshot_tables(stmt, catalog, viewer)?)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -600,6 +627,7 @@ mod tests {
                 schema: emp_schema,
                 rows: emp_rows,
                 next_rid: 3,
+                pending_owner: None,
             },
         );
         c.install(
@@ -609,6 +637,7 @@ mod tests {
                 schema: dept_schema,
                 rows: dept_rows,
                 next_rid: 2,
+                pending_owner: None,
             },
         );
         c
@@ -616,7 +645,7 @@ mod tests {
 
     fn select(cat: &Catalog, sql: &str) -> QueryResult {
         match parse(sql).unwrap() {
-            Statement::Select(s) => run_select(&s, cat).unwrap(),
+            Statement::Select(s) => run_select(&s, cat, None).unwrap(),
             other => panic!("not a select: {other:?}"),
         }
     }
@@ -668,7 +697,7 @@ mod tests {
             Statement::Select(s) => s,
             _ => unreachable!(),
         };
-        assert!(run_select(&s, &cat).is_err());
+        assert!(run_select(&s, &cat, None).is_err());
     }
 
     #[test]
@@ -678,13 +707,13 @@ mod tests {
             Statement::Select(s) => s,
             _ => unreachable!(),
         };
-        let e = run_select(&s, &cat).unwrap_err();
+        let e = run_select(&s, &cat, None).unwrap_err();
         assert!(e.to_string().contains("ambiguous"), "{e}");
         let s = match parse("SELECT nope FROM emp").unwrap() {
             Statement::Select(s) => s,
             _ => unreachable!(),
         };
-        assert!(run_select(&s, &cat).is_err());
+        assert!(run_select(&s, &cat, None).is_err());
     }
 
     #[test]

@@ -10,8 +10,14 @@
 //! # Visibility and rollback
 //!
 //! The catalog mirror is updated as statements execute, *before*
-//! commit — reads are read-uncommitted, matching the engine's own
-//! `read()`. Write-write conflicts are real conflicts: every
+//! commit — row reads are read-uncommitted, matching the engine's own
+//! `read()`. DDL is stricter: a table created inside an open
+//! transaction stays private to that transaction (the entry carries a
+//! `pending_owner` tag filtered out of every other session's lookups)
+//! until commit publishes it. Otherwise another session could durably
+//! commit rows into a table whose catalog entry never commits, leaving
+//! orphan row keys in the log. Write-write conflicts are real
+//! conflicts: every
 //! `INSERT`/`UPDATE`/`DELETE` locks its row's header key through the
 //! engine's per-shard lock manager, so two transactions mutating the
 //! same row serialize (or deadlock, and the victim aborts). Each
@@ -31,6 +37,7 @@ use crate::parser::{parse, ParseError};
 use crate::query::{self, QueryResult};
 use mmdb_session::{Engine, Session, Txn};
 use mmdb_types::error::{Error, Result};
+use mmdb_types::ids::TxnId;
 use mmdb_types::schema::{Column, DataType, Schema};
 use mmdb_types::tuple::Tuple;
 use std::collections::BTreeMap;
@@ -183,9 +190,13 @@ impl SqlDb {
                 Some(b) => b,
                 None => continue,
             };
-            let (_, schema) = by_id.get(table_id).ok_or_else(|| {
-                Error::CorruptLog(format!("row {rid} references unknown table {table_id}"))
-            })?;
+            // An orphan row (no catalog entry) is quarantined — skipped,
+            // with its rid watermark kept — rather than failing the whole
+            // open and leaving the database permanently unopenable.
+            let (_, schema) = match by_id.get(table_id) {
+                Some(entry) => entry,
+                None => continue,
+            };
             let tuple = codec::decode_row(&blob, schema.arity())?;
             rows.entry(*table_id).or_default().insert(*rid, tuple);
         }
@@ -199,6 +210,7 @@ impl SqlDb {
                         schema: schema.clone(),
                         rows: rows.remove(table_id).unwrap_or_default(),
                         next_rid: next_rid.get(table_id).copied().unwrap_or(0),
+                        pending_owner: None,
                     },
                 );
             }
@@ -216,10 +228,15 @@ impl SqlDb {
         }
     }
 
-    /// Table names currently in the catalog, sorted.
+    /// Committed table names currently in the catalog, sorted; tables
+    /// pending inside an open transaction are not listed.
     pub fn table_names(&self) -> Result<Vec<String>> {
-        self.catalog
-            .with_catalog_read(|c| Ok(c.iter().map(|(n, _)| n.clone()).collect()))
+        self.catalog.with_catalog_read(|c| {
+            Ok(c.iter()
+                .filter(|(_, e)| e.visible_to(None))
+                .map(|(n, _)| n.clone())
+                .collect())
+        })
     }
 }
 
@@ -260,7 +277,7 @@ impl SqlSession {
                     .ok_or_else(|| SqlError::Sql("COMMIT outside a transaction".to_string()))?;
                 match self.db.session.commit_durable(txn) {
                     Ok(_) => {
-                        self.undo.clear();
+                        self.publish_and_clear_undo();
                         Ok(QueryResult::ack())
                     }
                     Err(e) => {
@@ -280,11 +297,18 @@ impl SqlSession {
                 let _ = self.db.session.abort(txn);
                 Ok(QueryResult::ack())
             }
-            Statement::Select(sel) => self
-                .db
-                .catalog
-                .with_catalog_read(|c| query::run_select(sel, c))
-                .map_err(SqlError::Exec),
+            Statement::Select(sel) => {
+                // Snapshot under the catalog read lock, then plan and
+                // execute with the lock released — a long analytic join
+                // must not stall every writer on the outermost lock.
+                let viewer = self.txn.as_ref().map(Txn::id);
+                let tables = self
+                    .db
+                    .catalog
+                    .with_catalog_read(|c| query::snapshot_tables(sel, c, viewer))
+                    .map_err(SqlError::Exec)?;
+                query::run_select_on(sel, tables).map_err(SqlError::Exec)
+            }
             mutation => self.run_mutation(mutation),
         }
     }
@@ -332,7 +356,7 @@ impl SqlSession {
                     match self.txn.take() {
                         Some(txn) => match self.db.session.commit_durable(txn) {
                             Ok(_) => {
-                                self.undo.clear();
+                                self.publish_and_clear_undo();
                                 Ok(result)
                             }
                             Err(e) => {
@@ -362,14 +386,39 @@ impl SqlSession {
         }
     }
 
+    /// After a successful commit: clears the pending markers of tables
+    /// this transaction created — making them visible to every other
+    /// session — and drops the undo log (the changes are durable now).
+    fn publish_and_clear_undo(&mut self) {
+        let created: Vec<String> = self
+            .undo
+            .iter()
+            .filter_map(|op| match op {
+                UndoOp::DropTable { name } => Some(name.clone()),
+                _ => None,
+            })
+            .collect();
+        if !created.is_empty() {
+            let _ = self.db.catalog.with_catalog_write(|cat| {
+                for name in &created {
+                    cat.publish(name);
+                }
+                Ok(())
+            });
+        }
+        self.undo.clear();
+    }
+
     /// Replays the volatile undo log in reverse, restoring the catalog
-    /// mirror. Engine-side rollback is the caller's job.
+    /// mirror. Engine-side rollback is the caller's job. Lookups skip
+    /// the visibility filter: every record describes state this
+    /// transaction itself produced.
     fn rollback_volatile(&mut self) {
         while let Some(op) = self.undo.pop() {
             let _ = self.db.catalog.with_catalog_write(|cat| {
                 match op {
                     UndoOp::RemoveRow { ref table, rid } => {
-                        if let Ok(entry) = cat.table_mut(table) {
+                        if let Ok(entry) = cat.table_mut_any(table) {
                             entry.rows.remove(&rid);
                         }
                     }
@@ -378,7 +427,7 @@ impl SqlSession {
                         rid,
                         ref tuple,
                     } => {
-                        if let Ok(entry) = cat.table_mut(table) {
+                        if let Ok(entry) = cat.table_mut_any(table) {
                             entry.rows.insert(rid, tuple.clone());
                         }
                     }
@@ -435,9 +484,12 @@ fn create_table(
             .map(|(n, ty)| Column::new(n.clone(), *ty))
             .collect(),
     )?;
-    // Install in the mirror first (read-uncommitted, like rows) — this
-    // also makes concurrent CREATEs of the same name race on the
-    // catalog lock instead of silently colliding on a table id.
+    // Install in the mirror first, tagged as pending: only this
+    // transaction sees the table until commit publishes it, so no other
+    // session can durably commit rows into a table whose catalog entry
+    // might never commit. The name itself is claimed immediately —
+    // concurrent CREATEs of the same name race on the catalog lock
+    // instead of silently colliding on a table id.
     let (table_id, blob) = db.catalog.with_catalog_write(|cat| {
         if cat.contains(name) {
             return Err(Error::Planning(format!("table '{name}' already exists")));
@@ -451,6 +503,7 @@ fn create_table(
                 schema: schema.clone(),
                 rows: BTreeMap::new(),
                 next_rid: 0,
+                pending_owner: Some(txn.id()),
             },
         );
         Ok((id, blob))
@@ -473,8 +526,9 @@ fn insert(
     rows: &[Vec<Literal>],
 ) -> Result<QueryResult> {
     // Bind every row and reserve rids under one catalog lock.
+    let viewer = Some(txn.id());
     let (table_id, bound) = db.catalog.with_catalog_write(|cat| {
-        let entry = cat.table_mut(table)?;
+        let entry = cat.table_mut(table, viewer)?;
         let mut bound = Vec::with_capacity(rows.len());
         for row in rows {
             let tuple = query::bind_insert_row(&entry.schema, columns, row)?;
@@ -499,7 +553,7 @@ fn insert(
             codec::row_key(table_id, rid, chunk)
         })?;
         db.catalog.with_catalog_write(|cat| {
-            cat.table_mut(table)?.rows.insert(rid, tuple.clone());
+            cat.table_mut(table, viewer)?.rows.insert(rid, tuple.clone());
             Ok(())
         })?;
         undo.push(UndoOp::RemoveRow {
@@ -518,9 +572,14 @@ struct MutationScan {
     matches: Vec<(u32, Tuple)>,
 }
 
-fn scan_matching(db: &SqlDb, table: &str, conditions: &[Condition]) -> Result<MutationScan> {
+fn scan_matching(
+    db: &SqlDb,
+    viewer: Option<TxnId>,
+    table: &str,
+    conditions: &[Condition],
+) -> Result<MutationScan> {
     db.catalog.with_catalog_read(|cat| {
-        let entry = cat.table(table)?;
+        let entry = cat.table(table, viewer)?;
         let pred = query::bind_table_predicate(table, &entry.schema, conditions)?;
         let matches = entry
             .rows
@@ -557,7 +616,7 @@ fn lock_and_refetch(
     }
     db.catalog.with_catalog_read(|cat| {
         Ok(cat
-            .table(table)
+            .table(table, Some(txn.id()))
             .ok()
             .and_then(|entry| entry.rows.get(&rid).cloned()))
     })
@@ -571,7 +630,7 @@ fn update(
     sets: &[(String, SetExpr)],
     conditions: &[Condition],
 ) -> Result<QueryResult> {
-    let scan = scan_matching(db, table, conditions)?;
+    let scan = scan_matching(db, Some(txn.id()), table, conditions)?;
     let bound_sets = query::bind_sets(&scan.schema, sets)?;
     let pred = query::bind_table_predicate(table, &scan.schema, conditions)?;
     let mut affected = 0u64;
@@ -588,7 +647,9 @@ fn update(
             codec::row_key(scan.table_id, rid, chunk)
         })?;
         db.catalog.with_catalog_write(|cat| {
-            cat.table_mut(table)?.rows.insert(rid, new.clone());
+            cat.table_mut(table, Some(txn.id()))?
+                .rows
+                .insert(rid, new.clone());
             Ok(())
         })?;
         undo.push(UndoOp::RestoreRow {
@@ -608,7 +669,7 @@ fn delete(
     table: &str,
     conditions: &[Condition],
 ) -> Result<QueryResult> {
-    let scan = scan_matching(db, table, conditions)?;
+    let scan = scan_matching(db, Some(txn.id()), table, conditions)?;
     let pred = query::bind_table_predicate(table, &scan.schema, conditions)?;
     let mut affected = 0u64;
     for (rid, _) in scan.matches {
@@ -626,7 +687,7 @@ fn delete(
             codec::TOMBSTONE,
         )?;
         db.catalog.with_catalog_write(|cat| {
-            cat.table_mut(table)?.rows.remove(&rid);
+            cat.table_mut(table, Some(txn.id()))?.rows.remove(&rid);
             Ok(())
         })?;
         undo.push(UndoOp::RestoreRow {
@@ -759,6 +820,56 @@ mod tests {
         s.execute("INSERT INTO kv VALUES (5, 'five')").unwrap();
         let r = s.execute("SELECT k FROM kv").unwrap();
         assert_eq!(r.rows.len(), 3);
+        eng.shutdown().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn uncommitted_create_table_is_private_to_its_transaction() {
+        let dir = temp_dir("ddl-private");
+        let eng = engine(&dir);
+        let db = SqlDb::open(&eng).unwrap();
+        let mut a = db.session();
+        let mut b = db.session();
+        a.execute("BEGIN").unwrap();
+        a.execute("CREATE TABLE t (id INT)").unwrap();
+        a.execute("INSERT INTO t VALUES (1)").unwrap();
+        // The creator sees its own pending table...
+        let r = a.execute("SELECT id FROM t").unwrap();
+        assert_eq!(r.rows, vec![vec![Value::Int(1)]]);
+        // ...but no other session can read it, write into it (and
+        // durably commit orphan rows), or list it; the name itself is
+        // already claimed.
+        assert!(b.execute("SELECT * FROM t").is_err());
+        assert!(b.execute("INSERT INTO t VALUES (2)").is_err());
+        assert!(b.execute("CREATE TABLE t (x INT)").is_err());
+        assert_eq!(db.table_names().unwrap(), Vec::<String>::new());
+        a.execute("COMMIT").unwrap();
+        // Commit publishes: now everyone sees it.
+        assert_eq!(db.table_names().unwrap(), vec!["t".to_string()]);
+        let r = b.execute("SELECT id FROM t").unwrap();
+        assert_eq!(r.rows, vec![vec![Value::Int(1)]]);
+        b.execute("INSERT INTO t VALUES (2)").unwrap();
+        eng.shutdown().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn aborted_create_table_frees_the_name() {
+        let dir = temp_dir("ddl-abort");
+        let eng = engine(&dir);
+        let db = SqlDb::open(&eng).unwrap();
+        let mut a = db.session();
+        let mut b = db.session();
+        a.execute("BEGIN").unwrap();
+        a.execute("CREATE TABLE t (id INT)").unwrap();
+        a.execute("INSERT INTO t VALUES (1)").unwrap();
+        a.execute("ABORT").unwrap();
+        // Nothing leaked, and the name is free for anyone again.
+        assert!(a.execute("SELECT * FROM t").is_err());
+        b.execute("CREATE TABLE t (x INT)").unwrap();
+        let r = b.execute("SELECT * FROM t").unwrap();
+        assert!(r.rows.is_empty());
         eng.shutdown().unwrap();
         let _ = std::fs::remove_dir_all(&dir);
     }
