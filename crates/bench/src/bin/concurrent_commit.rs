@@ -32,10 +32,23 @@
 //! the parser, planner, and wire protocol cost on top of the engine
 //! (`overhead_ratio` = in-process tps / remote tps).
 //!
+//! Every run also measures **recovery time** (§5.3): the same transfer
+//! workload runs against a fresh engine twice — once with the
+//! background checkpoint sweeper on (`--checkpoint-interval MS`), once
+//! off — then crashes and times `Engine::recover`. The JSON's
+//! `recovery` section reports wall-clock `recovery_ms` and the
+//! deterministic `log_bytes_replayed` for both; with checkpointing on,
+//! recovery replays the newest checkpoint image plus one interval's
+//! worth of log suffix instead of the whole history, so its
+//! `log_bytes_replayed` must come in below the checkpointing-off run's
+//! (`cargo xtask bench-check` enforces exactly that). The full run
+//! additionally sweeps the interval to show recovery cost scaling with
+//! it.
+//!
 //! Usage: `concurrent_commit [--policy sync|group|partitioned:K|all]
 //! [--clients N] [--duration-ms MS] [--page-write-us US]
-//! [--lock-op-us US] [--shards N] [--seed S] [--remote N] [--smoke]
-//! [--out PATH]`.
+//! [--lock-op-us US] [--shards N] [--seed S] [--remote N]
+//! [--checkpoint-interval MS] [--smoke] [--out PATH]`.
 //! Results also land as JSON (default `BENCH_concurrent_commit.json`).
 
 use mmdb_bench::print_table;
@@ -107,8 +120,17 @@ struct Config {
     /// ([`REMOTE_SMOKE_CONNS`] under `--smoke`, [`REMOTE_FULL_CONNS`]
     /// for the full run).
     remote: Option<usize>,
+    /// §5.3 sweeper interval for the recovery experiment's
+    /// checkpointing-on run (the full run also sweeps
+    /// [`CKPT_SWEEP_MS`] around it).
+    checkpoint_interval: Duration,
     out: String,
 }
+
+/// Checkpoint intervals (ms) the full run's recovery sweep measures.
+const CKPT_SWEEP_MS: [u64; 4] = [10, 25, 50, 100];
+/// Default `--checkpoint-interval` for the recovery experiment.
+const CKPT_DEFAULT_MS: u64 = 50;
 
 /// Smoke-tier parameters, shared by `--smoke` and the full run's
 /// baseline section so `xtask bench-check` compares like with like.
@@ -156,6 +178,7 @@ fn parse_args() -> Config {
         seed: 42,
         smoke: false,
         remote: None,
+        checkpoint_interval: Duration::from_millis(CKPT_DEFAULT_MS),
         out: "BENCH_concurrent_commit.json".to_string(),
     };
     let mut args = std::env::args().skip(1);
@@ -190,6 +213,13 @@ fn parse_args() -> Config {
             "--shards" => cfg.shards = Some(value("--shards").parse().expect("--shards N")),
             "--seed" => cfg.seed = value("--seed").parse().expect("--seed S"),
             "--remote" => cfg.remote = Some(value("--remote").parse().expect("--remote N")),
+            "--checkpoint-interval" => {
+                cfg.checkpoint_interval = Duration::from_millis(
+                    value("--checkpoint-interval")
+                        .parse()
+                        .expect("--checkpoint-interval MS"),
+                )
+            }
             "--smoke" => {
                 cfg.smoke = true;
                 cfg.clients = SMOKE_CLIENTS;
@@ -352,6 +382,204 @@ fn best_of(trials: usize, p: &RunParams) -> RunResult {
         }
     }
     best.expect("at least one trial")
+}
+
+/// One measured crash-recovery: seeded workload, crash, timed
+/// `Engine::recover`.
+struct RecoveryRun {
+    /// Sweeper interval during the pre-crash run; `None` = off.
+    checkpoint_interval_ms: Option<u64>,
+    committed: u64,
+    /// Wall-clock `Engine::recover` time (replay + restart compaction).
+    recovery_ms: f64,
+    /// Log bytes checksummed and decoded during replay — the §5.3
+    /// recovery-cost denominator, deterministic unlike wall-clock.
+    log_bytes_replayed: u64,
+    records_scanned: usize,
+    /// Whether recovery found a complete checkpoint and replayed only
+    /// the live generation's suffix past its floor.
+    checkpoint_used: bool,
+}
+
+/// §5.3 recovery experiment: run the transfer workload for `traffic`
+/// with the background sweeper at `interval` (or off), crash, and time
+/// `Engine::recover`. Recovery itself always runs with the sweeper off,
+/// so both arms time pure replay of whatever the pre-crash run left on
+/// disk.
+///
+/// With `final_sweep` (the gated on-vs-off pair), the checkpointing arm
+/// takes one explicit sweep after the traffic stops and then commits a
+/// short tail of transfers before crashing — pinning the crash at a
+/// known phase of the checkpoint cycle so the bench-check gate
+/// (`on.log_bytes_replayed < off.log_bytes_replayed`) is deterministic
+/// rather than hostage to sweeper scheduling on a loaded CI host. The
+/// interval sweep passes `final_sweep = false` and crashes at whatever
+/// phase the background sweeper happens to be in, which is the honest
+/// expected-case measurement.
+fn run_recovery(
+    interval: Option<Duration>,
+    final_sweep: bool,
+    clients: usize,
+    traffic: Duration,
+    page_write: Duration,
+    seed: u64,
+) -> RecoveryRun {
+    let tag = interval.map(|i| i.as_millis() as u64);
+    let dir = std::env::temp_dir().join(format!(
+        "mmdb-bench-recovery-{}-{}",
+        std::process::id(),
+        tag.map(|ms| ms.to_string()).unwrap_or_else(|| "off".into()),
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    let mut opts = EngineOptions::new(CommitPolicy::Group, &dir)
+        .with_page_write_latency(page_write)
+        .with_flush_interval(page_write / 4)
+        .with_lock_wait_timeout(Duration::from_secs(2));
+    if let Some(iv) = interval {
+        opts = opts.with_checkpoint_interval(iv);
+    }
+    let engine = Engine::start(opts).expect("engine start");
+
+    let accounts = (clients as u64) * 2;
+    let seeder = engine.session();
+    let t = seeder.begin().expect("seed begin");
+    for k in 0..accounts {
+        seeder.write(&t, k, 1_000_000).expect("seed write");
+    }
+    seeder.commit_durable(t).expect("seed commit");
+
+    let deadline = Instant::now() + traffic;
+    let mut handles = Vec::new();
+    for c in 0..clients as u64 {
+        let session = engine.session();
+        let mut rng = seed ^ (c.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        handles.push(std::thread::spawn(move || {
+            let mut committed = 0u64;
+            while Instant::now() < deadline {
+                let from = c * 2;
+                let to = if lcg_next(&mut rng) % 8 == 0 {
+                    (c * 2 + 2) % accounts
+                } else {
+                    c * 2 + 1
+                };
+                if let Ok(ticket) = session.transfer(from, to, 1) {
+                    if session.wait_durable(&ticket).is_ok() {
+                        committed += 1;
+                    }
+                }
+            }
+            committed
+        }));
+    }
+    let mut committed: u64 = handles
+        .into_iter()
+        .map(|h| h.join().expect("client thread"))
+        .sum();
+    if final_sweep && interval.is_some() {
+        engine.checkpoint_now().expect("final checkpoint sweep");
+        // A short committed tail past the sweep, so recovery exercises
+        // the image-plus-suffix path rather than a clean image.
+        let session = engine.session();
+        for i in 0..20u64 {
+            let from = (i * 2) % accounts;
+            let to = (i * 2 + 1) % accounts;
+            if let Ok(ticket) = session.transfer(from, to, 1) {
+                if session.wait_durable(&ticket).is_ok() {
+                    committed += 1;
+                }
+            }
+        }
+    }
+    engine.crash().expect("crash");
+
+    let ropts = EngineOptions::new(CommitPolicy::Group, &dir)
+        .with_page_write_latency(page_write)
+        .with_flush_interval(page_write / 4)
+        .with_lock_wait_timeout(Duration::from_secs(2));
+    let recover_started = Instant::now();
+    let (recovered, info) = Engine::recover(ropts).expect("recover");
+    let recovery_ms = recover_started.elapsed().as_secs_f64() * 1000.0;
+    recovered.shutdown().expect("post-recovery shutdown");
+    std::fs::remove_dir_all(&dir).ok();
+
+    RecoveryRun {
+        checkpoint_interval_ms: tag,
+        committed,
+        recovery_ms,
+        log_bytes_replayed: info.log_bytes_replayed,
+        records_scanned: info.records_scanned,
+        checkpoint_used: info.checkpoint_start.is_some(),
+    }
+}
+
+/// One recovery arm as a JSON object (inline, no trailing newline).
+fn recovery_run_json(r: &RecoveryRun) -> String {
+    let interval = r
+        .checkpoint_interval_ms
+        .map(|ms| ms.to_string())
+        .unwrap_or_else(|| "null".to_string());
+    format!(
+        "{{\"checkpoint_interval_ms\": {interval}, \"committed\": {}, \
+         \"recovery_ms\": {:.3}, \"log_bytes_replayed\": {}, \
+         \"records_scanned\": {}, \"checkpoint_used\": {}}}",
+        r.committed, r.recovery_ms, r.log_bytes_replayed, r.records_scanned, r.checkpoint_used,
+    )
+}
+
+/// The JSON `recovery` section for a top-level key (inner fields at 4
+/// spaces, closing brace at 2). `sweep` is the full run's
+/// interval-scaling table; smoke passes an empty slice and omits it.
+fn recovery_json(
+    clients: usize,
+    traffic: Duration,
+    page_write: Duration,
+    off: &RecoveryRun,
+    on: &RecoveryRun,
+    sweep: &[RecoveryRun],
+) -> String {
+    let indent = "    ";
+    let sweep_json = if sweep.is_empty() {
+        String::new()
+    } else {
+        let rows: Vec<String> = sweep
+            .iter()
+            .map(|r| format!("{indent}  {}", recovery_run_json(r)))
+            .collect();
+        format!("{indent}\"sweep\": [\n{}\n{indent}],\n", rows.join(",\n"))
+    };
+    format!(
+        "{{\n{indent}\"clients\": {clients},\n{indent}\"traffic_ms\": {},\n\
+         {indent}\"page_write_us\": {},\n\
+         {indent}\"off\": {},\n{indent}\"on\": {},\n{sweep_json}\
+         {indent}\"note\": \"same seeded transfer workload, crash, timed Engine::recover; on = background §5.3 sweeper plus one explicit sweep and a 20-txn committed tail before the crash, off = full-log replay; xtask bench-check requires on.log_bytes_replayed < off.log_bytes_replayed; sweep rows run at the full run's clients/duration and crash at an arbitrary sweeper phase\"\n  }}",
+        traffic.as_millis(),
+        page_write.as_micros(),
+        recovery_run_json(off),
+        recovery_run_json(on),
+    )
+}
+
+fn print_recovery(off: &RecoveryRun, on: &RecoveryRun, sweep: &[RecoveryRun]) {
+    println!(
+        "\nrecovery (§5.3): off {:.1} ms replaying {} bytes ({} committed) vs \
+         on {:.1} ms replaying {} bytes ({} committed, checkpoint_used={})",
+        off.recovery_ms,
+        off.log_bytes_replayed,
+        off.committed,
+        on.recovery_ms,
+        on.log_bytes_replayed,
+        on.committed,
+        on.checkpoint_used,
+    );
+    for r in sweep {
+        println!(
+            "  interval {:>4} ms: recovery {:.1} ms, {} bytes replayed, checkpoint_used={}",
+            r.checkpoint_interval_ms.unwrap_or(0),
+            r.recovery_ms,
+            r.log_bytes_replayed,
+            r.checkpoint_used,
+        );
+    }
 }
 
 /// What the remote driver measured, next to the in-process control.
@@ -769,18 +997,45 @@ fn main() {
             cfg.seed,
         );
         print_remote(&remote);
+        // Recovery pair for the bench-check gate: checkpointing off
+        // (full-log replay) vs on (image + bounded suffix), same seed.
+        let rec_off = run_recovery(
+            None,
+            true,
+            cfg.clients,
+            cfg.duration,
+            cfg.page_write,
+            cfg.seed,
+        );
+        let rec_on = run_recovery(
+            Some(cfg.checkpoint_interval),
+            true,
+            cfg.clients,
+            cfg.duration,
+            cfg.page_write,
+            cfg.seed,
+        );
+        print_recovery(&rec_off, &rec_on, &[]);
         let json = format!(
             "{{\n  \"bench\": \"concurrent_commit\",\n  \"mode\": \"smoke\",\n  \"seed\": {},\n  \
              \"clients\": {},\n  \"duration_ms\": {},\n  \"page_write_us\": {},\n  \
              \"typical_txn_bytes\": 400,\n  \"fault_injection\": \"disabled\",\n  \"runs\": [\n{}\n  ],\n  \
-             \"group_vs_sync_speedup\": {:.2},\n  \"remote\": {}\n}}\n",
+             \"group_vs_sync_speedup\": {:.2},\n  \"remote\": {},\n  \"recovery\": {}\n}}\n",
             cfg.seed,
             cfg.clients,
             cfg.duration.as_millis(),
             cfg.page_write.as_micros(),
             runs_json.join(",\n"),
             speedup,
-            remote_json(&remote)
+            remote_json(&remote),
+            recovery_json(
+                cfg.clients,
+                cfg.duration,
+                cfg.page_write,
+                &rec_off,
+                &rec_on,
+                &[]
+            ),
         );
         std::fs::write(&cfg.out, json).expect("write JSON");
         println!("  wrote {}", cfg.out);
@@ -876,6 +1131,42 @@ fn main() {
         })
         .collect();
 
+    // Recovery experiment: the gated on/off pair at smoke parameters
+    // (so the checked-in baseline carries the exact schema bench-check
+    // compares a fresh --smoke run against), plus the interval sweep at
+    // the full run's traffic length to show §5.3 recovery cost tracking
+    // the checkpoint interval.
+    let rec_off = run_recovery(
+        None,
+        true,
+        SMOKE_CLIENTS,
+        Duration::from_millis(SMOKE_DURATION_MS),
+        Duration::from_micros(SMOKE_PAGE_WRITE_US),
+        cfg.seed,
+    );
+    let rec_on = run_recovery(
+        Some(cfg.checkpoint_interval),
+        true,
+        SMOKE_CLIENTS,
+        Duration::from_millis(SMOKE_DURATION_MS),
+        Duration::from_micros(SMOKE_PAGE_WRITE_US),
+        cfg.seed,
+    );
+    let rec_sweep: Vec<RecoveryRun> = CKPT_SWEEP_MS
+        .iter()
+        .map(|ms| {
+            run_recovery(
+                Some(Duration::from_millis(*ms)),
+                false,
+                cfg.clients,
+                cfg.duration,
+                cfg.page_write,
+                cfg.seed,
+            )
+        })
+        .collect();
+    print_recovery(&rec_off, &rec_on, &rec_sweep);
+
     let sweep_json: Vec<String> = sweep
         .iter()
         .map(|r| format!("      {}", run_json(r)))
@@ -894,6 +1185,7 @@ fn main() {
          \"note\": \"lock_op_us is a modeled per-lock-op CPU cost spent inside the shard critical section (single-server queue per shard; see DESIGN.md); policy runs above use lock_op_us = 0\",\n    \
          \"runs\": [\n{}\n    ],\n    \"scaling_best_vs_one\": {:.2}\n  }},\n  \
          \"remote\": {},\n  \
+         \"recovery\": {},\n  \
          \"smoke_runs\": {{\n    \"clients\": {SMOKE_CLIENTS},\n    \"duration_ms\": {SMOKE_DURATION_MS},\n    \
          \"page_write_us\": {SMOKE_PAGE_WRITE_US},\n    \"runs\": [\n{}\n    ]\n  }}\n}}\n",
         cfg.seed,
@@ -907,6 +1199,14 @@ fn main() {
         sweep_json.join(",\n"),
         scaling,
         remote_json(&remote),
+        recovery_json(
+            SMOKE_CLIENTS,
+            Duration::from_millis(SMOKE_DURATION_MS),
+            Duration::from_micros(SMOKE_PAGE_WRITE_US),
+            &rec_off,
+            &rec_on,
+            &rec_sweep,
+        ),
         smoke_json.join(",\n"),
     );
     std::fs::write(&cfg.out, json).expect("write JSON");

@@ -10,8 +10,15 @@
 //! into exit code 124, and a failing seed leaves its log directory
 //! under the artifact dir for postmortem.
 //!
+//! `--checkpoint` switches to the §5.3 checkpoint-torture scenarios
+//! (crash mid-sweep, crash before generation truncation, background
+//! sweeper under load), each verified by a full-log oracle recovery;
+//! `--sustain-secs S` additionally runs one sustained-load seed — S
+//! seconds of live traffic with the background sweeper on, a crash,
+//! and a recovery that must be bounded by the checkpoint interval.
+//!
 //! Usage: `session_torture [--seeds N] [--first S] [--artifacts DIR]
-//! [--watchdog-secs T]`.
+//! [--watchdog-secs T] [--checkpoint] [--sustain-secs S]`.
 
 use mmdb_session::torture;
 use std::collections::BTreeMap;
@@ -23,6 +30,8 @@ struct Config {
     first: u64,
     artifacts: PathBuf,
     watchdog: Duration,
+    checkpoint: bool,
+    sustain: Option<Duration>,
 }
 
 fn parse_args() -> Config {
@@ -31,6 +40,8 @@ fn parse_args() -> Config {
         first: 0,
         artifacts: PathBuf::from("target/torture-artifacts"),
         watchdog: Duration::from_secs(600),
+        checkpoint: false,
+        sustain: None,
     };
     let mut args = std::env::args().skip(1);
     let value = |name: &str, args: &mut dyn Iterator<Item = String>| {
@@ -48,6 +59,15 @@ fn parse_args() -> Config {
                         .parse()
                         .expect("--watchdog-secs T"),
                 )
+            }
+            "--checkpoint" => cfg.checkpoint = true,
+            "--sustain-secs" => {
+                cfg.checkpoint = true;
+                cfg.sustain = Some(Duration::from_secs(
+                    value("--sustain-secs", &mut args)
+                        .parse()
+                        .expect("--sustain-secs S"),
+                ));
             }
             other => panic!("unknown argument {other}"),
         }
@@ -72,9 +92,37 @@ fn main() {
     let mut by_policy: BTreeMap<String, u64> = BTreeMap::new();
     let mut degraded_runs = 0u64;
     let mut corrupt_pages = 0usize;
+    // The sustained-load acceptance run first: long traffic, one crash,
+    // bounded recovery — failure keeps its artifacts like any seed.
+    if let Some(sustain) = cfg.sustain {
+        let dir = cfg.artifacts.join("sustained");
+        println!(
+            "torture: sustained checkpoint run ({}s of traffic)...",
+            sustain.as_secs()
+        );
+        match torture::run_sustained_checkpoint(cfg.first, &dir, sustain) {
+            Ok(report) => {
+                println!(
+                    "torture: sustained run ok ({} committed, {} replayed at recovery)",
+                    report.committed, report.recovered
+                );
+                std::fs::remove_dir_all(&dir).ok();
+            }
+            Err(e) => {
+                eprintln!("torture: sustained run FAILED: {e}");
+                eprintln!("torture: log directory kept at {}", dir.display());
+                std::process::exit(1);
+            }
+        }
+    }
     for seed in cfg.first..cfg.first.saturating_add(cfg.seeds) {
         let dir = torture::seed_dir(&cfg.artifacts, seed);
-        match torture::run_seed(seed, &dir) {
+        let result = if cfg.checkpoint {
+            torture::run_checkpoint_seed(seed, &dir)
+        } else {
+            torture::run_seed(seed, &dir)
+        };
+        match result {
             Ok(report) => {
                 *by_scenario.entry(report.scenario).or_insert(0) += 1;
                 *by_policy.entry(report.policy).or_insert(0) += 1;

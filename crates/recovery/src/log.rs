@@ -45,21 +45,36 @@ pub enum LogRecord {
         /// Transaction.
         txn: TxnId,
     },
+    /// §5.3 online-checkpoint marker, written inside the synthetic
+    /// snapshot transaction (id 0) of a checkpoint log generation. It
+    /// frames what the snapshot covers: replay may start at `start`
+    /// (every committed update below it is baked into the snapshot's
+    /// update records), and `next_txn` is a floor for transaction-id
+    /// allocation so ids used only before `start` are never reissued.
+    Checkpoint {
+        /// First LSN of the live-log suffix recovery must still replay.
+        start: Lsn,
+        /// Transaction-id allocator value captured when the sweep began.
+        next_txn: u64,
+    },
 }
 
 const TAG_BEGIN: u8 = 1;
 const TAG_UPDATE: u8 = 2;
 const TAG_COMMIT: u8 = 3;
 const TAG_ABORT: u8 = 4;
+const TAG_CHECKPOINT: u8 = 5;
 
 impl LogRecord {
-    /// The transaction this record belongs to.
+    /// The transaction this record belongs to. A checkpoint marker
+    /// belongs to the synthetic snapshot transaction (id 0).
     pub fn txn(&self) -> TxnId {
         match self {
             LogRecord::Begin { txn }
             | LogRecord::Update { txn, .. }
             | LogRecord::Commit { txn }
             | LogRecord::Abort { txn } => *txn,
+            LogRecord::Checkpoint { .. } => TxnId(0),
         }
     }
 
@@ -72,6 +87,9 @@ impl LogRecord {
             LogRecord::Update { old, padding, .. } => {
                 24 + 8 + if old.is_some() { 8 } else { 0 } + *padding as usize
             }
+            // Tag byte rounded into the same 20-byte frame as begin/commit
+            // plus the two u64 fields it actually carries.
+            LogRecord::Checkpoint { .. } => 20 + 16,
         }
     }
 
@@ -119,6 +137,11 @@ impl LogRecord {
                 out.put_u8(TAG_ABORT);
                 out.put_u64_le(txn.0);
             }
+            LogRecord::Checkpoint { start, next_txn } => {
+                out.put_u8(TAG_CHECKPOINT);
+                out.put_u64_le(start.0);
+                out.put_u64_le(*next_txn);
+            }
         }
     }
 
@@ -128,6 +151,14 @@ impl LogRecord {
             return Err(Error::CorruptLog("truncated record header".into()));
         }
         let tag = buf.get_u8();
+        if tag == TAG_CHECKPOINT {
+            if buf.remaining() < 16 {
+                return Err(Error::CorruptLog("truncated checkpoint marker".into()));
+            }
+            let start = Lsn(buf.get_u64_le());
+            let next_txn = buf.get_u64_le();
+            return Ok(LogRecord::Checkpoint { start, next_txn });
+        }
         let txn = TxnId(buf.get_u64_le());
         match tag {
             TAG_BEGIN => Ok(LogRecord::Begin { txn }),
@@ -224,6 +255,10 @@ mod tests {
             },
             LogRecord::Commit { txn: TxnId(9) },
             LogRecord::Abort { txn: TxnId(10) },
+            LogRecord::Checkpoint {
+                start: Lsn(77),
+                next_txn: 42,
+            },
         ];
         let mut buf = Vec::new();
         for r in &records {

@@ -237,6 +237,15 @@ pub struct LogFileReport {
     pub corrupt_pages_dropped: usize,
     /// Bytes from the truncation point to end of file (0 on clean EOF).
     pub bytes_dropped: u64,
+    /// Frame bytes checksummed and decoded into `records` — the replay
+    /// work this read actually performed (headers included).
+    pub bytes_replayed: u64,
+    /// Complete pages stepped over without checksum or decode because
+    /// every record in them precedes the caller's replay floor (§5.3:
+    /// data already baked into a checkpoint image).
+    pub pages_skipped: usize,
+    /// Frame bytes of those skipped pages.
+    pub bytes_skipped: u64,
 }
 
 /// Why a page frame failed to parse — all folded into the same
@@ -258,6 +267,19 @@ enum PageFailure {
 /// accepted, so logs written before the CRC upgrade still replay. Only a
 /// genuine I/O failure (file unreadable) returns `Err`.
 pub fn read_log_file_report(path: &Path) -> Result<LogFileReport> {
+    read_log_file_report_from(path, Lsn(0))
+}
+
+/// [`read_log_file_report`] with a §5.3 replay floor: complete pages
+/// whose every record precedes `floor` are stepped over without being
+/// checksummed or decoded, bounding replay work by the log *suffix*
+/// instead of total history. The engine writes each page's records with
+/// consecutive LSNs, so the page's range is `[first, first + count - 1]`
+/// and the first LSN sits at a fixed offset after the header; a skipped
+/// page's contents are already covered by the checkpoint image that
+/// supplied `floor`, so an undetected flipped bit inside one cannot
+/// change the recovered state. `Lsn(0)` skips nothing.
+pub fn read_log_file_report_from(path: &Path, floor: Lsn) -> Result<LogFileReport> {
     let mut file =
         File::open(path).map_err(|e| Error::Io(format!("open {}: {e}", path.display())))?;
     let mut bytes = Vec::new();
@@ -266,9 +288,16 @@ pub fn read_log_file_report(path: &Path) -> Result<LogFileReport> {
     let mut report = LogFileReport::default();
     let mut at = 0usize;
     while at < bytes.len() {
+        if let Some(frame_len) = skippable_frame(&bytes, at, floor) {
+            report.pages_skipped += 1;
+            report.bytes_skipped += frame_len as u64;
+            at += frame_len;
+            continue;
+        }
         match parse_frame(&bytes, at) {
             Ok((records, frame_len)) => {
                 report.records.extend(records);
+                report.bytes_replayed += frame_len as u64;
                 at += frame_len;
             }
             Err(failure) => {
@@ -281,6 +310,35 @@ pub fn read_log_file_report(path: &Path) -> Result<LogFileReport> {
         }
     }
     Ok(report)
+}
+
+/// If the frame at `at` is complete and every record in it precedes
+/// `floor`, returns its total length so the caller can step over it
+/// without checksum or decode work. Any doubt — short frame, bad magic,
+/// zero records, LSN range touching the floor — returns `None` and the
+/// caller takes the full parse path.
+fn skippable_frame(bytes: &[u8], at: usize, floor: Lsn) -> Option<usize> {
+    if floor.0 == 0 {
+        return None;
+    }
+    let magic = u32::from_le_bytes(four(bytes.get(at..at + 4)?));
+    let header_bytes = match magic {
+        PAGE_MAGIC_V1 => HEADER_BYTES_V1,
+        PAGE_MAGIC_V2 => HEADER_BYTES_V2,
+        _ => return None,
+    };
+    let header = bytes.get(at..at + header_bytes)?;
+    let count = u32::from_le_bytes(four(header.get(4..8)?)) as u64;
+    let len = u32::from_le_bytes(four(header.get(8..12)?)) as usize;
+    // The whole frame must be present: a torn or truncated tail goes
+    // through the parse path so it is reported as such.
+    let payload = bytes.get(at + header_bytes..at + header_bytes + len)?;
+    if count == 0 {
+        return None;
+    }
+    let first = u64::from_le_bytes(eight(payload.get(..8)?));
+    let last = first.checked_add(count - 1)?;
+    (last < floor.0).then_some(header_bytes + len)
 }
 
 /// Parses one frame starting at `at`, returning its records and total
@@ -334,6 +392,16 @@ fn parse_frame(
 fn four(slice: &[u8]) -> [u8; 4] {
     let mut out = [0u8; 4];
     if let Some(src) = slice.get(..4) {
+        out.copy_from_slice(src);
+    }
+    out
+}
+
+/// Copies eight bytes out of a slice known to hold at least eight, with
+/// the same zero-fill fallback as [`four`].
+fn eight(slice: &[u8]) -> [u8; 8] {
+    let mut out = [0u8; 8];
+    if let Some(src) = slice.get(..8) {
         out.copy_from_slice(src);
     }
     out
@@ -555,6 +623,59 @@ mod tests {
         let report = read_log_file_report(&path).unwrap();
         assert_eq!(report.records, p1);
         assert_eq!(report.corrupt_pages_dropped, 1);
+    }
+
+    #[test]
+    fn replay_floor_skips_whole_pages_without_decoding() {
+        // Three pages of consecutive LSNs 1..=9; a floor of 7 must step
+        // over the first two pages entirely and decode only the third.
+        let path = tmp("floor.log");
+        let mut dev = WalDevice::create(&path, 4096, Duration::ZERO).unwrap();
+        let recs: Vec<(Lsn, LogRecord)> = (1..=9u64)
+            .map(|l| (Lsn(l), LogRecord::Commit { txn: TxnId(l) }))
+            .collect();
+        dev.append_page(&recs[0..3]).unwrap();
+        dev.append_page(&recs[3..6]).unwrap();
+        dev.append_page(&recs[6..9]).unwrap();
+        let report = read_log_file_report_from(&path, Lsn(7)).unwrap();
+        assert_eq!(report.records, recs[6..9]);
+        assert_eq!(report.pages_skipped, 2);
+        assert!(report.bytes_skipped > 0);
+        assert!(report.bytes_replayed > 0);
+        assert_eq!(report.corrupt_pages_dropped, 0);
+        // A page straddling the floor is decoded, not skipped.
+        let straddle = read_log_file_report_from(&path, Lsn(5)).unwrap();
+        assert_eq!(straddle.records, recs[3..9]);
+        assert_eq!(straddle.pages_skipped, 1);
+        // Floor 0 is the plain full read.
+        let full = read_log_file_report_from(&path, Lsn(0)).unwrap();
+        assert_eq!(full.records, recs);
+        assert_eq!(full.pages_skipped, 0);
+    }
+
+    #[test]
+    fn corrupt_page_below_floor_is_still_skipped_torn_tail_still_reported() {
+        // A bit flip inside a page wholly below the floor must not abort
+        // the suffix replay: the page is stepped over unexamined (its
+        // contents are covered by the checkpoint image).
+        let path = tmp("floor-corrupt.log");
+        let mut dev = WalDevice::create(&path, 4096, Duration::ZERO).unwrap();
+        let recs: Vec<(Lsn, LogRecord)> = (1..=6u64)
+            .map(|l| (Lsn(l), LogRecord::Commit { txn: TxnId(l) }))
+            .collect();
+        dev.append_page(&recs[0..3]).unwrap();
+        dev.append_page(&recs[3..6]).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip a payload byte of the FIRST page, past its first LSN.
+        bytes[HEADER_BYTES_V2 + 10] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let full = read_log_file_report(&path).unwrap();
+        assert!(full.records.is_empty(), "full read truncates at the flip");
+        assert_eq!(full.corrupt_pages_dropped, 1);
+        let suffix = read_log_file_report_from(&path, Lsn(4)).unwrap();
+        assert_eq!(suffix.records, recs[3..6], "suffix read survives it");
+        assert_eq!(suffix.pages_skipped, 1);
+        assert_eq!(suffix.corrupt_pages_dropped, 0);
     }
 
     #[test]

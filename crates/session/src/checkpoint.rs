@@ -1,0 +1,541 @@
+//! §5.3 online fuzzy checkpointing for the wall-clock engine.
+//!
+//! The paper's recovery-cost argument is that replay work should be
+//! bounded by the *checkpoint interval*, not by total history. The
+//! restart path already proves the generation mechanics (recovery
+//! compacts into a fresh `wal-gen{g}` snapshot and deletes the old one
+//! only after the new one is durably complete); this module runs the
+//! same trick *during live traffic*, §5.3-style:
+//!
+//! - A background sweeper walks the shards one at a time, taking each
+//!   shard guard only long enough to copy its table — **action
+//!   consistent** per shard, no global pause, exactly the paper's fuzzy
+//!   dump discipline.
+//! - In-flight (not yet durably committed) writes are backed out of the
+//!   copy using the shard's undo list, newest LSN first, so the image
+//!   holds only durable data. The minimum undo LSN across all shards —
+//!   together with the queue's next-LSN capture at sweep start — gives
+//!   the **replay floor** `start`: every effect missing from the image
+//!   sits in the live log at LSN ≥ `start`.
+//! - The image goes to a **new generation file** through the same
+//!   [`WalDevice`] / `LogBackend` stack the commit path uses, with a
+//!   [`LogRecord::Checkpoint`] marker carrying `start` and the
+//!   transaction-id floor. The live generation keeps growing in place;
+//!   the sweeper never touches it.
+//! - Old checkpoint generations are deleted only *after* the new
+//!   generation's commit record is durable (`append_page` syncs every
+//!   page), reusing restart compaction's crash-fallback semantics: a
+//!   crash mid-sweep leaves a torn generation that recovery skips.
+//! - A **dirty-shard table** ([`crate::shard::ShardState::dirty`] plus
+//!   the sweeper's settled-image cache) makes successive sweeps copy
+//!   only shards mutated since the last sweep.
+//!
+//! Recovery ([`crate::recover`]) loads the newest complete checkpoint
+//! and replays only the live-log suffix past `start`, making recovery
+//! O(checkpoint interval).
+
+use crate::daemon::Shared;
+use crate::engine::{device_file_name, log_files};
+use crate::recover::{generation_of, write_snapshot};
+use mmdb_recovery::wal::WalDevice;
+use mmdb_recovery::{LogRecord, Lsn};
+use mmdb_types::{Error, Result, TxnId};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Sweeper state carried across checkpoints: the settled-image cache
+/// behind the §5.3 dirty-shard optimization, and the generation
+/// numbering the sweeper allocates from.
+#[derive(Debug)]
+pub(crate) struct CheckpointState {
+    /// Per-shard image from the last sweep, kept only when the shard was
+    /// *settled* (empty undo list — every value durably committed) at
+    /// copy time. A clean shard with a cached image is not re-copied.
+    cache: Vec<Option<HashMap<u64, i64>>>,
+    /// The generation the engine's live log files belong to. Never
+    /// deleted by the sweeper: the live log is the suffix recovery
+    /// replays past the checkpoint's floor.
+    live_generation: u64,
+    /// Next generation number to allocate for a checkpoint image.
+    /// Monotonic even across failed sweeps, so a torn image never gets
+    /// overwritten by a later attempt reusing its name.
+    next_generation: u64,
+}
+
+impl CheckpointState {
+    /// Fresh state for an engine whose live log files belong to
+    /// `live_generation`.
+    pub fn new(shards: usize, live_generation: u64) -> Self {
+        CheckpointState {
+            cache: (0..shards).map(|_| None).collect(),
+            live_generation,
+            next_generation: live_generation + 1,
+        }
+    }
+}
+
+/// Where a torture sweep deliberately dies, emulating a crash at the
+/// §5.3 failure points the generation protocol must survive: a torn
+/// image (crash mid-dump) and a complete-but-untruncated pair (crash
+/// between durability and cleanup).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SweepHalt {
+    /// Run the sweep to completion (production behavior).
+    None,
+    /// Write a torn image — begin record, checkpoint marker, half the
+    /// updates, **no commit** — then fail, leaving an incomplete
+    /// generation on disk exactly as a crash mid-checkpoint would.
+    MidImage,
+    /// Write the complete image but skip truncating superseded
+    /// generations, as a crash between the final sync and the deletes
+    /// would.
+    BeforeTruncate,
+}
+
+/// What one completed checkpoint sweep did (§5.3 accounting): which
+/// generation it wrote, the replay floor it established, and how much
+/// of the store the dirty-shard table let it skip.
+#[derive(Debug, Clone)]
+pub struct CheckpointStats {
+    /// Log generation the checkpoint image was written to.
+    pub generation: u64,
+    /// Replay floor: recovery from this checkpoint replays only live-log
+    /// records at LSN ≥ `start` (§5.3's bounded-recovery claim).
+    pub start: Lsn,
+    /// Shards freshly copied this sweep (dirty, or never yet cached).
+    /// The §5.3 dirty-shard table means a quiet shard appears here at
+    /// most once until the next write touches it.
+    pub rewritten: Vec<usize>,
+    /// Total shard count, for rewrite-ratio reporting.
+    pub shards: usize,
+    /// Keys in the checkpoint image.
+    pub image_keys: usize,
+    /// Bytes of the checkpoint generation file (what a recovery would
+    /// read *instead of* the full history).
+    pub log_bytes_written: u64,
+}
+
+/// Runs one §5.3 fuzzy checkpoint sweep. Takes each shard guard briefly
+/// (action-consistent per shard, no global pause), never holds two
+/// engine locks at once, and does all file I/O with no locks held —
+/// commit traffic proceeds throughout.
+pub(crate) fn sweep(
+    shared: &Shared,
+    ck: &mut CheckpointState,
+    halt: SweepHalt,
+) -> Result<CheckpointStats> {
+    let started = Instant::now();
+    // Capture the fuzziness window's upper bound before visiting any
+    // shard: every write that happens after this capture gets an LSN
+    // ≥ captured_next_lsn, so even if it sneaks into a shard image we
+    // copy later, the replay floor still covers it.
+    let captured_next_lsn = {
+        let q = shared.queue_guard()?;
+        if q.shutdown || q.crashed {
+            return Err(Error::Shutdown);
+        }
+        q.next_lsn
+    };
+    // ordering: Relaxed suffices — releasing the queue mutex above
+    // synchronizes with every transaction that appended before the
+    // capture, so their `fetch_add`s on next_txn are already visible;
+    // later allocations only push the floor higher, which is safe.
+    let next_txn = shared.next_txn.load(Ordering::Relaxed);
+
+    let shard_count = shared.shards.len();
+    let mut start = captured_next_lsn;
+    let mut fresh: Vec<Option<HashMap<u64, i64>>> = Vec::with_capacity(shard_count);
+    let mut rewritten: Vec<usize> = Vec::new();
+    for (i, (shard, cache)) in shared.shards.iter().zip(ck.cache.iter_mut()).enumerate() {
+        let mut state = shard.guard()?;
+        // Fold every in-flight write's LSN into the replay floor: its
+        // effect is backed out of (or absent from) the image, so replay
+        // must start no later than its log record.
+        for list in state.undo.values() {
+            for entry in list {
+                start = start.min(entry.lsn);
+            }
+        }
+        if !state.dirty && cache.is_some() {
+            // Untouched since its cached settled image — the §5.3
+            // dirty-shard table says don't re-copy it.
+            fresh.push(None);
+            continue;
+        }
+        let mut image = state.db.clone();
+        // Back out in-flight writes newest-first so chained overwrites
+        // by different transactions unwind in the right order.
+        let mut entries: Vec<(u64, u64, Option<i64>)> = state
+            .undo
+            .values()
+            .flatten()
+            .map(|e| (e.lsn, e.key, e.old))
+            .collect();
+        entries.sort_by(|a, b| b.0.cmp(&a.0));
+        let settled = entries.is_empty();
+        for (_, key, old) in entries {
+            match old {
+                Some(v) => {
+                    image.insert(key, v);
+                }
+                None => {
+                    image.remove(&key);
+                }
+            }
+        }
+        if settled {
+            // Every value is durably committed: the copy stays valid
+            // until the next write, which re-marks the shard dirty.
+            state.dirty = false;
+            *cache = Some(image);
+            fresh.push(None);
+        } else {
+            *cache = None;
+            fresh.push(Some(image));
+        }
+        rewritten.push(i);
+    }
+
+    // No engine locks held from here on: merge, write, truncate.
+    let mut merged: BTreeMap<u64, i64> = BTreeMap::new();
+    for (new_copy, cached) in fresh.iter().zip(ck.cache.iter()) {
+        if let Some(image) = new_copy.as_ref().or(cached.as_ref()) {
+            for (k, v) in image {
+                merged.insert(*k, *v);
+            }
+        }
+    }
+
+    let generation = ck.next_generation;
+    ck.next_generation += 1;
+    let path = shared.options.log_dir.join(device_file_name(generation, 0));
+    // §5.3 puts the checkpoint dump on its own disk, off the commit
+    // path — so the modeled commit-log latency does not apply here.
+    let mut device = WalDevice::create(&path, shared.options.page_bytes, Duration::ZERO)?;
+    let marker = (Lsn(start), next_txn);
+    if halt == SweepHalt::MidImage {
+        write_torn_image(&mut device, &merged, shared.options.page_bytes, marker)?;
+        return Err(Error::Io("checkpoint halted mid-image (torture)".into()));
+    }
+    write_snapshot(
+        &mut device,
+        &merged,
+        shared.options.page_bytes,
+        Some(marker),
+    )?;
+    let log_bytes_written = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+
+    // The image is durably complete (every page synced); superseded
+    // checkpoint generations — and any torn leftovers from crashed
+    // sweeps — can go. The live generation is never deleted online.
+    if halt != SweepHalt::BeforeTruncate {
+        for p in log_files(&shared.options.log_dir)? {
+            if let Some(g) = generation_of(&p) {
+                if g != ck.live_generation && g != generation {
+                    std::fs::remove_file(&p)
+                        .map_err(|e| Error::Io(format!("remove {}: {e}", p.display())))?;
+                }
+            }
+        }
+    }
+
+    let m = &shared.metrics;
+    m.checkpoints.inc();
+    m.checkpoint_duration_us
+        .record(crate::metrics::us_since(started));
+    m.checkpoint_bytes
+        .set(i64::try_from(log_bytes_written).unwrap_or(i64::MAX));
+    // ordering: the appended-LSN watermark is a monotonic gauge input;
+    // a slightly stale read only understates the lag.
+    let appended = m.appended_lsn.load(Ordering::Relaxed);
+    m.checkpoint_lag
+        .set(i64::try_from(appended.saturating_sub(start)).unwrap_or(i64::MAX));
+    m.checkpoint_rewritten
+        .set(i64::try_from(rewritten.len()).unwrap_or(i64::MAX));
+
+    Ok(CheckpointStats {
+        generation,
+        start: Lsn(start),
+        rewritten,
+        shards: shard_count,
+        image_keys: merged.len(),
+        log_bytes_written,
+    })
+}
+
+/// Writes a deliberately torn checkpoint image: begin record, marker,
+/// half the updates, **no commit record** — byte-for-byte what a crash
+/// midway through the dump leaves behind. Torture-only.
+fn write_torn_image(
+    device: &mut WalDevice,
+    image: &BTreeMap<u64, i64>,
+    page_bytes: usize,
+    marker: (Lsn, u64),
+) -> Result<()> {
+    let mut records: Vec<LogRecord> = Vec::with_capacity(image.len() / 2 + 2);
+    records.push(LogRecord::Begin { txn: TxnId(0) });
+    records.push(LogRecord::Checkpoint {
+        start: marker.0,
+        next_txn: marker.1,
+    });
+    for (key, value) in image.iter().take(image.len() / 2) {
+        records.push(LogRecord::Update {
+            txn: TxnId(0),
+            key: *key,
+            old: None,
+            new: *value,
+            padding: 0,
+        });
+    }
+    let mut lsn = 1u64;
+    let mut page: Vec<(Lsn, LogRecord)> = Vec::new();
+    let mut bytes = 0usize;
+    for rec in records {
+        let size = rec.byte_size();
+        if !page.is_empty() && bytes + size > page_bytes {
+            device.append_page(&page)?;
+            page.clear();
+            bytes = 0;
+        }
+        page.push((Lsn(lsn), rec));
+        lsn += 1;
+        bytes += size;
+    }
+    if !page.is_empty() {
+        device.append_page(&page)?;
+    }
+    Ok(())
+}
+
+/// The background checkpointer thread body (§5.3): sweep every
+/// `interval` until shutdown. Waits on the queue condvar so an engine
+/// shutdown or crash wakes it immediately instead of at the next tick;
+/// transient sweep failures (e.g. a full disk) are retried next tick
+/// rather than killing the thread.
+pub(crate) fn run_checkpointer(
+    shared: Arc<Shared>,
+    ck: Arc<Mutex<CheckpointState>>,
+    interval: Duration,
+) {
+    loop {
+        let deadline = Instant::now() + interval;
+        {
+            let Ok(mut q) = shared.queue.lock() else {
+                return;
+            };
+            loop {
+                if q.shutdown || q.crashed {
+                    return;
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                match shared.queue_cv.wait_timeout(q, deadline - now) {
+                    Ok((guard, _)) => q = guard,
+                    Err(_) => return,
+                }
+            }
+        }
+        let Ok(mut state) = ck.lock() else {
+            return;
+        };
+        match sweep(&shared, &mut state, SweepHalt::None) {
+            Ok(_) | Err(Error::Io(_)) => {}
+            Err(_) => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::SweepHalt;
+    use crate::engine::log_files;
+    use crate::recover::generation_of;
+    use crate::{CommitPolicy, Engine, EngineOptions};
+    use std::path::PathBuf;
+    use std::time::Duration;
+
+    fn opts(name: &str) -> EngineOptions {
+        let dir: PathBuf =
+            std::env::temp_dir().join(format!("mmdb-ckpt-{}-{name}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        EngineOptions::new(CommitPolicy::Group, dir)
+            .with_page_write_latency(Duration::from_micros(200))
+            .with_flush_interval(Duration::from_micros(500))
+            .with_shards(4)
+    }
+
+    fn commit_keys(engine: &Engine, keys: impl Iterator<Item = u64>) {
+        let s = engine.session();
+        for k in keys {
+            let t = s.begin().unwrap();
+            s.write(&t, k, k as i64 * 7).unwrap();
+            s.commit_durable(t).unwrap();
+        }
+    }
+
+    /// Sweeps until the dirty-shard table reports nothing left to copy
+    /// (in-flight undo entries settle once the daemon finalizes their
+    /// durable commits, which can lag `wait_durable` by a beat).
+    fn sweep_until_settled(engine: &Engine) {
+        for _ in 0..200 {
+            if engine.checkpoint_now().unwrap().rewritten.is_empty() {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        panic!("shards never settled");
+    }
+
+    #[test]
+    fn checkpoint_then_crash_recovers_image_plus_suffix() {
+        let o = opts("basic");
+        let dir = o.log_dir.clone();
+        let engine = Engine::start(o.clone()).unwrap();
+        commit_keys(&engine, 0..20);
+        let stats = engine.checkpoint_now().unwrap();
+        assert_eq!(stats.generation, 1);
+        assert_eq!(stats.image_keys, 20);
+        assert!(stats.log_bytes_written > 0);
+        commit_keys(&engine, 100..105);
+        engine.crash().unwrap();
+        let (engine, info) = Engine::recover(o).unwrap();
+        assert_eq!(info.checkpoint_start, Some(stats.start));
+        // The suffix carries only the post-checkpoint transactions.
+        assert_eq!(info.committed.len(), 5);
+        for k in (0..20).chain(100..105) {
+            assert_eq!(engine.read(k).unwrap(), Some(k as i64 * 7), "key {k}");
+        }
+        engine.shutdown().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn dirty_shard_table_skips_untouched_shards() {
+        let o = opts("dirty");
+        let dir = o.log_dir.clone();
+        let engine = Engine::start(o).unwrap();
+        commit_keys(&engine, 0..32);
+        // First sweeps copy everything; once all undo settles, a sweep
+        // with no traffic in between copies nothing.
+        sweep_until_settled(&engine);
+        // One write re-dirties exactly one shard.
+        commit_keys(&engine, std::iter::once(5));
+        let stats = engine.checkpoint_now().unwrap();
+        assert_eq!(stats.rewritten.len(), 1, "one shard written, one copied");
+        engine.shutdown().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_checkpoint_is_ignored_by_recovery() {
+        let o = opts("torn");
+        let dir = o.log_dir.clone();
+        let engine = Engine::start(o.clone()).unwrap();
+        commit_keys(&engine, 0..10);
+        assert!(engine.checkpoint_halted(SweepHalt::MidImage).is_err());
+        // The torn generation is on disk but incomplete.
+        assert!(log_files(&dir)
+            .unwrap()
+            .iter()
+            .any(|p| generation_of(p) == Some(1)));
+        engine.crash().unwrap();
+        let (engine, info) = Engine::recover(o).unwrap();
+        assert_eq!(info.checkpoint_start, None, "torn checkpoint not used");
+        for k in 0..10 {
+            assert_eq!(engine.read(k).unwrap(), Some(k as i64 * 7));
+        }
+        engine.shutdown().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn next_sweep_truncates_generations_a_crash_left_behind() {
+        let o = opts("truncate");
+        let dir = o.log_dir.clone();
+        let engine = Engine::start(o.clone()).unwrap();
+        commit_keys(&engine, 0..8);
+        // Complete checkpoint, crash before truncation: gen 1 stays.
+        let first = engine.checkpoint_halted(SweepHalt::BeforeTruncate).unwrap();
+        assert_eq!(first.generation, 1);
+        commit_keys(&engine, 8..12);
+        let second = engine.checkpoint_now().unwrap();
+        assert_eq!(second.generation, 2);
+        let gens: Vec<Option<u64>> = log_files(&dir)
+            .unwrap()
+            .iter()
+            .map(|p| generation_of(p))
+            .collect();
+        assert!(gens.contains(&Some(0)), "live generation never deleted");
+        assert!(gens.contains(&Some(2)), "newest checkpoint kept");
+        assert!(!gens.contains(&Some(1)), "superseded checkpoint removed");
+        engine.crash().unwrap();
+        let (engine, info) = Engine::recover(o).unwrap();
+        assert_eq!(info.checkpoint_start, Some(second.start));
+        for k in 0..12 {
+            assert_eq!(engine.read(k).unwrap(), Some(k as i64 * 7));
+        }
+        engine.shutdown().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn background_sweeper_bounds_replay_and_survives_shutdown() {
+        let o = opts("background").with_checkpoint_interval(Duration::from_millis(10));
+        let dir = o.log_dir.clone();
+        let engine = Engine::start(o.clone()).unwrap();
+        commit_keys(&engine, 0..50);
+        // Give the sweeper a couple of intervals of live traffic.
+        std::thread::sleep(Duration::from_millis(50));
+        commit_keys(&engine, 50..55);
+        let ckpts = engine
+            .stats()
+            .counter("mmdb_session_checkpoints_total")
+            .unwrap_or(0);
+        assert!(ckpts >= 1, "background sweeper ran (got {ckpts})");
+        engine.crash().unwrap();
+        let (engine, info) = Engine::recover(o).unwrap();
+        assert!(
+            info.checkpoint_start.is_some(),
+            "recovery used a checkpoint"
+        );
+        assert!(
+            info.committed.len() < 55,
+            "replay bounded to the suffix (replayed {} txns)",
+            info.committed.len()
+        );
+        for k in 0..55 {
+            assert_eq!(engine.read(k).unwrap(), Some(k as i64 * 7));
+        }
+        engine.shutdown().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_with_in_flight_writer_excludes_its_effects() {
+        let o = opts("inflight");
+        let dir = o.log_dir.clone();
+        let engine = Engine::start(o.clone()).unwrap();
+        commit_keys(&engine, 0..4);
+        let s = engine.session();
+        let t = s.begin().unwrap();
+        s.write(&t, 2, -999).unwrap();
+        let stats = engine.checkpoint_now().unwrap();
+        // The uncommitted write is backed out of the image; the floor
+        // reaches back to (at latest) its log record.
+        s.commit_durable(t).unwrap();
+        engine.crash().unwrap();
+        let (engine, info) = Engine::recover(o).unwrap();
+        assert_eq!(info.checkpoint_start, Some(stats.start));
+        assert_eq!(
+            engine.read(2).unwrap(),
+            Some(-999),
+            "in-flight commit recovered from the suffix"
+        );
+        engine.shutdown().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

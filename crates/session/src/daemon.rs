@@ -437,11 +437,12 @@ impl Shared {
                     "undo-owning-shard",
                     || format!("undo for {txn:?} on shard {i} missing from its shard mask"),
                 )?;
-                for (key, _) in list {
-                    AuditViolation::ensure(shard_of(*key, n) == i, C, "undo-owned-key", || {
+                for entry in list {
+                    let key = entry.key;
+                    AuditViolation::ensure(shard_of(key, n) == i, C, "undo-owned-key", || {
                         format!(
                             "undo entry for key {key} on shard {i} but it hashes to shard {}",
-                            shard_of(*key, n)
+                            shard_of(key, n)
                         )
                     })?;
                 }
@@ -867,6 +868,11 @@ fn complete_page(shared: &Shared, page: Page) -> bool {
         };
         for (_, state) in guards.iter_mut() {
             state.locks.finalize_commit(c.txn);
+            // The commit record is on disk: the pre-images kept for this
+            // transaction can never be needed again. Dropping them here —
+            // not at pre-commit — keeps the sweeper's invariant that a
+            // shard with an empty undo map holds only durable data.
+            state.undo.remove(&c.txn);
         }
         drop(guards);
         if shared.txns.remove(c.txn).is_err() {

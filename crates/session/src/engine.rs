@@ -19,10 +19,11 @@
 //! [`Session::wait_durable`] blocks for it and a synchronous-policy
 //! commit does so before returning.
 
+use crate::checkpoint::{self, CheckpointState, CheckpointStats, SweepHalt};
 use crate::daemon::{self, CommitInfo, Page, Shared};
 use crate::metrics::us_since;
 use crate::policy::{CommitPolicy, EngineOptions};
-use crate::shard::{rollback_shard, ShardState, TxnPhase};
+use crate::shard::{rollback_shard, ShardState, TxnPhase, UndoEntry};
 use mmdb::SharedDatabase;
 use mmdb_obs::{Registry, StatsSnapshot, TraceEvent, TraceStage};
 use mmdb_recovery::wal::WalDevice;
@@ -31,7 +32,7 @@ use mmdb_types::{AuditViolation, Auditable, Error, Result, TxnId};
 use std::collections::HashMap;
 use std::path::Path;
 use std::sync::mpsc;
-use std::sync::{Arc, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -64,6 +65,9 @@ pub struct Engine {
     shared: Arc<Shared>,
     catalog: SharedDatabase,
     threads: Vec<JoinHandle<()>>,
+    /// §5.3 sweeper state (dirty-shard cache, generation numbering),
+    /// shared with the background checkpointer thread when one runs.
+    checkpoint: Arc<Mutex<CheckpointState>>,
     finished: bool,
 }
 
@@ -82,7 +86,7 @@ impl Engine {
             )));
         }
         let devices = open_devices(&options, 0)?;
-        Engine::start_with(options, HashMap::new(), 1, 1, devices)
+        Engine::start_with(options, HashMap::new(), 1, 1, devices, 0)
     }
 
     /// Starts the threads around an initial image — shared by [`start`]
@@ -99,6 +103,7 @@ impl Engine {
         next_txn: u64,
         next_lsn: u64,
         devices: Vec<WalDevice>,
+        live_generation: u64,
     ) -> Result<Engine> {
         let shared = Arc::new(Shared::new(options, db, next_txn, next_lsn));
         let mut threads = Vec::new();
@@ -119,12 +124,48 @@ impl Engine {
             .spawn(move || daemon::run_daemon(shared_d, senders))
             .map_err(|e| Error::Io(format!("spawn daemon: {e}")))?;
         threads.push(handle);
+        let checkpoint = Arc::new(Mutex::new(CheckpointState::new(
+            shared.shards.len(),
+            live_generation,
+        )));
+        if let Some(interval) = shared.options.checkpoint_interval {
+            let shared_c = Arc::clone(&shared);
+            let ck = Arc::clone(&checkpoint);
+            let handle = std::thread::Builder::new()
+                .name("mmdb-checkpointer".into())
+                .spawn(move || checkpoint::run_checkpointer(shared_c, ck, interval))
+                .map_err(|e| Error::Io(format!("spawn checkpointer: {e}")))?;
+            threads.push(handle);
+        }
         Ok(Engine {
             shared,
             catalog: SharedDatabase::default(),
             threads,
+            checkpoint,
             finished: false,
         })
+    }
+
+    /// Runs one §5.3 fuzzy checkpoint sweep right now, regardless of the
+    /// configured interval: copies dirty shards action-consistently
+    /// (backing out in-flight writes via their undo records), writes a
+    /// marker-carrying snapshot to a fresh log generation, and truncates
+    /// superseded generations once it is durably complete. Commit
+    /// traffic proceeds throughout; recovery afterwards replays only the
+    /// live-log suffix past the returned replay floor.
+    pub fn checkpoint_now(&self) -> Result<CheckpointStats> {
+        self.checkpoint_halted(SweepHalt::None)
+    }
+
+    /// [`Engine::checkpoint_now`] with a torture-controlled crash point
+    /// (see [`SweepHalt`]); the torture harness uses it to leave torn
+    /// images and untruncated generation pairs behind.
+    pub(crate) fn checkpoint_halted(&self, halt: SweepHalt) -> Result<CheckpointStats> {
+        let mut ck = self
+            .checkpoint
+            .lock()
+            .map_err(|_| Error::Poisoned("checkpoint state".into()))?;
+        checkpoint::sweep(&self.shared, &mut ck, halt)
     }
 
     /// A new session handle for this engine (cheap; make one per client
@@ -376,11 +417,14 @@ impl Session {
         // shard's lock, so the write cannot race an abort's rollback.
         let mut state = self.lock_key(txn.0, key, true)?;
         let old = state.db.get(&key).copied();
-        state.undo.entry(txn.0).or_default().push((key, old));
-        state.db.insert(key, value);
         // Appended while the owning shard is locked: updates of the same
-        // key reach the queue in the order their values were applied.
-        self.shared.append(
+        // key reach the queue in the order their values were applied. The
+        // append happens *before* the shard mutates so a failed append
+        // (shutdown/poison) leaves nothing to roll back, and the record's
+        // LSN can stamp the undo entry — the checkpoint sweeper uses that
+        // stamp both to back out entries in reverse application order and
+        // as the replay floor for the log suffix.
+        let lsn = self.shared.append(
             vec![(
                 LogRecord::Update {
                     txn: txn.0,
@@ -393,6 +437,13 @@ impl Session {
             )],
             false,
         )?;
+        state.undo.entry(txn.0).or_default().push(UndoEntry {
+            key,
+            old,
+            lsn: lsn.0,
+        });
+        state.db.insert(key, value);
+        state.dirty = true;
         drop(state);
         Ok(())
     }
@@ -448,7 +499,10 @@ impl Session {
                     h.record(us);
                 }
             }
-            state.undo.remove(&id);
+            // Undo entries survive pre-commit: they are dropped only once
+            // the commit record is durable (daemon finalize), so the
+            // checkpoint sweeper can treat an empty undo map as "every
+            // value in this shard is durably committed".
             self.model_lock_op();
         }
         deps.sort_unstable_by_key(|t| t.0);

@@ -55,6 +55,10 @@
 //! std::fs::remove_dir_all(&dir).ok();
 //! ```
 
+/// §5.3 online fuzzy checkpointing: the background sweeper, dirty-shard
+/// table, and generation truncation that bound recovery by the
+/// checkpoint interval.
+mod checkpoint;
 /// §5.2 the group-commit daemon, log-writer threads, and shared state.
 mod daemon;
 /// §5.2 the engine front-end, sessions, and the pre-commit protocol.
@@ -72,6 +76,7 @@ mod shard;
 /// recover, verify against the serial oracle.
 pub mod torture;
 
+pub use checkpoint::CheckpointStats;
 pub use engine::{CommitTicket, Engine, Session, Txn};
 pub use policy::{CommitPolicy, EngineOptions};
 pub use recover::RecoveryInfo;

@@ -68,6 +68,18 @@ pub(crate) struct SessionMetrics {
     /// Durability lag: highest assigned LSN minus the durable
     /// watermark (§5.2 pre-commit hides exactly this window).
     pub durable_lag: Arc<Gauge>,
+    /// Completed §5.3 checkpoint sweeps.
+    pub checkpoints: Arc<Counter>,
+    /// Wall time of one checkpoint sweep (capture to truncation), µs.
+    pub checkpoint_duration_us: Arc<Histogram>,
+    /// Log bytes in the newest checkpoint generation.
+    pub checkpoint_bytes: Arc<Gauge>,
+    /// Recovery lag: live-log LSNs past the newest checkpoint's replay
+    /// floor — the §5.3 bound on what a crash right now would replay.
+    pub checkpoint_lag: Arc<Gauge>,
+    /// Shards freshly re-copied by the last sweep (the rest were clean
+    /// and served from the sweeper's settled-image cache).
+    pub checkpoint_rewritten: Arc<Gauge>,
     /// Highest LSN handed out by the queue, for the lag gauge.
     pub appended_lsn: AtomicU64,
 }
@@ -139,6 +151,26 @@ impl SessionMetrics {
             "mmdb_session_durable_lag_lsn",
             "Highest assigned LSN minus the durable watermark",
         );
+        let checkpoints = registry.counter(
+            "mmdb_session_checkpoints_total",
+            "Completed online checkpoint sweeps",
+        );
+        let checkpoint_duration_us = registry.histogram(
+            "mmdb_session_checkpoint_duration_us",
+            "Wall time of one checkpoint sweep (capture to truncation)",
+        );
+        let checkpoint_bytes = registry.gauge(
+            "mmdb_session_checkpoint_bytes",
+            "Log bytes in the newest checkpoint generation",
+        );
+        let checkpoint_lag = registry.gauge(
+            "mmdb_session_checkpoint_lag_lsn",
+            "Live-log LSNs past the newest checkpoint's replay floor",
+        );
+        let checkpoint_rewritten = registry.gauge(
+            "mmdb_session_checkpoint_rewritten_count",
+            "Shards freshly re-copied by the last checkpoint sweep",
+        );
         SessionMetrics {
             registry,
             epoch: Instant::now(),
@@ -157,6 +189,11 @@ impl SessionMetrics {
             io_retries,
             degraded,
             durable_lag,
+            checkpoints,
+            checkpoint_duration_us,
+            checkpoint_bytes,
+            checkpoint_lag,
+            checkpoint_rewritten,
             appended_lsn: AtomicU64::new(0),
         }
     }

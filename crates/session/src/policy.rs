@@ -105,6 +105,12 @@ pub struct EngineOptions {
     /// to 1 ms — long enough to ride out a transient EIO, short enough
     /// that tests and the torture harness stay fast.
     pub io_retry_backoff: Duration,
+    /// §5.3 online-checkpoint interval: when set, a background sweeper
+    /// thread writes a fuzzy checkpoint this often during live traffic,
+    /// bounding recovery's replay work by the interval instead of total
+    /// history. `None` (the default) disables the sweeper — recovery
+    /// replays the whole live generation, as before.
+    pub checkpoint_interval: Option<Duration>,
 }
 
 impl EngineOptions {
@@ -127,7 +133,15 @@ impl EngineOptions {
             fault_plans: Vec::new(),
             io_retries: 3,
             io_retry_backoff: Duration::from_millis(1),
+            checkpoint_interval: None,
         }
+    }
+
+    /// Enables the §5.3 background checkpoint sweeper at the given
+    /// interval (see [`EngineOptions::checkpoint_interval`]).
+    pub fn with_checkpoint_interval(mut self, interval: Duration) -> Self {
+        self.checkpoint_interval = Some(interval);
+        self
     }
 
     /// Installs deterministic per-device fault plans (testing and the

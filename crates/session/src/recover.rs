@@ -27,7 +27,7 @@
 use crate::daemon::Shared;
 use crate::engine::{log_files, open_devices, Engine};
 use crate::policy::EngineOptions;
-use mmdb_recovery::wal::{read_log_file_report, WalDevice};
+use mmdb_recovery::wal::{read_log_file_report_from, WalDevice};
 use mmdb_recovery::{LogRecord, Lsn};
 use mmdb_types::{Error, Result, TxnId};
 use std::collections::{BTreeMap, BTreeSet};
@@ -59,6 +59,16 @@ pub struct RecoveryInfo {
     /// a stray file must not be merged into the image (it was never
     /// part of the LSN sequence) nor destroyed by compaction.
     pub skipped_files: Vec<String>,
+    /// Log bytes actually checksummed and decoded during replay. This is
+    /// the §5.3 recovery-cost denominator: with online checkpointing the
+    /// live generation's pages below the checkpoint's replay floor are
+    /// skipped wholesale, so this stays proportional to the checkpoint
+    /// interval instead of total history.
+    pub log_bytes_replayed: u64,
+    /// When replay combined a complete §5.3 checkpoint with the live
+    /// generation's suffix, the first LSN that suffix replay started at;
+    /// `None` for a plain full-log (or restart-snapshot) replay.
+    pub checkpoint_start: Option<Lsn>,
 }
 
 /// The outcome of replaying a log directory, before compaction.
@@ -91,36 +101,54 @@ pub(crate) fn generation_of(path: &Path) -> Option<u64> {
     Some(g)
 }
 
+/// One generation's device files merged by LSN and cut to a contiguous
+/// prefix, plus the byte/corruption accounting replay reports.
+struct GenScan {
+    prefix: Vec<LogRecord>,
+    truncated_at: Option<Lsn>,
+    records_scanned: usize,
+    corrupt_pages_dropped: usize,
+    bytes_replayed: u64,
+}
+
 /// Reads and merges one generation's device files by LSN, deduplicating
 /// records that reached more than one device — the restart-recovery view
-/// of a partitioned log (§5.2). Also returns how many corrupt pages the
-/// per-file prefix rule dropped across the generation's files.
-fn read_generation(paths: &[PathBuf]) -> Result<(Vec<(Lsn, LogRecord)>, usize)> {
+/// of a partitioned log (§5.2) — and applies the contiguous-prefix rule
+/// starting at `first`. A non-zero `floor` lets the reader skip whole
+/// pages below the §5.3 checkpoint's replay floor without decoding them.
+fn scan_generation(paths: &[PathBuf], floor: Lsn, first: u64) -> Result<GenScan> {
     let mut all = Vec::new();
     let mut corrupt = 0usize;
+    let mut bytes = 0u64;
     for p in paths {
-        let report = read_log_file_report(p)?;
+        let report = read_log_file_report_from(p, floor)?;
         corrupt += report.corrupt_pages_dropped;
+        bytes += report.bytes_replayed;
         all.extend(report.records);
     }
     all.sort_by_key(|(lsn, _)| *lsn);
     all.dedup_by_key(|(lsn, _)| *lsn);
-    Ok((all, corrupt))
-}
-
-/// The contiguous-LSN prefix of `records` (counting from 1), and the
-/// first missing LSN if the rule truncated.
-fn contiguous_prefix(records: Vec<(Lsn, LogRecord)>) -> (Vec<LogRecord>, Option<Lsn>) {
-    let mut prefix = Vec::with_capacity(records.len());
+    // Page skipping is page-granular: a page straddling the floor still
+    // surfaces its below-floor records. They are baked into the
+    // checkpoint image already, so drop them before the prefix rule.
+    all.retain(|(lsn, _)| lsn.0 >= first);
+    let records_scanned = all.len();
+    let mut prefix = Vec::with_capacity(all.len());
     let mut truncated_at = None;
-    for (expect, (lsn, rec)) in (1u64..).zip(records) {
+    for (expect, (lsn, rec)) in (first..).zip(all) {
         if lsn.0 != expect {
             truncated_at = Some(Lsn(expect));
             break;
         }
         prefix.push(rec);
     }
-    (prefix, truncated_at)
+    Ok(GenScan {
+        prefix,
+        truncated_at,
+        records_scanned,
+        corrupt_pages_dropped: corrupt,
+        bytes_replayed: bytes,
+    })
 }
 
 /// True when the prefix carries a complete compaction snapshot: the
@@ -131,15 +159,68 @@ fn snapshot_complete(prefix: &[LogRecord]) -> bool {
         .any(|r| matches!(r, LogRecord::Commit { txn } if txn.0 == 0))
 }
 
+/// The §5.3 checkpoint marker carried by a generation's prefix, if any:
+/// `(replay floor, txn-id allocator floor)`. Restart-compaction
+/// snapshots carry no marker — they *are* the live generation — so a
+/// marker distinguishes an online checkpoint, whose image must be
+/// combined with the live generation's suffix.
+fn checkpoint_marker(prefix: &[LogRecord]) -> Option<(Lsn, u64)> {
+    prefix.iter().find_map(|r| match r {
+        LogRecord::Checkpoint { start, next_txn } => Some((*start, *next_txn)),
+        _ => None,
+    })
+}
+
+/// Two-pass redo over a contiguous record prefix: commit decisions
+/// first, then committed transactions' updates applied in LSN order
+/// onto `db` (absolute values, so re-applying records whose effects a
+/// checkpoint image already carries is idempotent — §5.3). Returns how
+/// many update records were replayed.
+fn redo_prefix(
+    prefix: &[LogRecord],
+    db: &mut BTreeMap<u64, i64>,
+    seen: &mut BTreeSet<TxnId>,
+    committed: &mut BTreeSet<TxnId>,
+) -> usize {
+    for rec in prefix {
+        match rec {
+            LogRecord::Begin { txn } | LogRecord::Update { txn, .. } | LogRecord::Abort { txn } => {
+                seen.insert(*txn);
+            }
+            LogRecord::Commit { txn } => {
+                seen.insert(*txn);
+                committed.insert(*txn);
+            }
+            // A checkpoint marker frames replay; it has no effects.
+            LogRecord::Checkpoint { .. } => {}
+        }
+    }
+    let mut records_replayed = 0usize;
+    for rec in prefix {
+        if let LogRecord::Update { txn, key, new, .. } = rec {
+            if committed.contains(txn) {
+                db.insert(*key, *new);
+                records_replayed += 1;
+            }
+        }
+    }
+    records_replayed
+}
+
 /// Replays the log files under `dir` into an image, applying the
 /// contiguous-LSN-prefix rule.
 ///
-/// When more than one log generation is present — a crash interrupted a
-/// previous recovery's compaction — the newest generation whose snapshot
-/// completed wins. The oldest generation present is always usable: old
-/// files are only ever deleted *after* the next generation's snapshot is
-/// durably complete, so an incomplete (torn) snapshot generation always
-/// has its intact predecessor still on disk to fall back to.
+/// When more than one log generation is present, the newest generation
+/// whose snapshot completed wins. If that snapshot carries a §5.3
+/// checkpoint marker it is an *online* checkpoint: its image is loaded
+/// and only the live (oldest) generation's records at or past the
+/// marker's replay floor are replayed on top — making recovery work
+/// proportional to the checkpoint interval, not total history. A
+/// marker-less complete snapshot is a restart compaction and stands
+/// alone. The oldest generation present is always usable: old files are
+/// only ever deleted *after* the superseding snapshot is durably
+/// complete, so an incomplete (torn) snapshot generation always has an
+/// intact predecessor still on disk to fall back to.
 pub(crate) fn replay_dir(dir: &Path) -> Result<RecoveredImage> {
     let mut generations: BTreeMap<u64, Vec<PathBuf>> = BTreeMap::new();
     let mut skipped_files: Vec<String> = Vec::new();
@@ -157,41 +238,57 @@ pub(crate) fn replay_dir(dir: &Path) -> Result<RecoveredImage> {
     skipped_files.sort();
     let max_generation = generations.keys().next_back().copied().unwrap_or(0);
     let oldest = generations.keys().next().copied();
-    let mut chosen: (Vec<LogRecord>, Option<Lsn>, usize, usize) = (Vec::new(), None, 0, 0);
-    for (&generation, paths) in generations.iter().rev() {
-        let (records, corrupt_pages) = read_generation(paths)?;
-        let records_scanned = records.len();
-        let (prefix, truncated_at) = contiguous_prefix(records);
-        if Some(generation) == oldest || snapshot_complete(&prefix) {
-            chosen = (prefix, truncated_at, records_scanned, corrupt_pages);
-            break;
-        }
-    }
-    let (prefix, truncated_at, records_scanned, corrupt_pages_dropped) = chosen;
+    let mut db = BTreeMap::new();
     let mut seen = BTreeSet::new();
     let mut committed = BTreeSet::new();
-    for rec in &prefix {
-        match rec {
-            LogRecord::Begin { txn } | LogRecord::Update { txn, .. } | LogRecord::Abort { txn } => {
-                seen.insert(*txn);
-            }
-            LogRecord::Commit { txn } => {
-                seen.insert(*txn);
-                committed.insert(*txn);
-            }
-        }
-    }
-    let mut db = BTreeMap::new();
     let mut records_replayed = 0usize;
-    for rec in &prefix {
-        if let LogRecord::Update { txn, key, new, .. } = rec {
-            if committed.contains(txn) {
-                db.insert(*key, *new);
-                records_replayed += 1;
-            }
+    let mut records_scanned = 0usize;
+    let mut corrupt_pages_dropped = 0usize;
+    let mut bytes_replayed = 0u64;
+    let mut truncated_at = None;
+    let mut checkpoint_start = None;
+    let mut txn_floor = 0u64;
+    for (&generation, paths) in generations.iter().rev() {
+        let scan = scan_generation(paths, Lsn(0), 1)?;
+        let complete = snapshot_complete(&scan.prefix);
+        if Some(generation) != oldest && !complete {
+            // Torn snapshot: the generation it superseded is still on
+            // disk (truncation waits for durable completeness).
+            continue;
         }
+        let marker = complete.then(|| checkpoint_marker(&scan.prefix)).flatten();
+        records_scanned += scan.records_scanned;
+        corrupt_pages_dropped += scan.corrupt_pages_dropped;
+        bytes_replayed += scan.bytes_replayed;
+        records_replayed += redo_prefix(&scan.prefix, &mut db, &mut seen, &mut committed);
+        let live_paths = oldest
+            .filter(|&g| g != generation)
+            .and_then(|g| generations.get(&g));
+        match (marker, live_paths) {
+            (Some((start, floor)), Some(live)) => {
+                // Online checkpoint: the live (oldest) generation holds
+                // the log suffix. Pages wholly below the floor are
+                // skipped without decoding.
+                let first = start.0.max(1);
+                let suffix = scan_generation(live, start, first)?;
+                records_scanned += suffix.records_scanned;
+                corrupt_pages_dropped += suffix.corrupt_pages_dropped;
+                bytes_replayed += suffix.bytes_replayed;
+                records_replayed += redo_prefix(&suffix.prefix, &mut db, &mut seen, &mut committed);
+                truncated_at = suffix.truncated_at;
+                checkpoint_start = Some(start);
+                txn_floor = floor;
+            }
+            // Standalone generation: a restart-compaction snapshot, the
+            // plain live generation, or (defensively) a checkpoint left
+            // as the oldest generation — its image is all that remains.
+            _ => truncated_at = scan.truncated_at,
+        }
+        break;
     }
-    let next_txn = seen.iter().map(|t| t.0).max().unwrap_or(0) + 1;
+    let next_txn = (seen.iter().map(|t| t.0).max().unwrap_or(0) + 1)
+        .max(txn_floor)
+        .max(1);
     // The synthetic snapshot transaction (id 0) is compaction plumbing,
     // not a recovered user transaction: keep it out of the report.
     let losers: Vec<TxnId> = seen
@@ -212,25 +309,33 @@ pub(crate) fn replay_dir(dir: &Path) -> Result<RecoveredImage> {
             truncated_at,
             corrupt_pages_dropped,
             skipped_files,
+            log_bytes_replayed: bytes_replayed,
+            checkpoint_start,
         },
     })
 }
 
-/// Writes the recovered image into `device` as one synthetic committed
-/// transaction (id 0), page by page, returning the next free LSN. An
-/// empty image still writes its begin/commit pair: the commit record is
-/// what marks the generation's snapshot as complete (see
-/// [`snapshot_complete`]).
-fn write_snapshot(
+/// Writes an image into `device` as one synthetic committed transaction
+/// (id 0), page by page, returning the next free LSN. An empty image
+/// still writes its begin/commit pair: the commit record is what marks
+/// the generation's snapshot as complete (see [`snapshot_complete`]).
+/// With `marker` set this becomes a §5.3 *online checkpoint* generation:
+/// the marker rides just after the begin record, so any complete prefix
+/// that proves the snapshot finished also carries the replay floor.
+pub(crate) fn write_snapshot(
     device: &mut WalDevice,
     image: &BTreeMap<u64, i64>,
     page_bytes: usize,
+    marker: Option<(Lsn, u64)>,
 ) -> Result<u64> {
     let mut lsn = 1u64;
     let mut page: Vec<(Lsn, LogRecord)> = Vec::new();
     let mut bytes = 0usize;
-    let mut records: Vec<LogRecord> = Vec::with_capacity(image.len() + 2);
+    let mut records: Vec<LogRecord> = Vec::with_capacity(image.len() + 3);
     records.push(LogRecord::Begin { txn: TxnId(0) });
+    if let Some((start, next_txn)) = marker {
+        records.push(LogRecord::Checkpoint { start, next_txn });
+    }
     for (key, value) in image {
         records.push(LogRecord::Update {
             txn: TxnId(0),
@@ -276,7 +381,8 @@ impl Engine {
             .into_iter()
             .filter(|p| generation_of(p).is_some())
             .collect();
-        let mut devices = open_devices(&options, image.max_generation + 1)?;
+        let live_generation = image.max_generation + 1;
+        let mut devices = open_devices(&options, live_generation)?;
         // Snapshot before deleting anything: `append_page` syncs every
         // page, so by the time the old generation goes away the new one
         // is durably complete. A crash in between leaves both on disk
@@ -284,7 +390,7 @@ impl Engine {
         let first = devices
             .first_mut()
             .ok_or_else(|| Error::Io("no log devices configured".into()))?;
-        let next_lsn = write_snapshot(first, &image.db, options.page_bytes)?;
+        let next_lsn = write_snapshot(first, &image.db, options.page_bytes, None)?;
         for path in old_files {
             std::fs::remove_file(&path)
                 .map_err(|e| Error::Io(format!("remove {}: {e}", path.display())))?;
@@ -297,6 +403,7 @@ impl Engine {
             image.next_txn,
             next_lsn,
             devices,
+            live_generation,
         )?;
         // Restart-cost visibility (§5.2's recovery-time concern): how
         // many transactions the log prefix carried and how long the
@@ -314,6 +421,12 @@ impl Engine {
                 "Wall time of the last restart recovery's log replay",
             )
             .set(i64::try_from(replay_us).unwrap_or(i64::MAX));
+        registry
+            .gauge(
+                "mmdb_session_recovery_log_bytes",
+                "Log bytes decoded by the last restart recovery's replay",
+            )
+            .set(i64::try_from(image.info.log_bytes_replayed).unwrap_or(i64::MAX));
         Ok((engine, image.info))
     }
 }
@@ -526,7 +639,7 @@ mod tests {
         let dir = tmp_dir("snapshot");
         let image: BTreeMap<u64, i64> = (0..100).map(|i| (i, i as i64 * 7)).collect();
         let mut dev = WalDevice::create(dir.join("wal-d0.log"), 512, Duration::ZERO).unwrap();
-        let next = write_snapshot(&mut dev, &image, 512).unwrap();
+        let next = write_snapshot(&mut dev, &image, 512, None).unwrap();
         assert_eq!(next as usize, image.len() + 3, "begin + updates + commit");
         assert!(dev.pages_written() > 1, "snapshot spans pages");
         let replayed = replay_dir(&dir).unwrap();

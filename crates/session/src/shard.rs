@@ -52,11 +52,28 @@ pub(crate) fn shard_of(key: u64, shards: usize) -> usize {
     ((key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) % shards as u64) as usize
 }
 
+/// One §5.2 undo entry: the pre-image a rollback restores, stamped with
+/// the LSN of the update record it mirrors. The stamp gives the §5.3
+/// checkpoint sweeper two things at once: a total back-out order within
+/// the shard (applying entries in descending LSN exactly reverses
+/// application order, even across pre-commit dependency chains where one
+/// in-flight transaction overwrote another's value), and a floor on the
+/// log suffix a checkpoint image still needs replayed (the smallest
+/// in-flight LSN it backed out).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct UndoEntry {
+    /// Updated key (owned by this shard).
+    pub key: u64,
+    /// Pre-image (`None` for an insert).
+    pub old: Option<i64>,
+    /// LSN of the update record this entry mirrors.
+    pub lsn: u64,
+}
+
 /// One shard's slice of the volatile engine state: its keys' current
 /// values, its partition of the §5.2 lock table, and the undo entries
-/// for its own keys (`(key, pre-image)` in write order, per transaction).
-/// Every key in `db`, `locks`, and `undo` hashes to this shard — the
-/// audit checks it.
+/// for its own keys (in write order, per transaction). Every key in
+/// `db`, `locks`, and `undo` hashes to this shard — the audit checks it.
 #[derive(Debug, Default)]
 pub(crate) struct ShardState {
     /// This shard's slice of the §5 memory-resident store.
@@ -64,7 +81,12 @@ pub(crate) struct ShardState {
     /// This shard's partition of the §5.2 lock table.
     pub locks: LockManager,
     /// Per-transaction undo entries for keys owned by this shard.
-    pub undo: HashMap<TxnId, Vec<(u64, Option<i64>)>>,
+    pub undo: HashMap<TxnId, Vec<UndoEntry>>,
+    /// §5.3 dirty flag: set (under the shard guard) by every write and
+    /// rollback, cleared by the checkpoint sweeper when it caches a
+    /// settled image of this shard — so successive sweeps only re-copy
+    /// shards that actually mutated.
+    pub dirty: bool,
 }
 
 /// A shard: its state under a mutex, plus the condvar lock waiters park
@@ -235,10 +257,11 @@ impl TxnTable {
 /// `lock_cv` afterwards (§5.2 abort, restricted to one shard's keys).
 pub(crate) fn rollback_shard(state: &mut ShardState, txn: TxnId) {
     if let Some(list) = state.undo.remove(&txn) {
-        for (key, old) in list.into_iter().rev() {
-            match old {
-                Some(v) => state.db.insert(key, v),
-                None => state.db.remove(&key),
+        state.dirty = !list.is_empty() || state.dirty;
+        for entry in list.into_iter().rev() {
+            match entry.old {
+                Some(v) => state.db.insert(entry.key, v),
+                None => state.db.remove(&entry.key),
             };
         }
     }
@@ -307,9 +330,11 @@ mod tests {
         let txn = TxnId(1);
         state.locks.begin(txn);
         state.db.insert(1, 10);
-        state
-            .undo
-            .insert(txn, vec![(1, None), (2, None), (1, Some(10))]);
+        let entry = |key, old, lsn| UndoEntry { key, old, lsn };
+        state.undo.insert(
+            txn,
+            vec![entry(1, None, 1), entry(2, None, 2), entry(1, Some(10), 3)],
+        );
         state.db.insert(2, 99);
         state.db.insert(1, 100);
         rollback_shard(&mut state, txn);

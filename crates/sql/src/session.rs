@@ -553,7 +553,9 @@ fn insert(
             codec::row_key(table_id, rid, chunk)
         })?;
         db.catalog.with_catalog_write(|cat| {
-            cat.table_mut(table, viewer)?.rows.insert(rid, tuple.clone());
+            cat.table_mut(table, viewer)?
+                .rows
+                .insert(rid, tuple.clone());
             Ok(())
         })?;
         undo.push(UndoOp::RemoveRow {

@@ -8,7 +8,13 @@
 //! bar, and every smoke-tier run (baseline and fresh) must carry the
 //! engine-side commit-latency and batch-size percentile fields the
 //! bench pulls from `Engine::stats()` — a run without them predates
-//! the observability schema. The fresh run must also attest
+//! the observability schema. Both documents must also carry the §5.3
+//! `recovery` section with checkpointing-on and -off arms, and the on
+//! arm must have replayed strictly fewer log bytes than the off arm
+//! with a checkpoint actually used — the deterministic form of the
+//! bounded-recovery claim (wall-clock `recovery_ms` is reported but
+//! not gated; it is noise-prone on shared CI hosts). The fresh run
+//! must also attest
 //! `"fault_injection": "disabled"`: the fault-injection layer is
 //! compiled into the engine, and the gate certifies that carrying it
 //! *disabled* costs nothing, so a faulted or pre-fault-layer run can
@@ -71,9 +77,6 @@ impl Json {
         }
     }
 
-    /// The bench schema has no booleans today; the parser keeps them so
-    /// a future field doesn't need a parser change.
-    #[allow(dead_code)]
     pub fn as_bool(&self) -> Option<bool> {
         match self {
             Json::Bool(b) => Some(*b),
@@ -325,6 +328,56 @@ fn require_remote(doc: &Json, what: &str, min_connections: Option<f64>) -> Resul
     Ok(())
 }
 
+/// Numeric fields both arms of the `recovery` section must carry.
+const RECOVERY_FIELDS: [&str; 3] = ["recovery_ms", "log_bytes_replayed", "records_scanned"];
+
+/// Gate: the document's §5.3 `recovery` section exists, both arms carry
+/// the numeric fields, the checkpointing arm actually used a checkpoint
+/// at recovery, and it replayed strictly fewer log bytes than the
+/// full-log arm. The byte comparison is the deterministic form of the
+/// bounded-recovery claim; wall-clock `recovery_ms` is required present
+/// but not compared.
+fn require_recovery(doc: &Json, what: &str) -> Result<(), String> {
+    let recovery = doc.get("recovery").ok_or_else(|| {
+        format!(
+            "{what} has no recovery section (regenerate with the current concurrent_commit build)"
+        )
+    })?;
+    let mut bytes = [0.0f64; 2];
+    for (slot, arm) in bytes.iter_mut().zip(["off", "on"]) {
+        let run = recovery
+            .get(arm)
+            .ok_or_else(|| format!("{what} recovery section lacks the {arm:?} arm"))?;
+        for field in RECOVERY_FIELDS {
+            if run.get(field).and_then(Json::as_f64).is_none() {
+                return Err(format!(
+                    "{what} recovery {arm:?} arm lacks numeric {field:?}"
+                ));
+            }
+        }
+        *slot = run
+            .get("log_bytes_replayed")
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0);
+        let used = run.get("checkpoint_used").and_then(Json::as_bool);
+        let want = arm == "on";
+        if used != Some(want) {
+            return Err(format!(
+                "{what} recovery {arm:?} arm has checkpoint_used = {used:?}, want {want} \
+                 (the arm did not exercise the path it claims to measure)"
+            ));
+        }
+    }
+    let [off_bytes, on_bytes] = bytes;
+    if on_bytes >= off_bytes {
+        return Err(format!(
+            "{what} recovery replayed {on_bytes:.0} log bytes with checkpointing on vs \
+             {off_bytes:.0} off — checkpointing did not bound recovery"
+        ));
+    }
+    Ok(())
+}
+
 /// One policy's committed tps pulled out of a runs array.
 fn tps_by_policy(runs: &[Json]) -> Vec<(String, f64)> {
     runs.iter()
@@ -446,6 +499,7 @@ fn bench_check_inner(
     // Gate: the baseline must record the remote front end at the
     // acceptance connection count with the overhead numbers present.
     require_remote(&baseline, "baseline", Some(MIN_REMOTE_CONNECTIONS))?;
+    require_recovery(&baseline, "baseline")?;
     let overhead = baseline
         .get("remote")
         .and_then(|r| r.get("overhead_ratio"))
@@ -505,6 +559,7 @@ fn bench_check_inner(
         .ok_or("fresh JSON has no runs")?;
     require_percentiles(fresh_runs, "fresh smoke")?;
     require_remote(&fresh_json, "fresh smoke", None)?;
+    require_recovery(&fresh_json, "fresh smoke")?;
     println!(
         "  percentile schema: all {} engine-side fields present in baseline and fresh runs",
         PERCENTILE_FIELDS.len()
@@ -512,6 +567,18 @@ fn bench_check_inner(
     println!(
         "  remote schema: all {} remote-driver fields present in baseline and fresh runs",
         REMOTE_FIELDS.len()
+    );
+    let rec_bytes = |doc: &Json, arm: &str| {
+        doc.get("recovery")
+            .and_then(|r| r.get(arm))
+            .and_then(|a| a.get("log_bytes_replayed"))
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0)
+    };
+    println!(
+        "  recovery (fresh): checkpointing bounded replay to {:.0} of {:.0} log bytes",
+        rec_bytes(&fresh_json, "on"),
+        rec_bytes(&fresh_json, "off"),
     );
     let fresh_tps = tps_by_policy(fresh_runs);
 
@@ -603,23 +670,44 @@ mod tests {
         )
     }
 
+    /// A well-formed §5.3 `recovery` section where the checkpointing
+    /// arm replayed `on_bytes` of the off arm's `off_bytes`.
+    fn recovery_section(on_bytes: u64, off_bytes: u64) -> String {
+        format!(
+            r#""recovery": {{
+                "off": {{"checkpoint_interval_ms": null, "recovery_ms": 4.0,
+                         "log_bytes_replayed": {off_bytes}, "records_scanned": 1300,
+                         "checkpoint_used": false}},
+                "on": {{"checkpoint_interval_ms": 50, "recovery_ms": 2.0,
+                        "log_bytes_replayed": {on_bytes}, "records_scanned": 60,
+                        "checkpoint_used": true}}}}"#
+        )
+    }
+
     fn baseline_doc(scaling: f64, group_tps: f64) -> String {
         format!(
             r#"{{"bench": "concurrent_commit", "mode": "full",
                 "shard_sweep": {{"scaling_best_vs_one": {scaling}}},
                 {},
+                {},
                 "smoke_runs": {{"runs": [
                     {{"policy": "group", "tps": {group_tps}, {}}}]}}}}"#,
             remote_section(128),
+            recovery_section(2000, 45000),
             percentile_fields()
         )
     }
 
     fn smoke_doc(group_tps: f64) -> String {
+        smoke_doc_with_recovery(group_tps, &recovery_section(2000, 45000))
+    }
+
+    fn smoke_doc_with_recovery(group_tps: f64, recovery: &str) -> String {
         format!(
             r#"{{"bench": "concurrent_commit", "mode": "smoke",
                 "fault_injection": "disabled",
                 {},
+                {recovery},
                 "runs": [{{"policy": "group", "tps": {group_tps}, {}}}]}}"#,
             remote_section(8),
             percentile_fields()
@@ -665,8 +753,10 @@ mod tests {
                 r#"{{"bench": "concurrent_commit", "mode": "smoke",
                 "fault_injection": "disabled",
                 {},
+                {},
                 "runs": [{{"policy": "sync", "tps": 9999.0, {}}}]}}"#,
                 remote_section(8),
+                recovery_section(2000, 45000),
                 percentile_fields()
             ),
         );
@@ -752,6 +842,57 @@ mod tests {
             "unexpected error: {err}"
         );
         for p in [&baseline, &fresh, &low_baseline, &ok_fresh] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn gate_enforces_recovery_section_and_byte_bound() {
+        let root = std::env::temp_dir();
+        let baseline = write_tmp("base-rec.json", &baseline_doc(3.0, 1000.0));
+        // A fresh run predating online checkpointing: no recovery section.
+        let missing = write_tmp(
+            "fresh-rec-missing.json",
+            &format!(
+                r#"{{"bench": "concurrent_commit", "mode": "smoke",
+                "fault_injection": "disabled",
+                {},
+                "runs": [{{"policy": "group", "tps": 1000.0, {}}}]}}"#,
+                remote_section(8),
+                percentile_fields()
+            ),
+        );
+        let err = bench_check_inner(&root, Some(&missing), &baseline, 0.30).unwrap_err();
+        assert!(
+            err.contains("has no recovery section"),
+            "unexpected error: {err}"
+        );
+        // Checkpointing-on replaying as much as off: the bound failed.
+        let unbounded = write_tmp(
+            "fresh-rec-unbounded.json",
+            &smoke_doc_with_recovery(1000.0, &recovery_section(45000, 45000)),
+        );
+        let err = bench_check_inner(&root, Some(&unbounded), &baseline, 0.30).unwrap_err();
+        assert!(
+            err.contains("did not bound recovery"),
+            "unexpected error: {err}"
+        );
+        // The on arm claiming no checkpoint was used at recovery: the
+        // arm measured a full-log replay, not the checkpoint path.
+        let unused = write_tmp(
+            "fresh-rec-unused.json",
+            &smoke_doc_with_recovery(
+                1000.0,
+                &recovery_section(2000, 45000)
+                    .replace(r#""checkpoint_used": true"#, r#""checkpoint_used": false"#),
+            ),
+        );
+        let err = bench_check_inner(&root, Some(&unused), &baseline, 0.30).unwrap_err();
+        assert!(
+            err.contains("checkpoint_used = Some(false), want true"),
+            "unexpected error: {err}"
+        );
+        for p in [&baseline, &missing, &unbounded, &unused] {
             std::fs::remove_file(p).ok();
         }
     }

@@ -61,11 +61,19 @@ pub(crate) struct LockConfig {
 /// and `daemon.rs` module docs), with the SQL catalog lock prepended as
 /// the outermost class: the catalog mirror lock
 /// (`crates/sql/src/catalog.rs`) may never be held across any engine
-/// lock — its closure helpers make that structural — then shard state
+/// lock — its closure helpers make that structural — then the §5.3
+/// checkpoint-sweeper state (held across a whole sweep, which takes
+/// shard and queue locks underneath, never the reverse) → shard state
 /// locks in ascending shard index → one txn-table slot → the log
 /// queue → the durable table.
-pub(crate) const ENGINE_LOCK_ORDER: [&str; 5] =
-    ["catalog", "shard", "txn_slot", "queue", "durable"];
+pub(crate) const ENGINE_LOCK_ORDER: [&str; 6] = [
+    "catalog",
+    "checkpoint",
+    "shard",
+    "txn_slot",
+    "queue",
+    "durable",
+];
 
 const G: bool = true; // returns a guard
 const T: bool = false; // transient: acquires and releases internally
@@ -74,11 +82,21 @@ const T: bool = false; // transient: acquires and releases internally
 /// and guard-returning helpers are `G`; helpers that take and drop locks
 /// inside their own body are `T` (their bodies are analyzed where they
 /// are defined — this entry only records what a *call* acquires).
-const ENGINE_LOCK_PATTERNS: [LockPattern; 19] = [
+const ENGINE_LOCK_PATTERNS: [LockPattern; 21] = [
     LockPattern {
         pat: "with_catalog_read(",
         classes: &["catalog"],
         returns_guard: T,
+    },
+    LockPattern {
+        pat: ".checkpoint.lock(",
+        classes: &["checkpoint"],
+        returns_guard: G,
+    },
+    LockPattern {
+        pat: "ck.lock()",
+        classes: &["checkpoint"],
+        returns_guard: G,
     },
     LockPattern {
         pat: "with_catalog_write(",

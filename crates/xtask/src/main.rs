@@ -91,7 +91,8 @@ fn main() -> ExitCode {
                 "usage: cargo xtask audit [--verbose]\n       \
                  cargo xtask bench-check [--fresh PATH] [--baseline PATH] [--tolerance FRAC]\n       \
                  cargo xtask metrics-lint\n       \
-                 cargo xtask torture [--seeds N] [--first S] [--artifacts DIR] [--watchdog-secs T]"
+                 cargo xtask torture [--seeds N] [--first S] [--artifacts DIR] [--watchdog-secs T] \
+                 [--checkpoint] [--sustain-secs S]"
             );
             ExitCode::FAILURE
         }

@@ -15,8 +15,25 @@ use mmdb_storage::{BufferPool, CostMeter, HeapFile, IoKind, ReplacementPolicy, S
 use mmdb_types::{Auditable, TxnId};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Duration;
+
+/// Serializes the property tests in this binary. The sharded-engine
+/// workload runs a real-time engine whose daemon threads rely on short
+/// sleeps (flush interval, lock-wait deadlines); with the harness
+/// running tests in parallel, the pure-CPU tree/storage workloads here
+/// starve those threads on small CI runners and the engine test turns
+/// load-flaky. One test at a time costs nothing on the 1–2 cores CI
+/// gives us and removes the only source of cross-test scheduling
+/// pressure.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> MutexGuard<'static, ()> {
+    // A poisoned lock only means an earlier test failed; the guard is
+    // pure scheduling, so later tests still run (and report their own
+    // results) rather than cascading the first panic.
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 #[derive(Debug, Clone)]
 enum TreeOp {
@@ -43,6 +60,7 @@ proptest! {
         branching in 3usize..8,
         leaf_capacity in 2usize..8,
     ) {
+        let _serial = serial();
         let mut tree: BPlusTree<u16, u32> = BPlusTree::new(branching, leaf_capacity);
         let mut model: BTreeMap<u16, u32> = BTreeMap::new();
         for (i, op) in ops.iter().enumerate() {
@@ -71,6 +89,7 @@ proptest! {
         keys in proptest::collection::btree_set(0u16..2_000, 1..300),
         branching in 3usize..8,
     ) {
+        let _serial = serial();
         // Insert everything, then delete everything in an unrelated order:
         // the pure-shrink direction drives root collapse and every
         // merge/borrow combination.
@@ -95,6 +114,7 @@ proptest! {
     fn avl_invariants_hold_under_random_workloads(
         ops in proptest::collection::vec(tree_op(), 1..400),
     ) {
+        let _serial = serial();
         let mut tree: AvlTree<u16, u32> = AvlTree::new();
         let mut model: BTreeMap<u16, u32> = BTreeMap::new();
         for (i, op) in ops.iter().enumerate() {
@@ -124,6 +144,7 @@ proptest! {
         capacity in 2usize..8,
         policy_pick in 0u8..3,
     ) {
+        let _serial = serial();
         let policy = match policy_pick {
             0 => ReplacementPolicy::Lru,
             1 => ReplacementPolicy::Clock,
@@ -168,6 +189,7 @@ proptest! {
     fn heap_file_bookkeeping_matches_pages(
         ops in proptest::collection::vec((0u8..4, 0u16..200), 1..150),
     ) {
+        let _serial = serial();
         let meter = Arc::new(CostMeter::new());
         let mut disk = SimDisk::new(meter);
         let mut pool = BufferPool::new(16, ReplacementPolicy::Lru);
@@ -207,6 +229,7 @@ proptest! {
     fn versioned_store_chains_stay_ordered(
         ops in proptest::collection::vec((0u8..5, 0u64..16, -100i64..100), 1..200),
     ) {
+        let _serial = serial();
         let mut store = VersionedStore::new();
         let mut writers = Vec::new();
         let mut readers = Vec::new();
@@ -250,6 +273,7 @@ proptest! {
     fn lock_manager_sets_stay_consistent(
         ops in proptest::collection::vec((0u8..5, 1u64..8, 0u64..12), 1..250),
     ) {
+        let _serial = serial();
         let mut lm = LockManager::new();
         let mut precommitted: Vec<TxnId> = Vec::new();
         for (i, &(kind, txn, object)) in ops.iter().enumerate() {
@@ -292,6 +316,7 @@ proptest! {
         ops in proptest::collection::vec((0u8..5, 0u64..16, -500i64..500), 1..120),
         mode_pick in 0u8..4,
     ) {
+        let _serial = serial();
         let mode = match mode_pick {
             0 => CommitMode::Synchronous,
             1 => CommitMode::GroupCommit,
@@ -338,6 +363,7 @@ proptest! {
         shards in 1usize..9,
         case in 0u64..u64::MAX,
     ) {
+        let _serial = serial();
         let dir = std::env::temp_dir().join(
             format!("mmdb-audit-shard-{}-{case}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();

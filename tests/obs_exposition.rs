@@ -26,7 +26,7 @@ fn fast(policy: CommitPolicy, name: &str) -> EngineOptions {
 /// The engine's metric inventory, `(family, prometheus type)`. This
 /// list is the golden surface: adding a metric means adding a row here,
 /// and renaming or dropping one fails the test.
-const SESSION_FAMILIES: [(&str, &str); 14] = [
+const SESSION_FAMILIES: [(&str, &str); 19] = [
     ("mmdb_session_begins_total", "counter"),
     ("mmdb_session_commits_total", "counter"),
     ("mmdb_session_aborts_total", "counter"),
@@ -41,6 +41,11 @@ const SESSION_FAMILIES: [(&str, &str); 14] = [
     ("mmdb_session_commit_batch_txns", "histogram"),
     ("mmdb_session_fsync_us", "histogram"),
     ("mmdb_session_durable_lag_lsn", "gauge"),
+    ("mmdb_session_checkpoints_total", "counter"),
+    ("mmdb_session_checkpoint_duration_us", "histogram"),
+    ("mmdb_session_checkpoint_bytes", "gauge"),
+    ("mmdb_session_checkpoint_lag_lsn", "gauge"),
+    ("mmdb_session_checkpoint_rewritten_count", "gauge"),
 ];
 
 /// Every sample line must be `name[{labels}] value` with a numeric
