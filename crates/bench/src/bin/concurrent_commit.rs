@@ -48,13 +48,21 @@
 //! Usage: `concurrent_commit [--policy sync|group|partitioned:K|all]
 //! [--clients N] [--duration-ms MS] [--page-write-us US]
 //! [--lock-op-us US] [--shards N] [--seed S] [--remote N]
-//! [--checkpoint-interval MS] [--smoke] [--out PATH]`.
+//! [--checkpoint-interval MS] [--smoke] [--chaos] [--out PATH]`.
+//! `--chaos` dials the remote driver's connections through the seeded
+//! chaos transport (delayed, duplicated, and dropped writes) — a
+//! correctness smoke for the retrying client under load, not a perf
+//! run; the JSON's `network_faults` field flips to `"enabled"` so
+//! `xtask bench-check` refuses such a run as a gate input.
 //! Results also land as JSON (default `BENCH_concurrent_commit.json`).
 
 use mmdb_bench::print_table;
-use mmdb_server::{Client, Server, ServerConfig};
+use mmdb_server::{
+    ChaosTransport, Client, ClientConfig, Dialer, NetFaultPlan, Server, ServerConfig, Transport,
+};
 use mmdb_session::{CommitPolicy, Engine, EngineOptions};
 use mmdb_sql::{SqlDb, SqlSession};
+use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
 /// Shard counts the full run sweeps under the group policy.
@@ -124,6 +132,10 @@ struct Config {
     /// checkpointing-on run (the full run also sweeps
     /// [`CKPT_SWEEP_MS`] around it).
     checkpoint_interval: Duration,
+    /// Dial the remote driver through the seeded chaos transport. The
+    /// JSON attests `network_faults = "enabled"` so such a run can
+    /// never become the perf gate's input.
+    chaos: bool,
     out: String,
 }
 
@@ -179,6 +191,7 @@ fn parse_args() -> Config {
         smoke: false,
         remote: None,
         checkpoint_interval: Duration::from_millis(CKPT_DEFAULT_MS),
+        chaos: false,
         out: "BENCH_concurrent_commit.json".to_string(),
     };
     let mut args = std::env::args().skip(1);
@@ -226,6 +239,7 @@ fn parse_args() -> Config {
                 cfg.duration = Duration::from_millis(SMOKE_DURATION_MS);
                 cfg.page_write = Duration::from_micros(SMOKE_PAGE_WRITE_US);
             }
+            "--chaos" => cfg.chaos = true,
             "--out" => cfg.out = value("--out"),
             other => panic!("unknown argument {other:?}"),
         }
@@ -694,14 +708,36 @@ fn sql_transfer_loop<E: SqlExec>(
     (committed, aborted, request_us, txn_us)
 }
 
+/// Builds a dialer that wraps each fresh TCP connection in a
+/// [`ChaosTransport`] with a seeded per-dial fault plan (clean, delayed
+/// write, duplicated write, or mid-stream drop), so the `--chaos` arm
+/// exercises the client's reconnect-and-retry path under real traffic.
+fn chaos_dialer(addr: std::net::SocketAddr, seed: u64, c: u64) -> Dialer {
+    let mut rng = (seed ^ c.wrapping_mul(0xA076_1D64_78BD_642F)) | 1;
+    Box::new(move || {
+        let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(2))?;
+        let r = lcg_next(&mut rng);
+        let plan = match r % 4 {
+            0 => NetFaultPlan::none(),
+            1 => NetFaultPlan::none().delay_write(4 + r % 16),
+            2 => NetFaultPlan::none().dup_write(4 + r % 16),
+            _ => NetFaultPlan::none().drop_at(8 + r % 64),
+        };
+        Ok(Box::new(ChaosTransport::new(stream, plan)) as Box<dyn Transport>)
+    })
+}
+
 /// The remote experiment: the transfer workload as SQL over TCP against
 /// an in-process server (group policy), then the identical statements
-/// through `mmdb-sql` directly as the no-wire control.
+/// through `mmdb-sql` directly as the no-wire control. With `chaos`
+/// set, the driver connections dial through [`chaos_dialer`] (the
+/// seeder and the in-process control stay clean).
 fn run_remote(
     connections: usize,
     duration: Duration,
     page_write: Duration,
     seed: u64,
+    chaos: bool,
 ) -> RemoteResult {
     let accounts = connections as u64 * 2;
     let opts_for = |dir: &std::path::Path| {
@@ -727,10 +763,23 @@ fn run_remote(
     }
     let deadline = Instant::now() + duration;
     let started = Instant::now();
+    if chaos {
+        println!("  remote driver: chaos transport ENABLED (seeded per-dial fault plans)");
+    }
     let workers: Vec<_> = (0..connections as u64)
         .map(|c| {
             std::thread::spawn(move || {
-                let mut client = Client::connect(addr).expect("client connect");
+                let mut client = if chaos {
+                    let config = ClientConfig {
+                        read_deadline: Duration::from_millis(500),
+                        retry_seed: seed ^ c,
+                        ..ClientConfig::default()
+                    };
+                    Client::from_dialer(chaos_dialer(addr, seed, c), config)
+                        .expect("chaos client connect")
+                } else {
+                    Client::connect(addr).expect("client connect")
+                };
                 sql_transfer_loop(&mut client, c, accounts, seed, deadline)
             })
         })
@@ -990,11 +1039,15 @@ fn main() {
         // compiled in but no plan is installed — `xtask bench-check`
         // refuses a smoke run without it, so a faulted (or fault-free
         // via a side build) run can never silently become the gate.
+        // `network_faults` attests the same for the chaos transport:
+        // "disabled" normally, "enabled" under `--chaos` (which the
+        // gate refuses, keeping chaos smoke and perf gate separate).
         let remote = run_remote(
             cfg.remote.unwrap_or(REMOTE_SMOKE_CONNS),
             cfg.duration,
             cfg.page_write,
             cfg.seed,
+            cfg.chaos,
         );
         print_remote(&remote);
         // Recovery pair for the bench-check gate: checkpointing off
@@ -1019,12 +1072,14 @@ fn main() {
         let json = format!(
             "{{\n  \"bench\": \"concurrent_commit\",\n  \"mode\": \"smoke\",\n  \"seed\": {},\n  \
              \"clients\": {},\n  \"duration_ms\": {},\n  \"page_write_us\": {},\n  \
-             \"typical_txn_bytes\": 400,\n  \"fault_injection\": \"disabled\",\n  \"runs\": [\n{}\n  ],\n  \
+             \"typical_txn_bytes\": 400,\n  \"fault_injection\": \"disabled\",\n  \
+             \"network_faults\": \"{}\",\n  \"runs\": [\n{}\n  ],\n  \
              \"group_vs_sync_speedup\": {:.2},\n  \"remote\": {},\n  \"recovery\": {}\n}}\n",
             cfg.seed,
             cfg.clients,
             cfg.duration.as_millis(),
             cfg.page_write.as_micros(),
+            if cfg.chaos { "enabled" } else { "disabled" },
             runs_json.join(",\n"),
             speedup,
             remote_json(&remote),
@@ -1106,6 +1161,7 @@ fn main() {
         cfg.duration,
         cfg.page_write,
         cfg.seed,
+        cfg.chaos,
     );
     print_remote(&remote);
 
@@ -1178,7 +1234,8 @@ fn main() {
     let json = format!(
         "{{\n  \"bench\": \"concurrent_commit\",\n  \"mode\": \"full\",\n  \"seed\": {},\n  \
          \"clients\": {},\n  \"duration_ms\": {},\n  \"page_write_us\": {},\n  \
-         \"typical_txn_bytes\": 400,\n  \"fault_injection\": \"disabled\",\n  \"runs\": [\n{}\n  ],\n  \
+         \"typical_txn_bytes\": 400,\n  \"fault_injection\": \"disabled\",\n  \
+         \"network_faults\": \"{}\",\n  \"runs\": [\n{}\n  ],\n  \
          \"group_vs_sync_speedup\": {:.2},\n  \
          \"shard_sweep\": {{\n    \"policy\": \"group\",\n    \"clients\": {SWEEP_CLIENTS},\n    \
          \"duration_ms\": {},\n    \"lock_op_us\": {},\n    \
@@ -1192,6 +1249,7 @@ fn main() {
         cfg.clients,
         cfg.duration.as_millis(),
         cfg.page_write.as_micros(),
+        if cfg.chaos { "enabled" } else { "disabled" },
         runs_json.join(",\n"),
         speedup,
         cfg.duration.as_millis(),

@@ -17,8 +17,15 @@
 //! seconds of live traffic with the background sweeper on, a crash,
 //! and a recovery that must be bounded by the checkpoint interval.
 //!
+//! `--server` switches to the full-stack server-chaos scenarios
+//! ([`mmdb_server::torture`]): concurrent SQL-over-TCP transfer
+//! workloads driven through a fault-injecting transport (torn frames,
+//! stalls, drops, duplicated and delayed deliveries), overload
+//! shedding, and a mid-run crash→recover→reconnect, verified by an
+//! acked-implies-recovered and zero-sum conservation oracle.
+//!
 //! Usage: `session_torture [--seeds N] [--first S] [--artifacts DIR]
-//! [--watchdog-secs T] [--checkpoint] [--sustain-secs S]`.
+//! [--watchdog-secs T] [--checkpoint] [--sustain-secs S] [--server]`.
 
 use mmdb_session::torture;
 use std::collections::BTreeMap;
@@ -32,6 +39,7 @@ struct Config {
     watchdog: Duration,
     checkpoint: bool,
     sustain: Option<Duration>,
+    server: bool,
 }
 
 fn parse_args() -> Config {
@@ -42,6 +50,7 @@ fn parse_args() -> Config {
         watchdog: Duration::from_secs(600),
         checkpoint: false,
         sustain: None,
+        server: false,
     };
     let mut args = std::env::args().skip(1);
     let value = |name: &str, args: &mut dyn Iterator<Item = String>| {
@@ -61,6 +70,7 @@ fn parse_args() -> Config {
                 )
             }
             "--checkpoint" => cfg.checkpoint = true,
+            "--server" => cfg.server = true,
             "--sustain-secs" => {
                 cfg.checkpoint = true;
                 cfg.sustain = Some(Duration::from_secs(
@@ -116,8 +126,14 @@ fn main() {
         }
     }
     for seed in cfg.first..cfg.first.saturating_add(cfg.seeds) {
-        let dir = torture::seed_dir(&cfg.artifacts, seed);
-        let result = if cfg.checkpoint {
+        let dir = if cfg.server {
+            mmdb_server::torture::seed_dir(&cfg.artifacts, seed)
+        } else {
+            torture::seed_dir(&cfg.artifacts, seed)
+        };
+        let result = if cfg.server {
+            mmdb_server::torture::run_server_seed(seed, &dir)
+        } else if cfg.checkpoint {
             torture::run_checkpoint_seed(seed, &dir)
         } else {
             torture::run_seed(seed, &dir)

@@ -1,0 +1,227 @@
+//! Bounded admission control for statement execution: refuse new work
+//! before starving work already in flight.
+//!
+//! The policy (§5.2's "don't thrash under load", applied to the wire):
+//!
+//! * Statements **inside an open transaction** always run. They hold
+//!   locks; stalling them stalls everyone else, so shedding them would
+//!   convert overload into livelock.
+//! * **Autocommit writes** queue (bounded) for a free execution slot,
+//!   up to a deadline. A full queue or an expired deadline sheds them
+//!   with a retryable error — the statement did not run.
+//! * **Autocommit reads** shed immediately at capacity: they are the
+//!   cheapest work to retry and the least harmful to refuse, so they
+//!   go first (shed reads before writes, writes before in-flight).
+//!
+//! Shedding is always an in-band *retryable* response, never a dropped
+//! connection: the client's retry taxonomy depends on knowing the
+//! statement definitively did not apply.
+
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// How the shedding policy classifies a statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmitClass {
+    /// Part of an open explicit transaction: never shed.
+    InTxn,
+    /// Autocommit mutation: queues up to the deadline.
+    Write,
+    /// Autocommit read: shed immediately at capacity.
+    Read,
+}
+
+/// Why a statement was shed instead of run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Shed {
+    /// The wait queue (or, for reads, the execution capacity) is full.
+    QueueFull,
+    /// The statement waited its whole admission deadline.
+    DeadlineExpired,
+    /// The admission lock was poisoned by a panic elsewhere.
+    Poisoned,
+}
+
+impl Shed {
+    /// The in-band message sent to the client.
+    pub fn message(self) -> &'static str {
+        match self {
+            Shed::QueueFull => "server overloaded: admission queue full",
+            Shed::DeadlineExpired => "server overloaded: admission deadline expired",
+            Shed::Poisoned => "server admission state poisoned",
+        }
+    }
+}
+
+/// Counters guarded by the admission lock.
+#[derive(Debug, Default)]
+struct Gate {
+    /// Statements currently executing under a permit.
+    inflight: usize,
+    /// Writers blocked waiting for a slot.
+    waiting: usize,
+}
+
+/// The bounded admission gate: at most `max_inflight` statements
+/// execute at once, at most `max_queue` writers wait, and no writer
+/// waits past `deadline`.
+#[derive(Debug)]
+pub struct Admission {
+    gate: Mutex<Gate>,
+    cv: Condvar,
+    max_inflight: usize,
+    max_queue: usize,
+    deadline: Duration,
+}
+
+impl Admission {
+    /// A gate admitting `max_inflight` concurrent statements with a
+    /// wait queue of `max_queue` writers, each waiting at most
+    /// `deadline`.
+    pub fn new(max_inflight: usize, max_queue: usize, deadline: Duration) -> Admission {
+        Admission {
+            gate: Mutex::new(Gate::default()),
+            cv: Condvar::new(),
+            max_inflight: max_inflight.max(1),
+            max_queue,
+            deadline,
+        }
+    }
+
+    /// Admits or sheds one statement. On `Ok`, the returned permit
+    /// holds an execution slot until dropped.
+    pub fn admit(&self, class: AdmitClass) -> Result<Permit<'_>, Shed> {
+        // In-transaction statements bypass the gate entirely: they are
+        // not counted, because blocking a lock holder to shed load
+        // inverts the policy's whole point.
+        if class == AdmitClass::InTxn {
+            return Ok(Permit {
+                admission: self,
+                counted: false,
+            });
+        }
+        let mut gate = match self.gate.lock() {
+            Ok(g) => g,
+            Err(_) => return Err(Shed::Poisoned),
+        };
+        if gate.inflight < self.max_inflight {
+            gate.inflight += 1;
+            return Ok(Permit {
+                admission: self,
+                counted: true,
+            });
+        }
+        if class == AdmitClass::Read {
+            // Reads shed before writes: cheapest to retry.
+            return Err(Shed::QueueFull);
+        }
+        if gate.waiting >= self.max_queue {
+            return Err(Shed::QueueFull);
+        }
+        gate.waiting += 1;
+        let start = Instant::now();
+        loop {
+            let remaining = match self.deadline.checked_sub(start.elapsed()) {
+                Some(r) if !r.is_zero() => r,
+                _ => {
+                    gate.waiting -= 1;
+                    return Err(Shed::DeadlineExpired);
+                }
+            };
+            gate = match self.cv.wait_timeout(gate, remaining) {
+                Ok((g, _)) => g,
+                Err(_) => return Err(Shed::Poisoned),
+            };
+            if gate.inflight < self.max_inflight {
+                gate.waiting -= 1;
+                gate.inflight += 1;
+                return Ok(Permit {
+                    admission: self,
+                    counted: true,
+                });
+            }
+        }
+    }
+
+    /// Statements currently executing under a permit.
+    pub fn inflight(&self) -> usize {
+        match self.gate.lock() {
+            Ok(g) => g.inflight,
+            Err(_) => 0,
+        }
+    }
+}
+
+/// An execution slot; dropping it frees the slot and wakes one waiter.
+#[derive(Debug)]
+pub struct Permit<'a> {
+    admission: &'a Admission,
+    counted: bool,
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        if !self.counted {
+            return;
+        }
+        match self.admission.gate.lock() {
+            Ok(mut gate) => {
+                gate.inflight = gate.inflight.saturating_sub(1);
+            }
+            Err(_) => return,
+        }
+        self.admission.cv.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn in_txn_bypasses_capacity() {
+        let adm = Admission::new(1, 0, Duration::from_millis(10));
+        let _held = adm.admit(AdmitClass::Write).unwrap();
+        assert_eq!(adm.inflight(), 1);
+        // At capacity, but a lock holder still runs — uncounted.
+        let txn = adm.admit(AdmitClass::InTxn).unwrap();
+        assert_eq!(adm.inflight(), 1);
+        drop(txn);
+        assert_eq!(adm.inflight(), 1);
+    }
+
+    #[test]
+    fn reads_shed_immediately_writes_queue_to_deadline() {
+        let adm = Admission::new(1, 4, Duration::from_millis(20));
+        let held = adm.admit(AdmitClass::Read).unwrap();
+        assert_eq!(adm.admit(AdmitClass::Read).unwrap_err(), Shed::QueueFull);
+        let started = Instant::now();
+        assert_eq!(
+            adm.admit(AdmitClass::Write).unwrap_err(),
+            Shed::DeadlineExpired
+        );
+        assert!(started.elapsed() >= Duration::from_millis(20));
+        drop(held);
+        assert!(adm.admit(AdmitClass::Write).is_ok());
+    }
+
+    #[test]
+    fn queue_overflow_sheds_writes() {
+        let adm = Arc::new(Admission::new(1, 0, Duration::from_millis(50)));
+        let _held = adm.admit(AdmitClass::Write).unwrap();
+        assert_eq!(adm.admit(AdmitClass::Write).unwrap_err(), Shed::QueueFull);
+    }
+
+    #[test]
+    fn dropped_permit_wakes_a_waiting_writer() {
+        let adm = Arc::new(Admission::new(1, 4, Duration::from_secs(5)));
+        let held = adm.admit(AdmitClass::Write).unwrap();
+        let a = Arc::clone(&adm);
+        let waiter = std::thread::spawn(move || a.admit(AdmitClass::Write).map(|_| ()).is_ok());
+        std::thread::sleep(Duration::from_millis(20));
+        drop(held);
+        assert!(waiter.join().unwrap_or(false), "waiter should be admitted");
+        assert_eq!(adm.inflight(), 0);
+    }
+}

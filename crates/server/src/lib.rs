@@ -10,9 +10,13 @@
 //! hard parts: group commit batches the log writes of concurrent
 //! connections, and per-shard locks serialize their conflicts.
 
+pub mod admission;
 pub mod client;
 pub mod proto;
 pub mod server;
+pub mod torture;
+pub mod transport;
 
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientConfig, ClientError, Dialer};
 pub use server::{Server, ServerConfig, ServerHandle};
+pub use transport::{ChaosTransport, NetFaultPlan, Transport};

@@ -6,10 +6,14 @@
 //! status byte:
 //!
 //! ```text
-//! 0x00  OK     u16 ncols, per column u16 name-len + name bytes,
-//!              u32 nrows, per row ncols tagged values
-//!              (see mmdb_sql::codec), u64 affected
-//! 0x01  ERROR  UTF-8 message to end of frame
+//! 0x00  OK         u16 ncols, per column u16 name-len + name bytes,
+//!                  u32 nrows, per row ncols tagged values
+//!                  (see mmdb_sql::codec), u64 affected
+//! 0x01  ERROR      UTF-8 message to end of frame (fatal: retrying the
+//!                  same statement cannot succeed)
+//! 0x02  RETRYABLE  UTF-8 message to end of frame (transient: shed by
+//!                  admission control, deadlock victim, shutdown race —
+//!                  the same statement may succeed if retried)
 //! ```
 //!
 //! Reads distinguish three outcomes so the server can poll: a full
@@ -35,6 +39,25 @@ pub const MAX_FRAME_BYTES: usize = 16 * 1024 * 1024;
 /// server) are retried until this much wall time has passed since the
 /// frame's first byte.
 pub const MID_FRAME_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// An in-band error response: the server's message plus whether the
+/// failure is transient. `retryable` is the wire form of
+/// [`mmdb_sql::session::ErrorClass`]: a shed statement, a deadlock
+/// victim, or a shutdown race may succeed if re-sent; a parse or
+/// semantic error never will.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// The server's error message.
+    pub msg: String,
+    /// True when re-sending the same statement may succeed.
+    pub retryable: bool,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
 
 /// Outcome of one framed read.
 #[derive(Debug)]
@@ -141,6 +164,103 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
     w.flush()
 }
 
+/// Slow-receiver accounting from [`write_frame_stalled`]: how many
+/// write attempts hit the socket's write timeout and how much wall
+/// time they spent blocked.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct WriteStalls {
+    /// Write attempts that returned `WouldBlock`/`TimedOut`.
+    pub stalls: u64,
+    /// Total wall time spent in write attempts that timed out.
+    pub stalled: Duration,
+}
+
+/// Writes a buffer completely, tracking the offset by hand (a plain
+/// `write_all` loses its position on the first timeout) and charging
+/// every timed-out attempt's wall time against `budget`. Exhausting
+/// the budget is a hard `TimedOut` error — the caller treats the peer
+/// as a slow client and disconnects it.
+fn write_all_stalled(
+    w: &mut impl Write,
+    buf: &[u8],
+    acct: &mut WriteStalls,
+    budget: Duration,
+) -> io::Result<()> {
+    let mut at = 0usize;
+    while at < buf.len() {
+        let src = buf.get(at..).ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "write cursor out of range")
+        })?;
+        let attempt = Instant::now();
+        match w.write(src) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    "connection refused further bytes mid-frame",
+                ))
+            }
+            Ok(n) => at += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) if is_timeout(&e) => {
+                acct.stalls += 1;
+                // A zero-latency timeout still burns budget, so this
+                // loop always terminates.
+                acct.stalled += attempt.elapsed().max(Duration::from_micros(1));
+                if acct.stalled >= budget {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "write stalled past the slow-client budget",
+                    ));
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// [`write_frame`] with write-stall accounting for slow-client
+/// detection: each write attempt runs under the socket's (short) write
+/// timeout, timed-out attempts accumulate into the returned
+/// [`WriteStalls`], and a cumulative stall beyond `budget` fails with
+/// `TimedOut`. The caller carries the budget *across* responses by
+/// passing the remainder on the next call.
+pub fn write_frame_stalled(
+    w: &mut impl Write,
+    payload: &[u8],
+    budget: Duration,
+) -> io::Result<WriteStalls> {
+    if payload.len() > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame of {} bytes exceeds the cap", payload.len()),
+        ));
+    }
+    let mut acct = WriteStalls::default();
+    write_all_stalled(w, &(payload.len() as u32).to_le_bytes(), &mut acct, budget)?;
+    write_all_stalled(w, payload, &mut acct, budget)?;
+    loop {
+        let attempt = Instant::now();
+        match w.flush() {
+            Ok(()) => return Ok(acct),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) if is_timeout(&e) => {
+                acct.stalls += 1;
+                // A zero-latency timeout still burns budget, so this
+                // loop always terminates.
+                acct.stalled += attempt.elapsed().max(Duration::from_micros(1));
+                if acct.stalled >= budget {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "flush stalled past the slow-client budget",
+                    ));
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
 /// Encodes a successful result.
 pub fn encode_ok(result: &QueryResult) -> Result<Vec<u8>> {
     let mut out = vec![0u8];
@@ -171,9 +291,20 @@ pub fn encode_ok(result: &QueryResult) -> Result<Vec<u8>> {
     Ok(out)
 }
 
-/// Encodes an error response carrying `msg`.
+/// Encodes a fatal error response carrying `msg` (status byte `0x01`):
+/// re-sending the same statement cannot succeed.
 pub fn encode_err(msg: &str) -> Vec<u8> {
     let mut out = vec![1u8];
+    out.extend_from_slice(msg.as_bytes());
+    out
+}
+
+/// Encodes a retryable error response carrying `msg` (status byte
+/// `0x02`): the failure is transient — shed by admission control, a
+/// deadlock victim, a shutdown race — and the same statement may
+/// succeed if re-sent.
+pub fn encode_retryable(msg: &str) -> Vec<u8> {
+    let mut out = vec![2u8];
     out.extend_from_slice(msg.as_bytes());
     out
 }
@@ -218,17 +349,21 @@ fn take_u64(frame: &[u8], pos: &mut usize) -> Result<u64> {
 
 /// Decodes a response frame. The outer `Result` is a protocol failure
 /// (malformed frame); the inner one is the server's answer — either a
-/// [`QueryResult`] or the server's error message.
-pub fn decode_response(frame: &[u8]) -> Result<std::result::Result<QueryResult, String>> {
+/// [`QueryResult`] or an in-band [`WireError`] carrying the server's
+/// message and its retryable-vs-fatal classification.
+pub fn decode_response(frame: &[u8]) -> Result<std::result::Result<QueryResult, WireError>> {
     let mut pos = 0usize;
     let status = *take(frame, &mut pos, 1)?
         .first()
         .ok_or_else(|| Error::Io("empty response frame".to_string()))?;
     match status {
-        1 => {
+        1 | 2 => {
             let msg = frame.get(pos..).unwrap_or_default();
             let msg = String::from_utf8_lossy(msg).into_owned();
-            Ok(Err(msg))
+            Ok(Err(WireError {
+                msg,
+                retryable: status == 2,
+            }))
         }
         0 => {
             let ncols = take_u16(frame, &mut pos)? as usize;
@@ -378,10 +513,68 @@ mod tests {
         assert_eq!(decode_response(&frame).unwrap().unwrap(), result);
 
         let frame = encode_err("no such table");
-        assert_eq!(
-            decode_response(&frame).unwrap().unwrap_err(),
-            "no such table"
-        );
+        let err = decode_response(&frame).unwrap().unwrap_err();
+        assert_eq!(err.msg, "no such table");
+        assert!(!err.retryable);
+
+        let frame = encode_retryable("overloaded");
+        let err = decode_response(&frame).unwrap().unwrap_err();
+        assert_eq!(err.msg, "overloaded");
+        assert!(err.retryable);
+    }
+
+    /// A writer that refuses the first `stalls` write attempts with a
+    /// timeout, then accepts one byte per call — a receiver whose
+    /// window keeps filling up.
+    struct Choky {
+        stalls: usize,
+        accepted: Vec<u8>,
+    }
+
+    impl Write for Choky {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if self.stalls > 0 {
+                self.stalls -= 1;
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "window full"));
+            }
+            match buf.first() {
+                Some(b) => {
+                    self.accepted.push(*b);
+                    Ok(1)
+                }
+                None => Ok(0),
+            }
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn stalled_writes_are_accounted_and_complete_within_budget() {
+        let mut w = Choky {
+            stalls: 3,
+            accepted: Vec::new(),
+        };
+        let acct = write_frame_stalled(&mut w, b"hi", Duration::from_secs(5)).unwrap();
+        assert_eq!(acct.stalls, 3);
+        assert!(acct.stalled > Duration::ZERO);
+        // The frame arrived intact despite the per-byte dribble.
+        let mut r = io::Cursor::new(w.accepted);
+        match read_frame(&mut r).unwrap() {
+            FrameRead::Frame(p) => assert_eq!(p, b"hi"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn exhausted_stall_budget_is_a_timeout() {
+        let mut w = Choky {
+            stalls: 1_000_000,
+            accepted: Vec::new(),
+        };
+        let e = write_frame_stalled(&mut w, b"hi", Duration::from_micros(10)).unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::TimedOut);
     }
 
     #[test]

@@ -12,12 +12,14 @@
 //! request already in flight always runs to completion and gets its
 //! response — that is the drain.
 
+use crate::admission::{Admission, AdmitClass};
 use crate::proto::{self, FrameRead};
+use crate::transport::Transport;
 use mmdb_obs::{Counter, Gauge, Histogram, Registry};
 use mmdb_session::Engine;
 use mmdb_sql::ast::STATEMENT_KINDS;
 use mmdb_sql::parser::parse;
-use mmdb_sql::{SqlDb, SqlError, StatementKind};
+use mmdb_sql::{ErrorClass, SqlDb, SqlError, StatementKind};
 use mmdb_types::error::{Error, Result};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -38,8 +40,22 @@ pub struct ServerConfig {
     pub max_connections: usize,
     /// A connection idle longer than this is closed.
     pub idle_timeout: Duration,
-    /// Socket write timeout for responses.
+    /// Socket write timeout for a single response write attempt; a
+    /// timed-out attempt counts one write stall against
+    /// [`ServerConfig::write_stall_budget`].
     pub write_timeout: Duration,
+    /// Statements executing concurrently before admission control
+    /// starts shedding (in-transaction statements are exempt).
+    pub max_inflight_statements: usize,
+    /// Autocommit writes allowed to wait for an execution slot; beyond
+    /// this they are shed with a retryable error.
+    pub admission_queue: usize,
+    /// Longest an autocommit write waits for admission before being
+    /// shed with a retryable error.
+    pub admission_deadline: Duration,
+    /// Cumulative time a connection's response writes may spend
+    /// stalled before the client is declared slow and disconnected.
+    pub write_stall_budget: Duration,
 }
 
 impl Default for ServerConfig {
@@ -48,7 +64,11 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             max_connections: 256,
             idle_timeout: Duration::from_secs(30),
-            write_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_millis(500),
+            max_inflight_statements: 128,
+            admission_queue: 256,
+            admission_deadline: Duration::from_secs(2),
+            write_stall_budget: Duration::from_secs(2),
         }
     }
 }
@@ -61,6 +81,13 @@ struct Metrics {
     requests: Arc<Counter>,
     parse_errors: Arc<Counter>,
     protocol_errors: Arc<Counter>,
+    refused: Arc<Counter>,
+    shed: Arc<Counter>,
+    retryable_errors: Arc<Counter>,
+    write_stalls: Arc<Counter>,
+    slow_client_disconnects: Arc<Counter>,
+    inflight: Arc<Gauge>,
+    admission_wait: Arc<Histogram>,
     latency: Vec<(StatementKind, Arc<Histogram>)>,
 }
 
@@ -95,6 +122,34 @@ impl Metrics {
                 "mmdb_server_protocol_errors_total",
                 "Connections dropped for framing or transport errors",
             ),
+            refused: registry.counter(
+                "mmdb_server_refused_total",
+                "Connections refused at the connection-count cap",
+            ),
+            shed: registry.counter(
+                "mmdb_server_shed_total",
+                "Statements shed by admission control before running",
+            ),
+            retryable_errors: registry.counter(
+                "mmdb_server_retryable_errors_total",
+                "Error responses classified retryable (sheds, lock conflicts, shutdown)",
+            ),
+            write_stalls: registry.counter(
+                "mmdb_server_write_stalls_total",
+                "Response write attempts that stalled on a slow client",
+            ),
+            slow_client_disconnects: registry.counter(
+                "mmdb_server_slow_client_disconnects_total",
+                "Connections dropped for exhausting the write-stall budget",
+            ),
+            inflight: registry.gauge(
+                "mmdb_server_inflight_statements_count",
+                "Statements currently executing",
+            ),
+            admission_wait: registry.histogram(
+                "mmdb_server_admission_wait_us",
+                "Time from statement arrival to admission (or shed)",
+            ),
             latency,
         }
     }
@@ -117,6 +172,11 @@ impl Server {
     pub fn start(engine: &Engine, config: ServerConfig) -> Result<ServerHandle> {
         let db = SqlDb::open(engine)?;
         let metrics = Arc::new(Metrics::register(&engine.registry()));
+        let admission = Arc::new(Admission::new(
+            config.max_inflight_statements,
+            config.admission_queue,
+            config.admission_deadline,
+        ));
         let listener =
             TcpListener::bind(&config.addr).map_err(|e| Error::Io(format!("bind: {e}")))?;
         let addr = listener
@@ -129,7 +189,7 @@ impl Server {
         let flag = Arc::clone(&shutdown);
         let accept = std::thread::Builder::new()
             .name("mmdb-server-accept".to_string())
-            .spawn(move || accept_loop(listener, db, metrics, flag, config))
+            .spawn(move || accept_loop(listener, db, metrics, admission, flag, config))
             .map_err(|e| Error::Io(format!("spawn accept thread: {e}")))?;
         Ok(ServerHandle {
             addr,
@@ -183,6 +243,7 @@ fn accept_loop(
     listener: TcpListener,
     db: SqlDb,
     metrics: Arc<Metrics>,
+    admission: Arc<Admission>,
     shutdown: Arc<AtomicBool>,
     config: ServerConfig,
 ) {
@@ -202,18 +263,19 @@ fn accept_loop(
                     continue;
                 }
                 if metrics.active.get() >= config.max_connections as i64 {
-                    refuse(stream);
+                    refuse(stream, &metrics);
                     continue;
                 }
                 metrics.active.add(1);
                 let session = db.session();
                 let m = Arc::clone(&metrics);
+                let adm = Arc::clone(&admission);
                 let flag = Arc::clone(&shutdown);
                 let cfg = config.clone();
                 let spawned = std::thread::Builder::new()
                     .name("mmdb-server-conn".to_string())
                     .spawn(move || {
-                        serve_connection(stream, session, &m, &flag, &cfg);
+                        serve_connection(stream, session, &m, &adm, &flag, &cfg);
                         m.active.add(-1);
                     });
                 match spawned {
@@ -240,16 +302,27 @@ fn accept_loop(
     }
 }
 
-/// Tells an over-capacity client why it is being dropped.
-fn refuse(mut stream: TcpStream) {
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
-    let _ = proto::write_frame(&mut stream, &proto::encode_err("server at capacity"));
+/// Tells an over-capacity client why it is being dropped. The refusal
+/// is counted either way; a client that cannot even be told (its
+/// socket is already broken) additionally counts a protocol error, so
+/// refused connections never vanish from the ledger.
+fn refuse(mut stream: TcpStream, metrics: &Metrics) {
+    metrics.refused.inc();
+    metrics.retryable_errors.inc();
+    if stream
+        .set_write_timeout(Some(Duration::from_secs(1)))
+        .is_err()
+        || proto::write_frame(&mut stream, &proto::encode_retryable("server at capacity")).is_err()
+    {
+        metrics.protocol_errors.inc();
+    }
 }
 
-fn serve_connection(
-    mut stream: TcpStream,
+fn serve_connection<T: Transport>(
+    mut stream: T,
     mut session: mmdb_sql::SqlSession,
     metrics: &Metrics,
+    admission: &Admission,
     shutdown: &AtomicBool,
     config: &ServerConfig,
 ) {
@@ -263,6 +336,11 @@ fn serve_connection(
     }
     let _ = stream.set_nodelay(true);
     let mut idle_since = Instant::now();
+    // Slow-client accounting: response writes share one per-connection
+    // stall budget; a client that keeps the server blocked in write()
+    // for the whole budget is disconnected rather than allowed to pin
+    // a server thread (and whatever locks its session holds).
+    let mut stall_budget = config.write_stall_budget;
     loop {
         match proto::read_frame(&mut stream) {
             Ok(FrameRead::Idle) => {
@@ -278,10 +356,21 @@ fn serve_connection(
             Ok(FrameRead::Frame(payload)) => {
                 idle_since = Instant::now();
                 metrics.requests.inc();
-                let response = handle_request(&payload, &mut session, metrics);
-                if proto::write_frame(&mut stream, &response).is_err() {
-                    metrics.protocol_errors.inc();
-                    break;
+                let response = handle_request(&payload, &mut session, metrics, admission);
+                match proto::write_frame_stalled(&mut stream, &response, stall_budget) {
+                    Ok(stalls) => {
+                        metrics.write_stalls.add(stalls.stalls);
+                        stall_budget = stall_budget.saturating_sub(stalls.stalled);
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::TimedOut => {
+                        metrics.write_stalls.inc();
+                        metrics.slow_client_disconnects.inc();
+                        break;
+                    }
+                    Err(_) => {
+                        metrics.protocol_errors.inc();
+                        break;
+                    }
                 }
             }
             Err(_) => {
@@ -297,6 +386,7 @@ fn handle_request(
     payload: &[u8],
     session: &mut mmdb_sql::SqlSession,
     metrics: &Metrics,
+    admission: &Admission,
 ) -> Vec<u8> {
     let sql = match std::str::from_utf8(payload) {
         Ok(s) => s,
@@ -313,11 +403,37 @@ fn handle_request(
         }
     };
     let kind = stmt.kind();
+    // Shedding policy: in-flight transactions always run (they hold
+    // locks), autocommit reads shed first, autocommit writes queue up
+    // to the admission deadline. A shed is an in-band retryable error —
+    // the statement definitively did not run.
+    let class = if session.in_transaction() {
+        AdmitClass::InTxn
+    } else if kind == "select" {
+        AdmitClass::Read
+    } else {
+        AdmitClass::Write
+    };
+    let arrived = Instant::now();
+    let permit = admission.admit(class);
+    metrics
+        .admission_wait
+        .record(arrived.elapsed().as_micros() as u64);
+    let _permit = match permit {
+        Ok(p) => p,
+        Err(shed) => {
+            metrics.shed.inc();
+            metrics.retryable_errors.inc();
+            return proto::encode_retryable(shed.message());
+        }
+    };
+    metrics.inflight.add(1);
     let started = Instant::now();
     let outcome = session.run(&stmt);
     if let Some(hist) = metrics.latency_for(kind) {
         hist.record(started.elapsed().as_micros() as u64);
     }
+    metrics.inflight.add(-1);
     match outcome {
         Ok(result) => match proto::encode_ok(&result) {
             Ok(frame) => cap_frame(frame),
@@ -327,7 +443,13 @@ fn handle_request(
             metrics.parse_errors.inc();
             proto::encode_err(&e.to_string())
         }
-        Err(e) => proto::encode_err(&e.to_string()),
+        Err(e) => match e.class() {
+            ErrorClass::Retryable => {
+                metrics.retryable_errors.inc();
+                proto::encode_retryable(&e.to_string())
+            }
+            ErrorClass::Fatal => proto::encode_err(&e.to_string()),
+        },
     }
 }
 
@@ -359,7 +481,10 @@ mod tests {
         let capped = cap_frame(vec![0u8; proto::MAX_FRAME_BYTES + 1]);
         assert!(capped.len() <= proto::MAX_FRAME_BYTES);
         match proto::decode_response(&capped).unwrap() {
-            Err(msg) => assert!(msg.contains("result too large"), "{msg}"),
+            Err(we) => {
+                assert!(we.msg.contains("result too large"), "{}", we.msg);
+                assert!(!we.retryable, "an oversized result is not transient");
+            }
             Ok(r) => panic!("expected an error response, got {r:?}"),
         }
     }

@@ -1,0 +1,644 @@
+//! Full-stack seeded chaos torture: SQL over TCP under network faults
+//! and engine crashes, checked against the recovered image.
+//!
+//! The log-layer harness (`mmdb_session::torture`) proves the engine
+//! survives device failure; this one extends the same discipline up
+//! the wire. One `u64` seed derives a [`ServerChaosScenario`], a
+//! per-connection [`NetFaultPlan`] stream, and a concurrent transfer
+//! workload driven purely through [`Client`] — parse → plan → engine →
+//! WAL and back. The run then drains, crashes the engine, recovers
+//! fault-free, and checks through a *clean* connection:
+//!
+//! * **Acked implies recovered.** Every `COMMIT` the client saw
+//!   succeed is in the recovered ledger.
+//! * **No phantom commits.** Every recovered ledger marker belongs to
+//!   a transaction the client committed or one whose `COMMIT` answer
+//!   was lost in flight ("unknown" — never retried).
+//! * **No silent duplication.** Each transaction inserts one unique
+//!   ledger marker; a retry that re-applied committed work would show
+//!   up as a duplicate marker. This is the wire-level proof that the
+//!   client's retry taxonomy never resubmits non-idempotent work.
+//! * **Conservation and exactness.** Accounts start at zero and every
+//!   transfer is zero-sum, so recovered balances must sum to zero —
+//!   and must equal exactly the balances implied by the recovered
+//!   ledger markers' transfer deltas.
+//! * **The failure surface is honest.** A connection that dies with a
+//!   transaction open must surface as
+//!   [`ClientError::ConnectionLost`]` { in_txn: true }` — never as a
+//!   shape a naive caller would blindly retry.
+//! * **Nobody hangs.** Every deadline is finite; the xtask watchdog
+//!   bounds the whole sweep.
+//!
+//! Run as `cargo xtask torture --server --seeds N`.
+
+use crate::client::{Client, ClientConfig, ClientError, Dialer};
+use crate::server::{Server, ServerConfig};
+use crate::transport::{ChaosTransport, NetFaultPlan, Transport};
+use mmdb_session::torture::{Lcg, TortureReport};
+use mmdb_session::{CommitPolicy, Engine, EngineOptions};
+use mmdb_types::{Error, Result};
+use std::collections::{BTreeMap, BTreeSet};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Accounts the workload transfers between (ids `0..KEYS`).
+const KEYS: i64 = 6;
+
+/// The network/overload failure a seed injects into its run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerChaosScenario {
+    /// No faults: the baseline the chaotic seeds must not regress.
+    CleanWire,
+    /// Connections die at a random transport operation.
+    DropWire,
+    /// Writes tear mid-frame, then the connection dies.
+    TornWire,
+    /// Reads and writes stall briefly — latency, not loss.
+    StallWire,
+    /// A write is delivered twice, desynchronizing the framing.
+    DupWire,
+    /// A write is withheld until the following write.
+    DelayWire,
+    /// Tiny admission capacity: most statements shed, retries carry.
+    Overload,
+    /// The engine crashes mid-traffic, recovers, and a new server
+    /// takes over on a new port; clients re-dial through the chaos.
+    MidRunCrash,
+}
+
+impl ServerChaosScenario {
+    fn from(rng: &mut Lcg) -> ServerChaosScenario {
+        match rng.below(8) {
+            0 => ServerChaosScenario::CleanWire,
+            1 => ServerChaosScenario::DropWire,
+            2 => ServerChaosScenario::TornWire,
+            3 => ServerChaosScenario::StallWire,
+            4 => ServerChaosScenario::DupWire,
+            5 => ServerChaosScenario::DelayWire,
+            6 => ServerChaosScenario::Overload,
+            _ => ServerChaosScenario::MidRunCrash,
+        }
+    }
+
+    /// Stable name for reports and artifact directories.
+    pub fn name(self) -> &'static str {
+        match self {
+            ServerChaosScenario::CleanWire => "clean-wire",
+            ServerChaosScenario::DropWire => "drop-wire",
+            ServerChaosScenario::TornWire => "torn-wire",
+            ServerChaosScenario::StallWire => "stall-wire",
+            ServerChaosScenario::DupWire => "dup-wire",
+            ServerChaosScenario::DelayWire => "delay-wire",
+            ServerChaosScenario::Overload => "overload",
+            ServerChaosScenario::MidRunCrash => "mid-run-crash",
+        }
+    }
+
+    /// The fault plan for one freshly dialed connection. Half the
+    /// connections dial clean so chaotic seeds still make progress.
+    fn draw_plan(self, rng: &mut Lcg) -> NetFaultPlan {
+        if rng.below(2) == 0 {
+            return NetFaultPlan::none();
+        }
+        match self {
+            ServerChaosScenario::CleanWire
+            | ServerChaosScenario::Overload
+            | ServerChaosScenario::MidRunCrash => NetFaultPlan::none(),
+            ServerChaosScenario::DropWire => NetFaultPlan::none().drop_at(4 + rng.below(60)),
+            ServerChaosScenario::TornWire => {
+                NetFaultPlan::none().torn_write(1 + rng.below(16), rng.below(6) as usize)
+            }
+            ServerChaosScenario::StallWire => NetFaultPlan::none()
+                .stall_reads(1 + rng.below(4), Duration::from_millis(1 + rng.below(6)))
+                .stall_writes(1 + rng.below(4), Duration::from_millis(1 + rng.below(6))),
+            ServerChaosScenario::DupWire => NetFaultPlan::none().dup_write(1 + rng.below(16)),
+            ServerChaosScenario::DelayWire => NetFaultPlan::none().delay_write(1 + rng.below(16)),
+        }
+    }
+}
+
+/// What one transfer ultimately came to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Outcome {
+    /// `COMMIT` returned OK: this transaction must be recovered.
+    Acked,
+    /// The `COMMIT` answer was lost (or ambiguous): the transaction
+    /// may or may not have committed. It is never retried.
+    Unknown,
+    /// Definitively aborted (and retries exhausted): it must *not*
+    /// appear in the recovered ledger.
+    Failed,
+}
+
+/// One transfer the workload attempted, keyed by its ledger marker.
+#[derive(Debug, Clone)]
+struct Transfer {
+    marker: i64,
+    from: i64,
+    to: i64,
+    amount: i64,
+    outcome: Outcome,
+}
+
+/// How one attempt of a transfer transaction ended.
+enum Attempt {
+    /// COMMIT answered OK.
+    Committed,
+    /// The commit's fate is unknowable from here: never retried.
+    Unknown,
+    /// Definitively rolled back: safe to retry the same marker.
+    Aborted,
+    /// The client surfaced a failure shape its contract forbids.
+    Violation(String),
+}
+
+fn violation(seed: u64, msg: String) -> Error {
+    Error::Internal(format!("server-chaos seed {seed}: {msg}"))
+}
+
+/// The currently serving address, shared with every dialer so a
+/// mid-run crash can repoint them at the successor server.
+fn current_addr(slot: &AtomicU64) -> SocketAddr {
+    // ordering: the port is an independent word updated once per
+    // server generation; a stale read just means one more refused
+    // dial, which the dialer retry loop absorbs.
+    SocketAddr::from(([127, 0, 0, 1], slot.load(Ordering::Relaxed) as u16))
+}
+
+fn make_dialer(slot: Arc<AtomicU64>, scenario: ServerChaosScenario, dial_seed: u64) -> Dialer {
+    let mut rng = Lcg::new(dial_seed);
+    Box::new(move || {
+        let addr = current_addr(&slot);
+        let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(2))?;
+        let plan = scenario.draw_plan(&mut rng);
+        Ok(Box::new(ChaosTransport::new(stream, plan)) as Box<dyn Transport>)
+    })
+}
+
+fn chaos_client_config(seed: u64, client: u64) -> ClientConfig {
+    ClientConfig {
+        connect_timeout: Duration::from_secs(2),
+        read_deadline: Duration::from_secs(2),
+        write_timeout: Duration::from_secs(2),
+        max_retries: 2,
+        backoff_base: Duration::from_millis(2),
+        backoff_cap: Duration::from_millis(20),
+        retry_seed: seed ^ client.wrapping_mul(0x0DD_BA11),
+        auto_retry: true,
+        registry: None,
+    }
+}
+
+/// Builds a chaos client, retrying the eager dial while a mid-run
+/// crash swaps servers. `None` once the retry budget is exhausted.
+fn connect_chaos(
+    slot: &Arc<AtomicU64>,
+    scenario: ServerChaosScenario,
+    seed: u64,
+    client: u64,
+    generation: &mut u64,
+) -> Option<Client> {
+    for _ in 0..100 {
+        *generation = generation.wrapping_add(1);
+        let dialer = make_dialer(
+            Arc::clone(slot),
+            scenario,
+            seed ^ client.wrapping_mul(0x00C0_FFEE) ^ generation.wrapping_mul(0x1_0000_0001),
+        );
+        match Client::from_dialer(dialer, chaos_client_config(seed, client)) {
+            Ok(c) => return Some(c),
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+    None
+}
+
+/// Classifies a failure of a statement sent *inside* the transaction
+/// (after BEGIN succeeded, before COMMIT). In every tolerated shape
+/// the transaction is definitively rolled back: an in-band error means
+/// the server aborted it, and a torn connection kills the server
+/// session (whose drop aborts it). The forbidden shapes are the ones a
+/// naive caller would auto-retry.
+fn classify_mid_txn(e: &ClientError) -> Attempt {
+    match e {
+        ClientError::Server { .. } => Attempt::Aborted,
+        ClientError::ConnectionLost { in_txn: true, .. } => Attempt::Aborted,
+        ClientError::Timeout(_) => Attempt::Aborted,
+        ClientError::Protocol(_) => Attempt::Aborted,
+        ClientError::ConnectionLost { in_txn: false, .. } => Attempt::Violation(format!(
+            "mid-transaction failure reported as ConnectionLost {{ in_txn: false }}: {e}"
+        )),
+        ClientError::Io(_) => Attempt::Violation(format!(
+            "mid-transaction failure reported as a bare dial error: {e}"
+        )),
+    }
+}
+
+/// Runs one transfer transaction through `client`. Any statement may
+/// fail at any moment; the returned [`Attempt`] is the fate.
+fn attempt_transfer(client: &mut Client, t: &Transfer) -> Attempt {
+    // BEGIN is sent outside any transaction: every failure there means
+    // nothing started — plain abort, no special shapes required.
+    if client.execute("BEGIN").is_err() {
+        return Attempt::Aborted;
+    }
+    let body = [
+        format!(
+            "UPDATE acct SET bal = bal - {} WHERE id = {}",
+            t.amount, t.from
+        ),
+        format!(
+            "UPDATE acct SET bal = bal + {} WHERE id = {}",
+            t.amount, t.to
+        ),
+        format!(
+            "INSERT INTO ledger VALUES ({}, {}, {})",
+            t.marker, t.from, t.to
+        ),
+    ];
+    for sql in &body {
+        if let Err(e) = client.execute(sql) {
+            return classify_mid_txn(&e);
+        }
+        if !client.in_transaction() {
+            // Defensive: the client believes the transaction is gone
+            // even though the statement answered OK — treat as aborted
+            // rather than committing a half-transfer.
+            return Attempt::Aborted;
+        }
+    }
+    match client.execute("COMMIT") {
+        Ok(_) => Attempt::Committed,
+        // An in-band COMMIT failure is ambiguous at this layer (the
+        // engine may have aborted, or only the ack path failed), so
+        // the harness refuses to retry: conservative Unknown.
+        Err(ClientError::Server { .. }) => Attempt::Unknown,
+        // The answer was lost with the connection: Unknown, never
+        // retried — this is the oracle's bait for unsafe retry logic.
+        Err(ClientError::ConnectionLost { .. })
+        | Err(ClientError::Timeout(_))
+        | Err(ClientError::Protocol(_)) => Attempt::Unknown,
+        Err(e @ ClientError::Io(_)) => classify_mid_txn(&e),
+    }
+}
+
+/// One client thread's workload: `txns` transfers, each retried at
+/// most once and only when the previous attempt definitively aborted.
+fn run_chaos_client(
+    slot: Arc<AtomicU64>,
+    scenario: ServerChaosScenario,
+    seed: u64,
+    client_id: u64,
+    txns: u64,
+) -> std::result::Result<Vec<Transfer>, String> {
+    let mut rng = Lcg::new((seed ^ client_id.wrapping_mul(0x00C0_FFEE)) | 1);
+    let mut generation = 0u64;
+    let mut client = connect_chaos(&slot, scenario, seed, client_id, &mut generation);
+    let mut transfers = Vec::with_capacity(txns as usize);
+    for s in 0..txns {
+        let from = rng.below(KEYS as u64) as i64;
+        let to = (from + 1 + rng.below(KEYS as u64 - 1) as i64) % KEYS;
+        let mut t = Transfer {
+            marker: (client_id as i64) * 10_000 + s as i64,
+            from,
+            to,
+            amount: 1 + rng.below(9) as i64,
+            outcome: Outcome::Failed,
+        };
+        // Warm-up autocommit read: exercises the read-shedding path and
+        // the client's safe SELECT auto-retry; every outcome tolerated.
+        if let Some(c) = client.as_mut() {
+            let _ = c.execute(&format!("SELECT bal FROM acct WHERE id = {from}"));
+        }
+        for _attempt in 0..2 {
+            let c = match client.as_mut() {
+                Some(c) => c,
+                None => {
+                    client = connect_chaos(&slot, scenario, seed, client_id, &mut generation);
+                    match client.as_mut() {
+                        Some(c) => c,
+                        None => break,
+                    }
+                }
+            };
+            match attempt_transfer(c, &t) {
+                Attempt::Violation(msg) => return Err(msg),
+                Attempt::Committed => {
+                    t.outcome = Outcome::Acked;
+                    break;
+                }
+                Attempt::Unknown => {
+                    t.outcome = Outcome::Unknown;
+                    break;
+                }
+                Attempt::Aborted => {
+                    // Definitely rolled back: loop retries the same
+                    // marker exactly once.
+                }
+            }
+        }
+        transfers.push(t);
+    }
+    Ok(transfers)
+}
+
+/// Picks the engine/commit shape for a seed.
+fn engine_options(rng: &mut Lcg, log_dir: &Path) -> EngineOptions {
+    let policy = if rng.below(3) == 0 {
+        CommitPolicy::Synchronous
+    } else {
+        CommitPolicy::Group
+    };
+    EngineOptions::new(policy, log_dir)
+        .with_page_write_latency(Duration::from_micros(rng.below(200)))
+        .with_flush_interval(Duration::from_micros(200))
+        .with_lock_wait_timeout(Duration::from_millis(30))
+        .with_shards(1 + rng.below(4) as usize)
+        .with_io_retry_backoff(Duration::from_micros(100))
+}
+
+fn server_config(scenario: ServerChaosScenario) -> ServerConfig {
+    let mut cfg = ServerConfig {
+        idle_timeout: Duration::from_secs(10),
+        ..ServerConfig::default()
+    };
+    if scenario == ServerChaosScenario::Overload {
+        cfg.max_inflight_statements = 1;
+        cfg.admission_queue = 1;
+        cfg.admission_deadline = Duration::from_millis(25);
+    }
+    cfg
+}
+
+/// Runs SQL on a plain (chaos-free) client, mapping failure into a
+/// seed violation — the verification connection must just work.
+fn must(client: &mut Client, sql: &str, seed: u64) -> Result<mmdb_sql::QueryResult> {
+    client
+        .execute(sql)
+        .map_err(|e| violation(seed, format!("verification statement {sql:?} failed: {e}")))
+}
+
+fn int_at(row: &[mmdb_types::Value], idx: usize) -> Option<i64> {
+    row.get(idx).and_then(|v| v.as_int())
+}
+
+/// Phase 1+2: serve traffic under chaos (optionally crashing the
+/// engine mid-run), then drain. Returns the engine for the final
+/// crash/recover plus every client's transfer record.
+fn run_workload(
+    seed: u64,
+    scenario: ServerChaosScenario,
+    options: &EngineOptions,
+    rng: &mut Lcg,
+) -> Result<(Engine, Vec<Transfer>)> {
+    let engine = Engine::start(options.clone())?;
+    let cfg = server_config(scenario);
+    let handle = Server::start(&engine, cfg.clone())?;
+    let slot = Arc::new(AtomicU64::new(u64::from(handle.addr().port())));
+
+    // Schema + zeroed accounts through a plain client.
+    {
+        let mut init = Client::connect(handle.addr())
+            .map_err(|e| violation(seed, format!("init connect failed: {e}")))?;
+        must(&mut init, "CREATE TABLE acct (id INT, bal INT)", seed)?;
+        let rows: Vec<String> = (0..KEYS).map(|id| format!("({id}, 0)")).collect();
+        must(
+            &mut init,
+            &format!("INSERT INTO acct VALUES {}", rows.join(", ")),
+            seed,
+        )?;
+        must(
+            &mut init,
+            "CREATE TABLE ledger (marker INT, src INT, dst INT)",
+            seed,
+        )?;
+    }
+
+    let clients = 2 + rng.below(2);
+    let txns_per_client = 3 + rng.below(5);
+    let crash_after = Duration::from_millis(10 + rng.below(60));
+
+    let mut joins = Vec::new();
+    for client_id in 0..clients {
+        let slot_c = Arc::clone(&slot);
+        let join = std::thread::Builder::new()
+            .name(format!("server-chaos-client-{client_id}"))
+            .spawn(move || run_chaos_client(slot_c, scenario, seed, client_id, txns_per_client))
+            .map_err(|e| Error::Io(format!("spawn chaos client: {e}")))?;
+        joins.push(join);
+    }
+
+    // Mid-run crash: drain the server, crash the engine, recover, and
+    // repoint the dialers at the successor. Clients ride it out via
+    // reconnects; their open transactions die honestly.
+    let (engine, handle) = if scenario == ServerChaosScenario::MidRunCrash {
+        std::thread::sleep(crash_after);
+        handle.shutdown()?;
+        engine.crash()?;
+        let (engine2, _info) = Engine::recover(options.clone())?;
+        let handle2 = Server::start(&engine2, cfg)?;
+        // ordering: see current_addr — dialers tolerate staleness.
+        slot.store(u64::from(handle2.addr().port()), Ordering::Relaxed);
+        (engine2, handle2)
+    } else {
+        (engine, handle)
+    };
+
+    let mut transfers = Vec::new();
+    for join in joins {
+        let client_transfers = join
+            .join()
+            .map_err(|_| violation(seed, "chaos client thread panicked".to_string()))?
+            .map_err(|msg| violation(seed, msg))?;
+        transfers.extend(client_transfers);
+    }
+
+    // Drain: every in-flight request finishes and is answered.
+    handle.shutdown()?;
+    Ok((engine, transfers))
+}
+
+/// Runs one full seeded server-chaos iteration in `log_dir` (created
+/// fresh; kept by the caller on `Err` as the failure artifact). See
+/// the module docs for the properties checked.
+pub fn run_server_seed(seed: u64, log_dir: &Path) -> Result<TortureReport> {
+    std::fs::remove_dir_all(log_dir).ok();
+    let mut rng = Lcg::new(seed ^ 0x5E12_7EC4_A05C_0D1E);
+    let scenario = ServerChaosScenario::from(&mut rng);
+    let options = engine_options(&mut rng, log_dir);
+    let policy = format!("{:?}", options.policy);
+
+    let (engine, transfers) = run_workload(seed, scenario, &options, &mut rng)?;
+
+    // Dump the workload's view of every transfer next to the log: on a
+    // failing seed the directory is kept, and the oracle's verdict is
+    // only interpretable against what each client thought happened.
+    let dump: String = transfers
+        .iter()
+        .map(|t| {
+            format!(
+                "marker {} from {} to {} amount {} outcome {:?}\n",
+                t.marker, t.from, t.to, t.amount, t.outcome
+            )
+        })
+        .collect();
+    std::fs::write(log_dir.join("transfers.txt"), dump).ok();
+
+    // Final failure + fault-free recovery.
+    engine.crash()?;
+    let (engine, info) = Engine::recover(options.clone())?;
+    let recovered_txns = info.committed.len();
+
+    // Verify through a fresh server and a plain client.
+    let handle = Server::start(&engine, ServerConfig::default())?;
+    let mut check = Client::connect(handle.addr())
+        .map_err(|e| violation(seed, format!("verify connect failed: {e}")))?;
+
+    let ledger = must(&mut check, "SELECT marker, src, dst FROM ledger", seed)?;
+    let mut recovered_markers: BTreeSet<i64> = BTreeSet::new();
+    for row in &ledger.rows {
+        let marker = int_at(row, 0)
+            .ok_or_else(|| violation(seed, "ledger row without integer marker".to_string()))?;
+        if !recovered_markers.insert(marker) {
+            return Err(violation(
+                seed,
+                format!("duplicate ledger marker {marker}: non-idempotent work was re-applied"),
+            ));
+        }
+    }
+
+    let by_marker: BTreeMap<i64, &Transfer> = transfers.iter().map(|t| (t.marker, t)).collect();
+
+    // Acked ⊆ recovered.
+    for t in &transfers {
+        if t.outcome == Outcome::Acked && !recovered_markers.contains(&t.marker) {
+            return Err(violation(
+                seed,
+                format!("acked transfer marker {} missing after recovery", t.marker),
+            ));
+        }
+    }
+    // Recovered ⊆ acked ∪ unknown.
+    for marker in &recovered_markers {
+        match by_marker.get(marker) {
+            Some(t) if t.outcome != Outcome::Failed => {}
+            Some(t) => {
+                return Err(violation(
+                    seed,
+                    format!(
+                        "marker {} recovered but its transfer was definitively aborted ({:?})",
+                        t.marker, t.outcome
+                    ),
+                ))
+            }
+            None => {
+                return Err(violation(
+                    seed,
+                    format!("marker {marker} recovered but never attempted"),
+                ))
+            }
+        }
+    }
+
+    // Exact balances from the recovered ledger's transfer deltas.
+    let mut expected: BTreeMap<i64, i64> = (0..KEYS).map(|id| (id, 0)).collect();
+    for marker in &recovered_markers {
+        if let Some(t) = by_marker.get(marker) {
+            if let Some(b) = expected.get_mut(&t.from) {
+                *b -= t.amount;
+            }
+            if let Some(b) = expected.get_mut(&t.to) {
+                *b += t.amount;
+            }
+        }
+    }
+    let balances = must(&mut check, "SELECT id, bal FROM acct", seed)?;
+    let mut actual: BTreeMap<i64, i64> = BTreeMap::new();
+    for row in &balances.rows {
+        match (int_at(row, 0), int_at(row, 1)) {
+            (Some(id), Some(bal)) => {
+                actual.insert(id, bal);
+            }
+            _ => {
+                return Err(violation(
+                    seed,
+                    "acct row without integer columns".to_string(),
+                ))
+            }
+        }
+    }
+    if actual != expected {
+        return Err(violation(
+            seed,
+            format!("recovered balances {actual:?} != ledger-implied {expected:?}"),
+        ));
+    }
+    let sum: i64 = actual.values().sum();
+    if sum != 0 {
+        return Err(violation(seed, format!("balances sum to {sum}, not zero")));
+    }
+
+    // Liveness probe: the recovered stack still serves writes.
+    must(&mut check, "INSERT INTO ledger VALUES (-1, -1, -1)", seed)?;
+    let probe = must(
+        &mut check,
+        "SELECT marker FROM ledger WHERE marker = -1",
+        seed,
+    )?;
+    if probe.rows.len() != 1 {
+        return Err(violation(seed, "liveness probe row missing".to_string()));
+    }
+
+    handle.shutdown()?;
+    engine.shutdown()?;
+
+    let acked = transfers
+        .iter()
+        .filter(|t| t.outcome == Outcome::Acked)
+        .count();
+    let committed = transfers
+        .iter()
+        .filter(|t| t.outcome != Outcome::Failed)
+        .count();
+    Ok(TortureReport {
+        seed,
+        scenario: format!("server-{}", scenario.name()),
+        policy,
+        committed,
+        acked,
+        recovered: recovered_txns,
+        corrupt_pages_dropped: 0,
+        degraded: false,
+    })
+}
+
+/// Sweeps `count` seeds from `first`, one directory per seed, stopping
+/// at the first violation. A passing seed's directory is removed; a
+/// failing seed's is kept as the artifact (its path is in the error).
+pub fn run_server_range(first: u64, count: u64, base_dir: &Path) -> Result<Vec<TortureReport>> {
+    let mut reports = Vec::with_capacity(count as usize);
+    for seed in first..first.saturating_add(count) {
+        let log_dir = seed_dir(base_dir, seed);
+        match run_server_seed(seed, &log_dir) {
+            Ok(report) => {
+                std::fs::remove_dir_all(&log_dir).ok();
+                reports.push(report);
+            }
+            Err(e) => {
+                return Err(Error::Internal(format!(
+                    "{e} [artifacts: {}]",
+                    log_dir.display()
+                )));
+            }
+        }
+    }
+    Ok(reports)
+}
+
+/// The per-seed log directory under `base_dir`.
+pub fn seed_dir(base_dir: &Path, seed: u64) -> PathBuf {
+    base_dir.join(format!("server-seed-{seed}"))
+}

@@ -173,7 +173,7 @@ pub(crate) fn sweep(
             .flatten()
             .map(|e| (e.lsn, e.key, e.old))
             .collect();
-        entries.sort_by(|a, b| b.0.cmp(&a.0));
+        entries.sort_by_key(|e| std::cmp::Reverse(e.0));
         let settled = entries.is_empty();
         for (_, key, old) in entries {
             match old {
@@ -289,10 +289,9 @@ fn write_torn_image(
             padding: 0,
         });
     }
-    let mut lsn = 1u64;
     let mut page: Vec<(Lsn, LogRecord)> = Vec::new();
     let mut bytes = 0usize;
-    for rec in records {
+    for (lsn, rec) in (1u64..).zip(records) {
         let size = rec.byte_size();
         if !page.is_empty() && bytes + size > page_bytes {
             device.append_page(&page)?;
@@ -300,7 +299,6 @@ fn write_torn_image(
             bytes = 0;
         }
         page.push((Lsn(lsn), rec));
-        lsn += 1;
         bytes += size;
     }
     if !page.is_empty() {

@@ -50,16 +50,20 @@ const KEYS: u64 = 8;
 
 /// A tiny deterministic generator (64-bit LCG, Knuth's constants) so a
 /// seed fully determines the scenario without pulling in an RNG crate.
+/// Public so the server-chaos torture harness draws from the same
+/// stream discipline as the log-fault harness.
 #[derive(Debug, Clone)]
-struct Lcg(u64);
+pub struct Lcg(u64);
 
 impl Lcg {
-    fn new(seed: u64) -> Lcg {
-        // Scramble so small consecutive seeds diverge immediately.
+    /// Seeds the generator, scrambling so small consecutive seeds
+    /// diverge immediately.
+    pub fn new(seed: u64) -> Lcg {
         Lcg(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xDEAD_BEEF_CAFE_F00D)
     }
 
-    fn next(&mut self) -> u64 {
+    /// The next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
         self.0 = self
             .0
             .wrapping_mul(6_364_136_223_846_793_005)
@@ -68,8 +72,8 @@ impl Lcg {
     }
 
     /// Uniform value in `0..n` (n ≥ 1).
-    fn below(&mut self, n: u64) -> u64 {
-        self.next() % n.max(1)
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n.max(1)
     }
 }
 
@@ -915,9 +919,9 @@ mod tests {
         let mut a = Lcg::new(7);
         let mut b = Lcg::new(7);
         let mut c = Lcg::new(8);
-        let va: Vec<u64> = (0..8).map(|_| a.next()).collect();
-        let vb: Vec<u64> = (0..8).map(|_| b.next()).collect();
-        let vc: Vec<u64> = (0..8).map(|_| c.next()).collect();
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
         assert_eq!(va, vb);
         assert_ne!(va, vc);
     }

@@ -41,4 +41,4 @@ pub mod session;
 pub use ast::{Statement, StatementKind};
 pub use parser::{parse, ParseError};
 pub use query::QueryResult;
-pub use session::{SqlDb, SqlError, SqlSession};
+pub use session::{ErrorClass, SqlDb, SqlError, SqlSession};

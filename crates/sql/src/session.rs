@@ -51,6 +51,40 @@ pub enum SqlError {
     Sql(String),
     /// Engine, planner, or executor error.
     Exec(Error),
+    /// A statement failed inside an explicit transaction, which the
+    /// session then aborted. Wraps the original failure; classification
+    /// follows the inner error.
+    TxnAborted(Box<SqlError>),
+}
+
+/// How a failed statement should be treated by the caller: worth
+/// retrying from the top (a fresh attempt may succeed — deadlock
+/// victims, capacity refusals, shutdown races) or fatal as written
+/// (parse errors, unknown tables, constraint-shaped failures).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorClass {
+    /// Transient: the same statement may succeed if resubmitted.
+    Retryable,
+    /// Deterministic: resubmitting the same statement will fail again.
+    Fatal,
+}
+
+impl SqlError {
+    /// Classifies this error as [`ErrorClass::Retryable`] or
+    /// [`ErrorClass::Fatal`]. The server forwards this in-band so
+    /// clients can auto-retry safely.
+    pub fn class(&self) -> ErrorClass {
+        match self {
+            SqlError::Parse(_) | SqlError::Sql(_) => ErrorClass::Fatal,
+            SqlError::TxnAborted(inner) => inner.class(),
+            SqlError::Exec(e) => match e {
+                Error::LockConflict { .. } | Error::TransactionAborted(_) | Error::Shutdown => {
+                    ErrorClass::Retryable
+                }
+                _ => ErrorClass::Fatal,
+            },
+        }
+    }
 }
 
 impl std::fmt::Display for SqlError {
@@ -59,6 +93,7 @@ impl std::fmt::Display for SqlError {
             SqlError::Parse(e) => write!(f, "{e}"),
             SqlError::Sql(msg) => write!(f, "{msg}"),
             SqlError::Exec(e) => write!(f, "{e}"),
+            SqlError::TxnAborted(inner) => write!(f, "{inner}; transaction aborted"),
         }
     }
 }
@@ -84,11 +119,20 @@ impl From<Error> for SqlError {
 enum UndoOp {
     /// Undo an `INSERT`: drop the row from the mirror.
     RemoveRow { table: String, rid: u32 },
-    /// Undo an `UPDATE` or `DELETE`: put the old tuple back.
+    /// Undo an `UPDATE` or `DELETE`: put the old tuple back — but only
+    /// if the mirror still shows what this transaction wrote. A
+    /// deadlock victim's engine locks are released (and its engine
+    /// writes rolled back) *inside* the engine, before this volatile
+    /// undo runs; a successor may have legitimately overwritten the row
+    /// in that window, and restoring over its value would clobber
+    /// committed state.
     RestoreRow {
         table: String,
         rid: u32,
         tuple: Tuple,
+        /// What this transaction left in the mirror: `Some(new)` for an
+        /// `UPDATE`, `None` for a `DELETE` (row absent).
+        wrote: Option<Tuple>,
     },
     /// Undo a `CREATE TABLE`.
     DropTable { name: String },
@@ -380,7 +424,7 @@ impl SqlSession {
                 if auto {
                     Err(SqlError::Exec(e))
                 } else {
-                    Err(SqlError::Sql(format!("{e}; transaction aborted")))
+                    Err(SqlError::TxnAborted(Box::new(SqlError::Exec(e))))
                 }
             }
         }
@@ -426,9 +470,17 @@ impl SqlSession {
                         ref table,
                         rid,
                         ref tuple,
+                        ref wrote,
                     } => {
                         if let Ok(entry) = cat.table_mut_any(table) {
-                            entry.rows.insert(rid, tuple.clone());
+                            // Restore only when the mirror still shows
+                            // this transaction's own write; anything
+                            // else means a successor overwrote the row
+                            // after the engine released our locks, and
+                            // its value is the correct one.
+                            if entry.rows.get(&rid) == wrote.as_ref() {
+                                entry.rows.insert(rid, tuple.clone());
+                            }
                         }
                     }
                     UndoOp::DropTable { ref name } => cat.remove(name),
@@ -598,30 +650,58 @@ fn scan_matching(
 }
 
 /// Locks one row's header through the engine and re-reads its current
-/// tuple from the mirror. Returns `None` when the row vanished (or was
-/// tombstoned) between the scan and the lock — the statement skips it,
-/// exactly as if the scan had never seen it.
+/// tuple *from the engine* under that lock. Returns `None` when the
+/// row vanished (or was tombstoned) between the scan and the lock —
+/// the statement skips it, exactly as if the scan had never seen it.
+///
+/// The engine, not the catalog mirror, is the authority here: an
+/// engine-side abort (deadlock victim) rolls the store back and
+/// releases the victim's locks atomically under the shard lock, while
+/// the victim's *mirror* writes linger until its session observes the
+/// abort. Re-reading the mirror in that window reads uncommitted data
+/// — a read-modify-write built on it silently drops the concurrent
+/// committed update.
 fn lock_and_refetch(
     db: &SqlDb,
     txn: &Txn,
-    table: &str,
     table_id: u32,
     rid: u32,
+    arity: usize,
 ) -> Result<Option<Tuple>> {
     let header = db
         .session
         .read_for_update(txn, codec::row_key(table_id, rid, 0)?)?;
-    match header {
+    let len = match header {
         None => return Ok(None),
         Some(h) if h == codec::TOMBSTONE => return Ok(None),
-        Some(_) => {}
+        Some(h) if h < 0 => {
+            return Err(Error::Internal(format!(
+                "row {rid} of table {table_id}: header {h} is not a length"
+            )))
+        }
+        Some(h) => h as usize,
+    };
+    // The header's exclusive lock is the row's lock point (every writer
+    // takes it first), so the payload chunks cannot change under us;
+    // shared locks suffice and pick up §5.2 commit dependencies from a
+    // pre-committed writer.
+    let need = len.div_ceil(8) as u64;
+    let mut words = Vec::with_capacity(need as usize);
+    for chunk in 1..=need {
+        match db
+            .session
+            .read_shared(txn, codec::row_key(table_id, rid, chunk)?)?
+        {
+            Some(w) => words.push(w),
+            None => {
+                return Err(Error::Internal(format!(
+                    "row {rid} of table {table_id} is missing chunk {chunk}"
+                )))
+            }
+        }
     }
-    db.catalog.with_catalog_read(|cat| {
-        Ok(cat
-            .table(table, Some(txn.id()))
-            .ok()
-            .and_then(|entry| entry.rows.get(&rid).cloned()))
-    })
+    let blob = codec::words_to_blob(&words, len)?;
+    codec::decode_row(&blob, arity).map(Some)
 }
 
 fn update(
@@ -639,7 +719,7 @@ fn update(
     for (rid, _) in scan.matches {
         // The scan ran unlocked; lock the row, then recheck against its
         // current value (it may have changed or stopped matching).
-        let current = match lock_and_refetch(db, txn, table, scan.table_id, rid)? {
+        let current = match lock_and_refetch(db, txn, scan.table_id, rid, scan.schema.arity())? {
             Some(t) if pred.eval(&t) => t,
             _ => continue,
         };
@@ -658,6 +738,7 @@ fn update(
             table: table.to_string(),
             rid,
             tuple: current,
+            wrote: Some(new),
         });
         affected += 1;
     }
@@ -675,7 +756,7 @@ fn delete(
     let pred = query::bind_table_predicate(table, &scan.schema, conditions)?;
     let mut affected = 0u64;
     for (rid, _) in scan.matches {
-        let current = match lock_and_refetch(db, txn, table, scan.table_id, rid)? {
+        let current = match lock_and_refetch(db, txn, scan.table_id, rid, scan.schema.arity())? {
             Some(t) if pred.eval(&t) => t,
             _ => continue,
         };
@@ -696,6 +777,7 @@ fn delete(
             table: table.to_string(),
             rid,
             tuple: current,
+            wrote: None,
         });
         affected += 1;
     }

@@ -553,6 +553,28 @@ fn bench_check_inner(
             ));
         }
     }
+    // Gate: the same attestation for the server's network path — the
+    // chaos transport must be compiled in but carry no fault plan for
+    // the gate run, so wire latency numbers are not polluted by
+    // injected stalls, duplicated writes, or torn frames.
+    match fresh_json.get("network_faults").and_then(Json::as_str) {
+        Some("disabled") => {
+            println!("  network faults: chaos transport compiled in, disabled for the gate run");
+        }
+        Some(other) => {
+            return Err(format!(
+                "fresh smoke run reports network_faults = {other:?}; the perf gate only \
+                 accepts runs with the chaos transport disabled"
+            ));
+        }
+        None => {
+            return Err(format!(
+                "{} lacks the network_faults field (regenerate with the current \
+                 concurrent_commit build)",
+                fresh_path.display()
+            ));
+        }
+    }
     let fresh_runs = fresh_json
         .get("runs")
         .and_then(Json::as_arr)
@@ -706,6 +728,7 @@ mod tests {
         format!(
             r#"{{"bench": "concurrent_commit", "mode": "smoke",
                 "fault_injection": "disabled",
+                "network_faults": "disabled",
                 {},
                 {recovery},
                 "runs": [{{"policy": "group", "tps": {group_tps}, {}}}]}}"#,
@@ -752,6 +775,7 @@ mod tests {
             &format!(
                 r#"{{"bench": "concurrent_commit", "mode": "smoke",
                 "fault_injection": "disabled",
+                "network_faults": "disabled",
                 {},
                 {},
                 "runs": [{{"policy": "sync", "tps": 9999.0, {}}}]}}"#,
@@ -779,6 +803,7 @@ mod tests {
             "fresh-pctl.json",
             r#"{"bench": "concurrent_commit", "mode": "smoke",
                 "fault_injection": "disabled",
+                "network_faults": "disabled",
                 "runs": [{"policy": "group", "tps": 1000.0}]}"#,
         );
         let err = bench_check_inner(&root, Some(&fresh), &baseline, 0.30).unwrap_err();
@@ -813,6 +838,7 @@ mod tests {
             &format!(
                 r#"{{"bench": "concurrent_commit", "mode": "smoke",
                 "fault_injection": "disabled",
+                "network_faults": "disabled",
                 "runs": [{{"policy": "group", "tps": 1000.0, {}}}]}}"#,
                 percentile_fields()
             ),
@@ -856,6 +882,7 @@ mod tests {
             &format!(
                 r#"{{"bench": "concurrent_commit", "mode": "smoke",
                 "fault_injection": "disabled",
+                "network_faults": "disabled",
                 {},
                 "runs": [{{"policy": "group", "tps": 1000.0, {}}}]}}"#,
                 remote_section(8),
@@ -928,6 +955,48 @@ mod tests {
         let err = bench_check_inner(&root, Some(&enabled), &baseline, 0.30).unwrap_err();
         assert!(
             err.contains("fault_injection = \"enabled\""),
+            "unexpected error: {err}"
+        );
+        for p in [&baseline, &missing, &enabled] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn gate_fails_without_network_fault_attestation() {
+        let root = std::env::temp_dir();
+        let baseline = write_tmp("base-nf.json", &baseline_doc(3.0, 1000.0));
+        // No network_faults field at all: a run predating the chaos
+        // transport is refused.
+        let missing = write_tmp(
+            "fresh-nf-missing.json",
+            &format!(
+                r#"{{"bench": "concurrent_commit", "mode": "smoke",
+                "fault_injection": "disabled",
+                "runs": [{{"policy": "group", "tps": 1000.0, {}}}]}}"#,
+                percentile_fields()
+            ),
+        );
+        let err = bench_check_inner(&root, Some(&missing), &baseline, 0.30).unwrap_err();
+        assert!(
+            err.contains("lacks the network_faults field"),
+            "unexpected error: {err}"
+        );
+        // A run measured through an active fault plan: refused even
+        // with healthy tps.
+        let enabled = write_tmp(
+            "fresh-nf-enabled.json",
+            &format!(
+                r#"{{"bench": "concurrent_commit", "mode": "smoke",
+                "fault_injection": "disabled",
+                "network_faults": "enabled",
+                "runs": [{{"policy": "group", "tps": 1000.0, {}}}]}}"#,
+                percentile_fields()
+            ),
+        );
+        let err = bench_check_inner(&root, Some(&enabled), &baseline, 0.30).unwrap_err();
+        assert!(
+            err.contains("network_faults = \"enabled\""),
             "unexpected error: {err}"
         );
         for p in [&baseline, &missing, &enabled] {

@@ -61,13 +61,16 @@ pub(crate) struct LockConfig {
 /// and `daemon.rs` module docs), with the SQL catalog lock prepended as
 /// the outermost class: the catalog mirror lock
 /// (`crates/sql/src/catalog.rs`) may never be held across any engine
-/// lock — its closure helpers make that structural — then the §5.3
-/// checkpoint-sweeper state (held across a whole sweep, which takes
-/// shard and queue locks underneath, never the reverse) → shard state
-/// locks in ascending shard index → one txn-table slot → the log
-/// queue → the durable table.
-pub(crate) const ENGINE_LOCK_ORDER: [&str; 6] = [
+/// lock — its closure helpers make that structural — then the server's
+/// admission gate (`crates/server/src/admission.rs`, released before
+/// the admitted statement runs, so it is never held across engine
+/// work), then the §5.3 checkpoint-sweeper state (held across a whole
+/// sweep, which takes shard and queue locks underneath, never the
+/// reverse) → shard state locks in ascending shard index → one
+/// txn-table slot → the log queue → the durable table.
+pub(crate) const ENGINE_LOCK_ORDER: [&str; 7] = [
     "catalog",
+    "admission",
     "checkpoint",
     "shard",
     "txn_slot",
@@ -82,11 +85,16 @@ const T: bool = false; // transient: acquires and releases internally
 /// and guard-returning helpers are `G`; helpers that take and drop locks
 /// inside their own body are `T` (their bodies are analyzed where they
 /// are defined — this entry only records what a *call* acquires).
-const ENGINE_LOCK_PATTERNS: [LockPattern; 21] = [
+const ENGINE_LOCK_PATTERNS: [LockPattern; 22] = [
     LockPattern {
         pat: "with_catalog_read(",
         classes: &["catalog"],
         returns_guard: T,
+    },
+    LockPattern {
+        pat: ".gate.lock(",
+        classes: &["admission"],
+        returns_guard: G,
     },
     LockPattern {
         pat: ".checkpoint.lock(",

@@ -13,11 +13,15 @@ use std::process::ExitCode;
 
 /// Entry point for `cargo xtask torture [--seeds N] [--first S]
 /// [--artifacts DIR] [--watchdog-secs T] [--checkpoint]
-/// [--sustain-secs S]` — arguments are forwarded to the runner binary
-/// unchanged. `--checkpoint` selects the §5.3 checkpoint-torture
-/// scenarios (crash mid-sweep, crash before truncation, background
-/// sweeper) with their full-log oracle comparison; `--sustain-secs`
-/// prepends the sustained-load bounded-recovery run.
+/// [--sustain-secs S] [--server]` — arguments are forwarded to the
+/// runner binary unchanged. `--checkpoint` selects the §5.3
+/// checkpoint-torture scenarios (crash mid-sweep, crash before
+/// truncation, background sweeper) with their full-log oracle
+/// comparison; `--sustain-secs` prepends the sustained-load
+/// bounded-recovery run; `--server` selects the full-stack
+/// server-chaos scenarios (SQL over TCP under seeded network faults,
+/// overload shedding, and a mid-run crash/recover) with their
+/// acked-implies-recovered and conservation oracle.
 pub fn torture(root: &Path, args: &[String]) -> ExitCode {
     println!("torture: running session_torture via cargo ...");
     let status = std::process::Command::new(env!("CARGO"))

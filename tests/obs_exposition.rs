@@ -192,13 +192,20 @@ fn cost_meter_bridges_into_the_engine_registry() {
 /// wire front end registers these on the engine's registry, so one
 /// exposition covers both layers. Same golden rules as
 /// [`SESSION_FAMILIES`].
-const SERVER_FAMILIES: [(&str, &str); 6] = [
+const SERVER_FAMILIES: [(&str, &str); 13] = [
     ("mmdb_server_active_connections_count", "gauge"),
     ("mmdb_server_connections_total", "counter"),
     ("mmdb_server_requests_total", "counter"),
     ("mmdb_server_request_latency_us", "histogram"),
     ("mmdb_server_parse_errors_total", "counter"),
     ("mmdb_server_protocol_errors_total", "counter"),
+    ("mmdb_server_refused_total", "counter"),
+    ("mmdb_server_shed_total", "counter"),
+    ("mmdb_server_retryable_errors_total", "counter"),
+    ("mmdb_server_write_stalls_total", "counter"),
+    ("mmdb_server_slow_client_disconnects_total", "counter"),
+    ("mmdb_server_inflight_statements_count", "gauge"),
+    ("mmdb_server_admission_wait_us", "histogram"),
 ];
 
 /// Starting a server adds exactly the [`SERVER_FAMILIES`] to the
@@ -266,6 +273,75 @@ fn server_families_join_the_engine_exposition() {
 
     drop(c);
     handle.shutdown().unwrap();
+    engine.shutdown().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The client driver's metric inventory — registered only when a
+/// [`mmdb_server::ClientConfig`] is handed a registry, so embedded
+/// clients (tests, torture workers) can opt in without polluting the
+/// server's exposition by default.
+const CLIENT_FAMILIES: [(&str, &str); 3] = [
+    ("mmdb_client_retries_total", "counter"),
+    ("mmdb_client_reconnects_total", "counter"),
+    ("mmdb_client_connection_lost_total", "counter"),
+];
+
+/// A client given the engine's registry adds exactly the
+/// [`CLIENT_FAMILIES`], and a lost connection moves the counter.
+#[test]
+fn client_families_join_the_exposition_when_opted_in() {
+    use mmdb_server::{Client, ClientConfig, Server, ServerConfig};
+
+    let opts = fast(CommitPolicy::Group, "client-golden");
+    let dir = opts.log_dir.clone();
+    let engine = Engine::start(opts).unwrap();
+    let handle = Server::start(&engine, ServerConfig::default()).unwrap();
+    let config = ClientConfig {
+        auto_retry: false,
+        registry: Some(engine.registry()),
+        ..ClientConfig::default()
+    };
+    let mut c = Client::connect_with(handle.addr(), config).unwrap();
+    c.execute("CREATE TABLE t (a INT)").unwrap();
+
+    // Tear the server down under the client: the next statement loses
+    // the connection, and the opted-in counter must say so.
+    handle.shutdown().unwrap();
+    assert!(c.execute("SELECT a FROM t").is_err());
+
+    let stats = engine.stats();
+    assert!(
+        stats
+            .counter("mmdb_client_connection_lost_total")
+            .unwrap_or(0)
+            >= 1,
+        "lost connection not counted"
+    );
+
+    let render = engine.render_metrics();
+    for (family, kind) in CLIENT_FAMILIES {
+        let type_line = format!("# TYPE {family} {kind}");
+        assert_eq!(
+            render.matches(&type_line).count(),
+            1,
+            "expected exactly one {type_line:?}"
+        );
+        assert_eq!(
+            render.matches(&format!("# HELP {family} ")).count(),
+            1,
+            "expected exactly one HELP for {family}"
+        );
+    }
+    // Exactly session + server + client families, nothing unlisted.
+    let type_lines = render.lines().filter(|l| l.starts_with("# TYPE ")).count();
+    assert_eq!(
+        type_lines,
+        SESSION_FAMILIES.len() + SERVER_FAMILIES.len() + CLIENT_FAMILIES.len(),
+        "exposition grew a family the golden lists do not know:\n{render}"
+    );
+    assert!(engine.registry().hygiene_violations().is_empty());
+
     engine.shutdown().unwrap();
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -3,10 +3,11 @@
 //! explicit transactions, concurrent connections, and the full
 //! crash → recover → reconnect cycle.
 
-use mmdb_server::{Client, ClientError, Server, ServerConfig};
+use mmdb_server::{Client, ClientConfig, ClientError, Server, ServerConfig};
 use mmdb_session::{CommitPolicy, Engine, EngineOptions};
 use mmdb_types::Value;
 use std::path::PathBuf;
+use std::time::Duration;
 
 fn tmp_dir(name: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("mmdb-sql-e2e-{}-{name}", std::process::id()));
@@ -67,13 +68,20 @@ fn crud_and_join_over_tcp() {
     let rows = c.query("SELECT id FROM emp").unwrap();
     assert_eq!(rows, vec![vec![Value::Int(1)]]);
 
-    // Server-side errors arrive as error responses, not hangups.
+    // Server-side errors arrive as error responses, not hangups — and
+    // deterministic failures are marked non-retryable in-band.
     match c.execute("SELECT * FROM nope") {
-        Err(ClientError::Server(msg)) => assert!(msg.contains("nope"), "{msg}"),
+        Err(ClientError::Server { msg, retryable }) => {
+            assert!(msg.contains("nope"), "{msg}");
+            assert!(!retryable, "a missing table is not a transient failure");
+        }
         other => panic!("expected server error, got {other:?}"),
     }
     match c.execute("SELEKT 1") {
-        Err(ClientError::Server(msg)) => assert!(msg.contains("unknown statement"), "{msg}"),
+        Err(ClientError::Server { msg, retryable }) => {
+            assert!(msg.contains("unknown statement"), "{msg}");
+            assert!(!retryable, "a parse error is not a transient failure");
+        }
         other => panic!("expected parse error, got {other:?}"),
     }
     // The connection is still usable after errors.
@@ -169,6 +177,200 @@ fn catalog_and_rows_survive_crash_recover_reconnect() {
     // The recovered catalog keeps serving writes.
     c.execute("INSERT INTO kv VALUES (4, 'four')").unwrap();
     assert_eq!(c.query("SELECT k FROM kv").unwrap().len(), 3);
+
+    handle.shutdown().unwrap();
+    engine.shutdown().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn hung_server_trips_the_read_deadline_instead_of_blocking_forever() {
+    // A listener that accepts (at the TCP level) but never answers: the
+    // old client would block in read() indefinitely; the default-on
+    // read deadline must surface a timeout in bounded time.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let config = ClientConfig {
+        read_deadline: Duration::from_millis(300),
+        auto_retry: false,
+        ..ClientConfig::default()
+    };
+    let mut c = Client::connect_with(addr, config).unwrap();
+    let started = std::time::Instant::now();
+    match c.execute("SELECT a FROM t") {
+        Err(ClientError::Timeout(_)) => {}
+        other => panic!("expected a read-deadline timeout, got {other:?}"),
+    }
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "timeout took {:?} — the deadline is not bounding the read",
+        started.elapsed()
+    );
+    drop(listener);
+}
+
+#[test]
+fn refused_connection_gets_an_in_band_retryable_error_and_is_counted() {
+    let dir = tmp_dir("refuse");
+    let engine = Engine::start(EngineOptions::new(CommitPolicy::Group, &dir)).unwrap();
+    let config = ServerConfig {
+        max_connections: 1,
+        ..ServerConfig::default()
+    };
+    let handle = Server::start(&engine, config).unwrap();
+
+    let mut a = Client::connect(handle.addr()).unwrap();
+    a.execute("CREATE TABLE t (a INT)").unwrap();
+
+    // The second connection is over capacity: the server must say so
+    // in-band (a retryable error) rather than silently hanging up, and
+    // must count the refusal.
+    let refused = engine.registry().counter(
+        "mmdb_server_refused_total",
+        "Connections refused at the connection-count cap",
+    );
+    let before = refused.get();
+    let config = ClientConfig {
+        auto_retry: false,
+        ..ClientConfig::default()
+    };
+    let mut b = Client::connect_with(handle.addr(), config).unwrap();
+    match b.execute("SELECT a FROM t") {
+        Err(ClientError::Server { msg, retryable }) => {
+            assert!(msg.contains("capacity"), "{msg}");
+            assert!(retryable, "a capacity refusal must invite a retry");
+        }
+        other => panic!("expected an in-band refusal, got {other:?}"),
+    }
+    assert!(
+        refused.get() > before,
+        "mmdb_server_refused_total did not move"
+    );
+
+    handle.shutdown().unwrap();
+    engine.shutdown().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn graceful_drain_with_an_open_transaction_recovers_clean() {
+    let dir = tmp_dir("drain");
+    let (engine, handle) = start(&dir);
+    let mut c = Client::connect(handle.addr()).unwrap();
+    c.execute("CREATE TABLE t (a INT, b INT)").unwrap();
+    c.execute("INSERT INTO t VALUES (1, 10), (2, 20)").unwrap();
+    // Leave a transaction open across the drain: its work must die with
+    // the server, not leak into the recovered image.
+    c.execute("BEGIN").unwrap();
+    c.execute("UPDATE t SET b = 999 WHERE a = 1").unwrap();
+
+    handle.shutdown().unwrap();
+    drop(c);
+    engine.crash().unwrap();
+
+    let (engine, _info) = Engine::recover(EngineOptions::new(CommitPolicy::Group, &dir)).unwrap();
+    let handle = Server::start(&engine, ServerConfig::default()).unwrap();
+    let mut c = Client::connect(handle.addr()).unwrap();
+    let mut rows = c.query("SELECT a, b FROM t").unwrap();
+    rows.sort();
+    assert_eq!(
+        rows,
+        vec![
+            vec![Value::Int(1), Value::Int(10)],
+            vec![Value::Int(2), Value::Int(20)],
+        ],
+        "the drained-but-uncommitted update leaked into recovery"
+    );
+    // The recovered stack still serves writes.
+    c.execute("UPDATE t SET b = 11 WHERE a = 1").unwrap();
+    assert_eq!(
+        c.query("SELECT b FROM t WHERE a = 1").unwrap(),
+        vec![vec![Value::Int(11)]]
+    );
+
+    handle.shutdown().unwrap();
+    engine.shutdown().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn overload_sheds_reads_in_band_and_queued_writes_on_deadline() {
+    let dir = tmp_dir("shed");
+    let engine = Engine::start(
+        EngineOptions::new(CommitPolicy::Group, &dir)
+            .with_lock_wait_timeout(Duration::from_secs(2)),
+    )
+    .unwrap();
+    let config = ServerConfig {
+        max_inflight_statements: 1,
+        admission_queue: 0,
+        admission_deadline: Duration::from_millis(50),
+        ..ServerConfig::default()
+    };
+    let handle = Server::start(&engine, config).unwrap();
+
+    let mut a = Client::connect(handle.addr()).unwrap();
+    a.execute("CREATE TABLE t (a INT, b INT)").unwrap();
+    a.execute("INSERT INTO t VALUES (1, 10)").unwrap();
+    // A holds a row lock inside an open transaction; in-transaction
+    // statements bypass admission, so this never counts against the
+    // inflight capacity.
+    a.execute("BEGIN").unwrap();
+    a.execute("UPDATE t SET b = 11 WHERE a = 1").unwrap();
+
+    // B's autocommit write takes the single execution slot and blocks
+    // on the row lock inside the engine.
+    let addr = handle.addr();
+    let blocked = std::thread::spawn(move || {
+        let config = ClientConfig {
+            auto_retry: false,
+            ..ClientConfig::default()
+        };
+        let mut b = Client::connect_with(addr, config).unwrap();
+        b.execute("UPDATE t SET b = 12 WHERE a = 1")
+    });
+    std::thread::sleep(Duration::from_millis(300));
+
+    let shed = engine.registry().counter(
+        "mmdb_server_shed_total",
+        "Statements shed by admission control before running",
+    );
+    let before = shed.get();
+    let config = ClientConfig {
+        auto_retry: false,
+        ..ClientConfig::default()
+    };
+    // Reads shed immediately at capacity...
+    let mut r = Client::connect_with(handle.addr(), config.clone()).unwrap();
+    match r.execute("SELECT a FROM t") {
+        Err(ClientError::Server { msg, retryable }) => {
+            assert!(msg.contains("overloaded"), "{msg}");
+            assert!(retryable, "a shed statement must invite a retry");
+        }
+        other => panic!("expected the read to be shed, got {other:?}"),
+    }
+    // ...and writes beyond the queue bound are shed too.
+    let mut w = Client::connect_with(handle.addr(), config).unwrap();
+    match w.execute("UPDATE t SET b = 13 WHERE a = 1") {
+        Err(ClientError::Server { msg, retryable }) => {
+            assert!(msg.contains("overloaded"), "{msg}");
+            assert!(retryable, "a shed statement must invite a retry");
+        }
+        other => panic!("expected the write to be shed, got {other:?}"),
+    }
+    assert!(
+        shed.get() >= before + 2,
+        "mmdb_server_shed_total did not move"
+    );
+
+    // Releasing the lock lets the queued write through: shedding
+    // refused new work without starving work already admitted.
+    a.execute("ABORT").unwrap();
+    let result = blocked
+        .join()
+        .unwrap()
+        .expect("the admitted write must finish");
+    assert_eq!(result.affected, 1);
 
     handle.shutdown().unwrap();
     engine.shutdown().unwrap();
